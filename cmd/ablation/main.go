@@ -1,0 +1,103 @@
+// Command ablation runs the design-choice sweeps of DESIGN.md's
+// experiment index: the L2 parameter δ (A1), the random-update probability
+// ε₂ (A2), and the beyond-paper extensions — Double Q-learning targets and
+// the forgetting-factor sequential update (X3/X4). Each configuration is
+// trained for a fixed episode budget over several seeds and summarized by
+// its best 100-episode moving average and solve count.
+//
+// Usage:
+//
+//	go run ./cmd/ablation -sweep delta -trials 3 -episodes 2000
+//	go run ./cmd/ablation -sweep eps2
+//	go run ./cmd/ablation -sweep doubleq
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"oselmrl/internal/env"
+	"oselmrl/internal/harness"
+	"oselmrl/internal/qnet"
+	"oselmrl/internal/stats"
+)
+
+func main() {
+	sweep := flag.String("sweep", "delta", "sweep to run: delta | eps2 | doubleq | encoding")
+	hidden := flag.Int("hidden", 32, "hidden width")
+	trials := flag.Int("trials", 3, "seeds per configuration")
+	episodes := flag.Int("episodes", 2000, "episode budget per trial")
+	flag.Parse()
+
+	type variant struct {
+		label  string
+		mutate func(*qnet.Config)
+	}
+	var variants []variant
+	switch *sweep {
+	case "delta":
+		for _, d := range []float64{0.1, 0.5, 1, 2, 5} {
+			d := d
+			variants = append(variants, variant{
+				label:  fmt.Sprintf("delta=%g", d),
+				mutate: func(c *qnet.Config) { c.Delta = d },
+			})
+		}
+	case "eps2":
+		for _, e := range []float64{0.1, 0.25, 0.5, 0.75, 1} {
+			e := e
+			variants = append(variants, variant{
+				label:  fmt.Sprintf("eps2=%g", e),
+				mutate: func(c *qnet.Config) { c.Epsilon2 = e },
+			})
+		}
+	case "doubleq":
+		variants = []variant{
+			{label: "standard", mutate: func(c *qnet.Config) {}},
+			{label: "double-q", mutate: func(c *qnet.Config) { c.DoubleQ = true }},
+		}
+	case "encoding":
+		variants = []variant{
+			{label: "scalar-action", mutate: func(c *qnet.Config) {}},
+			{label: "one-hot-action", mutate: func(c *qnet.Config) { c.OneHotActions = true }},
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "ablation: unknown sweep %q\n", *sweep)
+		os.Exit(2)
+	}
+
+	fmt.Printf("Ablation sweep %q — OS-ELM-L2-Lipschitz, %d hidden units, %d trials x %d episodes\n\n",
+		*sweep, *hidden, *trials, *episodes)
+	fmt.Printf("%-18s %-10s %-14s %-12s\n", "config", "solved", "bestMA mean", "bestMA max")
+	for _, v := range variants {
+		bests := make([]float64, 0, *trials)
+		solved := 0
+		for i := 0; i < *trials; i++ {
+			cfg := qnet.DefaultConfig(qnet.VariantOSELML2Lipschitz, 4, 2, *hidden)
+			cfg.Seed = uint64(i) + 1
+			v.mutate(&cfg)
+			agent, err := qnet.New(cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ablation:", err)
+				os.Exit(1)
+			}
+			task := env.NewShaped(env.NewCartPoleV0(uint64(i)+101), env.RewardSurvival)
+			rc := harness.Defaults()
+			rc.MaxEpisodes = *episodes
+			res := harness.Run(agent, task, rc)
+			best := 0.0
+			for _, p := range res.Curve {
+				if p.MovingAvg > best {
+					best = p.MovingAvg
+				}
+			}
+			bests = append(bests, best)
+			if res.Solved {
+				solved++
+			}
+		}
+		s := stats.Summarize(bests)
+		fmt.Printf("%-18s %d/%-8d %-14.1f %-12.1f\n", v.label, solved, *trials, s.Mean, s.Max)
+	}
+}

@@ -1,0 +1,61 @@
+// Command envcheck validates the environment substrate against paper
+// Table 2 and prints the inventory of available tasks. It is the
+// regeneration target for experiment E1 in DESIGN.md.
+//
+// Usage:
+//
+//	go run ./cmd/envcheck
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"oselmrl/internal/env"
+)
+
+func main() {
+	fmt.Println("Paper Table 2 — CartPole-v0 simulation environment")
+	fmt.Println("Parameter             Min        Max")
+	c := env.NewCartPoleV0(1)
+	low, high := c.ObservationBounds()
+	names := []string{"Cart position", "Cart velocity", "Pole angle (rad)", "Pole velocity at tip"}
+	for i, n := range names {
+		fmt.Printf("%-21s %-10s %-10s\n", n, fmtBound(low[i]), fmtBound(high[i]))
+	}
+	fmt.Printf("\nTermination: |x| > %.1f or |theta| > %.4f rad (12 deg); step cap %d\n",
+		env.CartPositionLimit, env.PoleAngleLimitRad, c.MaxSteps())
+	fmt.Printf("Note: the paper prints the angle bound as \"41.8 deg\"; it is 0.418 rad\n")
+	fmt.Printf("      (= 2x the 12 deg termination threshold, Gym's observation bound).\n\n")
+
+	fmt.Println("Environment inventory:")
+	envs := []env.Env{
+		env.NewCartPoleV0(1), env.NewCartPoleV1(1), env.NewMountainCar(1),
+		env.NewAcrobot(1), env.NewGridWorld(5, 1), env.NewPendulum(1),
+	}
+	ok := true
+	for _, e := range envs {
+		obs := e.Reset()
+		if len(obs) != e.ObservationSize() {
+			ok = false
+		}
+		fmt.Printf("  %-22s obs=%d actions=%d max_steps=%d\n",
+			e.Name(), e.ObservationSize(), e.ActionCount(), e.MaxSteps())
+	}
+	if !ok {
+		fmt.Fprintln(os.Stderr, "envcheck: observation shape mismatch")
+		os.Exit(1)
+	}
+	fmt.Println("\nAll environments validated.")
+}
+
+func fmtBound(v float64) string {
+	if math.IsInf(v, -1) {
+		return "-inf"
+	}
+	if math.IsInf(v, 1) {
+		return "inf"
+	}
+	return fmt.Sprintf("%.3f", v)
+}

@@ -1,0 +1,73 @@
+// Command fpgares regenerates paper Table 3: FPGA resource utilization of
+// the OS-ELM Q-Network core on the PYNQ-Z1's xc7z020 device for hidden
+// widths 32..256. It is the regeneration target for experiment E2 in
+// DESIGN.md.
+//
+// Usage:
+//
+//	go run ./cmd/fpgares [-hidden 32,64,128,192,256] [-inputs 5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"oselmrl/internal/cli"
+	"oselmrl/internal/fpga"
+)
+
+func main() {
+	hiddenFlag := flag.String("hidden", "32,64,128,192,256", "comma-separated hidden widths")
+	inputs := flag.Int("inputs", 5, "network input size (states + action; 5 for CartPole)")
+	flag.Parse()
+
+	sizes, err := cli.ParseIntList(*hiddenFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fpgares:", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("Paper Table 3 — FPGA resource utilization of the OS-ELM Q-Network core\n")
+	fmt.Printf("Device: %s (BRAM36 %d, DSP48 %d, FF %d, LUT %d)\n\n",
+		fpga.XC7Z020.Name, fpga.XC7Z020.BRAM36, fpga.XC7Z020.DSP48,
+		fpga.XC7Z020.FF, fpga.XC7Z020.LUT)
+	fmt.Printf("%-6s %-10s %-10s %-10s %-10s\n", "Units", "BRAM [%]", "DSP [%]", "FF [%]", "LUT [%]")
+	for _, n := range sizes {
+		u := fpga.EstimateResources(*inputs, n)
+		if !u.Feasible {
+			fmt.Printf("%-6d %-10s %-10s %-10s %-10s  (does not fit: needs %d BRAM36)\n",
+				n, "-", "-", "-", "-", u.BRAM36)
+			continue
+		}
+		b, d, f, l := u.Percent(fpga.XC7Z020)
+		fmt.Printf("%-6d %-10.2f %-10.2f %-10.2f %-10.2f\n", n, b, d, f, l)
+	}
+
+	fmt.Println("\nFirst-principles memory map (P + transposed copy, cyclic x4, double-buffered):")
+	for _, n := range sizes {
+		m, err := fpga.CoreMemoryMap(*inputs, n)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fpgares:", err)
+			os.Exit(1)
+		}
+		fit := "fits"
+		if m.TotalBRAM36() > fpga.XC7Z020.BRAM36 {
+			fit = "DOES NOT FIT"
+		}
+		fmt.Printf("  %4d units: %3d BRAM36 + %6d LUTRAM bits (%s)\n",
+			n, m.TotalBRAM36(), m.TotalLUTBits(), fit)
+	}
+
+	fmt.Println("\nDatapath cycle counts (predict / seq_train) at 125 MHz:")
+	for _, n := range sizes {
+		u := fpga.EstimateResources(*inputs, n)
+		if !u.Feasible {
+			continue
+		}
+		core := fpga.NewCore(*inputs, n, 1, fpga.DefaultCycleModel())
+		p, s := core.PredictCycles(), core.SeqTrainCycles()
+		fmt.Printf("  %4d units: predict %7d cycles (%.1f us)   seq_train %9d cycles (%.1f us)\n",
+			n, p, float64(p)/125.0, s, float64(s)/125.0)
+	}
+}

@@ -1,0 +1,192 @@
+// Command plot renders the regenerated figures as SVG from the CSV files
+// the other tools emit:
+//
+//   - Figure 4 lookalike: one training-curve chart per curve_*.csv in the
+//     input directory (light per-episode line + dark 100-episode average).
+//   - Figure 5 lookalike: stacked per-phase bars from time_to_complete.csv,
+//     one chart per hidden width.
+//
+// Usage:
+//
+//	go run ./cmd/traincurve -hidden 32 -out results/curves
+//	go run ./cmd/timetocomplete -hidden 32 -out results
+//	go run ./cmd/plot -curves results/curves -breakdown results/time_to_complete.csv -out results/figs
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"oselmrl/internal/svgplot"
+	"oselmrl/internal/timing"
+)
+
+func main() {
+	curvesDir := flag.String("curves", "", "directory of curve_*.csv files (Figure 4)")
+	breakdownCSV := flag.String("breakdown", "", "time_to_complete.csv path (Figure 5)")
+	outDir := flag.String("out", "results/figs", "output directory for SVGs")
+	flag.Parse()
+
+	if *curvesDir == "" && *breakdownCSV == "" {
+		fmt.Fprintln(os.Stderr, "plot: nothing to do (pass -curves and/or -breakdown)")
+		os.Exit(2)
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fail(err)
+	}
+	if *curvesDir != "" {
+		if err := plotCurves(*curvesDir, *outDir); err != nil {
+			fail(err)
+		}
+	}
+	if *breakdownCSV != "" {
+		if err := plotBreakdown(*breakdownCSV, *outDir); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// plotCurves renders one SVG per curve CSV (Figure 4 style).
+func plotCurves(dir, outDir string) error {
+	files, err := filepath.Glob(filepath.Join(dir, "curve_*.csv"))
+	if err != nil {
+		return err
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("plot: no curve_*.csv in %s", dir)
+	}
+	for _, f := range files {
+		rows, err := readCSV(f)
+		if err != nil {
+			return err
+		}
+		var eps, steps, ma []float64
+		for _, r := range rows {
+			if len(r) < 4 {
+				continue
+			}
+			e, err1 := strconv.ParseFloat(r[0], 64)
+			s, err2 := strconv.ParseFloat(r[1], 64)
+			m, err3 := strconv.ParseFloat(r[3], 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				continue
+			}
+			eps = append(eps, e)
+			steps = append(steps, s)
+			ma = append(ma, m)
+		}
+		if len(eps) == 0 {
+			continue
+		}
+		name := strings.TrimSuffix(filepath.Base(f), ".csv")
+		chart := &svgplot.LineChart{
+			Title:  strings.TrimPrefix(name, "curve_") + " — training curve (Figure 4)",
+			XLabel: "episode",
+			YLabel: "steps standing",
+			Series: []svgplot.Series{
+				{Name: "per-episode", X: eps, Y: steps, Light: true},
+				{Name: "100-episode average", X: eps, Y: ma},
+			},
+		}
+		svg, err := chart.Render()
+		if err != nil {
+			return fmt.Errorf("plot: %s: %w", f, err)
+		}
+		out := filepath.Join(outDir, name+".svg")
+		if err := os.WriteFile(out, []byte(svg), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", out)
+	}
+	return nil
+}
+
+// plotBreakdown renders one stacked-bar SVG per hidden width (Figure 5 style).
+func plotBreakdown(path, outDir string) error {
+	rows, err := readCSV(path)
+	if err != nil {
+		return err
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("plot: empty breakdown CSV")
+	}
+	// Columns: design,hidden,solved,episodes,<7 phases>,total.
+	segNames := make([]string, len(timing.AllPhases))
+	for i, p := range timing.AllPhases {
+		segNames[i] = string(p)
+	}
+	byHidden := map[string][]svgplot.Bar{}
+	order := []string{}
+	for _, r := range rows {
+		if len(r) < 4+len(timing.AllPhases) {
+			continue
+		}
+		hidden := r[1]
+		segs := make([]float64, len(timing.AllPhases))
+		ok := true
+		for i := range timing.AllPhases {
+			v, err := strconv.ParseFloat(r[4+i], 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			segs[i] = v
+		}
+		if !ok {
+			continue
+		}
+		label := r[0]
+		if r[2] == "false" {
+			label += " (unsolved)"
+		}
+		if _, seen := byHidden[hidden]; !seen {
+			order = append(order, hidden)
+		}
+		byHidden[hidden] = append(byHidden[hidden], svgplot.Bar{Label: label, Segments: segs})
+	}
+	for _, hidden := range order {
+		chart := &svgplot.BarChart{
+			Title:        fmt.Sprintf("Execution time to complete, %s hidden units (Figure 5)", hidden),
+			YLabel:       "modelled device seconds",
+			SegmentNames: segNames,
+			Bars:         byHidden[hidden],
+		}
+		svg, err := chart.Render()
+		if err != nil {
+			return err
+		}
+		out := filepath.Join(outDir, fmt.Sprintf("figure5_%sunits.svg", hidden))
+		if err := os.WriteFile(out, []byte(svg), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", out)
+	}
+	return nil
+}
+
+func readCSV(path string) ([][]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	all, err := r.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(all) > 0 {
+		all = all[1:] // drop header
+	}
+	return all, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "plot:", err)
+	os.Exit(1)
+}

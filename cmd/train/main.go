@@ -1,0 +1,148 @@
+// Command train is the general-purpose training tool: train any design on
+// any built-in environment, report the outcome, optionally evaluate the
+// greedy policy and persist the trained agent to JSON for later
+// deployment (ELM/OS-ELM designs).
+//
+// Usage:
+//
+//	go run ./cmd/train -design OS-ELM-L2-Lipschitz -env cartpole -hidden 32
+//	go run ./cmd/train -design DQN -env gridworld -episodes 500
+//	go run ./cmd/train -design OS-ELM-L2 -save agent.json -eval 20
+//	go run ./cmd/train -load agent.json -eval 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"oselmrl/internal/env"
+	"oselmrl/internal/harness"
+	"oselmrl/internal/persist"
+	"oselmrl/internal/qnet"
+)
+
+func makeEnv(name string, seed uint64) (env.Env, error) {
+	switch strings.ToLower(name) {
+	case "cartpole", "cartpole-v0":
+		return env.NewShaped(env.NewCartPoleV0(seed), env.RewardSurvival), nil
+	case "cartpole-v1":
+		return env.NewShaped(env.NewCartPoleV1(seed), env.RewardSurvival), nil
+	case "mountaincar":
+		return env.NewShaped(env.NewMountainCar(seed), env.RewardPerStepClipped), nil
+	case "acrobot":
+		return env.NewShaped(env.NewAcrobot(seed), env.RewardPerStepClipped), nil
+	case "gridworld":
+		return env.NewGridWorld(5, seed), nil
+	case "pendulum":
+		return env.NewShaped(env.NewPendulum(seed), env.RewardPerStepClipped), nil
+	}
+	return nil, fmt.Errorf("unknown environment %q (cartpole, cartpole-v1, mountaincar, acrobot, gridworld, pendulum)", name)
+}
+
+// solveFor returns the solve threshold appropriate for the task: the
+// CartPole-v0 criterion for CartPole, otherwise "never" so the run uses
+// its full budget and reports the learning progress.
+func solveFor(name string, cfg *harness.Config) {
+	if !strings.HasPrefix(strings.ToLower(name), "cartpole") {
+		cfg.SolveThreshold = 1e18
+	}
+}
+
+func main() {
+	designName := flag.String("design", "OS-ELM-L2-Lipschitz", "design to train")
+	envName := flag.String("env", "cartpole", "environment")
+	hidden := flag.Int("hidden", 32, "hidden width")
+	episodes := flag.Int("episodes", 5000, "episode budget")
+	seed := flag.Uint64("seed", 1, "seed")
+	savePath := flag.String("save", "", "save the trained agent to this JSON file (ELM/OS-ELM designs)")
+	loadPath := flag.String("load", "", "load an agent snapshot instead of training")
+	evalEps := flag.Int("eval", 0, "greedy-policy evaluation episodes after training")
+	flag.Parse()
+
+	task, err := makeEnv(*envName, *seed+100)
+	if err != nil {
+		fail(err)
+	}
+
+	if *loadPath != "" {
+		f, err := os.Open(*loadPath)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		agent, err := persist.LoadAgent(f)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("Loaded %s agent from %s\n", agent.Name(), *loadPath)
+		if *evalEps > 0 {
+			score := harness.EvaluateGreedy(agent, task, *evalEps, true)
+			fmt.Printf("Greedy evaluation over %d episodes: %.1f steps/episode\n", *evalEps, score)
+		}
+		return
+	}
+
+	d, err := harness.ParseDesign(*designName)
+	if err != nil {
+		fail(err)
+	}
+	agent, err := harness.NewAgent(d, task.ObservationSize(), task.ActionCount(), *hidden, *seed)
+	if err != nil {
+		fail(err)
+	}
+	cfg := harness.RunConfigFor(d, harness.Defaults())
+	cfg.MaxEpisodes = *episodes
+	solveFor(*envName, &cfg)
+
+	fmt.Printf("Training %s on %s (%d hidden units, <= %d episodes) ...\n",
+		d, task.Name(), *hidden, *episodes)
+	res := harness.Run(agent, task, cfg)
+	if res.Err != nil {
+		fmt.Println("warning:", res.Err)
+	}
+	best := 0.0
+	for _, p := range res.Curve {
+		if p.MovingAvg > best {
+			best = p.MovingAvg
+		}
+	}
+	if res.Solved {
+		fmt.Printf("Solved in %d episodes (%d resets, %d steps)\n", res.Episodes, res.Resets, res.TotalSteps)
+	} else {
+		fmt.Printf("Budget exhausted after %d episodes (best 100-episode average %.1f)\n",
+			res.Episodes, best)
+	}
+	bd := harness.Breakdown(d, res.Counters)
+	fmt.Println("Modelled device time:")
+	fmt.Print(bd.Format())
+
+	if *evalEps > 0 {
+		if gp, ok := agent.(harness.GreedyPolicy); ok {
+			score := harness.EvaluateGreedy(gp, task, *evalEps, true)
+			fmt.Printf("Greedy evaluation over %d episodes: %.1f steps/episode\n", *evalEps, score)
+		}
+	}
+
+	if *savePath != "" {
+		qa, ok := agent.(*qnet.Agent)
+		if !ok {
+			fail(fmt.Errorf("-save supports the ELM/OS-ELM designs, not %s", d))
+		}
+		f, err := os.Create(*savePath)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := persist.SaveAgent(f, qa); err != nil {
+			fail(err)
+		}
+		fmt.Println("Agent snapshot written to", *savePath)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "train:", err)
+	os.Exit(1)
+}

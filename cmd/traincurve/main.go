@@ -1,0 +1,105 @@
+// Command traincurve regenerates paper Figure 4: training curves of the
+// six software designs (ELM, OS-ELM, OS-ELM-L2, OS-ELM-Lipschitz,
+// OS-ELM-L2-Lipschitz, DQN) on CartPole-v0, one CSV per design per hidden
+// width with the per-episode steps and the 100-episode moving average. It
+// is the regeneration target for experiment E3 in DESIGN.md.
+//
+// Usage:
+//
+//	go run ./cmd/traincurve -hidden 32 -episodes 2000 -out results/curves
+//	go run ./cmd/traincurve -hidden 32,64,128,192 -designs OS-ELM-L2,DQN
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"oselmrl/internal/cli"
+	"oselmrl/internal/env"
+	"oselmrl/internal/harness"
+	"oselmrl/internal/trace"
+)
+
+func main() {
+	hiddenFlag := flag.String("hidden", "32", "comma-separated hidden widths")
+	designsFlag := flag.String("designs", "", "comma-separated designs (default: the six of Figure 4)")
+	episodes := flag.Int("episodes", 2000, "episode budget per run")
+	seed := flag.Uint64("seed", 1, "base seed")
+	outDir := flag.String("out", "", "directory for CSV output (empty = stdout summary only)")
+	flag.Parse()
+
+	sizes, err := cli.ParseIntList(*hiddenFlag)
+	if err != nil {
+		fail(err)
+	}
+	designs := harness.TrainingCurveDesigns
+	if *designsFlag != "" {
+		designs = nil
+		for _, name := range strings.Split(*designsFlag, ",") {
+			d, err := harness.ParseDesign(strings.TrimSpace(name))
+			if err != nil {
+				fail(err)
+			}
+			designs = append(designs, d)
+		}
+	}
+
+	for _, hidden := range sizes {
+		fmt.Printf("== Figure 4, %d hidden units ==\n", hidden)
+		for _, d := range designs {
+			agent, err := harness.NewAgent(d, 4, 2, hidden, *seed)
+			if err != nil {
+				fmt.Printf("%-22s skipped: %v\n", d, err)
+				continue
+			}
+			e := env.NewShaped(env.NewCartPoleV0(*seed+100), env.RewardSurvival)
+			cfg := harness.RunConfigFor(d, harness.Defaults())
+			cfg.MaxEpisodes = *episodes
+			res := harness.Run(agent, e, cfg)
+
+			best := 0.0
+			for _, p := range res.Curve {
+				if p.MovingAvg > best {
+					best = p.MovingAvg
+				}
+			}
+			status := "running"
+			if res.Solved {
+				status = fmt.Sprintf("SOLVED at episode %d", res.Episodes)
+			}
+			fmt.Printf("%-22s best 100-ep avg %6.1f  resets %d  %s\n",
+				d, best, res.Resets, status)
+
+			if *outDir != "" {
+				if err := writeCurve(*outDir, string(d), hidden, res); err != nil {
+					fail(err)
+				}
+			}
+		}
+		fmt.Println()
+	}
+	if *outDir != "" {
+		fmt.Println("CSV written to", *outDir)
+	}
+}
+
+func writeCurve(dir, design string, hidden int, res *harness.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	name := fmt.Sprintf("curve_%s_%d.csv", strings.ReplaceAll(design, " ", "_"), hidden)
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return trace.WriteCurveCSV(f, res.Curve)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "traincurve:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,56 @@
+// Comparison: run the paper's seven designs head-to-head on CartPole-v0 at
+// one hidden width and print a Figure 5-style summary (who solves, in how
+// many episodes, at what modelled device time).
+//
+// Run:
+//
+//	go run ./examples/comparison
+package main
+
+import (
+	"fmt"
+
+	"oselmrl/internal/env"
+	"oselmrl/internal/harness"
+)
+
+func main() {
+	const hidden = 32
+	fmt.Printf("Seven-design comparison on CartPole-v0, %d hidden units\n", hidden)
+	fmt.Printf("%-22s %-9s %-10s %-8s %-12s %s\n",
+		"design", "solved", "episodes", "resets", "model time", "dominant phase")
+
+	for _, d := range harness.AllDesigns {
+		// DQN is backprop-per-step and slow in wall-clock; give it a small
+		// episode budget in this demo (cmd/timetocomplete runs it fully).
+		budget := 6000
+		if d == harness.DesignDQN {
+			budget = 1500
+		}
+		agent, err := harness.NewAgent(d, 4, 2, hidden, 2)
+		if err != nil {
+			fmt.Printf("%-22s construction failed: %v\n", d, err)
+			continue
+		}
+		task := env.NewShaped(env.NewCartPoleV0(102), env.RewardSurvival)
+		cfg := harness.RunConfigFor(d, harness.Defaults())
+		cfg.MaxEpisodes = budget
+		cfg.RecordCurve = false
+		res := harness.Run(agent, task, cfg)
+
+		bd := harness.Breakdown(d, res.Counters)
+		var top string
+		var topV float64
+		for p, v := range bd {
+			if v > topV {
+				top, topV = string(p), v
+			}
+		}
+		fmt.Printf("%-22s %-9v %-10d %-8d %9.2fs  %s (%.0f%%)\n",
+			d, res.Solved, res.Episodes, res.Resets, bd.Total(), top, 100*topV/bd.Total())
+	}
+
+	fmt.Println("\nExpected shape (paper §4.4): FPGA fastest, then the regularized")
+	fmt.Println("OS-ELM designs, with DQN slowest; OS-ELM time dominated by seq_train,")
+	fmt.Println("DQN by train_DQN and its batch predictions.")
+}

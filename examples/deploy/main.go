@@ -1,0 +1,90 @@
+// Deploy: the edge workflow the paper targets — train an OS-ELM Q-network,
+// persist the learned weights (α, b, β and the inverse-covariance P) to a
+// JSON snapshot, reload it in a fresh "deployment" agent, verify the
+// greedy policies agree bit-for-bit, and continue sequential training on
+// the device. OS-ELM makes this natural: the entire learner state is two
+// small matrices, not an optimizer plus replay buffer.
+//
+// Run:
+//
+//	go run ./examples/deploy
+package main
+
+import (
+	"bytes"
+	"fmt"
+
+	"oselmrl/internal/env"
+	"oselmrl/internal/harness"
+	"oselmrl/internal/persist"
+	"oselmrl/internal/qnet"
+	"oselmrl/internal/replay"
+)
+
+func main() {
+	// Phase 1: train on the "host".
+	cfg := qnet.DefaultConfig(qnet.VariantOSELML2Lipschitz, 4, 2, 32)
+	cfg.Seed = 4
+	trainer := qnet.MustNew(cfg)
+	task := env.NewShaped(env.NewCartPoleV0(104), env.RewardSurvival)
+	runCfg := harness.Defaults()
+	runCfg.MaxEpisodes = 3000
+	runCfg.RecordCurve = false
+	res := harness.Run(trainer, task, runCfg)
+	fmt.Printf("training: solved=%v episodes=%d resets=%d\n", res.Solved, res.Episodes, res.Resets)
+
+	// Phase 2: snapshot.
+	var snapshot bytes.Buffer
+	if err := persist.SaveAgent(&snapshot, trainer); err != nil {
+		fmt.Println("save failed:", err)
+		return
+	}
+	fmt.Printf("snapshot: %d bytes of JSON (two %dx%d matrices dominate: beta and P)\n",
+		snapshot.Len(), cfg.Hidden, cfg.Hidden)
+
+	// Phase 3: load on the "device".
+	device, err := persist.LoadAgent(bytes.NewReader(snapshot.Bytes()))
+	if err != nil {
+		fmt.Println("load failed:", err)
+		return
+	}
+
+	// Phase 4: verify behavioural identity on probe states.
+	probeEnv := env.NewCartPoleV0(777)
+	agree := 0
+	const probes = 200
+	s := probeEnv.Reset()
+	for i := 0; i < probes; i++ {
+		if trainer.GreedyAction(s) == device.GreedyAction(s) {
+			agree++
+		}
+		ns, _, done := probeEnv.Step(i % 2)
+		s = ns
+		if done {
+			s = probeEnv.Reset()
+		}
+	}
+	fmt.Printf("greedy agreement on %d probe states: %d/%d\n", probes, agree, probes)
+
+	// Phase 5: the deployed agent keeps learning sequentially on-device.
+	eval := func(a *qnet.Agent) float64 {
+		return harness.EvaluateGreedy(a, env.NewCartPoleV0(888), 20, true)
+	}
+	before := eval(device)
+	devTask := env.NewShaped(env.NewCartPoleV0(999), env.RewardSurvival)
+	st := devTask.Reset()
+	for i := 0; i < 5000; i++ {
+		act := device.SelectAction(st)
+		ns, r, done := devTask.Step(act)
+		if err := device.Observe(replay.Transition{State: st, Action: act, Reward: r, NextState: ns, Done: done}); err != nil {
+			fmt.Println("on-device update error:", err)
+			return
+		}
+		st = ns
+		if done {
+			st = devTask.Reset()
+		}
+	}
+	fmt.Printf("greedy steps/episode before on-device fine-tuning: %.1f, after: %.1f\n",
+		before, eval(device))
+}

@@ -1,0 +1,3 @@
+module oselmrl
+
+go 1.22

@@ -1,0 +1,280 @@
+// Package ac implements the paper's stated future work (§5): applying the
+// OS-ELM on-device learning approach to an actor-critic framework.
+//
+// The design keeps the paper's constraints — no backpropagation, bounded
+// memory, rank-1 sequential updates — and composes two OS-ELM networks:
+//
+//   - The critic is an OS-ELM state-value network V(s) trained toward the
+//     clipped one-step TD target r + γ·V(s'), exactly the ReOS-ELM
+//     machinery of the Q-network (L2-regularized initial training,
+//     spectral-normalized α).
+//   - The actor is a preference table over ELM random features: h(s)·W
+//     gives per-action preferences turned into a softmax policy; W is
+//     updated by the classic one-step actor-critic rule
+//     W += lr · δ · hᵀ·(onehot(a) − π(s)) with the TD error δ from the
+//     critic. The feature map is frozen and spectrally normalized, so this
+//     is a linear-in-features policy-gradient step — no backprop through
+//     hidden layers, preserving the on-device budget.
+package ac
+
+import (
+	"fmt"
+	"math"
+
+	"oselmrl/internal/activation"
+	"oselmrl/internal/elm"
+	"oselmrl/internal/mat"
+	"oselmrl/internal/oselm"
+	"oselmrl/internal/replay"
+	"oselmrl/internal/rng"
+	"oselmrl/internal/timing"
+)
+
+// Config holds the actor-critic hyperparameters.
+type Config struct {
+	// ObservationSize and ActionCount describe the environment.
+	ObservationSize, ActionCount int
+	// Hidden is the width of both the critic's and the actor's feature maps.
+	Hidden int
+	// Gamma is the discount rate.
+	Gamma float64
+	// Delta is the critic's L2 regularization (ReOS-ELM initial training).
+	Delta float64
+	// ActorLR is the policy-gradient step size.
+	ActorLR float64
+	// ClipLow and ClipHigh bound the critic targets, as in the Q-network.
+	ClipLow, ClipHigh float64
+	// Epsilon2 is the random-update probability for the critic, matching
+	// the Q-network's buffer-free update scheme.
+	Epsilon2 float64
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// DefaultConfig mirrors the Q-network's paper-aligned settings.
+func DefaultConfig(obsSize, actions, hidden int) Config {
+	return Config{
+		ObservationSize: obsSize,
+		ActionCount:     actions,
+		Hidden:          hidden,
+		Gamma:           0.99,
+		Delta:           0.5,
+		ActorLR:         0.05,
+		ClipLow:         -1,
+		ClipHigh:        1,
+		Epsilon2:        0.5,
+		Seed:            1,
+	}
+}
+
+// Agent is the OS-ELM actor-critic.
+type Agent struct {
+	cfg Config
+	rng *rng.RNG
+
+	critic *oselm.Model
+	// actorFeatures is the frozen spectrally-normalized feature ELM; only
+	// its hidden map is used.
+	actorFeatures *elm.Model
+	// actorW is the Hidden×Actions preference matrix.
+	actorW *mat.Dense
+
+	buffer   *replay.InitStore
+	counters *timing.Counters
+	dims     timing.OSELMDims
+}
+
+// New builds the agent.
+func New(cfg Config) (*Agent, error) {
+	if cfg.ObservationSize <= 0 || cfg.ActionCount <= 0 || cfg.Hidden <= 0 {
+		return nil, fmt.Errorf("ac: invalid dimensions obs=%d actions=%d hidden=%d",
+			cfg.ObservationSize, cfg.ActionCount, cfg.Hidden)
+	}
+	if cfg.ActorLR <= 0 {
+		return nil, fmt.Errorf("ac: ActorLR must be positive")
+	}
+	a := &Agent{
+		cfg:      cfg,
+		rng:      rng.New(cfg.Seed),
+		buffer:   replay.NewInitStore(cfg.Hidden),
+		counters: timing.NewCounters(),
+		dims:     timing.OSELMDims{In: cfg.ObservationSize, Hidden: cfg.Hidden, Out: 1},
+	}
+	a.initModels()
+	return a, nil
+}
+
+// MustNew is New that panics on configuration errors.
+func MustNew(cfg Config) *Agent {
+	a, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+func (a *Agent) initModels() {
+	opts := elm.Options{InitLow: -1, InitHigh: 1, SpectralNormalizeAlpha: true}
+	criticBase := elm.NewModel(a.cfg.ObservationSize, a.cfg.Hidden, 1,
+		activation.ReLU, a.rng, opts)
+	a.critic = oselm.New(criticBase, a.cfg.Delta)
+	a.actorFeatures = elm.NewModel(a.cfg.ObservationSize, a.cfg.Hidden,
+		a.cfg.ActionCount, activation.ReLU, a.rng, opts)
+	a.actorW = mat.Zeros(a.cfg.Hidden, a.cfg.ActionCount)
+	a.buffer.Clear()
+}
+
+// Name identifies the design.
+func (a *Agent) Name() string { return "OS-ELM-ActorCritic" }
+
+// Counters exposes the accumulated timing counters.
+func (a *Agent) Counters() *timing.Counters { return a.counters }
+
+// Policy returns the softmax action distribution at state s.
+func (a *Agent) Policy(s []float64) []float64 {
+	h := a.actorFeatures.HiddenOne(s)
+	prefs := mat.VecMul(h, a.actorW)
+	return softmax(prefs)
+}
+
+func softmax(x []float64) []float64 {
+	maxV := math.Inf(-1)
+	for _, v := range x {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	out := make([]float64, len(x))
+	var sum float64
+	for i, v := range x {
+		out[i] = math.Exp(v - maxV)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// SelectAction samples from the softmax policy — exploration is intrinsic,
+// so no ε schedule is needed.
+func (a *Agent) SelectAction(s []float64) int {
+	p := a.Policy(s)
+	a.counters.Add(timing.PhasePredictSeq, a.dims.PredictFlops())
+	u := a.rng.Float64()
+	acc := 0.0
+	for i, pv := range p {
+		acc += pv
+		if u < acc {
+			return i
+		}
+	}
+	return len(p) - 1
+}
+
+// GreedyAction returns the mode of the policy.
+func (a *Agent) GreedyAction(s []float64) int {
+	p := a.Policy(s)
+	best, arg := math.Inf(-1), 0
+	for i, v := range p {
+		if v > best {
+			best, arg = v, i
+		}
+	}
+	return arg
+}
+
+// Value returns the critic's V(s), or 0 before initial training.
+func (a *Agent) Value(s []float64) float64 {
+	if !a.critic.Initialized() {
+		return 0
+	}
+	return a.critic.PredictOne(s)[0]
+}
+
+// Observe performs one actor-critic step: TD error from the critic, a
+// policy-gradient update of the actor, and a (random-update gated)
+// sequential update of the critic.
+func (a *Agent) Observe(t replay.Transition) error {
+	target := t.Reward
+	if !t.Done {
+		target += a.cfg.Gamma * a.Value(t.NextState)
+	}
+	if target < a.cfg.ClipLow {
+		target = a.cfg.ClipLow
+	}
+	if target > a.cfg.ClipHigh {
+		target = a.cfg.ClipHigh
+	}
+
+	if !a.critic.Initialized() {
+		a.buffer.Add(t)
+		if a.buffer.Full() {
+			if err := a.initCritic(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// TD error before updating the critic.
+	delta := target - a.Value(t.State)
+
+	// Actor update: W += lr * delta * hᵀ (onehot(a) − π(s)).
+	h := a.actorFeatures.HiddenOne(t.State)
+	pi := a.Policy(t.State)
+	for j := 0; j < a.cfg.ActionCount; j++ {
+		grad := -pi[j]
+		if j == t.Action {
+			grad += 1
+		}
+		if grad == 0 {
+			continue
+		}
+		f := a.cfg.ActorLR * delta * grad
+		for i := 0; i < a.cfg.Hidden; i++ {
+			a.actorW.Set(i, j, a.actorW.At(i, j)+f*h[i])
+		}
+	}
+
+	// Critic update (random-update gated, like the Q-network).
+	if a.rng.Float64() < a.cfg.Epsilon2 {
+		if err := a.critic.SeqTrainOne(t.State, []float64{target}); err != nil {
+			return err
+		}
+		a.counters.Add(timing.PhaseSeqTrain, a.dims.SeqTrainFlops())
+	}
+	return nil
+}
+
+// initCritic runs the critic's ReOS-ELM initial training on the buffered
+// transitions with clipped TD targets (V(s') = 0 pre-training).
+func (a *Agent) initCritic() error {
+	trans := a.buffer.Drain()
+	k := len(trans)
+	x := mat.Zeros(k, a.cfg.ObservationSize)
+	y := mat.Zeros(k, 1)
+	for i, tr := range trans {
+		x.SetRow(i, tr.State)
+		target := tr.Reward // V(next) is 0 before training
+		if target < a.cfg.ClipLow {
+			target = a.cfg.ClipLow
+		}
+		if target > a.cfg.ClipHigh {
+			target = a.cfg.ClipHigh
+		}
+		y.Set(i, 0, target)
+	}
+	a.counters.Add(timing.PhaseInitTrain, a.dims.InitTrainFlops(k))
+	return a.critic.InitTrain(x, y)
+}
+
+// EndEpisode is part of the harness contract; the actor-critic has no
+// target network to sync.
+func (a *Agent) EndEpisode(int) {}
+
+// Reinitialize redraws all weights (the reset rule).
+func (a *Agent) Reinitialize() { a.initModels() }
+
+// CriticInitialized reports whether the critic finished initial training.
+func (a *Agent) CriticInitialized() bool { return a.critic.Initialized() }

@@ -1,0 +1,122 @@
+package activation
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"oselmrl/internal/rng"
+)
+
+func TestReLU(t *testing.T) {
+	cases := []struct{ in, out, deriv float64 }{
+		{-2, 0, 0},
+		{0, 0, 0},
+		{3, 3, 1},
+		{0.001, 0.001, 1},
+	}
+	for _, c := range cases {
+		if got := ReLU.F(c.in); got != c.out {
+			t.Errorf("ReLU(%v) = %v want %v", c.in, got, c.out)
+		}
+		if got := ReLU.Deriv(c.in); got != c.deriv {
+			t.Errorf("ReLU'(%v) = %v want %v", c.in, got, c.deriv)
+		}
+	}
+	if ReLU.Lipschitz != 1 {
+		t.Error("ReLU Lipschitz constant must be 1")
+	}
+}
+
+func TestSigmoid(t *testing.T) {
+	if got := Sigmoid.F(0); got != 0.5 {
+		t.Errorf("Sigmoid(0) = %v", got)
+	}
+	if got := Sigmoid.F(100); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Sigmoid(100) = %v", got)
+	}
+	if got := Sigmoid.Deriv(0); got != 0.25 {
+		t.Errorf("Sigmoid'(0) = %v", got)
+	}
+}
+
+func TestTanhAndIdentity(t *testing.T) {
+	if Tanh.F(0) != 0 || Tanh.Deriv(0) != 1 {
+		t.Error("Tanh at 0")
+	}
+	if Identity.F(3.7) != 3.7 || Identity.Deriv(-5) != 1 {
+		t.Error("Identity")
+	}
+}
+
+func TestLeakyReLU(t *testing.T) {
+	l := LeakyReLU(0.1)
+	if got := l.F(-10); got != -1 {
+		t.Errorf("LeakyReLU(-10) = %v", got)
+	}
+	if got := l.Deriv(-10); got != 0.1 {
+		t.Errorf("LeakyReLU'(-10) = %v", got)
+	}
+	if l.Lipschitz != 1 {
+		t.Errorf("LeakyReLU(0.1) Lipschitz = %v", l.Lipschitz)
+	}
+	steep := LeakyReLU(2)
+	if steep.Lipschitz != 2 {
+		t.Errorf("LeakyReLU(2) Lipschitz = %v", steep.Lipschitz)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"relu", "sigmoid", "tanh", "identity"} {
+		f, ok := ByName(name)
+		if !ok || f.Name != name {
+			t.Errorf("ByName(%q) = %v, %v", name, f.Name, ok)
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("unknown name must report !ok")
+	}
+}
+
+// Property: every activation respects its declared Lipschitz constant on
+// random input pairs — the invariant §2.5's analysis builds on.
+func TestPropertyLipschitz(t *testing.T) {
+	funcs := []Func{ReLU, Sigmoid, Tanh, Identity, LeakyReLU(0.3)}
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		x1 := r.Uniform(-50, 50)
+		x2 := r.Uniform(-50, 50)
+		for _, fn := range funcs {
+			lhs := math.Abs(fn.F(x1) - fn.F(x2))
+			rhs := fn.Lipschitz*math.Abs(x1-x2) + 1e-12
+			if lhs > rhs {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: derivatives match finite differences where the function is
+// smooth (checked away from ReLU's kink).
+func TestPropertyDerivFiniteDifference(t *testing.T) {
+	funcs := []Func{Sigmoid, Tanh, Identity}
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		x := r.Uniform(-5, 5)
+		const h = 1e-6
+		for _, fn := range funcs {
+			numeric := (fn.F(x+h) - fn.F(x-h)) / (2 * h)
+			if math.Abs(numeric-fn.Deriv(x)) > 1e-5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

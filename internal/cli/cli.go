@@ -1,0 +1,23 @@
+// Package cli holds small helpers shared by the command-line tools.
+package cli
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseIntList parses a comma-separated list of positive integers, as used
+// by the -hidden flags ("32,64,128").
+func ParseIntList(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("invalid positive integer %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,25 @@
+package cli
+
+import "testing"
+
+func TestParseIntList(t *testing.T) {
+	got, err := ParseIntList("32, 64,128")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{32, 64, 128}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+	for _, bad := range []string{"", "a", "32,", "0", "-5", "32,,64"} {
+		if _, err := ParseIntList(bad); err == nil {
+			t.Errorf("%q must fail", bad)
+		}
+	}
+	one, err := ParseIntList("192")
+	if err != nil || len(one) != 1 || one[0] != 192 {
+		t.Errorf("single value: %v, %v", one, err)
+	}
+}

@@ -1,0 +1,290 @@
+// Package dqn implements the conventional Deep Q-Network baseline the
+// paper compares against (§2.4, §4.1 design (6)): a three-layer MLP trained
+// by backpropagation with the Adam optimizer (lr = 0.01), the Huber loss
+// (Eq. 14-15), uniform experience replay, and a fixed target network θ2
+// synced from θ1 at a fixed episode interval (Eq. 9).
+package dqn
+
+import (
+	"fmt"
+	"math"
+
+	"oselmrl/internal/activation"
+	"oselmrl/internal/mat"
+	"oselmrl/internal/nn"
+	"oselmrl/internal/replay"
+	"oselmrl/internal/rng"
+	"oselmrl/internal/timing"
+)
+
+// Config holds the baseline's hyperparameters with the paper's defaults.
+type Config struct {
+	// ObservationSize and ActionCount describe the environment.
+	ObservationSize, ActionCount int
+	// Hidden is the hidden-layer width (swept 32..192 like the OS-ELM Ñ).
+	Hidden int
+	// Epsilon1 is the initial greedy-action probability, matching
+	// Algorithm 1's convention (greedy iff r < ε₁); the paper notes ε₂ is
+	// not used by DQN.
+	Epsilon1 float64
+	// ExploreDecay multiplies the exploration probability (1 − ε₁) after
+	// every episode, the same annealing interpretation as qnet.Config (see
+	// that field's comment and DESIGN.md §5). 1 keeps ε constant.
+	ExploreDecay float64
+	// Gamma is the discount rate.
+	Gamma float64
+	// LearningRate feeds Adam (paper: 0.01).
+	LearningRate float64
+	// BatchSize is the replay sample size (paper Figure 5 shows
+	// predict_32, i.e. batch 32).
+	BatchSize int
+	// BufferCapacity is the experience-replay size — the memory cost the
+	// paper's edge argument targets.
+	BufferCapacity int
+	// UpdateEvery syncs θ2 ← θ1 every this many episodes.
+	UpdateEvery int
+	// DoubleQ selects Double DQN targets (van Hasselt et al., 2016): θ1
+	// chooses the next action, θ2 evaluates it. Extension beyond the
+	// paper's conventional DQN baseline.
+	DoubleQ bool
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// DefaultConfig returns the paper-aligned baseline configuration.
+func DefaultConfig(obsSize, actions, hidden int) Config {
+	return Config{
+		ObservationSize: obsSize,
+		ActionCount:     actions,
+		Hidden:          hidden,
+		Epsilon1:        0.7,
+		ExploreDecay:    0.99,
+		Gamma:           0.99,
+		LearningRate:    0.01,
+		BatchSize:       32,
+		BufferCapacity:  10000,
+		UpdateEvery:     2,
+		Seed:            1,
+	}
+}
+
+// Agent is the DQN baseline.
+type Agent struct {
+	cfg Config
+	rng *rng.RNG
+
+	theta1 *nn.MLP
+	theta2 *nn.MLP
+	opt    *nn.Adam
+	buffer *replay.Buffer
+	loss   nn.HuberLoss
+
+	dims        timing.DQNDims
+	counters    *timing.Counters
+	exploreProb float64
+}
+
+// New builds the baseline agent.
+func New(cfg Config) (*Agent, error) {
+	if cfg.ObservationSize <= 0 || cfg.ActionCount <= 0 || cfg.Hidden <= 0 {
+		return nil, fmt.Errorf("dqn: invalid dimensions obs=%d actions=%d hidden=%d",
+			cfg.ObservationSize, cfg.ActionCount, cfg.Hidden)
+	}
+	if cfg.BatchSize <= 0 || cfg.BufferCapacity < cfg.BatchSize {
+		return nil, fmt.Errorf("dqn: batch %d must fit in buffer %d", cfg.BatchSize, cfg.BufferCapacity)
+	}
+	if cfg.ExploreDecay <= 0 || cfg.ExploreDecay > 1 {
+		return nil, fmt.Errorf("dqn: ExploreDecay must be in (0, 1]: %g", cfg.ExploreDecay)
+	}
+	a := &Agent{
+		cfg:      cfg,
+		rng:      rng.New(cfg.Seed),
+		buffer:   replay.NewBuffer(cfg.BufferCapacity),
+		counters: timing.NewCounters(),
+		dims: timing.DQNDims{
+			In:      cfg.ObservationSize,
+			Hidden:  cfg.Hidden,
+			Actions: cfg.ActionCount,
+		},
+	}
+	a.initModels()
+	return a, nil
+}
+
+// MustNew is New that panics on configuration errors.
+func MustNew(cfg Config) *Agent {
+	a, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+func (a *Agent) initModels() {
+	sizes := []int{a.cfg.ObservationSize, a.cfg.Hidden, a.cfg.ActionCount}
+	acts := []activation.Func{activation.ReLU, activation.Identity}
+	a.theta1 = nn.NewMLP(sizes, acts, a.rng)
+	a.theta2 = a.theta1.Clone()
+	a.opt = nn.NewAdam(a.cfg.LearningRate)
+	a.buffer.Clear()
+	a.exploreProb = 1 - a.cfg.Epsilon1
+}
+
+// Name returns the paper's design name.
+func (a *Agent) Name() string { return "DQN" }
+
+// Counters exposes the accumulated timing counters.
+func (a *Agent) Counters() *timing.Counters { return a.counters }
+
+// SelectAction is ε-greedy with the same convention as Algorithm 1.
+func (a *Agent) SelectAction(state []float64) int {
+	if a.rng.Float64() >= a.exploreProb {
+		a.counters.Add(timing.PhasePredict1, a.dims.Predict1Flops())
+		return a.greedy(state)
+	}
+	return a.rng.Intn(a.cfg.ActionCount)
+}
+
+// GreedyAction returns argmax_a Q(s,a) without exploration.
+func (a *Agent) GreedyAction(state []float64) int { return a.greedy(state) }
+
+func (a *Agent) greedy(state []float64) int {
+	q := a.theta1.Forward(state)
+	best, arg, ties := math.Inf(-1), 0, 0
+	for i, v := range q {
+		switch {
+		case v > best:
+			best, arg, ties = v, i, 1
+		case v == best:
+			ties++
+			if a.rng.Intn(ties) == 0 {
+				arg = i
+			}
+		}
+	}
+	return arg
+}
+
+// Observe stores the transition and, once the buffer holds a full batch,
+// performs one gradient step per environment step.
+func (a *Agent) Observe(t replay.Transition) error {
+	a.buffer.Add(t)
+	if a.buffer.Len() < a.cfg.BatchSize {
+		return nil
+	}
+	a.trainStep()
+	return nil
+}
+
+// trainStep samples a batch, builds targets from θ2 (Eq. 9) and applies
+// one Adam update on the Huber loss of the selected-action Q values.
+func (a *Agent) trainStep() {
+	batch := a.buffer.Sample(a.rng, a.cfg.BatchSize)
+	k := len(batch)
+
+	states := matFromStates(batch, false, a.cfg.ObservationSize)
+	nextStates := matFromStates(batch, true, a.cfg.ObservationSize)
+
+	// Target-network forward pass at batch size (the paper's predict_32).
+	nextQ, _ := a.theta2.ForwardBatch(nextStates)
+	a.counters.Add(timing.PhasePredict32, a.dims.PredictBatchFlops(k))
+
+	// Double DQN needs θ1's ranking of the next states.
+	var nextQ1 *mat.Dense
+	if a.cfg.DoubleQ {
+		nextQ1, _ = a.theta1.ForwardBatch(nextStates)
+		a.counters.Add(timing.PhasePredict32, a.dims.PredictBatchFlops(k))
+	}
+
+	targets := make([]float64, k)
+	for i, tr := range batch {
+		y := tr.Reward
+		if !tr.Done {
+			if a.cfg.DoubleQ {
+				argmax, best := 0, math.Inf(-1)
+				for j := 0; j < a.cfg.ActionCount; j++ {
+					if v := nextQ1.At(i, j); v > best {
+						best, argmax = v, j
+					}
+				}
+				y += a.cfg.Gamma * nextQ.At(i, argmax)
+			} else {
+				best := math.Inf(-1)
+				for j := 0; j < a.cfg.ActionCount; j++ {
+					if v := nextQ.At(i, j); v > best {
+						best = v
+					}
+				}
+				y += a.cfg.Gamma * best
+			}
+		}
+		targets[i] = y
+	}
+
+	// Online-network forward pass, also batch-sized.
+	q, cache := a.theta1.ForwardBatch(states)
+
+	// Gradient of the mean Huber loss w.r.t. the selected-action outputs;
+	// all other outputs get zero gradient.
+	pred := make([]float64, k)
+	for i, tr := range batch {
+		pred[i] = q.At(i, tr.Action)
+	}
+	g := a.loss.Grad(pred, targets)
+	dLoss := zerosLike(q)
+	for i, tr := range batch {
+		dLoss.Set(i, tr.Action, g[i])
+	}
+	grads := a.theta1.BackwardBatch(cache, dLoss)
+	a.opt.Step(a.theta1, grads)
+	a.counters.Add(timing.PhaseTrainDQN, a.dims.TrainFlops(k))
+}
+
+// EndEpisode syncs θ2 ← θ1 every UpdateEvery episodes (1-based episodes).
+func (a *Agent) EndEpisode(episode int) {
+	a.exploreProb *= a.cfg.ExploreDecay
+	if episode%a.cfg.UpdateEvery == 0 {
+		a.theta2.CopyWeightsFrom(a.theta1)
+	}
+}
+
+// Reinitialize draws fresh weights and clears the replay buffer. The
+// baseline normally never resets (the paper's reset rule applies to the
+// ELM/OS-ELM designs), but the harness calls it uniformly when configured.
+func (a *Agent) Reinitialize() { a.initModels() }
+
+// LastLoss computes the Huber loss on a fresh batch without updating, for
+// diagnostics. Returns 0 when the buffer cannot fill a batch.
+func (a *Agent) LastLoss() float64 {
+	if a.buffer.Len() < a.cfg.BatchSize {
+		return 0
+	}
+	batch := a.buffer.Sample(a.rng, a.cfg.BatchSize)
+	states := matFromStates(batch, false, a.cfg.ObservationSize)
+	nextStates := matFromStates(batch, true, a.cfg.ObservationSize)
+	nextQ, _ := a.theta2.ForwardBatch(nextStates)
+	q, _ := a.theta1.ForwardBatch(states)
+	pred := make([]float64, len(batch))
+	targets := make([]float64, len(batch))
+	for i, tr := range batch {
+		pred[i] = q.At(i, tr.Action)
+		y := tr.Reward
+		if !tr.Done {
+			best := math.Inf(-1)
+			for j := 0; j < a.cfg.ActionCount; j++ {
+				if v := nextQ.At(i, j); v > best {
+					best = v
+				}
+			}
+			y += a.cfg.Gamma * best
+		}
+		targets[i] = y
+	}
+	return a.loss.Loss(pred, targets)
+}
+
+// BufferLen reports the replay occupancy (tests).
+func (a *Agent) BufferLen() int { return a.buffer.Len() }
+
+// Network exposes θ1 for white-box tests.
+func (a *Agent) Network() *nn.MLP { return a.theta1 }

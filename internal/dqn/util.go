@@ -1,0 +1,25 @@
+package dqn
+
+import (
+	"oselmrl/internal/mat"
+	"oselmrl/internal/replay"
+)
+
+// matFromStates packs batch states (or next-states) into a k×obs matrix.
+func matFromStates(batch []replay.Transition, next bool, obs int) *mat.Dense {
+	out := mat.Zeros(len(batch), obs)
+	for i, tr := range batch {
+		s := tr.State
+		if next {
+			s = tr.NextState
+		}
+		out.SetRow(i, s)
+	}
+	return out
+}
+
+// zerosLike allocates a zero matrix with m's shape.
+func zerosLike(m *mat.Dense) *mat.Dense {
+	r, c := m.Dims()
+	return mat.Zeros(r, c)
+}

@@ -1,0 +1,347 @@
+package elm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"oselmrl/internal/activation"
+	"oselmrl/internal/mat"
+	"oselmrl/internal/rng"
+)
+
+func newTestModel(t *testing.T, in, hidden, out int, opts Options) *Model {
+	t.Helper()
+	return NewModel(in, hidden, out, activation.Sigmoid, rng.New(1), opts)
+}
+
+func TestNewModelShapes(t *testing.T) {
+	m := newTestModel(t, 3, 16, 2, DefaultOptions())
+	if m.InputSize() != 3 || m.HiddenSize() != 16 || m.OutputSize() != 2 {
+		t.Fatalf("sizes %d/%d/%d", m.InputSize(), m.HiddenSize(), m.OutputSize())
+	}
+	if r, c := m.Alpha.Dims(); r != 3 || c != 16 {
+		t.Errorf("Alpha %dx%d", r, c)
+	}
+	if r, c := m.Beta.Dims(); r != 16 || c != 2 {
+		t.Errorf("Beta %dx%d", r, c)
+	}
+	if len(m.Bias) != 16 {
+		t.Errorf("Bias len %d", len(m.Bias))
+	}
+}
+
+func TestNewModelInitRange(t *testing.T) {
+	m := NewModel(4, 32, 1, activation.ReLU, rng.New(2), Options{InitLow: 0, InitHigh: 1})
+	// Zero-valued options select the default [-1, 1]; explicit [0,1] must
+	// be honored when InitHigh != 0.
+	for _, v := range m.Alpha.RawData() {
+		if v < 0 || v >= 1 {
+			t.Fatalf("alpha value %v outside [0,1)", v)
+		}
+	}
+}
+
+func TestNewModelInvalidSizesPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewModel(0, 4, 1, activation.ReLU, rng.New(1), DefaultOptions())
+}
+
+func TestSpectralNormalizeAlpha(t *testing.T) {
+	m := newTestModel(t, 5, 24, 1, DefaultOptions())
+	before := mat.LargestSingularValue(m.Alpha, 500, nil)
+	if before <= 0 {
+		t.Fatal("sigma must be positive for random alpha")
+	}
+	returned := m.SpectralNormalizeAlpha()
+	if math.Abs(returned-before) > 1e-6*before {
+		t.Errorf("returned sigma %v, measured %v", returned, before)
+	}
+	after := mat.LargestSingularValue(m.Alpha, 500, nil)
+	if math.Abs(after-1) > 1e-6 {
+		t.Errorf("after normalization sigma = %v, want 1", after)
+	}
+}
+
+func TestOptionsSpectralNormalizeAtInit(t *testing.T) {
+	m := NewModel(5, 24, 1, activation.ReLU, rng.New(3),
+		Options{InitLow: -1, InitHigh: 1, SpectralNormalizeAlpha: true})
+	sigma := mat.LargestSingularValue(m.Alpha, 500, nil)
+	if math.Abs(sigma-1) > 1e-6 {
+		t.Errorf("sigma after init normalization = %v", sigma)
+	}
+	if m.AlphaSigmaMax <= 0 {
+		t.Error("AlphaSigmaMax must record the pre-normalization value")
+	}
+}
+
+func TestHiddenOneMatchesBatch(t *testing.T) {
+	m := newTestModel(t, 4, 10, 1, DefaultOptions())
+	x := []float64{0.1, -0.2, 0.3, 0.4}
+	one := m.HiddenOne(x)
+	batch := m.HiddenBatch(mat.RowVector(x))
+	for j := range one {
+		if math.Abs(one[j]-batch.At(0, j)) > 1e-14 {
+			t.Fatalf("HiddenOne[%d] = %v, batch = %v", j, one[j], batch.At(0, j))
+		}
+	}
+}
+
+func TestPredictOneMatchesBatch(t *testing.T) {
+	m := newTestModel(t, 4, 10, 3, DefaultOptions())
+	// Give beta nonzero values.
+	r := rng.New(4)
+	r.FillUniform(m.Beta.RawData(), -1, 1)
+	x := []float64{0.5, 0.1, -0.7, 0.9}
+	one := m.PredictOne(x)
+	batch := m.PredictBatch(mat.RowVector(x))
+	for j := range one {
+		if math.Abs(one[j]-batch.At(0, j)) > 1e-14 {
+			t.Fatalf("PredictOne[%d] mismatch", j)
+		}
+	}
+}
+
+func TestInputSizeMismatchPanics(t *testing.T) {
+	m := newTestModel(t, 4, 8, 1, DefaultOptions())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.HiddenOne([]float64{1, 2})
+}
+
+// TestTrainBatchInterpolation: with hidden >= samples, ELM interpolates the
+// training targets (Eq. 2-3: zero training error).
+func TestTrainBatchInterpolation(t *testing.T) {
+	r := rng.New(5)
+	m := NewModel(2, 30, 1, activation.Sigmoid, r, DefaultOptions())
+	k := 20
+	x := mat.Zeros(k, 2)
+	tgt := mat.Zeros(k, 1)
+	r.FillUniform(x.RawData(), -1, 1)
+	r.FillUniform(tgt.RawData(), -1, 1)
+	if err := m.TrainBatch(x, tgt, 0); err != nil {
+		t.Fatal(err)
+	}
+	pred := m.PredictBatch(x)
+	if !mat.Equal(pred, tgt, 1e-6) {
+		t.Errorf("ELM with excess capacity must interpolate; max err %v",
+			mat.Sub(pred, tgt).MaxAbs())
+	}
+}
+
+// TestTrainBatchLearnsSmoothFunction: ELM approximates sin on [-π, π].
+func TestTrainBatchLearnsSmoothFunction(t *testing.T) {
+	r := rng.New(6)
+	m := NewModel(1, 60, 1, activation.Sigmoid, r, DefaultOptions())
+	k := 200
+	x := mat.Zeros(k, 1)
+	tgt := mat.Zeros(k, 1)
+	for i := 0; i < k; i++ {
+		v := -math.Pi + 2*math.Pi*float64(i)/float64(k-1)
+		x.Set(i, 0, v)
+		tgt.Set(i, 0, math.Sin(v))
+	}
+	if err := m.TrainBatch(x, tgt, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Evaluate on held-out points.
+	var worst float64
+	for i := 0; i < 50; i++ {
+		v := r.Uniform(-math.Pi, math.Pi)
+		got := m.PredictOne([]float64{v})[0]
+		if d := math.Abs(got - math.Sin(v)); d > worst {
+			worst = d
+		}
+	}
+	if worst > 0.05 {
+		t.Errorf("held-out max error %v", worst)
+	}
+}
+
+// TestTrainBatchRegularizationShrinksBeta: larger delta must shrink ||β||.
+func TestTrainBatchRegularizationShrinksBeta(t *testing.T) {
+	r := rng.New(7)
+	k := 50
+	x := mat.Zeros(k, 3)
+	tgt := mat.Zeros(k, 1)
+	r.FillUniform(x.RawData(), -1, 1)
+	r.FillUniform(tgt.RawData(), -1, 1)
+
+	norms := make([]float64, 0, 3)
+	for _, delta := range []float64{0.01, 1, 100} {
+		m := NewModel(3, 40, 1, activation.Sigmoid, rng.New(8), DefaultOptions())
+		if err := m.TrainBatch(x, tgt, delta); err != nil {
+			t.Fatal(err)
+		}
+		norms = append(norms, m.Beta.FrobeniusNorm())
+	}
+	if !(norms[0] > norms[1] && norms[1] > norms[2]) {
+		t.Errorf("beta norms not decreasing with delta: %v", norms)
+	}
+}
+
+func TestTrainBatchShapeErrors(t *testing.T) {
+	m := newTestModel(t, 3, 8, 1, DefaultOptions())
+	x := mat.Zeros(5, 3)
+	badT := mat.Zeros(4, 1)
+	if err := m.TrainBatch(x, badT, 0); err == nil {
+		t.Error("expected error for row mismatch")
+	}
+	badT2 := mat.Zeros(5, 2)
+	if err := m.TrainBatch(x, badT2, 0); err == nil {
+		t.Error("expected error for output-width mismatch")
+	}
+}
+
+func TestCloneAndCopyWeights(t *testing.T) {
+	m := newTestModel(t, 3, 8, 1, DefaultOptions())
+	r := rng.New(9)
+	r.FillUniform(m.Beta.RawData(), -1, 1)
+	c := m.Clone()
+	if !mat.Equal(m.Beta, c.Beta, 0) {
+		t.Fatal("clone beta mismatch")
+	}
+	c.Beta.Set(0, 0, 99)
+	if m.Beta.At(0, 0) == 99 {
+		t.Fatal("clone must deep-copy")
+	}
+	m.CopyWeightsFrom(c)
+	if m.Beta.At(0, 0) != 99 {
+		t.Fatal("CopyWeightsFrom failed")
+	}
+}
+
+func TestLipschitzBound(t *testing.T) {
+	m := NewModel(4, 16, 1, activation.ReLU, rng.New(10),
+		Options{InitLow: -1, InitHigh: 1, SpectralNormalizeAlpha: true})
+	r := rng.New(11)
+	r.FillUniform(m.Beta.RawData(), -1, 1)
+	bound := m.LipschitzBound()
+	sigmaBeta := m.BetaSigmaMax()
+	// After normalization, the bound is sigma(beta) * 1 * 1.
+	if math.Abs(bound-sigmaBeta) > 1e-6*sigmaBeta {
+		t.Errorf("bound %v != sigma(beta) %v after normalization", bound, sigmaBeta)
+	}
+}
+
+// Property: the spectrally-normalized network is empirically 1·σmax(β)-
+// Lipschitz on random input pairs — the paper's §3.3 claim.
+func TestPropertyNetworkLipschitz(t *testing.T) {
+	m := NewModel(3, 20, 1, activation.ReLU, rng.New(12),
+		Options{InitLow: -1, InitHigh: 1, SpectralNormalizeAlpha: true})
+	r := rng.New(13)
+	r.FillUniform(m.Beta.RawData(), -1, 1)
+	bound := m.LipschitzBound()
+	f := func(seed uint64) bool {
+		rr := rng.New(seed)
+		x1 := make([]float64, 3)
+		x2 := make([]float64, 3)
+		rr.FillUniform(x1, -10, 10)
+		rr.FillUniform(x2, -10, 10)
+		d := 0.0
+		for i := range x1 {
+			d += (x1[i] - x2[i]) * (x1[i] - x2[i])
+		}
+		d = math.Sqrt(d)
+		out := math.Abs(m.PredictOne(x1)[0] - m.PredictOne(x2)[0])
+		return out <= bound*d+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ELM training is deterministic given the seed — identical
+// models from identical seeds after identical training.
+func TestPropertyDeterministicTraining(t *testing.T) {
+	f := func(seed uint64) bool {
+		build := func() *mat.Dense {
+			r := rng.New(seed)
+			m := NewModel(2, 10, 1, activation.Sigmoid, r, DefaultOptions())
+			x := mat.Zeros(12, 2)
+			tgt := mat.Zeros(12, 1)
+			r.FillUniform(x.RawData(), -1, 1)
+			r.FillUniform(tgt.RawData(), -1, 1)
+			if err := m.TrainBatch(x, tgt, 0.1); err != nil {
+				return nil
+			}
+			return m.Beta
+		}
+		b1, b2 := build(), build()
+		return b1 != nil && b2 != nil && mat.Equal(b1, b2, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRestoreModel(t *testing.T) {
+	src := newTestModel(t, 3, 8, 2, DefaultOptions())
+	r := rng.New(90)
+	r.FillUniform(src.Beta.RawData(), -1, 1)
+	restored := RestoreModel(src.Alpha.Clone(), append([]float64(nil), src.Bias...),
+		src.Beta.Clone(), src.Act)
+	if restored.InputSize() != 3 || restored.HiddenSize() != 8 || restored.OutputSize() != 2 {
+		t.Fatalf("restored sizes %d/%d/%d", restored.InputSize(), restored.HiddenSize(), restored.OutputSize())
+	}
+	x := []float64{0.2, -0.5, 0.7}
+	a, b := src.PredictOne(x), restored.PredictOne(x)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("restored model predicts differently")
+		}
+	}
+	if restored.AlphaSigmaMax <= 0 {
+		t.Error("AlphaSigmaMax must be recomputed")
+	}
+}
+
+func TestHiddenOneInto(t *testing.T) {
+	m := newTestModel(t, 4, 10, 1, DefaultOptions())
+	x := []float64{0.1, -0.2, 0.3, 0.4}
+	dst := make([]float64, 10)
+	for i := range dst {
+		dst[i] = 99 // stale
+	}
+	m.HiddenOneInto(dst, x)
+	want := m.HiddenOne(x)
+	for j := range want {
+		if dst[j] != want[j] {
+			t.Fatalf("HiddenOneInto[%d] = %v want %v", j, dst[j], want[j])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong input length")
+		}
+	}()
+	m.HiddenOneInto(dst, []float64{1})
+}
+
+func TestHiddenBatchWrongWidthPanics(t *testing.T) {
+	m := newTestModel(t, 3, 6, 1, DefaultOptions())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.HiddenBatch(mat.Zeros(2, 5))
+}
+
+func TestCopyWeightsFromShapePanics(t *testing.T) {
+	a := newTestModel(t, 3, 6, 1, DefaultOptions())
+	b := newTestModel(t, 3, 8, 1, DefaultOptions())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.CopyWeightsFrom(b)
+}

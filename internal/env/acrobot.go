@@ -1,0 +1,161 @@
+package env
+
+import (
+	"math"
+
+	"oselmrl/internal/rng"
+)
+
+// Acrobot is Gym's Acrobot-v1: a two-link pendulum actuated only at the
+// elbow must swing its tip above a target height. The dynamics follow
+// Sutton & Barto's book formulation as implemented in Gym's
+// classic_control/acrobot.py, integrated with RK4 over 0.2s steps.
+//
+// Observation: [cosθ1, sinθ1, cosθ2, sinθ2, θ̇1, θ̇2].
+// Actions: 0 = torque -1, 1 = torque 0, 2 = torque +1.
+type Acrobot struct {
+	rng              *rng.RNG
+	theta1           float64
+	theta2           float64
+	dtheta1, dtheta2 float64
+	steps            int
+	done             bool
+}
+
+const (
+	acLinkLength1  = 1.0
+	acLinkLength2  = 1.0
+	acLinkMass1    = 1.0
+	acLinkMass2    = 1.0
+	acLinkCOMPos1  = 0.5
+	acLinkCOMPos2  = 0.5
+	acLinkMOI      = 1.0
+	acMaxVel1      = 4 * math.Pi
+	acMaxVel2      = 9 * math.Pi
+	acDT           = 0.2
+	acGravityConst = 9.8
+	acMaxSteps     = 500
+)
+
+// NewAcrobot returns a seeded Acrobot-v1.
+func NewAcrobot(seed uint64) *Acrobot { return &Acrobot{rng: rng.New(seed)} }
+
+// Name implements Env.
+func (a *Acrobot) Name() string { return "Acrobot-v1" }
+
+// ObservationSize implements Env.
+func (a *Acrobot) ObservationSize() int { return 6 }
+
+// ActionCount implements Env.
+func (a *Acrobot) ActionCount() int { return 3 }
+
+// MaxSteps implements Env.
+func (a *Acrobot) MaxSteps() int { return acMaxSteps }
+
+// Reset implements Env: all state vars ~ Uniform(-0.1, 0.1).
+func (a *Acrobot) Reset() []float64 {
+	a.theta1 = a.rng.Uniform(-0.1, 0.1)
+	a.theta2 = a.rng.Uniform(-0.1, 0.1)
+	a.dtheta1 = a.rng.Uniform(-0.1, 0.1)
+	a.dtheta2 = a.rng.Uniform(-0.1, 0.1)
+	a.steps = 0
+	a.done = false
+	return a.obs()
+}
+
+func (a *Acrobot) obs() []float64 {
+	return []float64{
+		math.Cos(a.theta1), math.Sin(a.theta1),
+		math.Cos(a.theta2), math.Sin(a.theta2),
+		a.dtheta1, a.dtheta2,
+	}
+}
+
+// dynamics returns the state derivative for RK4. State layout:
+// [θ1, θ2, θ̇1, θ̇2]; torque is the applied elbow torque.
+func acDynamics(s [4]float64, torque float64) [4]float64 {
+	m1, m2 := acLinkMass1, acLinkMass2
+	l1 := acLinkLength1
+	lc1, lc2 := acLinkCOMPos1, acLinkCOMPos2
+	i1, i2 := acLinkMOI, acLinkMOI
+	g := acGravityConst
+	theta1, theta2, dtheta1, dtheta2 := s[0], s[1], s[2], s[3]
+
+	d1 := m1*lc1*lc1 + m2*(l1*l1+lc2*lc2+2*l1*lc2*math.Cos(theta2)) + i1 + i2
+	d2 := m2*(lc2*lc2+l1*lc2*math.Cos(theta2)) + i2
+	phi2 := m2 * lc2 * g * math.Cos(theta1+theta2-math.Pi/2)
+	phi1 := -m2*l1*lc2*dtheta2*dtheta2*math.Sin(theta2) -
+		2*m2*l1*lc2*dtheta2*dtheta1*math.Sin(theta2) +
+		(m1*lc1+m2*l1)*g*math.Cos(theta1-math.Pi/2) + phi2
+
+	// "Book" formulation (Gym's default book_or_nips = "book").
+	ddtheta2 := (torque + d2/d1*phi1 - m2*l1*lc2*dtheta1*dtheta1*math.Sin(theta2) - phi2) /
+		(m2*lc2*lc2 + i2 - d2*d2/d1)
+	ddtheta1 := -(d2*ddtheta2 + phi1) / d1
+	return [4]float64{dtheta1, dtheta2, ddtheta1, ddtheta2}
+}
+
+// rk4 integrates the acrobot state over one env step of acDT seconds.
+func acRK4(s [4]float64, torque float64) [4]float64 {
+	h := acDT
+	k1 := acDynamics(s, torque)
+	k2 := acDynamics(addScaled(s, k1, h/2), torque)
+	k3 := acDynamics(addScaled(s, k2, h/2), torque)
+	k4 := acDynamics(addScaled(s, k3, h), torque)
+	var out [4]float64
+	for i := range out {
+		out[i] = s[i] + h/6*(k1[i]+2*k2[i]+2*k3[i]+k4[i])
+	}
+	return out
+}
+
+func addScaled(s, d [4]float64, h float64) [4]float64 {
+	var out [4]float64
+	for i := range out {
+		out[i] = s[i] + h*d[i]
+	}
+	return out
+}
+
+// wrapAngle maps x into [-π, π).
+func wrapAngle(x float64) float64 {
+	twoPi := 2 * math.Pi
+	x = math.Mod(x+math.Pi, twoPi)
+	if x < 0 {
+		x += twoPi
+	}
+	return x - math.Pi
+}
+
+// Step implements Env.
+func (a *Acrobot) Step(action int) ([]float64, float64, bool) {
+	if a.done {
+		return a.obs(), 0, true
+	}
+	if action < 0 || action > 2 {
+		panic("env: Acrobot action must be 0, 1 or 2")
+	}
+	torque := float64(action - 1)
+	ns := acRK4([4]float64{a.theta1, a.theta2, a.dtheta1, a.dtheta2}, torque)
+	a.theta1 = wrapAngle(ns[0])
+	a.theta2 = wrapAngle(ns[1])
+	a.dtheta1 = clamp(ns[2], -acMaxVel1, acMaxVel1)
+	a.dtheta2 = clamp(ns[3], -acMaxVel2, acMaxVel2)
+	a.steps++
+
+	// Terminal when the tip rises above one link length over the pivot.
+	reached := -math.Cos(a.theta1)-math.Cos(a.theta2+a.theta1) > 1.0
+	a.done = reached || a.steps >= acMaxSteps
+	reward := -1.0
+	if reached {
+		reward = 0
+	}
+	return a.obs(), reward, a.done
+}
+
+// ObservationBounds implements BoundsReporter.
+func (a *Acrobot) ObservationBounds() (low, high []float64) {
+	high = []float64{1, 1, 1, 1, acMaxVel1, acMaxVel2}
+	low = []float64{-1, -1, -1, -1, -acMaxVel1, -acMaxVel2}
+	return low, high
+}

@@ -1,0 +1,155 @@
+package env
+
+import (
+	"math"
+
+	"oselmrl/internal/rng"
+)
+
+// CartPole is the inverted-pendulum task the paper evaluates on (§4.1,
+// Table 2). The physics constants, semi-implicit-free Euler integrator,
+// reset distribution and termination bounds are ported from OpenAI Gym's
+// classic_control/cartpole.py, which in turn follows Barto, Sutton &
+// Anderson (1983).
+//
+// Observation: [cart position, cart velocity, pole angle (rad), pole tip
+// velocity]. Actions: 0 = push left, 1 = push right.
+//
+// Paper Table 2 lists the observation-space bounds: cart position ±2.4,
+// pole angle "±41.8°". Gym's bound is 0.418 rad (= 2× the 12° termination
+// threshold, in radians); the paper prints the radian value with a degree
+// sign. Termination uses |x| > 2.4 or |θ| > 12° exactly as Gym does.
+type CartPole struct {
+	rng   *rng.RNG
+	state [4]float64
+	steps int
+	done  bool
+
+	// maxSteps distinguishes v0 (200) from v1 (500).
+	maxSteps int
+	version  string
+}
+
+// Physical constants (Gym classic_control cartpole.py).
+const (
+	cpGravity        = 9.8
+	cpMassCart       = 1.0
+	cpMassPole       = 0.1
+	cpTotalMass      = cpMassCart + cpMassPole
+	cpLength         = 0.5 // half the pole's length
+	cpPoleMassLength = cpMassPole * cpLength
+	cpForceMag       = 10.0
+	cpTau            = 0.02 // seconds between state updates
+
+	// CartPositionLimit is the termination bound on |x| (paper Table 2).
+	CartPositionLimit = 2.4
+	// PoleAngleLimitRad is the termination bound on |θ|: 12°.
+	PoleAngleLimitRad = 12 * 2 * math.Pi / 360
+	// PoleAngleObsBoundRad is the observation-space bound on θ reported in
+	// paper Table 2 as "41.8°" — it is 0.418 radians (2× the termination
+	// threshold), Gym's observation_space.high[2].
+	PoleAngleObsBoundRad = 2 * PoleAngleLimitRad
+	// CartPositionObsBound is Gym's observation bound on x (2× threshold).
+	CartPositionObsBound = 2 * CartPositionLimit
+)
+
+// NewCartPoleV0 returns a CartPole-v0 (200-step cap) seeded deterministically.
+func NewCartPoleV0(seed uint64) *CartPole {
+	return &CartPole{rng: rng.New(seed), maxSteps: 200, version: "CartPole-v0"}
+}
+
+// NewCartPoleV1 returns a CartPole-v1 (500-step cap).
+func NewCartPoleV1(seed uint64) *CartPole {
+	return &CartPole{rng: rng.New(seed), maxSteps: 500, version: "CartPole-v1"}
+}
+
+// Name implements Env.
+func (c *CartPole) Name() string { return c.version }
+
+// ObservationSize implements Env.
+func (c *CartPole) ObservationSize() int { return 4 }
+
+// ActionCount implements Env.
+func (c *CartPole) ActionCount() int { return 2 }
+
+// MaxSteps implements Env.
+func (c *CartPole) MaxSteps() int { return c.maxSteps }
+
+// Reset implements Env: all four state variables ~ Uniform(-0.05, 0.05).
+func (c *CartPole) Reset() []float64 {
+	for i := range c.state {
+		c.state[i] = c.rng.Uniform(-0.05, 0.05)
+	}
+	c.steps = 0
+	c.done = false
+	return c.obs()
+}
+
+func (c *CartPole) obs() []float64 {
+	out := make([]float64, 4)
+	copy(out, c.state[:])
+	return out
+}
+
+// Step implements Env with the Gym CartPole dynamics.
+func (c *CartPole) Step(action int) ([]float64, float64, bool) {
+	if c.done {
+		// Stepping a finished episode returns the terminal state, matching
+		// Gym's warning-and-freeze behaviour without the warning.
+		return c.obs(), 0, true
+	}
+	if action != 0 && action != 1 {
+		panic("env: CartPole action must be 0 or 1")
+	}
+	x, xDot, theta, thetaDot := c.state[0], c.state[1], c.state[2], c.state[3]
+
+	force := cpForceMag
+	if action == 0 {
+		force = -cpForceMag
+	}
+	cosTheta, sinTheta := math.Cos(theta), math.Sin(theta)
+
+	temp := (force + cpPoleMassLength*thetaDot*thetaDot*sinTheta) / cpTotalMass
+	thetaAcc := (cpGravity*sinTheta - cosTheta*temp) /
+		(cpLength * (4.0/3.0 - cpMassPole*cosTheta*cosTheta/cpTotalMass))
+	xAcc := temp - cpPoleMassLength*thetaAcc*cosTheta/cpTotalMass
+
+	// Explicit Euler in Gym's "euler" kinematics mode.
+	x += cpTau * xDot
+	xDot += cpTau * xAcc
+	theta += cpTau * thetaDot
+	thetaDot += cpTau * thetaAcc
+
+	c.state = [4]float64{x, xDot, theta, thetaDot}
+	c.steps++
+
+	failed := x < -CartPositionLimit || x > CartPositionLimit ||
+		theta < -PoleAngleLimitRad || theta > PoleAngleLimitRad
+	capped := c.steps >= c.maxSteps
+	c.done = failed || capped
+
+	// Gym gives +1 for every step taken, including the terminal one.
+	return c.obs(), 1, c.done
+}
+
+// ObservationBounds implements BoundsReporter with Gym's observation space,
+// which is what paper Table 2 quotes.
+func (c *CartPole) ObservationBounds() (low, high []float64) {
+	inf := math.Inf(1)
+	high = []float64{CartPositionObsBound, inf, PoleAngleObsBoundRad, inf}
+	low = []float64{-CartPositionObsBound, -inf, -PoleAngleObsBoundRad, -inf}
+	return low, high
+}
+
+// SolvedThreshold is the classic CartPole-v0 solve criterion: an average
+// return of 195 over 100 consecutive episodes.
+const SolvedThreshold = 195.0
+
+// State returns the raw 4-vector (for tests that need exact dynamics).
+func (c *CartPole) State() [4]float64 { return c.state }
+
+// SetState overrides the state (tests of specific dynamics trajectories).
+func (c *CartPole) SetState(s [4]float64) { c.state = s; c.done = false }
+
+// StepsTaken returns the number of steps in the current episode.
+func (c *CartPole) StepsTaken() int { return c.steps }

@@ -1,0 +1,221 @@
+package env
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestCartPoleTable2 validates the observation-space bounds the paper
+// quotes in Table 2: cart position ±2.4 (termination bound), velocities
+// unbounded, pole angle bound 0.418 rad (printed as "41.8°" in the paper).
+func TestCartPoleTable2(t *testing.T) {
+	c := NewCartPoleV0(1)
+	low, high := c.ObservationBounds()
+	if len(low) != 4 || len(high) != 4 {
+		t.Fatalf("bounds length %d/%d", len(low), len(high))
+	}
+	if CartPositionLimit != 2.4 {
+		t.Errorf("cart position termination bound = %v, Table 2 says 2.4", CartPositionLimit)
+	}
+	if !math.IsInf(high[1], 1) || !math.IsInf(high[3], 1) {
+		t.Error("velocities must be unbounded (Table 2: -inf..inf)")
+	}
+	// The paper's "41.8°" is 0.418 radians.
+	if math.Abs(PoleAngleObsBoundRad-0.418) > 0.001 {
+		t.Errorf("pole angle obs bound = %v rad, Table 2 says 0.418", PoleAngleObsBoundRad)
+	}
+	if high[2] != PoleAngleObsBoundRad || low[2] != -PoleAngleObsBoundRad {
+		t.Error("angle bounds not symmetric")
+	}
+}
+
+func TestCartPoleResetDistribution(t *testing.T) {
+	c := NewCartPoleV0(2)
+	for i := 0; i < 200; i++ {
+		obs := c.Reset()
+		if len(obs) != 4 {
+			t.Fatalf("obs length %d", len(obs))
+		}
+		for j, v := range obs {
+			if v < -0.05 || v >= 0.05 {
+				t.Fatalf("reset state[%d] = %v outside ±0.05", j, v)
+			}
+		}
+	}
+}
+
+// TestCartPoleDynamicsExact cross-checks one step against the hand-computed
+// Gym update from a known state.
+func TestCartPoleDynamicsExact(t *testing.T) {
+	c := NewCartPoleV0(3)
+	c.Reset()
+	c.SetState([4]float64{0.1, 0.2, 0.05, -0.1})
+
+	// Hand computation with force = +10 (action 1):
+	// temp = (10 + 0.05*0.01*sin(0.05)) / 1.1
+	// thetaacc = (9.8*sin(.05) - cos(.05)*temp) / (0.5*(4/3 - 0.1*cos²(.05)/1.1))
+	// xacc = temp - 0.05*thetaacc*cos(.05)/1.1
+	sin, cos := math.Sin(0.05), math.Cos(0.05)
+	temp := (10 + 0.05*(-0.1)*(-0.1)*sin) / 1.1
+	thetaAcc := (9.8*sin - cos*temp) / (0.5 * (4.0/3.0 - 0.1*cos*cos/1.1))
+	xAcc := temp - 0.05*thetaAcc*cos/1.1
+	wantX := 0.1 + 0.02*0.2
+	wantXDot := 0.2 + 0.02*xAcc
+	wantTheta := 0.05 + 0.02*(-0.1)
+	wantThetaDot := -0.1 + 0.02*thetaAcc
+
+	obs, reward, done := c.Step(1)
+	if done {
+		t.Fatal("must not terminate from a benign state")
+	}
+	if reward != 1 {
+		t.Errorf("reward = %v, Gym gives +1", reward)
+	}
+	got := [4]float64{obs[0], obs[1], obs[2], obs[3]}
+	want := [4]float64{wantX, wantXDot, wantTheta, wantThetaDot}
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("state[%d] = %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCartPoleTerminatesOnAngle(t *testing.T) {
+	c := NewCartPoleV0(4)
+	c.Reset()
+	c.SetState([4]float64{0, 0, PoleAngleLimitRad - 0.001, 5}) // falling fast
+	_, _, done := c.Step(1)
+	if !done {
+		t.Error("episode must end when the pole passes 12°")
+	}
+}
+
+func TestCartPoleTerminatesOnPosition(t *testing.T) {
+	c := NewCartPoleV0(5)
+	c.Reset()
+	c.SetState([4]float64{2.39, 10, 0, 0})
+	_, _, done := c.Step(1)
+	if !done {
+		t.Error("episode must end when the cart passes ±2.4")
+	}
+}
+
+func TestCartPoleV0StepCap(t *testing.T) {
+	c := NewCartPoleV0(6)
+	if c.MaxSteps() != 200 {
+		t.Fatalf("v0 cap = %d", c.MaxSteps())
+	}
+	if NewCartPoleV1(6).MaxSteps() != 500 {
+		t.Fatal("v1 cap must be 500")
+	}
+}
+
+// A left-right alternating policy keeps the pole up briefly; verify the cap
+// terminates a surviving episode at exactly MaxSteps.
+func TestCartPoleCapTerminates(t *testing.T) {
+	c := NewCartPoleV0(7)
+	c.Reset()
+	steps := 0
+	for {
+		// A crude but effective balancing policy for the test.
+		s := c.State()
+		action := 0
+		if 1.0*s[2]+0.5*s[3] > 0 {
+			action = 1
+		}
+		_, _, done := c.Step(action)
+		steps++
+		if done {
+			break
+		}
+		if steps > 300 {
+			t.Fatal("episode failed to terminate")
+		}
+	}
+	if steps == 200 && c.StepsTaken() != 200 {
+		t.Errorf("StepsTaken = %d", c.StepsTaken())
+	}
+}
+
+func TestCartPoleStepAfterDone(t *testing.T) {
+	c := NewCartPoleV0(8)
+	c.Reset()
+	c.SetState([4]float64{3, 0, 0, 0}) // already out of bounds
+	_, _, done := c.Step(0)
+	if !done {
+		t.Fatal("expected done")
+	}
+	obs, r, done2 := c.Step(0)
+	if !done2 || r != 0 {
+		t.Error("stepping a finished episode must be a frozen no-op")
+	}
+	if len(obs) != 4 {
+		t.Error("obs shape")
+	}
+}
+
+func TestCartPoleInvalidActionPanics(t *testing.T) {
+	c := NewCartPoleV0(9)
+	c.Reset()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Step(2)
+}
+
+func TestCartPoleDeterministicSeeding(t *testing.T) {
+	a, b := NewCartPoleV0(42), NewCartPoleV0(42)
+	for i := 0; i < 5; i++ {
+		oa, ob := a.Reset(), b.Reset()
+		for j := range oa {
+			if oa[j] != ob[j] {
+				t.Fatal("same seed must give identical resets")
+			}
+		}
+	}
+}
+
+// Property: pushing right (action 1) from the zero state accelerates the
+// cart rightward and the pole leftward (reaction), for any small initial
+// angle — a physical sanity invariant.
+func TestPropertyPushDirection(t *testing.T) {
+	f := func(seed uint64) bool {
+		c := NewCartPoleV0(seed)
+		c.Reset()
+		theta := (float64(seed%100)/100 - 0.5) * 0.1
+		c.SetState([4]float64{0, 0, theta, 0})
+		obs, _, _ := c.Step(1)
+		// Velocity must become positive after a rightward push.
+		return obs[1] > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: energy-free drift — with alternating pushes from rest the cart
+// position stays bounded for a while (no NaN/explosion in dynamics).
+func TestPropertyDynamicsStayFinite(t *testing.T) {
+	f := func(seed uint64) bool {
+		c := NewCartPoleV0(seed)
+		c.Reset()
+		for i := 0; i < 50; i++ {
+			obs, _, done := c.Step(i % 2)
+			for _, v := range obs {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return false
+				}
+			}
+			if done {
+				break
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

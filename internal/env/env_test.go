@@ -1,0 +1,190 @@
+package env
+
+import (
+	"math"
+	"testing"
+)
+
+// allEnvs builds one of each environment for interface-contract tests.
+func allEnvs(seed uint64) []Env {
+	return []Env{
+		NewCartPoleV0(seed),
+		NewCartPoleV1(seed),
+		NewMountainCar(seed),
+		NewAcrobot(seed),
+		NewGridWorld(5, seed),
+		NewPendulum(seed),
+		NewLander(seed),
+		NewCliffWalk(),
+	}
+}
+
+// TestEnvContract checks the Env interface invariants every implementation
+// must satisfy: observation shape stability, termination by MaxSteps, and
+// finite observations.
+func TestEnvContract(t *testing.T) {
+	for _, e := range allEnvs(11) {
+		t.Run(e.Name(), func(t *testing.T) {
+			if e.ObservationSize() <= 0 || e.ActionCount() <= 0 || e.MaxSteps() <= 0 {
+				t.Fatalf("invalid static properties: %d/%d/%d",
+					e.ObservationSize(), e.ActionCount(), e.MaxSteps())
+			}
+			obs := e.Reset()
+			if len(obs) != e.ObservationSize() {
+				t.Fatalf("reset obs len %d, want %d", len(obs), e.ObservationSize())
+			}
+			steps := 0
+			for {
+				obs, _, done := e.Step(steps % e.ActionCount())
+				steps++
+				if len(obs) != e.ObservationSize() {
+					t.Fatalf("step obs len %d", len(obs))
+				}
+				for i, v := range obs {
+					if math.IsNaN(v) || math.IsInf(v, 0) {
+						t.Fatalf("obs[%d] = %v at step %d", i, v, steps)
+					}
+				}
+				if done {
+					break
+				}
+				if steps > e.MaxSteps()+1 {
+					t.Fatalf("episode exceeded MaxSteps+1 (%d)", steps)
+				}
+			}
+		})
+	}
+}
+
+// TestBoundsReporters verifies observations stay inside declared bounds for
+// environments that declare finite ones.
+func TestBoundsReporters(t *testing.T) {
+	for _, e := range allEnvs(12) {
+		br, ok := e.(BoundsReporter)
+		if !ok {
+			continue
+		}
+		t.Run(e.Name(), func(t *testing.T) {
+			low, high := br.ObservationBounds()
+			if len(low) != e.ObservationSize() || len(high) != e.ObservationSize() {
+				t.Fatalf("bounds length mismatch")
+			}
+			obs := e.Reset()
+			for step := 0; step < 100; step++ {
+				for i, v := range obs {
+					if !math.IsInf(low[i], -1) && v < low[i]-1e-9 {
+						t.Fatalf("obs[%d]=%v below low %v", i, v, low[i])
+					}
+					if !math.IsInf(high[i], 1) && v > high[i]+1e-9 {
+						t.Fatalf("obs[%d]=%v above high %v", i, v, high[i])
+					}
+				}
+				var done bool
+				obs, _, done = e.Step(step % e.ActionCount())
+				if done {
+					break
+				}
+			}
+		})
+	}
+}
+
+func TestShapedTerminalMode(t *testing.T) {
+	inner := NewCartPoleV0(13)
+	s := NewShaped(inner, RewardTerminal)
+	s.Reset()
+	// Drive to failure with constant pushes.
+	var lastR float64
+	var steps int
+	for {
+		_, r, done := s.Step(1)
+		steps++
+		lastR = r
+		if done {
+			break
+		}
+		if r != 0 {
+			t.Fatalf("non-terminal reward %v at step %d", r, steps)
+		}
+	}
+	if steps < inner.MaxSteps() && lastR != -1 {
+		t.Errorf("early failure reward = %v, want -1", lastR)
+	}
+}
+
+func TestShapedSurvivalMode(t *testing.T) {
+	inner := NewCartPoleV0(14)
+	s := NewShaped(inner, RewardSurvival)
+	s.Reset()
+	var lastR float64
+	var steps int
+	for {
+		_, r, done := s.Step(1)
+		steps++
+		lastR = r
+		if done {
+			break
+		}
+		if r != 1 {
+			t.Fatalf("non-terminal survival reward %v", r)
+		}
+	}
+	if steps < inner.MaxSteps() && lastR != -1 {
+		t.Errorf("failure reward = %v, want -1", lastR)
+	}
+}
+
+func TestShapedRawAndClipped(t *testing.T) {
+	// MountainCar's raw reward is -1 per step; both Raw and Clipped pass it.
+	for _, mode := range []RewardMode{RewardRaw, RewardPerStepClipped} {
+		s := NewShaped(NewMountainCar(15), mode)
+		s.Reset()
+		_, r, _ := s.Step(1)
+		if r != -1 {
+			t.Errorf("mode %v: reward = %v", mode, r)
+		}
+	}
+	// Pendulum's raw cost can exceed -1; clipping must bound it.
+	s := NewShaped(NewPendulum(16), RewardPerStepClipped)
+	s.Reset()
+	for i := 0; i < 20; i++ {
+		_, r, _ := s.Step(0)
+		if r < -1 || r > 1 {
+			t.Fatalf("clipped reward %v out of range", r)
+		}
+	}
+}
+
+func TestShapedPreservesEnvMetadata(t *testing.T) {
+	inner := NewCartPoleV0(17)
+	s := NewShaped(inner, RewardTerminal)
+	if s.Name() != inner.Name() || s.ObservationSize() != 4 ||
+		s.ActionCount() != 2 || s.MaxSteps() != 200 {
+		t.Error("Shaped must forward metadata")
+	}
+}
+
+func TestShapedSurvivalAtCap(t *testing.T) {
+	// Survival mode only overrides *failing* terminal steps; reaching the
+	// step cap passes the raw reward through (success is not punished).
+	g := NewGridWorld(3, 18)
+	s := NewShaped(g, RewardSurvival)
+	s.Reset()
+	var lastR float64
+	steps := 0
+	for {
+		// Bounce against the wall forever: action 0 (up) from the top row.
+		_, r, done := s.Step(0)
+		lastR = r
+		steps++
+		if done {
+			break
+		}
+	}
+	if steps != g.MaxSteps() {
+		t.Fatalf("expected cap termination, got %d steps", steps)
+	}
+	if lastR != -0.01 {
+		t.Errorf("cap-reaching survival reward = %v, want the raw -0.01", lastR)
+	}
+}

@@ -1,0 +1,205 @@
+package env
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLanderGravityPullsDown(t *testing.T) {
+	l := NewLander(1)
+	l.Reset()
+	l.SetState(0, 1.5, 0, 0, 0, 0)
+	obs, _, _ := l.Step(0) // coast
+	if obs[3] >= 0 {
+		t.Errorf("vy = %v, gravity must pull down", obs[3])
+	}
+}
+
+func TestLanderMainEngineThrustsUp(t *testing.T) {
+	l := NewLander(2)
+	l.Reset()
+	l.SetState(0, 1.5, 0, 0, 0, 0)
+	obs, _, _ := l.Step(2) // main engine, upright
+	// Net acceleration = thrust (2.2) + gravity (-1) > 0.
+	if obs[3] <= 0 {
+		t.Errorf("vy = %v, main engine must overcome gravity", obs[3])
+	}
+	if math.Abs(obs[2]) > 1e-9 {
+		t.Errorf("vx = %v, upright main engine must not push sideways", obs[2])
+	}
+}
+
+func TestLanderSideThrustersRotate(t *testing.T) {
+	l := NewLander(3)
+	l.Reset()
+	l.SetState(0, 1.5, 0, 0, 0, 0)
+	obs, _, _ := l.Step(1) // left thruster
+	if obs[5] >= 0 {
+		t.Errorf("vAngle = %v, left thruster must rotate clockwise (negative)", obs[5])
+	}
+	l.SetState(0, 1.5, 0, 0, 0, 0)
+	obs, _, _ = l.Step(3)
+	if obs[5] <= 0 {
+		t.Errorf("vAngle = %v, right thruster must rotate counter-clockwise", obs[5])
+	}
+}
+
+func TestLanderSafeLanding(t *testing.T) {
+	l := NewLander(4)
+	l.Reset()
+	// Just above the pad, slow, upright: the next coast step touches down.
+	l.SetState(0.05, 0.01, 0, -0.2, 0, 0)
+	_, reward, done := l.Step(0)
+	if !done {
+		t.Fatal("touchdown must end the episode")
+	}
+	if !l.Landed() {
+		t.Fatal("slow upright pad touchdown must be safe")
+	}
+	if reward < 50 {
+		t.Errorf("safe landing reward = %v", reward)
+	}
+}
+
+func TestLanderCrash(t *testing.T) {
+	l := NewLander(5)
+	l.Reset()
+	// Fast descent: crash.
+	l.SetState(0, 0.01, 0, -3, 0, 0)
+	_, reward, done := l.Step(0)
+	if !done || l.Landed() {
+		t.Fatal("fast touchdown must crash")
+	}
+	if reward > -50 {
+		t.Errorf("crash reward = %v", reward)
+	}
+	// Off-pad touchdown: crash even if slow.
+	l2 := NewLander(6)
+	l2.Reset()
+	l2.SetState(1.5, 0.005, 0, -0.1, 0, 0)
+	_, _, done = l2.Step(0)
+	if !done || l2.Landed() {
+		t.Fatal("off-pad touchdown must not count as landed")
+	}
+}
+
+func TestLanderOutOfBounds(t *testing.T) {
+	l := NewLander(7)
+	l.Reset()
+	l.SetState(1.99, 1.0, 3.0, 0, 0, 0)
+	_, reward, done := l.Step(0)
+	if !done {
+		t.Fatal("flying out of bounds must end the episode")
+	}
+	if reward > -50 {
+		t.Errorf("out-of-bounds reward = %v", reward)
+	}
+}
+
+func TestLanderShapingRewardsProgress(t *testing.T) {
+	l := NewLander(8)
+	l.Reset()
+	// Hovering far from the pad and drifting toward it: positive shaping.
+	l.SetState(1.0, 1.0, -0.5, 0.1, 0, 0)
+	_, rTowards, _ := l.Step(0)
+	l.SetState(1.0, 1.0, 0.5, 0.1, 0, 0)
+	_, rAway, _ := l.Step(0)
+	if rTowards <= rAway {
+		t.Errorf("shaping: toward pad %v should beat away %v", rTowards, rAway)
+	}
+}
+
+func TestCliffWalkStartGoal(t *testing.T) {
+	c := NewCliffWalk()
+	obs := c.Reset()
+	if len(obs) != 2 {
+		t.Fatal("obs shape")
+	}
+	if r, col := c.Position(); r != 3 || col != 0 {
+		t.Fatalf("start = (%d,%d)", r, col)
+	}
+	// Safe path: up, 11 rights, down.
+	c.Step(0)
+	for i := 0; i < 11; i++ {
+		if _, _, done := c.Step(1); done {
+			t.Fatal("premature termination on the safe path")
+		}
+	}
+	_, reward, done := c.Step(2)
+	if !done {
+		t.Fatal("goal must end the episode")
+	}
+	if reward != -1 {
+		t.Errorf("goal step reward = %v", reward)
+	}
+}
+
+func TestCliffWalkCliffTeleports(t *testing.T) {
+	c := NewCliffWalk()
+	c.Reset()
+	_, reward, done := c.Step(1) // step right off the start: into the cliff
+	if done {
+		t.Fatal("the cliff does not end the episode")
+	}
+	if reward != -100 {
+		t.Errorf("cliff reward = %v", reward)
+	}
+	if r, col := c.Position(); r != 3 || col != 0 {
+		t.Errorf("must teleport to start, got (%d,%d)", r, col)
+	}
+}
+
+func TestCliffWalkWallsClamp(t *testing.T) {
+	c := NewCliffWalk()
+	c.Reset()
+	c.Step(2) // down from the bottom row: clamped
+	if r, col := c.Position(); r != 3 || col != 0 {
+		t.Errorf("clamping failed: (%d,%d)", r, col)
+	}
+	c.Step(3) // left from column 0
+	if _, col := c.Position(); col != 0 {
+		t.Error("left wall clamp failed")
+	}
+}
+
+func TestCliffWalkTimeout(t *testing.T) {
+	c := NewCliffWalk()
+	c.Reset()
+	steps := 0
+	for {
+		_, _, done := c.Step(0) // bump the top wall forever
+		steps++
+		if done {
+			break
+		}
+	}
+	if steps != cwMaxSteps {
+		t.Errorf("timeout after %d steps", steps)
+	}
+}
+
+// Tabular-style sanity: a hand-coded safe policy beats wandering.
+func TestCliffWalkSafePathReturn(t *testing.T) {
+	c := NewCliffWalk()
+	c.Reset()
+	total := 0.0
+	acts := append(append([]int{0}, repeat(1, 11)...), 2)
+	for _, a := range acts {
+		_, r, done := c.Step(a)
+		total += r
+		if done {
+			break
+		}
+	}
+	if total != -13 {
+		t.Errorf("safe path return = %v, want -13", total)
+	}
+}
+
+func repeat(v, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package env
+
+import "oselmrl/internal/stats"
+
+// Monitor wraps an Env and records per-episode statistics — the analogue
+// of Gym's Monitor wrapper. It is transparent to the agent: rewards and
+// dynamics pass through unchanged.
+type Monitor struct {
+	Inner Env
+
+	curSteps  int
+	curReturn float64
+	started   bool
+
+	// Lengths and Returns hold one entry per completed episode.
+	Lengths []float64
+	Returns []float64
+}
+
+// NewMonitor wraps inner.
+func NewMonitor(inner Env) *Monitor { return &Monitor{Inner: inner} }
+
+// Name implements Env.
+func (m *Monitor) Name() string { return m.Inner.Name() }
+
+// ObservationSize implements Env.
+func (m *Monitor) ObservationSize() int { return m.Inner.ObservationSize() }
+
+// ActionCount implements Env.
+func (m *Monitor) ActionCount() int { return m.Inner.ActionCount() }
+
+// MaxSteps implements Env.
+func (m *Monitor) MaxSteps() int { return m.Inner.MaxSteps() }
+
+// Reset implements Env. Resetting mid-episode records the truncated
+// episode (matching Gym's behaviour of closing the record on reset).
+func (m *Monitor) Reset() []float64 {
+	if m.started && m.curSteps > 0 {
+		m.flush()
+	}
+	m.started = true
+	m.curSteps = 0
+	m.curReturn = 0
+	return m.Inner.Reset()
+}
+
+// Step implements Env.
+func (m *Monitor) Step(action int) ([]float64, float64, bool) {
+	obs, r, done := m.Inner.Step(action)
+	m.curSteps++
+	m.curReturn += r
+	if done {
+		m.flush()
+		m.curSteps = 0
+		m.curReturn = 0
+	}
+	return obs, r, done
+}
+
+func (m *Monitor) flush() {
+	m.Lengths = append(m.Lengths, float64(m.curSteps))
+	m.Returns = append(m.Returns, m.curReturn)
+}
+
+// Episodes returns the number of completed episodes.
+func (m *Monitor) Episodes() int { return len(m.Lengths) }
+
+// LengthStats summarizes episode lengths.
+func (m *Monitor) LengthStats() stats.Summary { return stats.Summarize(m.Lengths) }
+
+// ReturnStats summarizes episode returns.
+func (m *Monitor) ReturnStats() stats.Summary { return stats.Summarize(m.Returns) }
+
+// RecentMean returns the mean length of the last n episodes (all if fewer).
+func (m *Monitor) RecentMean(n int) float64 {
+	if len(m.Lengths) == 0 {
+		return 0
+	}
+	if n > len(m.Lengths) {
+		n = len(m.Lengths)
+	}
+	var sum float64
+	for _, v := range m.Lengths[len(m.Lengths)-n:] {
+		sum += v
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,76 @@
+package env
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMonitorRecordsEpisodes(t *testing.T) {
+	m := NewMonitor(NewGridWorld(3, 1))
+	// Two full episodes via the direct path (4 moves each).
+	for ep := 0; ep < 2; ep++ {
+		m.Reset()
+		for _, a := range []int{1, 1, 2, 2} {
+			m.Step(a)
+		}
+	}
+	if m.Episodes() != 2 {
+		t.Fatalf("episodes = %d", m.Episodes())
+	}
+	if m.Lengths[0] != 4 || m.Lengths[1] != 4 {
+		t.Errorf("lengths = %v", m.Lengths)
+	}
+	// Return: 3 moves at -0.01 plus +1 at the goal.
+	want := 1 - 0.03
+	if math.Abs(m.Returns[0]-want) > 1e-12 {
+		t.Errorf("return = %v want %v", m.Returns[0], want)
+	}
+	ls := m.LengthStats()
+	if ls.Mean != 4 || ls.N != 2 {
+		t.Errorf("length stats %+v", ls)
+	}
+}
+
+func TestMonitorTruncatedEpisodeOnReset(t *testing.T) {
+	m := NewMonitor(NewGridWorld(3, 2))
+	m.Reset()
+	m.Step(1) // one move, then abandon
+	m.Reset()
+	if m.Episodes() != 1 {
+		t.Fatalf("truncated episode not recorded: %d", m.Episodes())
+	}
+	if m.Lengths[0] != 1 {
+		t.Errorf("truncated length = %v", m.Lengths[0])
+	}
+}
+
+func TestMonitorRecentMean(t *testing.T) {
+	m := NewMonitor(NewGridWorld(3, 3))
+	if m.RecentMean(10) != 0 {
+		t.Error("empty monitor recent mean must be 0")
+	}
+	m.Lengths = []float64{10, 20, 30}
+	if m.RecentMean(2) != 25 {
+		t.Errorf("RecentMean(2) = %v", m.RecentMean(2))
+	}
+	if m.RecentMean(100) != 20 {
+		t.Errorf("RecentMean(all) = %v", m.RecentMean(100))
+	}
+}
+
+func TestMonitorTransparent(t *testing.T) {
+	inner := NewCartPoleV0(4)
+	m := NewMonitor(inner)
+	if m.Name() != inner.Name() || m.ObservationSize() != 4 ||
+		m.ActionCount() != 2 || m.MaxSteps() != 200 {
+		t.Error("monitor must forward metadata")
+	}
+	obs := m.Reset()
+	if len(obs) != 4 {
+		t.Error("reset obs shape")
+	}
+	_, r, _ := m.Step(0)
+	if r != 1 {
+		t.Errorf("reward passthrough = %v", r)
+	}
+}

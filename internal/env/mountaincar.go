@@ -1,0 +1,87 @@
+package env
+
+import (
+	"math"
+
+	"oselmrl/internal/rng"
+)
+
+// MountainCar is Gym's MountainCar-v0: an underpowered car in a valley must
+// rock back and forth to reach the right hilltop. It exercises the paper's
+// future-work claim that the approach should extend beyond CartPole: the
+// reward is sparse (-1 per step until the goal), which stresses the
+// Q-value-clipping scheme differently than CartPole's dense survival signal.
+//
+// Observation: [position, velocity]. Actions: 0 = push left, 1 = no push,
+// 2 = push right.
+type MountainCar struct {
+	rng      *rng.RNG
+	pos, vel float64
+	steps    int
+	done     bool
+}
+
+const (
+	mcMinPosition  = -1.2
+	mcMaxPosition  = 0.6
+	mcMaxSpeed     = 0.07
+	mcGoalPosition = 0.5
+	mcForce        = 0.001
+	mcGravity      = 0.0025
+	mcMaxSteps     = 200
+)
+
+// NewMountainCar returns a seeded MountainCar-v0.
+func NewMountainCar(seed uint64) *MountainCar {
+	return &MountainCar{rng: rng.New(seed)}
+}
+
+// Name implements Env.
+func (m *MountainCar) Name() string { return "MountainCar-v0" }
+
+// ObservationSize implements Env.
+func (m *MountainCar) ObservationSize() int { return 2 }
+
+// ActionCount implements Env.
+func (m *MountainCar) ActionCount() int { return 3 }
+
+// MaxSteps implements Env.
+func (m *MountainCar) MaxSteps() int { return mcMaxSteps }
+
+// Reset implements Env: position ~ Uniform(-0.6, -0.4), velocity 0.
+func (m *MountainCar) Reset() []float64 {
+	m.pos = m.rng.Uniform(-0.6, -0.4)
+	m.vel = 0
+	m.steps = 0
+	m.done = false
+	return []float64{m.pos, m.vel}
+}
+
+// Step implements Env with the Gym dynamics.
+func (m *MountainCar) Step(action int) ([]float64, float64, bool) {
+	if m.done {
+		return []float64{m.pos, m.vel}, 0, true
+	}
+	if action < 0 || action > 2 {
+		panic("env: MountainCar action must be 0, 1 or 2")
+	}
+	m.vel += float64(action-1)*mcForce - mcGravity*math.Cos(3*m.pos)
+	m.vel = clamp(m.vel, -mcMaxSpeed, mcMaxSpeed)
+	m.pos += m.vel
+	m.pos = clamp(m.pos, mcMinPosition, mcMaxPosition)
+	if m.pos <= mcMinPosition && m.vel < 0 {
+		m.vel = 0 // inelastic collision with the left wall
+	}
+	m.steps++
+	reachedGoal := m.pos >= mcGoalPosition
+	m.done = reachedGoal || m.steps >= mcMaxSteps
+	return []float64{m.pos, m.vel}, -1, m.done
+}
+
+// ObservationBounds implements BoundsReporter.
+func (m *MountainCar) ObservationBounds() (low, high []float64) {
+	return []float64{mcMinPosition, -mcMaxSpeed}, []float64{mcMaxPosition, mcMaxSpeed}
+}
+
+// ReachedGoal reports whether the last episode ended at the flag.
+func (m *MountainCar) ReachedGoal() bool { return m.pos >= mcGoalPosition }

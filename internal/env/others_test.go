@@ -1,0 +1,309 @@
+package env
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMountainCarReset(t *testing.T) {
+	m := NewMountainCar(1)
+	for i := 0; i < 100; i++ {
+		obs := m.Reset()
+		if obs[0] < -0.6 || obs[0] >= -0.4 {
+			t.Fatalf("reset position %v outside [-0.6,-0.4)", obs[0])
+		}
+		if obs[1] != 0 {
+			t.Fatalf("reset velocity %v != 0", obs[1])
+		}
+	}
+}
+
+func TestMountainCarDynamicsExact(t *testing.T) {
+	m := NewMountainCar(2)
+	m.Reset()
+	m.pos, m.vel = -0.5, 0
+	// Push right: v' = 0 + 1*0.001 - 0.0025*cos(-1.5)
+	wantV := 0.001 - 0.0025*math.Cos(3*-0.5)
+	obs, r, done := m.Step(2)
+	if r != -1 {
+		t.Errorf("reward = %v", r)
+	}
+	if done {
+		t.Error("must not terminate")
+	}
+	if math.Abs(obs[1]-wantV) > 1e-15 {
+		t.Errorf("velocity = %v want %v", obs[1], wantV)
+	}
+	if math.Abs(obs[0]-(-0.5+wantV)) > 1e-15 {
+		t.Errorf("position = %v", obs[0])
+	}
+}
+
+func TestMountainCarGoal(t *testing.T) {
+	m := NewMountainCar(3)
+	m.Reset()
+	m.pos, m.vel = 0.49, 0.07
+	_, _, done := m.Step(2)
+	if !done || !m.ReachedGoal() {
+		t.Error("crossing 0.5 must end the episode at the goal")
+	}
+}
+
+func TestMountainCarLeftWall(t *testing.T) {
+	m := NewMountainCar(4)
+	m.Reset()
+	m.pos, m.vel = -1.2, -0.05
+	m.Step(0)
+	if m.vel < 0 {
+		t.Error("velocity must zero at the left wall")
+	}
+	if m.pos < -1.2 {
+		t.Error("position clamped at -1.2")
+	}
+}
+
+func TestMountainCarNeverSolvedByConstantPush(t *testing.T) {
+	// A constant rightward push cannot climb the hill: the episode must
+	// time out (that is the entire point of the task).
+	m := NewMountainCar(5)
+	m.Reset()
+	steps := 0
+	for {
+		_, _, done := m.Step(2)
+		steps++
+		if done {
+			break
+		}
+	}
+	if m.ReachedGoal() {
+		t.Error("constant push should not reach the goal")
+	}
+	if steps != mcMaxSteps {
+		t.Errorf("timed out after %d steps, want %d", steps, mcMaxSteps)
+	}
+}
+
+func TestMountainCarOscillationSolves(t *testing.T) {
+	// The classic energy-pumping policy (push in the direction of motion)
+	// must reach the goal.
+	m := NewMountainCar(6)
+	m.Reset()
+	for {
+		action := 0
+		if m.vel >= 0 {
+			action = 2
+		}
+		_, _, done := m.Step(action)
+		if done {
+			break
+		}
+	}
+	if !m.ReachedGoal() {
+		t.Error("energy pumping must solve MountainCar")
+	}
+}
+
+func TestAcrobotReset(t *testing.T) {
+	a := NewAcrobot(7)
+	obs := a.Reset()
+	if len(obs) != 6 {
+		t.Fatalf("obs len %d", len(obs))
+	}
+	// cos/sin components must be consistent.
+	if math.Abs(obs[0]*obs[0]+obs[1]*obs[1]-1) > 1e-12 {
+		t.Error("cos²+sin² != 1 for link 1")
+	}
+	if math.Abs(obs[2]*obs[2]+obs[3]*obs[3]-1) > 1e-12 {
+		t.Error("cos²+sin² != 1 for link 2")
+	}
+}
+
+func TestAcrobotVelocityClamped(t *testing.T) {
+	a := NewAcrobot(8)
+	a.Reset()
+	for i := 0; i < 100; i++ {
+		obs, _, done := a.Step(2)
+		if math.Abs(obs[4]) > acMaxVel1+1e-9 || math.Abs(obs[5]) > acMaxVel2+1e-9 {
+			t.Fatalf("velocity out of bounds: %v, %v", obs[4], obs[5])
+		}
+		if done {
+			break
+		}
+	}
+}
+
+func TestAcrobotRewardScheme(t *testing.T) {
+	a := NewAcrobot(9)
+	a.Reset()
+	_, r, done := a.Step(1)
+	if done {
+		t.Skip("unlucky immediate termination")
+	}
+	if r != -1 {
+		t.Errorf("per-step reward = %v, want -1", r)
+	}
+}
+
+func TestWrapAngle(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0},
+		{math.Pi / 2, math.Pi / 2},
+		{math.Pi + 0.1, -math.Pi + 0.1},
+		{-math.Pi - 0.1, math.Pi - 0.1},
+		{2 * math.Pi, 0},
+	}
+	for _, c := range cases {
+		if got := wrapAngle(c.in); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("wrapAngle(%v) = %v want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestGridWorldDirectPath(t *testing.T) {
+	g := NewGridWorld(4, 10)
+	g.Reset()
+	// Right 3, down 3 reaches the goal with reward +1 on arrival.
+	var lastR float64
+	var done bool
+	for i := 0; i < 3; i++ {
+		_, lastR, done = g.Step(1)
+		if done {
+			t.Fatal("premature termination")
+		}
+	}
+	for i := 0; i < 3; i++ {
+		_, lastR, done = g.Step(2)
+	}
+	if !done || lastR != 1 {
+		t.Errorf("goal not reached: done=%v r=%v", done, lastR)
+	}
+}
+
+func TestGridWorldObstacle(t *testing.T) {
+	g := NewGridWorld(3, 11, [2]int{0, 1})
+	g.Reset()
+	_, r, done := g.Step(1) // step right into the obstacle
+	if !done || r != -1 {
+		t.Errorf("obstacle: done=%v r=%v", done, r)
+	}
+}
+
+func TestGridWorldWallBounce(t *testing.T) {
+	g := NewGridWorld(3, 12)
+	g.Reset()
+	g.Step(0) // up from (0,0) bounces
+	if r, c := g.Position(); r != 0 || c != 0 {
+		t.Errorf("position after bounce = (%d,%d)", r, c)
+	}
+}
+
+func TestGridWorldObstacleValidation(t *testing.T) {
+	for _, bad := range [][2]int{{0, 0}, {2, 2}, {5, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("obstacle %v must panic", bad)
+				}
+			}()
+			NewGridWorld(3, 13, bad)
+		}()
+	}
+}
+
+func TestGridWorldRandomStart(t *testing.T) {
+	g := NewGridWorld(5, 14)
+	g.SetRandomStart(true)
+	seen := make(map[[2]int]bool)
+	for i := 0; i < 200; i++ {
+		g.Reset()
+		r, c := g.Position()
+		if r == 4 && c == 4 {
+			t.Fatal("random start must avoid the goal")
+		}
+		seen[[2]int{r, c}] = true
+	}
+	if len(seen) < 10 {
+		t.Errorf("random start visited only %d cells", len(seen))
+	}
+}
+
+func TestPendulumEnergyPumping(t *testing.T) {
+	// Applying torque with the direction of motion raises the pendulum's
+	// total reward relative to fighting the motion.
+	run := func(withMotion bool) float64 {
+		p := NewPendulum(15)
+		p.Reset()
+		// Start hanging straight down at rest so both strategies face the
+		// same swing-up problem.
+		p.theta, p.thetaDot = math.Pi, 0
+		obs := p.obs()
+		total := 0.0
+		for {
+			action := 1
+			if withMotion {
+				if obs[2] >= 0 {
+					action = 2
+				} else {
+					action = 0
+				}
+			}
+			var r float64
+			var done bool
+			obs, r, done = p.Step(action)
+			total += r
+			if done {
+				break
+			}
+		}
+		return total
+	}
+	if run(true) <= run(false) {
+		t.Error("energy pumping should beat no torque on average")
+	}
+}
+
+func TestPendulumRewardNonPositive(t *testing.T) {
+	p := NewPendulum(16)
+	p.Reset()
+	for i := 0; i < 50; i++ {
+		_, r, done := p.Step(i % 3)
+		if r > 0 {
+			t.Fatalf("pendulum reward %v must be <= 0", r)
+		}
+		if done {
+			break
+		}
+	}
+}
+
+func TestPendulumCustomTorques(t *testing.T) {
+	p := NewPendulum(17)
+	p.Torques = []float64{-2, -1, 0, 1, 2}
+	if p.ActionCount() != 5 {
+		t.Errorf("ActionCount = %d", p.ActionCount())
+	}
+	p.Reset()
+	p.Step(4)
+}
+
+func TestInvalidActionsPanic(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func()
+	}{
+		{"MountainCar", func() { m := NewMountainCar(1); m.Reset(); m.Step(3) }},
+		{"Acrobot", func() { a := NewAcrobot(1); a.Reset(); a.Step(-1) }},
+		{"GridWorld", func() { g := NewGridWorld(3, 1); g.Reset(); g.Step(4) }},
+		{"Pendulum", func() { p := NewPendulum(1); p.Reset(); p.Step(3) }},
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", c.name)
+				}
+			}()
+			c.f()
+		}()
+	}
+}

@@ -1,0 +1,97 @@
+package env
+
+import (
+	"math"
+
+	"oselmrl/internal/rng"
+)
+
+// Pendulum is Gym's Pendulum-v1 swing-up task with the continuous torque
+// discretized into a small action set, making it usable by the discrete
+// Q-learning agents here. The reward is the standard
+// -(θ² + 0.1·θ̇² + 0.001·τ²), which is dense and negative — a very
+// different reward landscape from CartPole, exercising the paper's claim
+// of applicability to "some other reinforcement tasks".
+//
+// Observation: [cosθ, sinθ, θ̇]. Actions index into Torques.
+type Pendulum struct {
+	rng      *rng.RNG
+	theta    float64
+	thetaDot float64
+	steps    int
+	done     bool
+	// Torques are the discretized torque values; default {-2, 0, +2}.
+	Torques []float64
+}
+
+const (
+	pdMaxSpeed  = 8.0
+	pdMaxTorque = 2.0
+	pdDT        = 0.05
+	pdGravity   = 10.0
+	pdMass      = 1.0
+	pdLength    = 1.0
+	pdMaxSteps  = 200
+)
+
+// NewPendulum returns a seeded discrete-torque Pendulum.
+func NewPendulum(seed uint64) *Pendulum {
+	return &Pendulum{
+		rng:     rng.New(seed),
+		Torques: []float64{-pdMaxTorque, 0, pdMaxTorque},
+	}
+}
+
+// Name implements Env.
+func (p *Pendulum) Name() string { return "Pendulum-v1-discrete" }
+
+// ObservationSize implements Env.
+func (p *Pendulum) ObservationSize() int { return 3 }
+
+// ActionCount implements Env.
+func (p *Pendulum) ActionCount() int { return len(p.Torques) }
+
+// MaxSteps implements Env.
+func (p *Pendulum) MaxSteps() int { return pdMaxSteps }
+
+// Reset implements Env: θ ~ Uniform(-π, π), θ̇ ~ Uniform(-1, 1).
+func (p *Pendulum) Reset() []float64 {
+	p.theta = p.rng.Uniform(-math.Pi, math.Pi)
+	p.thetaDot = p.rng.Uniform(-1, 1)
+	p.steps = 0
+	p.done = false
+	return p.obs()
+}
+
+func (p *Pendulum) obs() []float64 {
+	return []float64{math.Cos(p.theta), math.Sin(p.theta), p.thetaDot}
+}
+
+// Step implements Env with Gym's semi-implicit Euler dynamics.
+func (p *Pendulum) Step(action int) ([]float64, float64, bool) {
+	if p.done {
+		return p.obs(), 0, true
+	}
+	if action < 0 || action >= len(p.Torques) {
+		panic("env: Pendulum action out of range")
+	}
+	u := clamp(p.Torques[action], -pdMaxTorque, pdMaxTorque)
+
+	thetaNorm := wrapAngle(p.theta)
+	cost := thetaNorm*thetaNorm + 0.1*p.thetaDot*p.thetaDot + 0.001*u*u
+
+	g, m, l := pdGravity, pdMass, pdLength
+	newThetaDot := p.thetaDot +
+		(3*g/(2*l)*math.Sin(p.theta)+3.0/(m*l*l)*u)*pdDT
+	newThetaDot = clamp(newThetaDot, -pdMaxSpeed, pdMaxSpeed)
+	p.theta += newThetaDot * pdDT
+	p.thetaDot = newThetaDot
+	p.steps++
+	p.done = p.steps >= pdMaxSteps
+	return p.obs(), -cost, p.done
+}
+
+// ObservationBounds implements BoundsReporter.
+func (p *Pendulum) ObservationBounds() (low, high []float64) {
+	return []float64{-1, -1, -pdMaxSpeed}, []float64{1, 1, pdMaxSpeed}
+}

@@ -1,0 +1,64 @@
+package env
+
+import "oselmrl/internal/rng"
+
+// Perturbed wraps an Env and injects Gaussian observation noise and/or
+// random action flips. It exists to probe the paper's central stability
+// claim (§2.5/§3.3): a network with a bounded Lipschitz constant changes
+// its output by at most K·‖Δx‖ under an observation perturbation Δx, so
+// the spectrally-normalized designs should degrade gracefully where the
+// unregularized OS-ELM's outliers blow up. The robustness ablation bench
+// sweeps NoiseStd across design variants.
+type Perturbed struct {
+	Inner Env
+	// NoiseStd is the standard deviation of i.i.d. Gaussian noise added to
+	// every observation component (0 = none).
+	NoiseStd float64
+	// ActionFlipProb replaces the agent's action with a uniformly random
+	// one with this probability (actuator fault model).
+	ActionFlipProb float64
+
+	rng *rng.RNG
+}
+
+// NewPerturbed wraps inner with its own deterministic noise stream.
+func NewPerturbed(inner Env, seed uint64) *Perturbed {
+	return &Perturbed{Inner: inner, rng: rng.New(seed)}
+}
+
+// Name implements Env.
+func (p *Perturbed) Name() string { return p.Inner.Name() + "+noise" }
+
+// ObservationSize implements Env.
+func (p *Perturbed) ObservationSize() int { return p.Inner.ObservationSize() }
+
+// ActionCount implements Env.
+func (p *Perturbed) ActionCount() int { return p.Inner.ActionCount() }
+
+// MaxSteps implements Env.
+func (p *Perturbed) MaxSteps() int { return p.Inner.MaxSteps() }
+
+// Reset implements Env.
+func (p *Perturbed) Reset() []float64 { return p.noisy(p.Inner.Reset()) }
+
+// Step implements Env: the action may flip, the observation gains noise.
+// The underlying dynamics and rewards are untouched — only what the agent
+// *sees* is corrupted.
+func (p *Perturbed) Step(action int) ([]float64, float64, bool) {
+	if p.ActionFlipProb > 0 && p.rng.Float64() < p.ActionFlipProb {
+		action = p.rng.Intn(p.Inner.ActionCount())
+	}
+	obs, r, done := p.Inner.Step(action)
+	return p.noisy(obs), r, done
+}
+
+func (p *Perturbed) noisy(obs []float64) []float64 {
+	if p.NoiseStd <= 0 {
+		return obs
+	}
+	out := make([]float64, len(obs))
+	for i, v := range obs {
+		out[i] = v + p.rng.Normal(0, p.NoiseStd)
+	}
+	return out
+}

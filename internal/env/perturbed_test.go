@@ -1,0 +1,96 @@
+package env
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPerturbedNoNoisePassesThrough(t *testing.T) {
+	inner := NewCartPoleV0(1)
+	ref := NewCartPoleV0(1)
+	p := NewPerturbed(inner, 2)
+	a, b := p.Reset(), ref.Reset()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("zero noise must pass observations through")
+		}
+	}
+	pa, _, _ := p.Step(1)
+	ra, _, _ := ref.Step(1)
+	for i := range pa {
+		if pa[i] != ra[i] {
+			t.Fatal("step observations must match without noise")
+		}
+	}
+}
+
+func TestPerturbedNoiseStatistics(t *testing.T) {
+	inner := NewGridWorld(3, 3) // deterministic obs
+	p := NewPerturbed(inner, 4)
+	p.NoiseStd = 0.5
+	base := inner.Reset()
+	var sum, sq float64
+	n := 5000
+	for i := 0; i < n; i++ {
+		obs := p.noisy(base)
+		d := obs[0] - base[0]
+		sum += d
+		sq += d * d
+	}
+	mean := sum / float64(n)
+	std := math.Sqrt(sq/float64(n) - mean*mean)
+	if math.Abs(mean) > 0.03 {
+		t.Errorf("noise mean = %v", mean)
+	}
+	if math.Abs(std-0.5) > 0.03 {
+		t.Errorf("noise std = %v want 0.5", std)
+	}
+}
+
+func TestPerturbedActionFlip(t *testing.T) {
+	// With flip probability 1 on a deterministic grid, the walked path
+	// diverges from the commanded path almost surely within a few steps.
+	g := NewGridWorld(5, 5)
+	p := NewPerturbed(g, 6)
+	p.ActionFlipProb = 1
+	p.Reset()
+	diverged := false
+	for i := 0; i < 20; i++ {
+		before := [2]int{}
+		before[0], before[1] = g.Position()
+		_, _, done := p.Step(1) // always command "right"
+		r, c := g.Position()
+		// A flip to up/down/left moves differently than right.
+		if !(r == before[0] && c == before[1]+1) {
+			diverged = true
+			break
+		}
+		if done {
+			break
+		}
+	}
+	if !diverged {
+		t.Error("action flips never diverged from the commanded path")
+	}
+}
+
+func TestPerturbedRewardsUntouched(t *testing.T) {
+	p := NewPerturbed(NewMountainCar(7), 8)
+	p.NoiseStd = 1
+	p.Reset()
+	_, r, _ := p.Step(1)
+	if r != -1 {
+		t.Errorf("reward = %v, must pass through", r)
+	}
+}
+
+func TestPerturbedMetadata(t *testing.T) {
+	inner := NewCartPoleV0(9)
+	p := NewPerturbed(inner, 10)
+	if p.ObservationSize() != 4 || p.ActionCount() != 2 || p.MaxSteps() != 200 {
+		t.Error("metadata must forward")
+	}
+	if p.Name() != "CartPole-v0+noise" {
+		t.Errorf("name = %q", p.Name())
+	}
+}

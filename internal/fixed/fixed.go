@@ -1,0 +1,170 @@
+// Package fixed implements the 32-bit Q20 fixed-point arithmetic the
+// paper's FPGA design uses for its predict and seq_train datapaths (§4.2:
+// "We use 32-bit Q20 number as a fixed-point number format"). A value is a
+// signed 32-bit integer with 20 fractional bits (Q11.20 plus sign),
+// covering roughly ±2048 with a resolution of 2⁻²⁰ ≈ 9.5e-7.
+//
+// All operations saturate instead of wrapping: in the FPGA core an
+// overflowing accumulator clamps at the rails, and saturation is also what
+// keeps the Q-network's clipped targets well behaved.
+package fixed
+
+import (
+	"fmt"
+	"math"
+)
+
+// FracBits is the number of fractional bits in the Q20 format.
+const FracBits = 20
+
+// One is the fixed-point representation of 1.0.
+const One = int32(1) << FracBits
+
+// Max and Min are the saturation rails.
+const (
+	Max = int32(math.MaxInt32)
+	Min = int32(math.MinInt32)
+)
+
+// Fixed is a Q11.20 signed fixed-point number.
+type Fixed int32
+
+// FromFloat converts a float64 to fixed point with round-to-nearest and
+// saturation.
+func FromFloat(f float64) Fixed {
+	if math.IsNaN(f) {
+		return 0
+	}
+	scaled := f * float64(One)
+	if scaled >= float64(Max) {
+		return Fixed(Max)
+	}
+	if scaled <= float64(Min) {
+		return Fixed(Min)
+	}
+	return Fixed(int32(math.RoundToEven(scaled)))
+}
+
+// Float converts back to float64 exactly (every Q20 value is representable).
+func (x Fixed) Float() float64 { return float64(x) / float64(One) }
+
+// String renders the value in decimal for debugging.
+func (x Fixed) String() string { return fmt.Sprintf("%.6f", x.Float()) }
+
+func sat64(v int64) Fixed {
+	if v > int64(Max) {
+		return Fixed(Max)
+	}
+	if v < int64(Min) {
+		return Fixed(Min)
+	}
+	return Fixed(v)
+}
+
+// Add returns x + y with saturation.
+func Add(x, y Fixed) Fixed { return sat64(int64(x) + int64(y)) }
+
+// Sub returns x - y with saturation.
+func Sub(x, y Fixed) Fixed { return sat64(int64(x) - int64(y)) }
+
+// Neg returns -x with saturation (negating Min saturates to Max).
+func Neg(x Fixed) Fixed { return sat64(-int64(x)) }
+
+// Mul returns x * y with a 64-bit intermediate, rounding and saturation —
+// the behaviour of a DSP48 multiply followed by a shift.
+func Mul(x, y Fixed) Fixed {
+	prod := int64(x) * int64(y)
+	// Arithmetic right shift rounds toward -inf; adding half first turns
+	// it into round-to-nearest (ties toward +inf) for either sign.
+	prod += 1 << (FracBits - 1)
+	return sat64(prod >> FracBits)
+}
+
+// Div returns x / y with saturation; division by zero saturates to the
+// rail matching the sign of x (hardware divider convention here).
+func Div(x, y Fixed) Fixed {
+	if y == 0 {
+		if x >= 0 {
+			return Fixed(Max)
+		}
+		return Fixed(Min)
+	}
+	num := int64(x) << FracBits
+	// Round-half-away-from-zero.
+	half := int64(y) / 2
+	if (num >= 0) == (y > 0) {
+		num += half
+	} else {
+		num -= half
+	}
+	return sat64(num / int64(y))
+}
+
+// Recip returns 1/x, the scalar reciprocal that replaces the k×k matrix
+// inverse when OS-ELM's batch size is fixed to 1 (paper §2.2).
+func Recip(x Fixed) Fixed { return Div(Fixed(One), x) }
+
+// MulAcc returns acc + x*y keeping the product in 64 bits before the
+// shift, matching a MAC unit with a wide accumulator.
+func MulAcc(acc Fixed, x, y Fixed) Fixed { return Add(acc, Mul(x, y)) }
+
+// Clamp limits x to [lo, hi].
+func Clamp(x, lo, hi Fixed) Fixed {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// ReLU is the fixed-point activation used by the FPGA core.
+func ReLU(x Fixed) Fixed {
+	if x > 0 {
+		return x
+	}
+	return 0
+}
+
+// Abs returns |x| with saturation.
+func Abs(x Fixed) Fixed {
+	if x < 0 {
+		return Neg(x)
+	}
+	return x
+}
+
+// Eps is the smallest positive Q20 value.
+const Eps = Fixed(1)
+
+// QFormat describes a generic Qm.f fixed-point layout for the precision
+// ablation (A3 in DESIGN.md): the paper chose 20 fractional bits; the
+// ablation sweeps the fraction width and measures learning quality.
+type QFormat struct {
+	// Frac is the number of fractional bits (1..30).
+	Frac uint
+}
+
+// Quantize rounds f to the format's grid with saturation at the 32-bit rails.
+func (q QFormat) Quantize(f float64) float64 {
+	if q.Frac < 1 || q.Frac > 30 {
+		panic(fmt.Sprintf("fixed: invalid fraction width %d", q.Frac))
+	}
+	one := float64(int64(1) << q.Frac)
+	scaled := math.RoundToEven(f * one)
+	maxV := float64(math.MaxInt32)
+	if scaled > maxV {
+		scaled = maxV
+	}
+	if scaled < -maxV-1 {
+		scaled = -maxV - 1
+	}
+	return scaled / one
+}
+
+// Resolution returns the grid spacing 2^-Frac.
+func (q QFormat) Resolution() float64 { return 1 / float64(int64(1)<<q.Frac) }
+
+// MaxValue returns the largest representable magnitude.
+func (q QFormat) MaxValue() float64 { return float64(math.MaxInt32) / float64(int64(1)<<q.Frac) }

@@ -1,0 +1,232 @@
+package fixed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"oselmrl/internal/rng"
+)
+
+func TestFromFloatRoundTrip(t *testing.T) {
+	for _, v := range []float64{0, 1, -1, 0.5, -0.5, 1.25, 100.125, -2047, 2047} {
+		f := FromFloat(v)
+		if got := f.Float(); got != v {
+			t.Errorf("round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestFromFloatRounding(t *testing.T) {
+	// Values off the Q20 grid round to nearest.
+	res := 1.0 / float64(One)
+	v := 3.3
+	f := FromFloat(v)
+	if d := math.Abs(f.Float() - v); d > res/2+1e-15 {
+		t.Errorf("rounding error %v exceeds half-resolution", d)
+	}
+}
+
+func TestFromFloatSaturates(t *testing.T) {
+	if FromFloat(1e9) != Fixed(Max) {
+		t.Error("large positive must saturate to Max")
+	}
+	if FromFloat(-1e9) != Fixed(Min) {
+		t.Error("large negative must saturate to Min")
+	}
+	if FromFloat(math.NaN()) != 0 {
+		t.Error("NaN must map to 0")
+	}
+	if FromFloat(math.Inf(1)) != Fixed(Max) {
+		t.Error("+Inf must saturate to Max")
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	a, b := FromFloat(1.5), FromFloat(2.25)
+	if got := Add(a, b).Float(); got != 3.75 {
+		t.Errorf("Add = %v", got)
+	}
+	if got := Sub(a, b).Float(); got != -0.75 {
+		t.Errorf("Sub = %v", got)
+	}
+}
+
+func TestAddSaturates(t *testing.T) {
+	if Add(Fixed(Max), Fixed(One)) != Fixed(Max) {
+		t.Error("Add overflow must saturate")
+	}
+	if Sub(Fixed(Min), Fixed(One)) != Fixed(Min) {
+		t.Error("Sub underflow must saturate")
+	}
+}
+
+func TestNeg(t *testing.T) {
+	if Neg(FromFloat(1.5)).Float() != -1.5 {
+		t.Error("Neg(1.5)")
+	}
+	if Neg(Fixed(Min)) != Fixed(Max) {
+		t.Error("Neg(Min) must saturate to Max")
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	cases := []struct{ a, b, want float64 }{
+		{2, 3, 6},
+		{-2, 3, -6},
+		{0.5, 0.5, 0.25},
+		{1.5, -2, -3},
+		{0, 100, 0},
+	}
+	for _, c := range cases {
+		if got := Mul(FromFloat(c.a), FromFloat(c.b)).Float(); got != c.want {
+			t.Errorf("Mul(%v, %v) = %v want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMulSaturates(t *testing.T) {
+	big := FromFloat(2000)
+	if Mul(big, big) != Fixed(Max) {
+		t.Error("Mul overflow must saturate")
+	}
+	if Mul(big, Neg(big)) != Fixed(Min) {
+		t.Error("Mul negative overflow must saturate")
+	}
+}
+
+func TestDivKnown(t *testing.T) {
+	cases := []struct{ a, b, want float64 }{
+		{6, 3, 2},
+		{-6, 3, -2},
+		{1, 4, 0.25},
+		{0, 5, 0},
+	}
+	for _, c := range cases {
+		if got := Div(FromFloat(c.a), FromFloat(c.b)).Float(); got != c.want {
+			t.Errorf("Div(%v, %v) = %v want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDivByZero(t *testing.T) {
+	if Div(FromFloat(1), 0) != Fixed(Max) {
+		t.Error("positive/0 must saturate to Max")
+	}
+	if Div(FromFloat(-1), 0) != Fixed(Min) {
+		t.Error("negative/0 must saturate to Min")
+	}
+}
+
+func TestRecip(t *testing.T) {
+	if got := Recip(FromFloat(4)).Float(); got != 0.25 {
+		t.Errorf("Recip(4) = %v", got)
+	}
+	// Reciprocal of a denominator >= 1, the OS-ELM case: 1/(1+hPh) <= 1.
+	d := FromFloat(1.7)
+	got := Recip(d).Float()
+	if math.Abs(got-1/1.7) > 2e-6 {
+		t.Errorf("Recip(1.7) = %v want %v", got, 1/1.7)
+	}
+}
+
+func TestMulAcc(t *testing.T) {
+	acc := FromFloat(1)
+	acc = MulAcc(acc, FromFloat(2), FromFloat(3))
+	if acc.Float() != 7 {
+		t.Errorf("MulAcc = %v", acc.Float())
+	}
+}
+
+func TestClampReLUAbs(t *testing.T) {
+	if Clamp(FromFloat(5), FromFloat(-1), FromFloat(1)) != FromFloat(1) {
+		t.Error("Clamp upper")
+	}
+	if Clamp(FromFloat(-5), FromFloat(-1), FromFloat(1)) != FromFloat(-1) {
+		t.Error("Clamp lower")
+	}
+	if ReLU(FromFloat(-3)) != 0 {
+		t.Error("ReLU negative")
+	}
+	if ReLU(FromFloat(3)) != FromFloat(3) {
+		t.Error("ReLU positive")
+	}
+	if Abs(FromFloat(-2)).Float() != 2 {
+		t.Error("Abs")
+	}
+}
+
+// Property: fixed-point multiply matches float multiply within quantization
+// error for in-range operands.
+func TestPropertyMulAccuracy(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		a := r.Uniform(-30, 30)
+		b := r.Uniform(-30, 30)
+		got := Mul(FromFloat(a), FromFloat(b)).Float()
+		// Error sources: two input quantizations (each <= 2^-21 relative to
+		// the other operand) plus the product rounding.
+		tol := (math.Abs(a)+math.Abs(b))/float64(One)*2 + 2.0/float64(One)
+		return math.Abs(got-a*b) <= tol
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Add is commutative and Sub antisymmetric under saturation-free
+// operands.
+func TestPropertyAddCommutative(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		a := FromFloat(r.Uniform(-500, 500))
+		b := FromFloat(r.Uniform(-500, 500))
+		return Add(a, b) == Add(b, a) && Sub(a, b) == Neg(Sub(b, a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQFormatQuantize(t *testing.T) {
+	q := QFormat{Frac: 20}
+	if got := q.Quantize(0.5); got != 0.5 {
+		t.Errorf("Quantize(0.5) = %v", got)
+	}
+	if got := q.Resolution(); got != 1.0/(1<<20) {
+		t.Errorf("Resolution = %v", got)
+	}
+	// Coarser format quantizes harder.
+	q8 := QFormat{Frac: 8}
+	v := 0.123456789
+	d20 := math.Abs(q.Quantize(v) - v)
+	d8 := math.Abs(q8.Quantize(v) - v)
+	if d8 < d20 {
+		t.Error("coarser format should not be more accurate")
+	}
+	if d8 > q8.Resolution() {
+		t.Errorf("Q8 error %v exceeds resolution %v", d8, q8.Resolution())
+	}
+}
+
+func TestQFormatSaturates(t *testing.T) {
+	q := QFormat{Frac: 20}
+	if got := q.Quantize(1e9); got > q.MaxValue() {
+		t.Errorf("Quantize must saturate: %v > %v", got, q.MaxValue())
+	}
+}
+
+func TestQFormatInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for invalid fraction width")
+		}
+	}()
+	QFormat{Frac: 31}.Quantize(1)
+}
+
+func TestStringer(t *testing.T) {
+	if s := FromFloat(1.5).String(); s != "1.500000" {
+		t.Errorf("String = %q", s)
+	}
+}

@@ -1,0 +1,87 @@
+package fixed
+
+import (
+	"fmt"
+
+	"oselmrl/internal/mat"
+)
+
+// Matrix is a dense row-major matrix of Q20 fixed-point values — the
+// on-chip BRAM contents of the FPGA core.
+type Matrix struct {
+	rows, cols int
+	data       []Fixed
+}
+
+// NewMatrix allocates a rows×cols zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("fixed: negative dimension %dx%d", rows, cols))
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]Fixed, rows*cols)}
+}
+
+// FromDense quantizes a float64 matrix into fixed point.
+func FromDense(m *mat.Dense) *Matrix {
+	r, c := m.Dims()
+	out := NewMatrix(r, c)
+	src := m.RawData()
+	for i := range src {
+		out.data[i] = FromFloat(src[i])
+	}
+	return out
+}
+
+// ToDense converts back to float64.
+func (m *Matrix) ToDense() *mat.Dense {
+	out := mat.Zeros(m.rows, m.cols)
+	dst := out.RawData()
+	for i := range m.data {
+		dst[i] = m.data[i].Float()
+	}
+	return out
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the element at (i, j).
+func (m *Matrix) At(i, j int) Fixed { return m.data[i*m.cols+j] }
+
+// Set assigns the element at (i, j).
+func (m *Matrix) Set(i, j int, v Fixed) { m.data[i*m.cols+j] = v }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.rows, m.cols)
+	copy(out.data, m.data)
+	return out
+}
+
+// Words returns the number of 32-bit storage words the matrix occupies —
+// the quantity the BRAM resource estimator charges for.
+func (m *Matrix) Words() int { return len(m.data) }
+
+// MaxAbsError returns the largest |fixed - float| discrepancy against a
+// reference float64 matrix, used by the precision tests.
+func (m *Matrix) MaxAbsError(ref *mat.Dense) float64 {
+	r, c := ref.Dims()
+	if r != m.rows || c != m.cols {
+		panic("fixed: shape mismatch in MaxAbsError")
+	}
+	var worst float64
+	rd := ref.RawData()
+	for i := range m.data {
+		d := m.data[i].Float() - rd[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

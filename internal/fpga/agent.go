@@ -1,0 +1,319 @@
+package fpga
+
+import (
+	"fmt"
+	"math"
+
+	"oselmrl/internal/elm"
+	"oselmrl/internal/fixed"
+	"oselmrl/internal/mat"
+	"oselmrl/internal/oselm"
+	"oselmrl/internal/qnet"
+	"oselmrl/internal/replay"
+	"oselmrl/internal/rng"
+	"oselmrl/internal/timing"
+)
+
+// Agent is the paper's design (7): the OS-ELM-L2-Lipschitz algorithm with
+// its prediction and sequential training executed by the fixed-point
+// programmable-logic core, and initial training on the CPU (Figure 3).
+//
+// The control flow is Algorithm 1 exactly as internal/qnet implements it
+// in floating point; here the Determine/Update hot paths run on the
+// cycle-counted Q20 datapath, and work is recorded in datapath cycles
+// (timing.FPGA125 converts them) for the PL phases and in flops
+// (timing.CortexA9Init) for the CPU-side init_train.
+type Agent struct {
+	cfg qnet.Config
+	rng *rng.RNG
+
+	// cpu is the float-side model used before the core is loaded: it owns
+	// the random α/b (with spectral normalization) and runs init_train.
+	cpu *oselm.Model
+	// core is the PL datapath holding the quantized θ1.
+	core *Core
+	// beta2 is the quantized target-network output weights (θ2's β; α and
+	// b are shared with θ1 since they are frozen).
+	beta2 *fixed.Matrix
+
+	buffer     *replay.InitStore
+	globalStep int
+	loaded     bool
+	bus        *Bus
+
+	dims        timing.OSELMDims
+	counters    *timing.Counters
+	cycles      CycleModel
+	scratch     []fixed.Fixed
+	exploreProb float64
+}
+
+// NewAgent builds the FPGA agent. The variant is forced to
+// OS-ELM-L2-Lipschitz (the design the paper synthesized); cfg's dimensions
+// and hyperparameters are honored.
+func NewAgent(cfg qnet.Config, cycles CycleModel) (*Agent, error) {
+	cfg.Variant = qnet.VariantOSELML2Lipschitz
+	if cfg.Delta == 0 {
+		cfg.Delta = 0.5 // paper §4.1: δ = 0.5 for OS-ELM-L2-Lipschitz
+	}
+	if cfg.ObservationSize <= 0 || cfg.ActionCount <= 0 || cfg.Hidden <= 0 {
+		return nil, fmt.Errorf("fpga: invalid dimensions obs=%d actions=%d hidden=%d",
+			cfg.ObservationSize, cfg.ActionCount, cfg.Hidden)
+	}
+	if cfg.ExploreDecay <= 0 || cfg.ExploreDecay > 1 {
+		return nil, fmt.Errorf("fpga: ExploreDecay must be in (0, 1]: %g", cfg.ExploreDecay)
+	}
+	res := EstimateResources(cfg.ObservationSize+1, cfg.Hidden)
+	if !res.Feasible {
+		return nil, fmt.Errorf("fpga: %d hidden units do not fit %s (needs %d/%d BRAM36)",
+			cfg.Hidden, XC7Z020.Name, res.BRAM36, XC7Z020.BRAM36)
+	}
+	a := &Agent{
+		cfg:      cfg,
+		rng:      rng.New(cfg.Seed),
+		buffer:   replay.NewInitStore(cfg.Hidden),
+		counters: timing.NewCounters(),
+		cycles:   cycles,
+		dims: timing.OSELMDims{
+			In:     cfg.ObservationSize + 1,
+			Hidden: cfg.Hidden,
+			Out:    1,
+		},
+	}
+	a.scratch = make([]fixed.Fixed, a.dims.In)
+	a.bus = DefaultBus()
+	a.initModels()
+	return a, nil
+}
+
+// MustNewAgent is NewAgent that panics on configuration errors.
+func MustNewAgent(cfg qnet.Config, cycles CycleModel) *Agent {
+	a, err := NewAgent(cfg, cycles)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+func (a *Agent) initModels() {
+	opts := elm.Options{
+		InitLow:                a.cfg.InitLow,
+		InitHigh:               a.cfg.InitHigh,
+		SpectralNormalizeAlpha: true,
+	}
+	if opts.InitLow == 0 && opts.InitHigh == 0 {
+		opts.InitLow, opts.InitHigh = -1, 1
+	}
+	base := elm.NewModel(a.dims.In, a.cfg.Hidden, 1, a.cfg.Activation, a.rng, opts)
+	a.cpu = oselm.New(base, a.cfg.Delta)
+	a.core = NewCore(a.dims.In, a.cfg.Hidden, 1, a.cycles)
+	a.beta2 = fixed.NewMatrix(a.cfg.Hidden, 1)
+	a.buffer.Clear()
+	a.globalStep = 0
+	a.loaded = false
+	a.exploreProb = 1 - a.cfg.Epsilon1
+}
+
+// Name returns the paper's design name.
+func (a *Agent) Name() string { return "FPGA" }
+
+// Counters exposes the accumulated timing counters. PL phases are in
+// datapath cycles; init_train is in flops (see timing.ModelMixed).
+func (a *Agent) Counters() *timing.Counters { return a.counters }
+
+// Core exposes the datapath for white-box tests.
+func (a *Agent) Core() *Core { return a.core }
+
+// Trained reports whether the core has been loaded after init training.
+func (a *Agent) Trained() bool { return a.loaded }
+
+func (a *Agent) encode(state []float64, action int) []fixed.Fixed {
+	for i, v := range state {
+		a.scratch[i] = fixed.FromFloat(v)
+	}
+	a.scratch[len(state)] = fixed.FromFloat(float64(action))
+	return a.scratch
+}
+
+// maxQCore evaluates max/argmax over actions on the core using beta.
+func (a *Agent) maxQCore(beta *fixed.Matrix, state []float64) (float64, int) {
+	best, arg, ties := math.Inf(-1), 0, 0
+	for act := 0; act < a.cfg.ActionCount; act++ {
+		in := a.encode(state, act)
+		var q float64
+		if beta == nil {
+			q = a.core.Predict(in)[0].Float()
+		} else {
+			q = a.core.PredictUsing(beta, in)[0].Float()
+		}
+		switch {
+		case q > best:
+			best, arg, ties = q, act, 1
+		case q == best:
+			ties++
+			if a.rng.Intn(ties) == 0 {
+				arg = act
+			}
+		}
+	}
+	return best, arg
+}
+
+// maxQCPU is the pre-load float path (before init training completes).
+func (a *Agent) maxQCPU(state []float64, useTheta2 bool) (float64, int) {
+	in := make([]float64, a.dims.In)
+	copy(in, state)
+	best, arg, ties := math.Inf(-1), 0, 0
+	for act := 0; act < a.cfg.ActionCount; act++ {
+		in[len(state)] = float64(act)
+		q := a.cpu.PredictOne(in)[0]
+		_ = useTheta2 // pre-load, θ2 == θ1 == untrained; same model
+		switch {
+		case q > best:
+			best, arg, ties = q, act, 1
+		case q == best:
+			ties++
+			if a.rng.Intn(ties) == 0 {
+				arg = act
+			}
+		}
+	}
+	return best, arg
+}
+
+// SelectAction implements Algorithm 1 lines 10-13.
+func (a *Agent) SelectAction(state []float64) int {
+	if a.rng.Float64() < a.exploreProb {
+		return a.rng.Intn(a.cfg.ActionCount)
+	}
+	if !a.loaded {
+		_, act := a.maxQCPU(state, false)
+		a.counters.AddN(timing.PhasePredictInit, int64(a.cfg.ActionCount),
+			float64(a.cfg.ActionCount)*a.dims.PredictFlops())
+		return act
+	}
+	start := a.core.Cycles()
+	_, act := a.maxQCore(nil, state)
+	a.counters.AddN(timing.PhasePredictSeq, int64(a.cfg.ActionCount),
+		float64(a.core.Cycles()-start))
+	return act
+}
+
+// GreedyAction evaluates without exploration.
+func (a *Agent) GreedyAction(state []float64) int {
+	if !a.loaded {
+		_, act := a.maxQCPU(state, false)
+		return act
+	}
+	_, act := a.maxQCore(nil, state)
+	return act
+}
+
+// Observe implements Algorithm 1 lines 14-22.
+func (a *Agent) Observe(t replay.Transition) error {
+	a.globalStep++
+	if !a.loaded {
+		a.buffer.Add(t)
+		if a.buffer.Full() {
+			return a.initTrain()
+		}
+		return nil
+	}
+	if a.rng.Float64() < a.cfg.Epsilon2 {
+		a.sequentialUpdate(t)
+	}
+	return nil
+}
+
+// initTrain runs the CPU-side ReOS-ELM initial training (Eq. 8) and DMA-loads
+// the quantized parameters into the core.
+func (a *Agent) initTrain() error {
+	trans := a.buffer.Drain()
+	k := len(trans)
+	x := mat.Zeros(k, a.dims.In)
+	y := mat.Zeros(k, 1)
+	in := make([]float64, a.dims.In)
+	for i, tr := range trans {
+		copy(in, tr.State)
+		in[len(tr.State)] = float64(tr.Action)
+		x.SetRow(i, in)
+		// Targets from the untrained θ2 are just the clipped rewards; the
+		// float path computes them exactly as qnet does.
+		yv := tr.Reward
+		if !tr.Done {
+			next, _ := a.maxQCPU(tr.NextState, true)
+			yv += a.cfg.Gamma * next
+		}
+		if yv < a.cfg.ClipLow {
+			yv = a.cfg.ClipLow
+		}
+		if yv > a.cfg.ClipHigh {
+			yv = a.cfg.ClipHigh
+		}
+		y.Set(i, 0, yv)
+	}
+	if err := a.cpu.InitTrain(x, y); err != nil {
+		return fmt.Errorf("fpga: cpu init training: %w", err)
+	}
+	work := float64(k*a.cfg.ActionCount)*a.dims.PredictFlops() + a.dims.InitTrainFlops(k)
+	a.counters.Add(timing.PhaseInitTrain, work)
+
+	a.core.LoadFloat(a.cpu.Alpha, a.cpu.Bias, a.cpu.Beta, a.cpu.P)
+	a.beta2 = fixed.FromDense(a.cpu.Beta)
+	// The AXI bulk load of the quantized parameters rides on the CPU side
+	// of the init_train phase; its duration converts to that profile's
+	// work units so the breakdown stays single-unit per phase.
+	busSec := a.bus.LoadCoreParameters(a.core)
+	a.counters.AddN(timing.PhaseInitTrain, 0, busSec*timing.CortexA9Init.WorkUnitsPerSec)
+	a.loaded = true
+	return nil
+}
+
+// sequentialUpdate computes the clipped target with the θ2 β on the core
+// and runs the seq_train module.
+func (a *Agent) sequentialUpdate(t replay.Transition) {
+	start := a.core.Cycles()
+	y := t.Reward
+	if !t.Done {
+		next, _ := a.maxQCore(a.beta2, t.NextState)
+		y += a.cfg.Gamma * next
+	}
+	if y < a.cfg.ClipLow {
+		y = a.cfg.ClipLow
+	}
+	if y > a.cfg.ClipHigh {
+		y = a.cfg.ClipHigh
+	}
+	in := a.encode(t.State, t.Action)
+	a.core.SeqTrain(in, []fixed.Fixed{fixed.FromFloat(y)})
+	a.counters.Add(timing.PhaseSeqTrain, float64(a.core.Cycles()-start))
+}
+
+// EndEpisode syncs θ2's β every UpdateEvery episodes (Algorithm 1 line 23-24).
+func (a *Agent) EndEpisode(episode int) {
+	a.exploreProb *= a.cfg.ExploreDecay
+	if episode%a.cfg.UpdateEvery == 0 && a.loaded {
+		a.beta2 = a.core.Beta.Clone()
+	}
+}
+
+// Reinitialize draws fresh weights (the 300-episode reset rule), keeping
+// accumulated timing counters.
+func (a *Agent) Reinitialize() { a.initModels() }
+
+// GlobalStep returns Observe calls since (re)initialization.
+func (a *Agent) GlobalStep() int { return a.globalStep }
+
+// Bus exposes the AXI transfer model (tests, reporting).
+func (a *Agent) Bus() *Bus { return a.bus }
+
+// PhaseProfiles returns the per-phase device profiles for ModelMixed: PL
+// phases at 125 MHz cycles, CPU phases at the software profile.
+func PhaseProfiles() map[timing.Phase]timing.Profile {
+	return map[timing.Phase]timing.Profile{
+		timing.PhasePredictSeq:  timing.FPGA125,
+		timing.PhaseSeqTrain:    timing.FPGA125,
+		timing.PhaseInitTrain:   timing.CortexA9Init,
+		timing.PhasePredictInit: timing.CortexA9Init,
+	}
+}

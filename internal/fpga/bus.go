@@ -1,0 +1,59 @@
+package fpga
+
+// Bus models the AXI interface between the Cortex-A9 PS and the
+// programmable logic in Figure 3 of the paper. Three transfer classes
+// matter for the timing story:
+//
+//  1. the one-time bulk DMA loading α, b, β and P into BRAM after the
+//     CPU-side init_train (Ñ²+O(Ñ) words),
+//  2. the tiny per-invocation transfers of the observation/action inputs
+//     and the scalar Q result (AXI-Lite register writes), and
+//  3. the per-update target write for seq_train.
+//
+// The per-invocation costs are already folded into the cycle model's
+// InvokeOverhead; Bus accounts for the bulk loads, which matter once per
+// initial training (and per reset) and grow with Ñ² — at 192 units the
+// parameter load is ~150 KB, a visible slice of init_train.
+type Bus struct {
+	// WordsPerBeat is the number of 32-bit words moved per bus beat
+	// (AXI HP 64-bit = 2 words).
+	WordsPerBeat int
+	// BeatsPerSec is the sustained burst rate (beats x clock, after
+	// protocol overhead).
+	BeatsPerSec float64
+	// SetupSec is the fixed DMA descriptor/interrupt cost per transfer.
+	SetupSec float64
+
+	totalWords     int64
+	totalTransfers int64
+}
+
+// DefaultBus models the Zynq AXI HP port at 64 bits x 100 MHz with ~70%
+// protocol efficiency and a ~5 microsecond driver/DMA setup cost.
+func DefaultBus() *Bus {
+	return &Bus{WordsPerBeat: 2, BeatsPerSec: 70e6, SetupSec: 5e-6}
+}
+
+// TransferWords records one DMA transfer of n 32-bit words and returns its
+// modelled duration in seconds.
+func (b *Bus) TransferWords(n int) float64 {
+	if n < 0 {
+		panic("fpga: negative transfer size")
+	}
+	b.totalWords += int64(n)
+	b.totalTransfers++
+	beats := (n + b.WordsPerBeat - 1) / b.WordsPerBeat
+	return b.SetupSec + float64(beats)/b.BeatsPerSec
+}
+
+// LoadCoreParameters models the post-init_train bulk load of a core's
+// parameters (α, b, β, P) and returns the modelled seconds.
+func (b *Bus) LoadCoreParameters(c *Core) float64 {
+	return b.TransferWords(c.BRAMWords())
+}
+
+// TotalWords returns the cumulative words moved.
+func (b *Bus) TotalWords() int64 { return b.totalWords }
+
+// TotalTransfers returns the number of transfers recorded.
+func (b *Bus) TotalTransfers() int64 { return b.totalTransfers }

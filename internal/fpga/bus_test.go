@@ -1,0 +1,61 @@
+package fpga
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBusTransferAccounting(t *testing.T) {
+	b := DefaultBus()
+	d := b.TransferWords(1000)
+	// 1000 words = 500 beats at 70e6 beats/s + 5us setup.
+	want := 5e-6 + 500.0/70e6
+	if math.Abs(d-want) > 1e-12 {
+		t.Errorf("duration = %v want %v", d, want)
+	}
+	if b.TotalWords() != 1000 || b.TotalTransfers() != 1 {
+		t.Error("accounting wrong")
+	}
+	b.TransferWords(1) // one word still costs one beat + setup
+	if b.TotalTransfers() != 2 {
+		t.Error("transfer count")
+	}
+}
+
+func TestBusZeroTransferCostsSetupOnly(t *testing.T) {
+	b := DefaultBus()
+	if d := b.TransferWords(0); d != b.SetupSec {
+		t.Errorf("empty transfer = %v", d)
+	}
+}
+
+func TestBusNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	DefaultBus().TransferWords(-1)
+}
+
+func TestLoadCoreParametersScales(t *testing.T) {
+	b := DefaultBus()
+	small := NewCore(5, 32, 1, DefaultCycleModel())
+	large := NewCore(5, 192, 1, DefaultCycleModel())
+	ds := b.TransferWords(small.BRAMWords())
+	dl := b.TransferWords(large.BRAMWords())
+	// P dominates: the 192-unit load is ~36x the 32-unit one in words, so
+	// well over 10x in time despite the fixed setup.
+	if dl < 10*(ds-b.SetupSec) {
+		t.Errorf("large load %v vs small %v", dl, ds)
+	}
+	// Absolute scale sanity: the 192-unit parameter set is ~38k words
+	// (~150 KB), loading in well under 10 ms on the HP port.
+	if dl > 0.01 {
+		t.Errorf("192-unit load = %v s, implausibly slow", dl)
+	}
+	b2 := DefaultBus()
+	if got := b2.LoadCoreParameters(large); math.Abs(got-dl) > 1e-9 {
+		t.Error("LoadCoreParameters must equal TransferWords(BRAMWords)")
+	}
+}

@@ -1,0 +1,287 @@
+// Package fpga simulates the paper's PYNQ-Z1 implementation (§4.2): the
+// OS-ELM Q-Network's predict and seq_train modules realized in 32-bit Q20
+// fixed point on the programmable logic at 125 MHz, with initial training
+// on the Cortex-A9 CPU. The simulator is bit-accurate — every add, mul and
+// div goes through internal/fixed's saturating Q20 arithmetic — and
+// cycle-counted: the paper's core has "only a single add, mult, and div
+// unit", so datapath cycles are the sequential operation count (divides
+// take an iterative divider's latency).
+//
+// The package also models the core's FPGA resource utilization
+// (BRAM/DSP/FF/LUT of an xc7z020, paper Table 3), including the result
+// that a 256-unit design does not fit the device.
+package fpga
+
+import (
+	"fmt"
+
+	"oselmrl/internal/fixed"
+	"oselmrl/internal/mat"
+)
+
+// CycleModel holds per-operation latencies of the single-unit datapath.
+type CycleModel struct {
+	// Add, Mul are 1-cycle pipelined units; Div is an iterative divider.
+	Add, Mul, Div int64
+	// InvokeOverhead is the control/handshake cost per module invocation.
+	InvokeOverhead int64
+}
+
+// DefaultCycleModel matches a simple non-pipelined datapath: each add and
+// multiply issues on its own cycle through the single shared units, a
+// 32-cycle radix-2 divider, and a small FSM overhead per invocation.
+func DefaultCycleModel() CycleModel {
+	return CycleModel{Add: 1, Mul: 1, Div: 32, InvokeOverhead: 16}
+}
+
+// PipelinedCycleModel models a fused multiply-accumulate pipeline at
+// initiation interval 1: one MAC issues per cycle, so the multiply's
+// cycle is absorbed into the accumulating add (Mul = 0, Add = 1). The
+// divider and FSM costs are unchanged. This is the II=1 design a Vivado
+// HLS `pipeline` pragma produces and roughly halves seq_train cycles
+// relative to DefaultCycleModel — an ablation on the paper's "single add,
+// mult, and div unit" statement.
+func PipelinedCycleModel() CycleModel {
+	return CycleModel{Add: 1, Mul: 0, Div: 32, InvokeOverhead: 16}
+}
+
+// Core is the fixed-point OS-ELM datapath: the on-chip state (α, b, β, P
+// in BRAM) plus cycle accounting.
+type Core struct {
+	// Alpha is the n×Ñ input weight BRAM.
+	Alpha *fixed.Matrix
+	// Bias is the Ñ-entry bias BRAM.
+	Bias []fixed.Fixed
+	// Beta is the Ñ×m output weight BRAM.
+	Beta *fixed.Matrix
+	// P is the Ñ×Ñ inverse-covariance BRAM.
+	P *fixed.Matrix
+
+	inputSize, hiddenSize, outputSize int
+
+	model  CycleModel
+	cycles int64
+
+	// scratch vectors model the working BRAMs (h and P·h).
+	h  []fixed.Fixed
+	ph []fixed.Fixed
+}
+
+// NewCore allocates a core for the given dimensions.
+func NewCore(inputSize, hiddenSize, outputSize int, model CycleModel) *Core {
+	if inputSize <= 0 || hiddenSize <= 0 || outputSize <= 0 {
+		panic(fmt.Sprintf("fpga: invalid core dimensions %d/%d/%d", inputSize, hiddenSize, outputSize))
+	}
+	return &Core{
+		Alpha:      fixed.NewMatrix(inputSize, hiddenSize),
+		Bias:       make([]fixed.Fixed, hiddenSize),
+		Beta:       fixed.NewMatrix(hiddenSize, outputSize),
+		P:          fixed.NewMatrix(hiddenSize, hiddenSize),
+		inputSize:  inputSize,
+		hiddenSize: hiddenSize,
+		outputSize: outputSize,
+		model:      model,
+		h:          make([]fixed.Fixed, hiddenSize),
+		ph:         make([]fixed.Fixed, hiddenSize),
+	}
+}
+
+// LoadFloat quantizes float64 parameters into the core's BRAMs — the DMA
+// transfer after the CPU-side initial training.
+func (c *Core) LoadFloat(alpha *mat.Dense, bias []float64, beta, p *mat.Dense) {
+	c.Alpha = fixed.FromDense(alpha)
+	for i, b := range bias {
+		c.Bias[i] = fixed.FromFloat(b)
+	}
+	c.Beta = fixed.FromDense(beta)
+	c.P = fixed.FromDense(p)
+}
+
+// Cycles returns the datapath cycles consumed so far.
+func (c *Core) Cycles() int64 { return c.cycles }
+
+// ResetCycles zeroes the cycle counter.
+func (c *Core) ResetCycles() { c.cycles = 0 }
+
+// InputSize returns n.
+func (c *Core) InputSize() int { return c.inputSize }
+
+// HiddenSize returns Ñ.
+func (c *Core) HiddenSize() int { return c.hiddenSize }
+
+// OutputSize returns m.
+func (c *Core) OutputSize() int { return c.outputSize }
+
+func (c *Core) add(a, b fixed.Fixed) fixed.Fixed {
+	c.cycles += c.model.Add
+	return fixed.Add(a, b)
+}
+
+func (c *Core) sub(a, b fixed.Fixed) fixed.Fixed {
+	c.cycles += c.model.Add
+	return fixed.Sub(a, b)
+}
+
+func (c *Core) mul(a, b fixed.Fixed) fixed.Fixed {
+	c.cycles += c.model.Mul
+	return fixed.Mul(a, b)
+}
+
+func (c *Core) div(a, b fixed.Fixed) fixed.Fixed {
+	c.cycles += c.model.Div
+	return fixed.Div(a, b)
+}
+
+// hidden computes h = ReLU(x·α + b) into c.h.
+func (c *Core) hidden(x []fixed.Fixed) {
+	if len(x) != c.inputSize {
+		panic(fmt.Sprintf("fpga: input length %d, core expects %d", len(x), c.inputSize))
+	}
+	for j := 0; j < c.hiddenSize; j++ {
+		acc := c.Bias[j]
+		for i := 0; i < c.inputSize; i++ {
+			acc = c.add(acc, c.mul(x[i], c.Alpha.At(i, j)))
+		}
+		c.h[j] = fixed.ReLU(acc) // comparator, no arithmetic-unit cycle
+	}
+}
+
+// Predict runs the predict module: y = h·β for one input vector.
+func (c *Core) Predict(x []fixed.Fixed) []fixed.Fixed {
+	c.cycles += c.model.InvokeOverhead
+	c.hidden(x)
+	out := make([]fixed.Fixed, c.outputSize)
+	for o := 0; o < c.outputSize; o++ {
+		var acc fixed.Fixed
+		for j := 0; j < c.hiddenSize; j++ {
+			acc = c.add(acc, c.mul(c.h[j], c.Beta.At(j, o)))
+		}
+		out[o] = acc
+	}
+	return out
+}
+
+// PredictFloat is Predict with float64 conversion at the boundary (the
+// AXI interface quantizes observations on the way in).
+func (c *Core) PredictFloat(x []float64) []float64 {
+	in := make([]fixed.Fixed, len(x))
+	for i, v := range x {
+		in[i] = fixed.FromFloat(v)
+	}
+	out := c.Predict(in)
+	res := make([]float64, len(out))
+	for i, v := range out {
+		res[i] = v.Float()
+	}
+	return res
+}
+
+// PredictUsing runs the predict datapath with an alternative output-weight
+// BRAM — the target network θ2's β, which shares α and b with θ1 (α is
+// frozen; only β is trained). Cycle cost is identical to Predict.
+func (c *Core) PredictUsing(beta *fixed.Matrix, x []fixed.Fixed) []fixed.Fixed {
+	saved := c.Beta
+	c.Beta = beta
+	out := c.Predict(x)
+	c.Beta = saved
+	return out
+}
+
+// SeqTrain runs the seq_train module: one rank-1 OS-ELM update (Eq. 5 with
+// k = 1, the scalar-reciprocal form) entirely in Q20 fixed point:
+//
+//	h   = ReLU(x·α + b)
+//	ph  = P·hᵀ
+//	s   = 1 / (1 + h·ph)     ← the single divide that replaced SVD/QRD
+//	P  -= (s·ph)·phᵀ
+//	e   = t − h·β
+//	β  += (s·ph)·e
+func (c *Core) SeqTrain(x []fixed.Fixed, t []fixed.Fixed) {
+	if len(t) != c.outputSize {
+		panic(fmt.Sprintf("fpga: target length %d, core expects %d", len(t), c.outputSize))
+	}
+	c.cycles += c.model.InvokeOverhead
+	c.hidden(x)
+	n := c.hiddenSize
+
+	// ph = P·hᵀ
+	for i := 0; i < n; i++ {
+		var acc fixed.Fixed
+		for j := 0; j < n; j++ {
+			acc = c.add(acc, c.mul(c.P.At(i, j), c.h[j]))
+		}
+		c.ph[i] = acc
+	}
+	// denom = 1 + h·ph ; s = 1/denom
+	denom := fixed.Fixed(fixed.One)
+	for j := 0; j < n; j++ {
+		denom = c.add(denom, c.mul(c.h[j], c.ph[j]))
+	}
+	s := c.div(fixed.Fixed(fixed.One), denom)
+
+	// g = s·ph (the Kalman-style gain, reused for both P and β updates)
+	g := make([]fixed.Fixed, n)
+	for i := 0; i < n; i++ {
+		g[i] = c.mul(s, c.ph[i])
+	}
+	// P ← P − g·phᵀ
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			c.P.Set(i, j, c.sub(c.P.At(i, j), c.mul(g[i], c.ph[j])))
+		}
+	}
+	// e = t − h·β ; β ← β + g·e
+	for o := 0; o < c.outputSize; o++ {
+		var pred fixed.Fixed
+		for j := 0; j < n; j++ {
+			pred = c.add(pred, c.mul(c.h[j], c.Beta.At(j, o)))
+		}
+		e := c.sub(t[o], pred)
+		for j := 0; j < n; j++ {
+			c.Beta.Set(j, o, c.add(c.Beta.At(j, o), c.mul(g[j], e)))
+		}
+	}
+}
+
+// SeqTrainFloat is SeqTrain with float64 conversion at the boundary.
+func (c *Core) SeqTrainFloat(x []float64, t []float64) {
+	in := make([]fixed.Fixed, len(x))
+	for i, v := range x {
+		in[i] = fixed.FromFloat(v)
+	}
+	tt := make([]fixed.Fixed, len(t))
+	for i, v := range t {
+		tt[i] = fixed.FromFloat(v)
+	}
+	c.SeqTrain(in, tt)
+}
+
+// PredictCycles returns the analytic cycle count of one predict call,
+// which must match what the simulator actually counts (asserted in tests).
+func (c *Core) PredictCycles() int64 {
+	n, h, m := int64(c.inputSize), int64(c.hiddenSize), int64(c.outputSize)
+	hiddenOps := h * n * (c.model.Add + c.model.Mul)
+	outOps := m * h * (c.model.Add + c.model.Mul)
+	return c.model.InvokeOverhead + hiddenOps + outOps
+}
+
+// SeqTrainCycles returns the analytic cycle count of one seq_train call.
+func (c *Core) SeqTrainCycles() int64 {
+	n, h, m := int64(c.inputSize), int64(c.hiddenSize), int64(c.outputSize)
+	am := c.model.Add + c.model.Mul
+	hiddenOps := h * n * am
+	phOps := h * h * am
+	denomOps := h * am
+	divOps := c.model.Div
+	gainOps := h * c.model.Mul
+	pOps := h * h * am
+	betaOps := m * (h*am + c.model.Add + h*am)
+	return c.model.InvokeOverhead + hiddenOps + phOps + denomOps + divOps + gainOps + pOps + betaOps
+}
+
+// BRAMWords returns the number of 32-bit words of on-chip state the core
+// holds — the input to the resource model.
+func (c *Core) BRAMWords() int {
+	return c.Alpha.Words() + len(c.Bias) + c.Beta.Words() + c.P.Words() +
+		len(c.h) + len(c.ph) + c.inputSize
+}

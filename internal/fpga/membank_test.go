@@ -1,0 +1,143 @@
+package fpga
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBRAM36Aspects(t *testing.T) {
+	cases := []struct{ bits, depth int }{
+		{1, 32768}, {2, 16384}, {4, 8192}, {9, 4096},
+		{18, 2048}, {32, 1024}, {36, 1024}, {72, 512}, {128, 0},
+	}
+	for _, c := range cases {
+		if got := bram36DepthFor(c.bits); got != c.depth {
+			t.Errorf("depth for %d-bit words = %d want %d", c.bits, got, c.depth)
+		}
+	}
+}
+
+func TestAllocateSmallArraysGoToLUTRAM(t *testing.T) {
+	m, err := Allocate([]ArraySpec{
+		{Name: "tiny", Words: 16, WordBits: 32, Partitions: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TotalBRAM36() != 0 {
+		t.Error("16x32 bits must map to LUTRAM")
+	}
+	if m.TotalLUTBits() != 512 {
+		t.Errorf("LUT bits = %d", m.TotalLUTBits())
+	}
+}
+
+func TestAllocateBigArrayBRAMCount(t *testing.T) {
+	// 4096 32-bit words, one bank: 4096/1024 = 4 BRAM36.
+	m, err := Allocate([]ArraySpec{
+		{Name: "big", Words: 4096, WordBits: 32, Partitions: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.TotalBRAM36(); got != 4 {
+		t.Errorf("BRAM36 = %d want 4", got)
+	}
+}
+
+func TestAllocatePartitioningCosts(t *testing.T) {
+	// Partitioning a 2048-word array into 8 banks of 256 words each: each
+	// 8 Kb bank exceeds the LUTRAM threshold, so 8 BRAMs instead of 2.
+	one, err := Allocate([]ArraySpec{{Name: "a", Words: 2048, WordBits: 32, Partitions: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eight, err := Allocate([]ArraySpec{{Name: "a", Words: 2048, WordBits: 32, Partitions: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.TotalBRAM36() != 2 || eight.TotalBRAM36() != 8 {
+		t.Errorf("partition cost: %d vs %d", one.TotalBRAM36(), eight.TotalBRAM36())
+	}
+}
+
+func TestAllocateDoubleBufferDoubles(t *testing.T) {
+	single, _ := Allocate([]ArraySpec{{Name: "a", Words: 2048, WordBits: 32, Partitions: 1}})
+	double, _ := Allocate([]ArraySpec{{Name: "a", Words: 2048, WordBits: 32, Partitions: 1, DoubleBuffer: true}})
+	if double.TotalBRAM36() != 2*single.TotalBRAM36() {
+		t.Errorf("double buffering: %d vs %d", double.TotalBRAM36(), single.TotalBRAM36())
+	}
+}
+
+func TestAllocateRejectsInvalid(t *testing.T) {
+	if _, err := Allocate([]ArraySpec{{Name: "bad", Words: -1, WordBits: 32}}); err == nil {
+		t.Error("negative words must fail")
+	}
+	if _, err := Allocate([]ArraySpec{{Name: "bad", Words: 10, WordBits: 0}}); err == nil {
+		t.Error("zero width must fail")
+	}
+	if _, err := Allocate([]ArraySpec{{Name: "wide", Words: 5000, WordBits: 128, Partitions: 1}}); err == nil {
+		t.Error("unmappable width must fail")
+	}
+}
+
+func TestCoreMemoryMapScaling(t *testing.T) {
+	m32, err := CoreMemoryMap(5, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m256, err := CoreMemoryMap(5, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P dominates: the map's BRAM demand grows ~quadratically once banks
+	// are deeper than one BRAM (bank granularity flattens the small end).
+	if m256.TotalBRAM36() < 12*m32.TotalBRAM36() {
+		t.Errorf("scaling: %d -> %d BRAMs", m32.TotalBRAM36(), m256.TotalBRAM36())
+	}
+	// At the paper's mid design points the map lands within one interface
+	// BRAM of synthesized Table 3 (16 at 64 units, 64 at 128 units).
+	m64, err := CoreMemoryMap(5, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m64.TotalBRAM36(); got < 16 || got > 17 {
+		t.Errorf("64-unit map = %d BRAM36, Table 3 says 16", got)
+	}
+	m128, err := CoreMemoryMap(5, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m128.TotalBRAM36(); got < 64 || got > 65 {
+		t.Errorf("128-unit map = %d BRAM36, Table 3 says 64", got)
+	}
+	// The 256-unit map alone must exceed the xc7z020 — the first-principles
+	// explanation of Table 3's missing row.
+	if m256.TotalBRAM36() <= XC7Z020.BRAM36 {
+		t.Errorf("256-unit core needs %d BRAMs, must exceed the device's %d",
+			m256.TotalBRAM36(), XC7Z020.BRAM36)
+	}
+}
+
+func TestCoreMemoryMapSmallArraysAreLUTRAM(t *testing.T) {
+	m, err := CoreMemoryMap(5, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range m.Placements {
+		switch p.Array.Name {
+		case "x":
+			if p.BRAM36 != 0 {
+				t.Errorf("%s must be LUTRAM", p.Array.Name)
+			}
+		case "P":
+			if p.BRAM36 == 0 {
+				t.Error("P must be block RAM")
+			}
+		}
+	}
+	out := m.String()
+	if !strings.Contains(out, "P") || !strings.Contains(out, "LUTRAM") {
+		t.Errorf("map rendering incomplete:\n%s", out)
+	}
+}

@@ -1,0 +1,114 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+
+	"oselmrl/internal/dqn"
+	"oselmrl/internal/fpga"
+	"oselmrl/internal/qnet"
+	"oselmrl/internal/timing"
+)
+
+// Design names the seven compared designs of paper §4.1.
+type Design string
+
+// The seven designs, in the paper's order.
+const (
+	DesignELM              Design = "ELM"
+	DesignOSELM            Design = "OS-ELM"
+	DesignOSELML2          Design = "OS-ELM-L2"
+	DesignOSELMLipschitz   Design = "OS-ELM-Lipschitz"
+	DesignOSELML2Lipschitz Design = "OS-ELM-L2-Lipschitz"
+	DesignDQN              Design = "DQN"
+	DesignFPGA             Design = "FPGA"
+)
+
+// AllDesigns lists the seven designs in the paper's order.
+var AllDesigns = []Design{
+	DesignELM, DesignOSELM, DesignOSELML2, DesignOSELMLipschitz,
+	DesignOSELML2Lipschitz, DesignDQN, DesignFPGA,
+}
+
+// TrainingCurveDesigns are the six software designs of Figure 4 (§4.3:
+// the FPGA design is excluded from the algorithm-level training-curve
+// comparison).
+var TrainingCurveDesigns = AllDesigns[:6]
+
+// qnetVariant maps software ELM/OS-ELM designs to their qnet variant.
+func qnetVariant(d Design) (qnet.Variant, bool) {
+	switch d {
+	case DesignELM:
+		return qnet.VariantELM, true
+	case DesignOSELM:
+		return qnet.VariantOSELM, true
+	case DesignOSELML2:
+		return qnet.VariantOSELML2, true
+	case DesignOSELMLipschitz:
+		return qnet.VariantOSELMLipschitz, true
+	case DesignOSELML2Lipschitz:
+		return qnet.VariantOSELML2Lipschitz, true
+	}
+	return 0, false
+}
+
+// ParseDesign resolves a design name case-sensitively, returning the list
+// of valid names on failure.
+func ParseDesign(name string) (Design, error) {
+	for _, d := range AllDesigns {
+		if string(d) == name {
+			return d, nil
+		}
+	}
+	names := make([]string, len(AllDesigns))
+	for i, d := range AllDesigns {
+		names[i] = string(d)
+	}
+	sort.Strings(names)
+	return "", fmt.Errorf("harness: unknown design %q (valid: %v)", name, names)
+}
+
+// NewAgent constructs the named design with the paper's §4.1 defaults for
+// the given environment dimensions, hidden width and seed.
+func NewAgent(d Design, obsSize, actions, hidden int, seed uint64) (Agent, error) {
+	if v, ok := qnetVariant(d); ok {
+		cfg := qnet.DefaultConfig(v, obsSize, actions, hidden)
+		cfg.Seed = seed
+		return qnet.New(cfg)
+	}
+	switch d {
+	case DesignDQN:
+		cfg := dqn.DefaultConfig(obsSize, actions, hidden)
+		cfg.Seed = seed
+		return dqn.New(cfg)
+	case DesignFPGA:
+		cfg := qnet.DefaultConfig(qnet.VariantOSELML2Lipschitz, obsSize, actions, hidden)
+		cfg.Seed = seed
+		return fpga.NewAgent(cfg, fpga.DefaultCycleModel())
+	}
+	return nil, fmt.Errorf("harness: unknown design %q", d)
+}
+
+// RunConfigFor adapts a run configuration to a design: the §4.3 reset rule
+// applies to "the designs other than DQN" because of their high dependence
+// on initial weights, so DQN runs without resets.
+func RunConfigFor(d Design, base Config) Config {
+	if d == DesignDQN {
+		base.ResetAfter = 0
+	}
+	return base
+}
+
+// Breakdown converts a design's work counters into modelled device seconds
+// using the design's software/hardware stack (§4.3: NumPy for DQN, PyTorch
+// for ELM/OS-ELM; §4.2: 125 MHz PL + CPU init for FPGA).
+func Breakdown(d Design, c *timing.Counters) timing.Breakdown {
+	switch d {
+	case DesignDQN:
+		return timing.Model(c, timing.CortexA9NumPy)
+	case DesignFPGA:
+		return timing.ModelMixed(c, fpga.PhaseProfiles(), timing.CortexA9Init)
+	default:
+		return timing.Model(c, timing.CortexA9PyTorch)
+	}
+}

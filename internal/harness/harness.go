@@ -1,0 +1,247 @@
+// Package harness drives the paper's experiments: it runs a design (agent)
+// against an environment until the task is solved, recording the training
+// curve (Figure 4), the per-phase work counters that the timing model
+// converts into the execution-time breakdowns of Figures 5-6, the
+// §4.3 reset-after-300-episodes rule, and the §4.4 "impossible after
+// 50,000 episodes" cutoff. A parallel multi-trial runner aggregates over
+// seeds, since every design's outcome is seed-dependent.
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"oselmrl/internal/env"
+	"oselmrl/internal/replay"
+	"oselmrl/internal/timing"
+)
+
+// Agent is the contract every design implements (qnet.Agent, dqn.Agent,
+// fpga.Agent).
+type Agent interface {
+	// Name returns the paper's design name.
+	Name() string
+	// SelectAction chooses an action for the current state (ε-greedy).
+	SelectAction(state []float64) int
+	// Observe delivers one transition; the agent updates per its algorithm.
+	Observe(t replay.Transition) error
+	// EndEpisode notifies the agent of an episode boundary (θ2 sync).
+	EndEpisode(episode int)
+	// Reinitialize draws fresh random weights (the reset rule).
+	Reinitialize()
+	// Counters exposes the accumulated per-phase work.
+	Counters() *timing.Counters
+}
+
+// Config controls a run. Zero values select the paper's settings via
+// Defaults.
+type Config struct {
+	// MaxEpisodes is the §4.4 cutoff: terminate as "impossible" after this
+	// many episodes (paper: 50,000).
+	MaxEpisodes int
+	// ResetAfter reinitializes the agent's weights if the task is not
+	// solved within this many episodes since the last reset (paper §4.3:
+	// 300). Zero disables resets.
+	ResetAfter int
+	// SolveWindow and SolveThreshold define solving: the average episode
+	// score over the last SolveWindow episodes reaches SolveThreshold
+	// (CartPole-v0: 100 episodes, 195 steps).
+	SolveWindow    int
+	SolveThreshold float64
+	// RecordCurve keeps per-episode scores for Figure 4.
+	RecordCurve bool
+	// ScoreIsSteps scores an episode by its length (CartPole's "number of
+	// steps for continuously standing", the paper's Y-axis); otherwise the
+	// accumulated raw reward is the score.
+	ScoreIsSteps bool
+}
+
+// Defaults returns the paper's CartPole-v0 run configuration.
+func Defaults() Config {
+	return Config{
+		MaxEpisodes:    50000,
+		ResetAfter:     300,
+		SolveWindow:    100,
+		SolveThreshold: 195,
+		RecordCurve:    true,
+		ScoreIsSteps:   true,
+	}
+}
+
+func (c *Config) fill() {
+	if c.MaxEpisodes <= 0 {
+		c.MaxEpisodes = 50000
+	}
+	if c.SolveWindow <= 0 {
+		c.SolveWindow = 100
+	}
+	if c.SolveThreshold == 0 {
+		c.SolveThreshold = 195
+	}
+}
+
+// EpisodeStat is one point of a training curve.
+type EpisodeStat struct {
+	// Episode is 1-based.
+	Episode int
+	// Steps is the episode length.
+	Steps int
+	// Score is the episode score (steps or return per Config.ScoreIsSteps).
+	Score float64
+	// MovingAvg is the score's moving average over the solve window — the
+	// darker line in the paper's Figure 4.
+	MovingAvg float64
+}
+
+// Result summarizes one trial.
+type Result struct {
+	// Design is the agent's name.
+	Design string
+	// EnvName identifies the task.
+	EnvName string
+	// Solved reports whether the solve criterion was met before MaxEpisodes.
+	Solved bool
+	// Episodes is the number of episodes consumed (including resets).
+	Episodes int
+	// TotalSteps is the total environment steps consumed.
+	TotalSteps int
+	// Resets counts weight reinitializations (the §4.3 rule).
+	Resets int
+	// Curve holds per-episode stats when recording was enabled.
+	Curve []EpisodeStat
+	// WallTime is the host wall-clock duration of the trial.
+	WallTime time.Duration
+	// Counters is the per-phase work accumulated across the whole trial
+	// (resets included — the paper's time-to-complete counts them).
+	Counters *timing.Counters
+	// Err records an agent failure (numerical breakdown) if any occurred;
+	// the run continues past recoverable update errors.
+	Err error
+}
+
+// movingWindow tracks a fixed-size trailing mean.
+type movingWindow struct {
+	buf  []float64
+	next int
+	n    int
+	sum  float64
+}
+
+func newMovingWindow(size int) *movingWindow { return &movingWindow{buf: make([]float64, size)} }
+
+func (w *movingWindow) push(v float64) {
+	if w.n == len(w.buf) {
+		w.sum -= w.buf[w.next]
+	} else {
+		w.n++
+	}
+	w.buf[w.next] = v
+	w.sum += v
+	w.next = (w.next + 1) % len(w.buf)
+}
+
+func (w *movingWindow) mean() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.sum / float64(w.n)
+}
+
+func (w *movingWindow) full() bool { return w.n == len(w.buf) }
+
+// Run executes one trial of agent on e under cfg.
+func Run(agent Agent, e env.Env, cfg Config) *Result {
+	cfg.fill()
+	res := &Result{Design: agent.Name(), EnvName: e.Name()}
+	window := newMovingWindow(cfg.SolveWindow)
+	start := time.Now()
+	episodesSinceReset := 0
+
+	for ep := 1; ep <= cfg.MaxEpisodes; ep++ {
+		state := e.Reset()
+		steps := 0
+		ret := 0.0
+		for {
+			action := agent.SelectAction(state)
+			next, reward, done := e.Step(action)
+			steps++
+			ret += reward
+			if err := agent.Observe(replay.Transition{
+				State:     state,
+				Action:    action,
+				Reward:    reward,
+				NextState: next,
+				Done:      done,
+			}); err != nil && res.Err == nil {
+				res.Err = fmt.Errorf("episode %d step %d: %w", ep, steps, err)
+			}
+			state = next
+			if done {
+				break
+			}
+		}
+		agent.EndEpisode(ep)
+		res.Episodes = ep
+		res.TotalSteps += steps
+		episodesSinceReset++
+
+		score := float64(steps)
+		if !cfg.ScoreIsSteps {
+			score = ret
+		}
+		window.push(score)
+		if cfg.RecordCurve {
+			res.Curve = append(res.Curve, EpisodeStat{
+				Episode:   ep,
+				Steps:     steps,
+				Score:     score,
+				MovingAvg: window.mean(),
+			})
+		}
+		if window.full() && window.mean() >= cfg.SolveThreshold {
+			res.Solved = true
+			break
+		}
+		if cfg.ResetAfter > 0 && episodesSinceReset >= cfg.ResetAfter {
+			agent.Reinitialize()
+			res.Resets++
+			episodesSinceReset = 0
+		}
+	}
+	res.WallTime = time.Since(start)
+	res.Counters = agent.Counters()
+	return res
+}
+
+// GreedyPolicy is implemented by agents that can act without exploration
+// (all designs in this repository do).
+type GreedyPolicy interface {
+	GreedyAction(state []float64) int
+}
+
+// EvaluateGreedy measures the exploration-free policy: it runs episodes
+// complete rollouts with GreedyAction and returns the mean episode score
+// (steps or return per cfg.ScoreIsSteps). Figure 4's flat-200 plateaus are
+// this quantity once exploration has annealed away.
+func EvaluateGreedy(agent GreedyPolicy, e env.Env, episodes int, scoreIsSteps bool) float64 {
+	if episodes <= 0 {
+		episodes = 1
+	}
+	var total float64
+	for ep := 0; ep < episodes; ep++ {
+		state := e.Reset()
+		for {
+			next, reward, done := e.Step(agent.GreedyAction(state))
+			if scoreIsSteps {
+				total++
+			} else {
+				total += reward
+			}
+			state = next
+			if done {
+				break
+			}
+		}
+	}
+	return total / float64(episodes)
+}

@@ -1,0 +1,325 @@
+package harness
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"oselmrl/internal/env"
+	"oselmrl/internal/replay"
+	"oselmrl/internal/timing"
+)
+
+// scriptedAgent is a deterministic test double: it plays a fixed policy and
+// records lifecycle calls.
+type scriptedAgent struct {
+	name        string
+	action      int
+	reinits     int
+	episodeEnds []int
+	counters    *timing.Counters
+	observeErr  error
+}
+
+func newScripted(action int) *scriptedAgent {
+	return &scriptedAgent{name: "scripted", action: action, counters: timing.NewCounters()}
+}
+
+func (s *scriptedAgent) Name() string               { return s.name }
+func (s *scriptedAgent) SelectAction([]float64) int { return s.action }
+func (s *scriptedAgent) Observe(replay.Transition) error {
+	return s.observeErr
+}
+func (s *scriptedAgent) EndEpisode(ep int)          { s.episodeEnds = append(s.episodeEnds, ep) }
+func (s *scriptedAgent) Reinitialize()              { s.reinits++ }
+func (s *scriptedAgent) Counters() *timing.Counters { return s.counters }
+
+// balancerAgent plays a hand-tuned PD policy that solves CartPole, letting
+// the harness's solve detection be tested end to end.
+type balancerAgent struct{ scriptedAgent }
+
+func (b *balancerAgent) GreedyAction(s []float64) int { return b.SelectAction(s) }
+
+func (b *balancerAgent) SelectAction(s []float64) int {
+	if 1.0*s[2]+0.5*s[3]+0.05*s[0]+0.1*s[1] > 0 {
+		return 1
+	}
+	return 0
+}
+
+func TestRunSolvesWithPerfectPolicy(t *testing.T) {
+	a := &balancerAgent{}
+	a.counters = timing.NewCounters()
+	a.name = "balancer"
+	e := env.NewCartPoleV0(1)
+	cfg := Config{MaxEpisodes: 500, SolveWindow: 100, SolveThreshold: 195,
+		RecordCurve: true, ScoreIsSteps: true}
+	r := Run(a, e, cfg)
+	if !r.Solved {
+		t.Fatalf("PD balancer must solve CartPole; got %d episodes, last MA %v",
+			r.Episodes, r.Curve[len(r.Curve)-1].MovingAvg)
+	}
+	if r.Episodes != 100 {
+		t.Errorf("perfect policy should solve at exactly the window size, got %d", r.Episodes)
+	}
+	if r.Resets != 0 {
+		t.Errorf("resets = %d", r.Resets)
+	}
+	// Curve invariants.
+	if len(r.Curve) != r.Episodes {
+		t.Errorf("curve length %d != episodes %d", len(r.Curve), r.Episodes)
+	}
+	last := r.Curve[len(r.Curve)-1]
+	if last.MovingAvg < 195 {
+		t.Errorf("final moving average %v", last.MovingAvg)
+	}
+	if r.TotalSteps < 195*100 {
+		t.Errorf("TotalSteps = %d", r.TotalSteps)
+	}
+}
+
+func TestRunImpossibleCutoff(t *testing.T) {
+	a := newScripted(1) // constant push fails quickly
+	e := env.NewCartPoleV0(2)
+	cfg := Config{MaxEpisodes: 50, SolveWindow: 10, SolveThreshold: 195}
+	r := Run(a, e, cfg)
+	if r.Solved {
+		t.Fatal("constant policy must not solve")
+	}
+	if r.Episodes != 50 {
+		t.Errorf("episodes = %d, want the MaxEpisodes cutoff", r.Episodes)
+	}
+}
+
+func TestRunResetRule(t *testing.T) {
+	a := newScripted(0)
+	e := env.NewCartPoleV0(3)
+	cfg := Config{MaxEpisodes: 1000, ResetAfter: 300, SolveWindow: 100, SolveThreshold: 195}
+	r := Run(a, e, cfg)
+	if r.Resets != 3 {
+		t.Errorf("resets = %d, want 3 in 1000 episodes with ResetAfter=300", r.Resets)
+	}
+	if a.reinits != 3 {
+		t.Errorf("agent saw %d reinits", a.reinits)
+	}
+}
+
+func TestRunEndEpisodeCalledEveryEpisode(t *testing.T) {
+	a := newScripted(1)
+	e := env.NewCartPoleV0(4)
+	cfg := Config{MaxEpisodes: 5, SolveWindow: 100, SolveThreshold: 195}
+	Run(a, e, cfg)
+	if len(a.episodeEnds) != 5 {
+		t.Fatalf("EndEpisode called %d times", len(a.episodeEnds))
+	}
+	for i, ep := range a.episodeEnds {
+		if ep != i+1 {
+			t.Errorf("EndEpisode arg %d = %d", i, ep)
+		}
+	}
+}
+
+func TestRunRecordsFirstObserveError(t *testing.T) {
+	a := newScripted(1)
+	a.observeErr = errors.New("boom")
+	e := env.NewCartPoleV0(5)
+	cfg := Config{MaxEpisodes: 2, SolveWindow: 10, SolveThreshold: 195}
+	r := Run(a, e, cfg)
+	if r.Err == nil || !errors.Is(r.Err, a.observeErr) {
+		t.Errorf("Err = %v", r.Err)
+	}
+	if r.Episodes != 2 {
+		t.Error("run must continue past recoverable errors")
+	}
+}
+
+func TestRunScoreIsReturn(t *testing.T) {
+	// GridWorld: with ScoreIsSteps=false the score is the accumulated
+	// reward, which for the direct path is 1 - 0.01*(moves-1)... verify the
+	// recorded score matches the env's reward stream.
+	g := env.NewGridWorld(3, 6)
+	a := newScripted(1) // always right: hits the east wall, times out
+	cfg := Config{MaxEpisodes: 1, SolveWindow: 5, SolveThreshold: 1e9,
+		RecordCurve: true, ScoreIsSteps: false}
+	r := Run(a, g, cfg)
+	want := -0.01 * float64(g.MaxSteps())
+	if math.Abs(r.Curve[0].Score-want) > 1e-9 {
+		t.Errorf("score = %v want %v", r.Curve[0].Score, want)
+	}
+}
+
+func TestMovingWindow(t *testing.T) {
+	w := newMovingWindow(3)
+	if w.full() || w.mean() != 0 {
+		t.Fatal("fresh window")
+	}
+	w.push(3)
+	if w.mean() != 3 {
+		t.Errorf("mean = %v", w.mean())
+	}
+	w.push(6)
+	w.push(9)
+	if !w.full() || w.mean() != 6 {
+		t.Errorf("full=%v mean=%v", w.full(), w.mean())
+	}
+	w.push(12) // evicts 3
+	if w.mean() != 9 {
+		t.Errorf("rolling mean = %v", w.mean())
+	}
+}
+
+func TestParseDesign(t *testing.T) {
+	for _, d := range AllDesigns {
+		got, err := ParseDesign(string(d))
+		if err != nil || got != d {
+			t.Errorf("ParseDesign(%q) = %v, %v", d, got, err)
+		}
+	}
+	if _, err := ParseDesign("NOPE"); err == nil {
+		t.Error("unknown design must error")
+	}
+}
+
+func TestNewAgentAllDesigns(t *testing.T) {
+	for _, d := range AllDesigns {
+		a, err := NewAgent(d, 4, 2, 32, 1)
+		if err != nil {
+			t.Errorf("NewAgent(%s): %v", d, err)
+			continue
+		}
+		if a.Name() != string(d) {
+			t.Errorf("NewAgent(%s).Name() = %q", d, a.Name())
+		}
+	}
+}
+
+func TestNewAgentFPGAInfeasible(t *testing.T) {
+	if _, err := NewAgent(DesignFPGA, 4, 2, 256, 1); err == nil {
+		t.Error("256-unit FPGA agent must be rejected")
+	}
+}
+
+func TestRunConfigFor(t *testing.T) {
+	base := Defaults()
+	if RunConfigFor(DesignDQN, base).ResetAfter != 0 {
+		t.Error("DQN must not use the reset rule")
+	}
+	if RunConfigFor(DesignOSELM, base).ResetAfter != 300 {
+		t.Error("OS-ELM keeps the 300-episode reset")
+	}
+}
+
+func TestBreakdownProfiles(t *testing.T) {
+	c := timing.NewCounters()
+	c.Add(timing.PhaseSeqTrain, 1e6)
+	// The same work must cost differently per design stack.
+	oselmT := Breakdown(DesignOSELM, c).Total()
+	fpgaT := Breakdown(DesignFPGA, c).Total()
+	if fpgaT >= oselmT {
+		t.Errorf("1e6 cycles on FPGA (%v s) must be cheaper than 1e6 flops on PyTorch (%v s)", fpgaT, oselmT)
+	}
+	c2 := timing.NewCounters()
+	c2.Add(timing.PhaseTrainDQN, 1e6)
+	if Breakdown(DesignDQN, c2).Total() <= 0 {
+		t.Error("DQN breakdown empty")
+	}
+}
+
+func TestRunTrialsParallel(t *testing.T) {
+	spec := TrialSpec{
+		MakeAgent: func(seed uint64) (Agent, error) {
+			b := &balancerAgent{}
+			b.counters = timing.NewCounters()
+			b.name = "balancer"
+			return b, nil
+		},
+		MakeEnv: func(seed uint64) env.Env { return env.NewCartPoleV0(seed) },
+		Config: Config{MaxEpisodes: 300, SolveWindow: 50, SolveThreshold: 190,
+			ScoreIsSteps: true},
+		Trials:   6,
+		BaseSeed: 100,
+	}
+	results := RunTrials(spec)
+	if len(results) != 6 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for i, r := range results {
+		if r == nil {
+			t.Fatalf("trial %d nil", i)
+		}
+		if !r.Solved {
+			t.Errorf("trial %d unsolved", i)
+		}
+	}
+	agg := Summarize(results, nil)
+	if agg.SolvedCount != 6 || agg.Trials != 6 {
+		t.Errorf("aggregate %+v", agg)
+	}
+	if agg.MeanEpisodes < 50 || agg.MeanEpisodes > 300 {
+		t.Errorf("MeanEpisodes = %v", agg.MeanEpisodes)
+	}
+}
+
+func TestRunTrialsAgentError(t *testing.T) {
+	spec := TrialSpec{
+		MakeAgent: func(seed uint64) (Agent, error) { return nil, errors.New("nope") },
+		MakeEnv:   func(seed uint64) env.Env { return env.NewCartPoleV0(seed) },
+		Config:    Config{MaxEpisodes: 1},
+		Trials:    2,
+	}
+	results := RunTrials(spec)
+	for _, r := range results {
+		if r.Err == nil {
+			t.Error("construction error must surface in the result")
+		}
+	}
+	agg := Summarize(results, nil)
+	if agg.SolvedCount != 0 {
+		t.Error("failed trials must not count as solved")
+	}
+}
+
+func TestSummarizeWithModelSeconds(t *testing.T) {
+	results := []*Result{
+		{Solved: true, Episodes: 100, TotalSteps: 5000},
+		{Solved: true, Episodes: 200, TotalSteps: 9000},
+		{Solved: false, Episodes: 500},
+	}
+	secs := []float64{10, 20, math.NaN()}
+	agg := Summarize(results, secs)
+	if agg.SolvedCount != 2 {
+		t.Fatalf("solved = %d", agg.SolvedCount)
+	}
+	if agg.MeanEpisodes != 150 {
+		t.Errorf("MeanEpisodes = %v", agg.MeanEpisodes)
+	}
+	if agg.MeanModelSeconds != 15 {
+		t.Errorf("MeanModelSeconds = %v", agg.MeanModelSeconds)
+	}
+	if agg.StdEpisodes != 50 {
+		t.Errorf("StdEpisodes = %v", agg.StdEpisodes)
+	}
+}
+
+func TestEvaluateGreedy(t *testing.T) {
+	b := &balancerAgent{}
+	b.counters = timing.NewCounters()
+	e := env.NewCartPoleV0(30)
+	score := EvaluateGreedy(b, e, 5, true)
+	// The PD balancer survives full episodes.
+	if score < 195 {
+		t.Errorf("balancer greedy score = %v", score)
+	}
+	// Return-based scoring on GridWorld.
+	g := env.NewGridWorld(3, 31)
+	fixed := newScripted(1) // pushes right until timeout
+	ret := EvaluateGreedy(scriptedGreedy{fixed}, g, 1, false)
+	if ret >= 0 {
+		t.Errorf("timeout policy return = %v, should be negative", ret)
+	}
+}
+
+// scriptedGreedy adapts the scripted test double to GreedyPolicy.
+type scriptedGreedy struct{ *scriptedAgent }
+
+func (s scriptedGreedy) GreedyAction(state []float64) int { return s.SelectAction(state) }

@@ -1,0 +1,127 @@
+package harness
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"oselmrl/internal/env"
+)
+
+// TrialSpec describes a repeated-trial experiment: fresh agent and
+// environment per seed, identical config.
+type TrialSpec struct {
+	// MakeAgent builds a fresh agent for a trial seed.
+	MakeAgent func(seed uint64) (Agent, error)
+	// MakeEnv builds a fresh environment for a trial seed.
+	MakeEnv func(seed uint64) env.Env
+	// Config is the per-trial run configuration.
+	Config Config
+	// Trials is the number of independent trials.
+	Trials int
+	// BaseSeed offsets trial seeds (trial i uses BaseSeed + i).
+	BaseSeed uint64
+	// Parallelism caps concurrent trials; 0 means GOMAXPROCS. Each trial
+	// is independent (own agent, env, RNG streams), so trials parallelize
+	// perfectly — this is where the repeated-measurement sweeps of
+	// Figures 4-6 (100 trials per design in the paper) get their speed.
+	Parallelism int
+}
+
+// RunTrials executes the spec, returning one Result per trial in seed
+// order. Agent construction errors surface as Result.Err with a nil curve.
+func RunTrials(spec TrialSpec) []*Result {
+	n := spec.Trials
+	if n <= 0 {
+		n = 1
+	}
+	par := spec.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > n {
+		par = n
+	}
+	results := make([]*Result, n)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, par)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			seed := spec.BaseSeed + uint64(i)
+			agent, err := spec.MakeAgent(seed)
+			if err != nil {
+				results[i] = &Result{Err: err}
+				return
+			}
+			e := spec.MakeEnv(seed)
+			results[i] = Run(agent, e, spec.Config)
+		}(i)
+	}
+	wg.Wait()
+	return results
+}
+
+// Aggregate summarizes a set of trial results.
+type Aggregate struct {
+	// Trials is the number of results aggregated.
+	Trials int
+	// SolvedCount is how many trials met the solve criterion.
+	SolvedCount int
+	// MeanEpisodes and StdEpisodes summarize episodes-to-solve over the
+	// solved trials only (the paper's completion metric).
+	MeanEpisodes, StdEpisodes float64
+	// MeanSteps is the mean total environment steps over solved trials.
+	MeanSteps float64
+	// MeanResets is the mean number of weight resets over all trials.
+	MeanResets float64
+	// MeanModelSeconds is the mean modelled device time-to-complete over
+	// solved trials (filled by the caller via Breakdown totals).
+	MeanModelSeconds float64
+}
+
+// Summarize aggregates results; modelSeconds may be nil or one modelled
+// total per result (NaN entries are skipped with their result).
+func Summarize(results []*Result, modelSeconds []float64) Aggregate {
+	agg := Aggregate{Trials: len(results)}
+	var epSum, epSq, stepSum, secSum float64
+	var resetSum float64
+	solved := 0
+	for i, r := range results {
+		if r == nil || r.Err != nil && !r.Solved {
+			if r != nil {
+				resetSum += float64(r.Resets)
+			}
+			continue
+		}
+		resetSum += float64(r.Resets)
+		if !r.Solved {
+			continue
+		}
+		solved++
+		epSum += float64(r.Episodes)
+		epSq += float64(r.Episodes) * float64(r.Episodes)
+		stepSum += float64(r.TotalSteps)
+		if modelSeconds != nil && i < len(modelSeconds) && !math.IsNaN(modelSeconds[i]) {
+			secSum += modelSeconds[i]
+		}
+	}
+	agg.SolvedCount = solved
+	if len(results) > 0 {
+		agg.MeanResets = resetSum / float64(len(results))
+	}
+	if solved > 0 {
+		n := float64(solved)
+		agg.MeanEpisodes = epSum / n
+		variance := epSq/n - agg.MeanEpisodes*agg.MeanEpisodes
+		if variance > 0 {
+			agg.StdEpisodes = math.Sqrt(variance)
+		}
+		agg.MeanSteps = stepSum / n
+		agg.MeanModelSeconds = secSum / n
+	}
+	return agg
+}

@@ -1,0 +1,205 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// LU holds an LU decomposition with partial pivoting: P·a = L·U, stored
+// compactly (L's unit diagonal implicit) with the pivot permutation.
+type LU struct {
+	lu    *Dense
+	pivot []int
+	// signDet is +1 or -1 depending on the permutation parity.
+	signDet float64
+}
+
+// LUDecompose factors a square matrix with partial pivoting. It returns
+// ErrSingular when a pivot underflows working precision.
+func LUDecompose(a *Dense) (*LU, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("%w: LU of %dx%d", ErrShape, a.rows, a.cols)
+	}
+	n := a.rows
+	lu := a.Clone()
+	d := lu.data
+	pivot := make([]int, n)
+	sign := 1.0
+	for i := range pivot {
+		pivot[i] = i
+	}
+	for col := 0; col < n; col++ {
+		// Select pivot row.
+		pivRow, pivVal := col, math.Abs(d[col*n+col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(d[r*n+col]); v > pivVal {
+				pivRow, pivVal = r, v
+			}
+		}
+		if pivVal < 1e-300 {
+			return nil, fmt.Errorf("%w: LU pivot %d", ErrSingular, col)
+		}
+		if pivRow != col {
+			swapRows(d, n, pivRow, col)
+			pivot[pivRow], pivot[col] = pivot[col], pivot[pivRow]
+			sign = -sign
+		}
+		// Eliminate below the pivot, storing multipliers in place.
+		inv := 1 / d[col*n+col]
+		for r := col + 1; r < n; r++ {
+			m := d[r*n+col] * inv
+			d[r*n+col] = m
+			if m == 0 {
+				continue
+			}
+			for c := col + 1; c < n; c++ {
+				d[r*n+c] -= m * d[col*n+c]
+			}
+		}
+	}
+	return &LU{lu: lu, pivot: pivot, signDet: sign}, nil
+}
+
+// Det returns the determinant from the factorization.
+func (f *LU) Det() float64 {
+	n := f.lu.rows
+	det := f.signDet
+	for i := 0; i < n; i++ {
+		det *= f.lu.data[i*n+i]
+	}
+	return det
+}
+
+// Solve solves a·x = b for one or more right-hand sides.
+func (f *LU) Solve(b *Dense) (*Dense, error) {
+	n := f.lu.rows
+	if b.rows != n {
+		return nil, fmt.Errorf("%w: LU solve rhs %dx%d", ErrShape, b.rows, b.cols)
+	}
+	// Apply the permutation to b.
+	x := Zeros(n, b.cols)
+	for i := 0; i < n; i++ {
+		x.SetRow(i, b.Row(f.pivot[i]))
+	}
+	d := f.lu.data
+	// Forward substitution with unit lower triangle.
+	for c := 0; c < x.cols; c++ {
+		for i := 1; i < n; i++ {
+			s := x.At(i, c)
+			for k := 0; k < i; k++ {
+				s -= d[i*n+k] * x.At(k, c)
+			}
+			x.Set(i, c, s)
+		}
+		// Back substitution with U.
+		for i := n - 1; i >= 0; i-- {
+			s := x.At(i, c)
+			for k := i + 1; k < n; k++ {
+				s -= d[i*n+k] * x.At(k, c)
+			}
+			x.Set(i, c, s/d[i*n+i])
+		}
+	}
+	return x, nil
+}
+
+// SolveLU solves a·x = b directly via LU with partial pivoting. For a
+// single solve this is ~3× cheaper than forming the inverse.
+func SolveLU(a, b *Dense) (*Dense, error) {
+	f, err := LUDecompose(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}
+
+// Det returns det(a) via LU; 0 for singular matrices.
+func Det(a *Dense) (float64, error) {
+	f, err := LUDecompose(a)
+	if err != nil {
+		if a.rows == a.cols {
+			return 0, nil // singular: determinant is exactly 0
+		}
+		return 0, err
+	}
+	return f.Det(), nil
+}
+
+// SymEigen computes the eigendecomposition of a symmetric matrix by the
+// classical cyclic Jacobi method: a = V·diag(λ)·Vᵀ with eigenvalues in
+// descending order and orthonormal V columns. Used for diagnostics on
+// OS-ELM's P matrix (its eigenvalue floor tracks learning-rate collapse).
+func SymEigen(a *Dense) (values []float64, vectors *Dense, err error) {
+	if a.rows != a.cols {
+		return nil, nil, fmt.Errorf("%w: SymEigen of %dx%d", ErrShape, a.rows, a.cols)
+	}
+	n := a.rows
+	w := a.Clone()
+	v := Eye(n)
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		// Off-diagonal Frobenius norm.
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += w.At(i, j) * w.At(i, j)
+			}
+		}
+		if off < 1e-24 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := w.At(p, p), w.At(q, q)
+				tau := (aqq - app) / (2 * apq)
+				var t float64
+				if tau >= 0 {
+					t = 1 / (tau + math.Sqrt(1+tau*tau))
+				} else {
+					t = -1 / (-tau + math.Sqrt(1+tau*tau))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := c * t
+				// Rotate rows/cols p and q of w.
+				for k := 0; k < n; k++ {
+					wkp, wkq := w.At(k, p), w.At(k, q)
+					w.Set(k, p, c*wkp-s*wkq)
+					w.Set(k, q, s*wkp+c*wkq)
+				}
+				for k := 0; k < n; k++ {
+					wpk, wqk := w.At(p, k), w.At(q, k)
+					w.Set(p, k, c*wpk-s*wqk)
+					w.Set(q, k, s*wpk+c*wqk)
+				}
+				// Accumulate rotations into v.
+				for k := 0; k < n; k++ {
+					vkp, vkq := v.At(k, p), v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+	values = make([]float64, n)
+	for i := 0; i < n; i++ {
+		values[i] = w.At(i, i)
+	}
+	// Sort descending by eigenvalue, permuting V's columns.
+	for i := 0; i < n-1; i++ {
+		best := i
+		for j := i + 1; j < n; j++ {
+			if values[j] > values[best] {
+				best = j
+			}
+		}
+		if best != i {
+			values[i], values[best] = values[best], values[i]
+			swapCols(v, i, best)
+		}
+	}
+	return values, v, nil
+}

@@ -1,0 +1,176 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"oselmrl/internal/rng"
+)
+
+func TestLUSolveRoundTrip(t *testing.T) {
+	r := rng.New(20)
+	for _, n := range []int{1, 3, 8, 25} {
+		a := wellConditioned(r, n)
+		b := randomMatrix(r, n, 2, -5, 5)
+		x, err := SolveLU(a, b)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !Equal(Mul(a, x), b, 1e-8) {
+			t.Errorf("n=%d: a·x != b", n)
+		}
+	}
+}
+
+func TestLUMatchesInverseSolve(t *testing.T) {
+	r := rng.New(21)
+	a := wellConditioned(r, 10)
+	b := randomMatrix(r, 10, 1, -3, 3)
+	x1, err := SolveLU(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2 := Mul(inv, b)
+	if !Equal(x1, x2, 1e-8) {
+		t.Error("LU solve disagrees with inverse-multiply")
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := New(2, 2, []float64{1, 2, 2, 4})
+	if _, err := LUDecompose(a); !errors.Is(err, ErrSingular) {
+		t.Errorf("expected ErrSingular, got %v", err)
+	}
+}
+
+func TestLUNonSquare(t *testing.T) {
+	if _, err := LUDecompose(Zeros(2, 3)); !errors.Is(err, ErrShape) {
+		t.Errorf("expected ErrShape, got %v", err)
+	}
+}
+
+func TestDetKnown(t *testing.T) {
+	cases := []struct {
+		a    *Dense
+		want float64
+	}{
+		{Eye(3), 1},
+		{New(2, 2, []float64{2, 0, 0, 3}), 6},
+		{New(2, 2, []float64{0, 1, 1, 0}), -1}, // permutation: sign flip
+		{New(2, 2, []float64{1, 2, 3, 4}), -2},
+		{New(2, 2, []float64{1, 2, 2, 4}), 0}, // singular
+	}
+	for i, c := range cases {
+		got, err := Det(c.a)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("case %d: det = %v want %v", i, got, c.want)
+		}
+	}
+}
+
+// Property: det(a·b) = det(a)·det(b).
+func TestPropertyDetMultiplicative(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(6)
+		a := wellConditioned(r, n)
+		b := wellConditioned(r, n)
+		da, err1 := Det(a)
+		db, err2 := Det(b)
+		dab, err3 := Det(Mul(a, b))
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		return math.Abs(dab-da*db) <= 1e-6*math.Abs(da*db)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSymEigenDiagonal(t *testing.T) {
+	a := New(3, 3, []float64{5, 0, 0, 0, -2, 0, 0, 0, 1})
+	vals, vecs, err := SymEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{5, 1, -2}
+	for i, w := range want {
+		if math.Abs(vals[i]-w) > 1e-10 {
+			t.Errorf("eigenvalue[%d] = %v want %v", i, vals[i], w)
+		}
+	}
+	if !Equal(Mul(vecs.T(), vecs), Eye(3), 1e-10) {
+		t.Error("eigenvectors not orthonormal")
+	}
+}
+
+func TestSymEigenReconstruction(t *testing.T) {
+	r := rng.New(22)
+	a := spd(r, 12)
+	vals, vecs, err := SymEigen(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild V·diag(λ)·Vᵀ.
+	vd := vecs.Clone()
+	for j := range vals {
+		for i := 0; i < vd.Rows(); i++ {
+			vd.Set(i, j, vd.At(i, j)*vals[j])
+		}
+	}
+	if !Equal(Mul(vd, vecs.T()), a, 1e-8) {
+		t.Error("V·diag(λ)·Vᵀ != a")
+	}
+	// SPD: all eigenvalues positive, sorted descending.
+	for i, v := range vals {
+		if v <= 0 {
+			t.Errorf("eigenvalue[%d] = %v not positive for SPD matrix", i, v)
+		}
+		if i > 0 && v > vals[i-1]+1e-12 {
+			t.Error("eigenvalues not sorted")
+		}
+	}
+}
+
+// Property: trace equals the eigenvalue sum, σmax² equals the top
+// eigenvalue of aᵀa.
+func TestPropertyEigenInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(6)
+		a := spd(r, n)
+		vals, _, err := SymEigen(a)
+		if err != nil {
+			return false
+		}
+		var sum float64
+		for _, v := range vals {
+			sum += v
+		}
+		if math.Abs(sum-a.Trace()) > 1e-8*math.Abs(sum) {
+			return false
+		}
+		sigma := LargestSingularValue(a, 400, nil)
+		// For SPD a, σmax = λmax.
+		return math.Abs(sigma-vals[0]) <= 1e-6*vals[0]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSymEigenNonSquare(t *testing.T) {
+	if _, _, err := SymEigen(Zeros(2, 3)); !errors.Is(err, ErrShape) {
+		t.Errorf("expected ErrShape, got %v", err)
+	}
+}

@@ -1,0 +1,72 @@
+package nn
+
+import (
+	"math"
+
+	"oselmrl/internal/mat"
+)
+
+// Adam implements the Adam optimizer (Kingma & Ba, 2015), the optimizer the
+// paper's DQN baseline uses with learning rate 0.01 (§4.1).
+type Adam struct {
+	// LR is the step size (paper: 0.01).
+	LR float64
+	// Beta1, Beta2 are the moment decay rates (defaults 0.9, 0.999).
+	Beta1, Beta2 float64
+	// Eps is the denominator fuzz (default 1e-8).
+	Eps float64
+
+	t  int
+	mW []*mat.Dense
+	vW []*mat.Dense
+	mB [][]float64
+	vB [][]float64
+}
+
+// NewAdam returns an Adam optimizer with standard moment coefficients.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step applies one Adam update of model parameters using gradients g.
+// Moment buffers are allocated lazily on first use and keyed positionally
+// to the model's layers.
+func (a *Adam) Step(model *MLP, g *Grads) {
+	if a.mW == nil {
+		for _, l := range model.Layers {
+			r, c := l.W.Dims()
+			a.mW = append(a.mW, mat.Zeros(r, c))
+			a.vW = append(a.vW, mat.Zeros(r, c))
+			a.mB = append(a.mB, make([]float64, len(l.B)))
+			a.vB = append(a.vB, make([]float64, len(l.B)))
+		}
+	}
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for li, l := range model.Layers {
+		w, gw := l.W.RawData(), g.W[li].RawData()
+		mw, vw := a.mW[li].RawData(), a.vW[li].RawData()
+		for i := range w {
+			mw[i] = a.Beta1*mw[i] + (1-a.Beta1)*gw[i]
+			vw[i] = a.Beta2*vw[i] + (1-a.Beta2)*gw[i]*gw[i]
+			w[i] -= a.LR * (mw[i] / bc1) / (math.Sqrt(vw[i]/bc2) + a.Eps)
+		}
+		b, gb := l.B, g.B[li]
+		mb, vb := a.mB[li], a.vB[li]
+		for i := range b {
+			mb[i] = a.Beta1*mb[i] + (1-a.Beta1)*gb[i]
+			vb[i] = a.Beta2*vb[i] + (1-a.Beta2)*gb[i]*gb[i]
+			b[i] -= a.LR * (mb[i] / bc1) / (math.Sqrt(vb[i]/bc2) + a.Eps)
+		}
+	}
+}
+
+// Reset clears optimizer state (used when an agent reinitializes weights).
+func (a *Adam) Reset() {
+	a.t = 0
+	a.mW, a.vW, a.mB, a.vB = nil, nil, nil, nil
+}
+
+// StepCount returns the number of updates applied.
+func (a *Adam) StepCount() int { return a.t }

@@ -1,0 +1,83 @@
+package nn
+
+import "math"
+
+// HuberLoss is the elementwise Huber function of paper Eq. 14-15 with the
+// transition at |x-y| = 1:
+//
+//	z = ½(x−y)²       if |x−y| < 1
+//	z = |x−y| − ½     otherwise
+//
+// Loss returns the mean of z over the inputs; Grad returns ∂L/∂x, which is
+// the clipped error (x−y) limited to [−1, 1], divided by n — the gradient
+// clipping DQNs rely on for stability.
+type HuberLoss struct{}
+
+// Loss returns the mean Huber loss between predictions x and targets y.
+func (HuberLoss) Loss(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("nn: Huber loss length mismatch")
+	}
+	if len(x) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range x {
+		d := x[i] - y[i]
+		if math.Abs(d) < 1 {
+			sum += 0.5 * d * d
+		} else {
+			sum += math.Abs(d) - 0.5
+		}
+	}
+	return sum / float64(len(x))
+}
+
+// Grad returns ∂L/∂x for the mean Huber loss.
+func (HuberLoss) Grad(x, y []float64) []float64 {
+	if len(x) != len(y) {
+		panic("nn: Huber grad length mismatch")
+	}
+	n := float64(len(x))
+	g := make([]float64, len(x))
+	for i := range x {
+		d := x[i] - y[i]
+		if d > 1 {
+			d = 1
+		} else if d < -1 {
+			d = -1
+		}
+		g[i] = d / n
+	}
+	return g
+}
+
+// MSELoss is the mean squared error, used in the supervised example and the
+// gradient-check tests.
+type MSELoss struct{}
+
+// Loss returns mean((x-y)²)/2.
+func (MSELoss) Loss(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("nn: MSE loss length mismatch")
+	}
+	if len(x) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range x {
+		d := x[i] - y[i]
+		sum += d * d
+	}
+	return sum / (2 * float64(len(x)))
+}
+
+// Grad returns ∂L/∂x for the halved mean squared error.
+func (MSELoss) Grad(x, y []float64) []float64 {
+	n := float64(len(x))
+	g := make([]float64, len(x))
+	for i := range x {
+		g[i] = (x[i] - y[i]) / n
+	}
+	return g
+}

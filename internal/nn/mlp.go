@@ -1,0 +1,197 @@
+// Package nn implements the small feed-forward neural network stack the
+// conventional DQN baseline needs (paper §2.4 and §4.1): a multi-layer
+// perceptron with manual backpropagation, the Adam optimizer (Kingma & Ba,
+// 2015) and the Huber loss (paper Eq. 14-15). Nothing here is used by the
+// proposed OS-ELM designs — it exists so the baseline the paper compares
+// against is a real, trainable DQN rather than a stub.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"oselmrl/internal/activation"
+	"oselmrl/internal/mat"
+	"oselmrl/internal/rng"
+)
+
+// Layer is a fully connected layer y = G(x·W + b).
+type Layer struct {
+	// W is the in×out weight matrix.
+	W *mat.Dense
+	// B is the bias vector of length out.
+	B []float64
+	// Act is the layer activation.
+	Act activation.Func
+}
+
+// MLP is a feed-forward network of fully connected layers.
+type MLP struct {
+	Layers []*Layer
+	sizes  []int
+}
+
+// NewMLP builds a network with the given layer sizes (len >= 2) and one
+// activation per weight layer. Weights use He-uniform initialization
+// (appropriate for the ReLU hidden layers the paper evaluates with).
+func NewMLP(sizes []int, acts []activation.Func, r *rng.RNG) *MLP {
+	if len(sizes) < 2 {
+		panic("nn: MLP needs at least input and output sizes")
+	}
+	if len(acts) != len(sizes)-1 {
+		panic(fmt.Sprintf("nn: %d activations for %d layers", len(acts), len(sizes)-1))
+	}
+	m := &MLP{sizes: append([]int(nil), sizes...)}
+	for l := 0; l < len(sizes)-1; l++ {
+		in, out := sizes[l], sizes[l+1]
+		w := mat.Zeros(in, out)
+		bound := math.Sqrt(6.0 / float64(in))
+		r.FillUniform(w.RawData(), -bound, bound)
+		m.Layers = append(m.Layers, &Layer{
+			W:   w,
+			B:   make([]float64, out),
+			Act: acts[l],
+		})
+	}
+	return m
+}
+
+// InputSize returns the network input dimension.
+func (m *MLP) InputSize() int { return m.sizes[0] }
+
+// OutputSize returns the network output dimension.
+func (m *MLP) OutputSize() int { return m.sizes[len(m.sizes)-1] }
+
+// Sizes returns a copy of the layer sizes.
+func (m *MLP) Sizes() []int { return append([]int(nil), m.sizes...) }
+
+// Cache holds the per-layer pre- and post-activation values of a forward
+// pass, needed by backpropagation.
+type Cache struct {
+	// Input is the k×in batch fed to the network.
+	Input *mat.Dense
+	// Pre[l] is the k×out pre-activation of layer l.
+	Pre []*mat.Dense
+	// Post[l] is the k×out post-activation of layer l.
+	Post []*mat.Dense
+}
+
+// ForwardBatch runs a k×in batch through the network, returning the k×out
+// output and the cache for backpropagation.
+func (m *MLP) ForwardBatch(x *mat.Dense) (*mat.Dense, *Cache) {
+	if x.Cols() != m.InputSize() {
+		panic(fmt.Sprintf("nn: input width %d, network expects %d", x.Cols(), m.InputSize()))
+	}
+	cache := &Cache{Input: x}
+	cur := x
+	for _, layer := range m.Layers {
+		pre := mat.Mul(cur, layer.W)
+		k, out := pre.Dims()
+		for i := 0; i < k; i++ {
+			for j := 0; j < out; j++ {
+				pre.Set(i, j, pre.At(i, j)+layer.B[j])
+			}
+		}
+		post := mat.Apply(pre, layer.Act.F)
+		cache.Pre = append(cache.Pre, pre)
+		cache.Post = append(cache.Post, post)
+		cur = post
+	}
+	return cur, cache
+}
+
+// Forward runs a single input vector through the network.
+func (m *MLP) Forward(x []float64) []float64 {
+	out, _ := m.ForwardBatch(mat.RowVector(x))
+	return out.Row(0)
+}
+
+// Grads holds per-layer parameter gradients.
+type Grads struct {
+	W []*mat.Dense
+	B [][]float64
+}
+
+// ZeroGradsLike allocates zero gradients shaped like m's parameters.
+func (m *MLP) ZeroGradsLike() *Grads {
+	g := &Grads{}
+	for _, l := range m.Layers {
+		r, c := l.W.Dims()
+		g.W = append(g.W, mat.Zeros(r, c))
+		g.B = append(g.B, make([]float64, len(l.B)))
+	}
+	return g
+}
+
+// BackwardBatch backpropagates dLoss (k×out, ∂L/∂output) through the
+// cached forward pass and returns parameter gradients summed over the batch.
+func (m *MLP) BackwardBatch(cache *Cache, dLoss *mat.Dense) *Grads {
+	g := m.ZeroGradsLike()
+	nl := len(m.Layers)
+	// delta starts as ∂L/∂post of the last layer.
+	delta := dLoss.Clone()
+	for l := nl - 1; l >= 0; l-- {
+		layer := m.Layers[l]
+		pre := cache.Pre[l]
+		// delta ← delta ∘ G'(pre): ∂L/∂pre.
+		k, out := delta.Dims()
+		for i := 0; i < k; i++ {
+			for j := 0; j < out; j++ {
+				delta.Set(i, j, delta.At(i, j)*layer.Act.Deriv(pre.At(i, j)))
+			}
+		}
+		// Input to this layer.
+		var in *mat.Dense
+		if l == 0 {
+			in = cache.Input
+		} else {
+			in = cache.Post[l-1]
+		}
+		// dW = inᵀ·delta ; dB = column sums of delta.
+		g.W[l] = mat.Mul(in.T(), delta)
+		for j := 0; j < out; j++ {
+			var s float64
+			for i := 0; i < k; i++ {
+				s += delta.At(i, j)
+			}
+			g.B[l][j] = s
+		}
+		// Propagate: delta ← delta·Wᵀ.
+		if l > 0 {
+			delta = mat.Mul(delta, layer.W.T())
+		}
+	}
+	return g
+}
+
+// Clone deep-copies the network (target network θ2).
+func (m *MLP) Clone() *MLP {
+	c := &MLP{sizes: append([]int(nil), m.sizes...)}
+	for _, l := range m.Layers {
+		b := make([]float64, len(l.B))
+		copy(b, l.B)
+		c.Layers = append(c.Layers, &Layer{W: l.W.Clone(), B: b, Act: l.Act})
+	}
+	return c
+}
+
+// CopyWeightsFrom copies parameters from src (θ2 ← θ1 sync).
+func (m *MLP) CopyWeightsFrom(src *MLP) {
+	if len(m.Layers) != len(src.Layers) {
+		panic("nn: CopyWeightsFrom layer count mismatch")
+	}
+	for i, l := range m.Layers {
+		l.W.CopyFrom(src.Layers[i].W)
+		copy(l.B, src.Layers[i].B)
+	}
+}
+
+// ParamCount returns the total number of trainable parameters.
+func (m *MLP) ParamCount() int {
+	n := 0
+	for _, l := range m.Layers {
+		r, c := l.W.Dims()
+		n += r*c + len(l.B)
+	}
+	return n
+}

@@ -1,0 +1,245 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"oselmrl/internal/activation"
+	"oselmrl/internal/mat"
+	"oselmrl/internal/rng"
+)
+
+func smallNet(seed uint64) *MLP {
+	return NewMLP([]int{3, 8, 2},
+		[]activation.Func{activation.Tanh, activation.Identity}, rng.New(seed))
+}
+
+func TestMLPShapes(t *testing.T) {
+	m := smallNet(1)
+	if m.InputSize() != 3 || m.OutputSize() != 2 {
+		t.Fatalf("in/out %d/%d", m.InputSize(), m.OutputSize())
+	}
+	if len(m.Layers) != 2 {
+		t.Fatalf("layers %d", len(m.Layers))
+	}
+	if m.ParamCount() != 3*8+8+8*2+2 {
+		t.Errorf("ParamCount = %d", m.ParamCount())
+	}
+	out := m.Forward([]float64{0.1, 0.2, 0.3})
+	if len(out) != 2 {
+		t.Fatalf("output len %d", len(out))
+	}
+}
+
+func TestMLPConstructorValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for activation count mismatch")
+		}
+	}()
+	NewMLP([]int{2, 3}, []activation.Func{activation.ReLU, activation.ReLU}, rng.New(1))
+}
+
+func TestForwardBatchMatchesForward(t *testing.T) {
+	m := smallNet(2)
+	xs := [][]float64{{0.1, -0.5, 0.3}, {1, 2, -3}, {0, 0, 0}}
+	batch := mat.FromRows(xs)
+	out, _ := m.ForwardBatch(batch)
+	for i, x := range xs {
+		single := m.Forward(x)
+		for j := range single {
+			if math.Abs(single[j]-out.At(i, j)) > 1e-14 {
+				t.Fatalf("row %d col %d: %v vs %v", i, j, single[j], out.At(i, j))
+			}
+		}
+	}
+}
+
+// TestGradientCheck verifies backprop against central finite differences
+// for every parameter of a small network — the canonical correctness test
+// for a hand-written backward pass.
+func TestGradientCheck(t *testing.T) {
+	m := NewMLP([]int{2, 4, 2},
+		[]activation.Func{activation.Sigmoid, activation.Identity}, rng.New(3))
+	x := mat.FromRows([][]float64{{0.3, -0.7}, {0.9, 0.1}})
+	targets := [][]float64{{0.5, -0.5}, {1, 0}}
+
+	// Loss: L = Σ_batch Σ_out (pred - target)² / 2 — a plain quadratic so
+	// the analytic gradient is pred - target.
+	loss := func() float64 {
+		out, _ := m.ForwardBatch(x)
+		var l float64
+		for i := range targets {
+			for j := range targets[i] {
+				d := out.At(i, j) - targets[i][j]
+				l += d * d / 2
+			}
+		}
+		return l
+	}
+	out, cache := m.ForwardBatch(x)
+	dLoss := mat.Zeros(2, 2)
+	for i := range targets {
+		for j := range targets[i] {
+			dLoss.Set(i, j, out.At(i, j)-targets[i][j])
+		}
+	}
+	grads := m.BackwardBatch(cache, dLoss)
+
+	const h = 1e-6
+	const tol = 1e-4
+	for li, layer := range m.Layers {
+		rows, cols := layer.W.Dims()
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				orig := layer.W.At(i, j)
+				layer.W.Set(i, j, orig+h)
+				lp := loss()
+				layer.W.Set(i, j, orig-h)
+				lm := loss()
+				layer.W.Set(i, j, orig)
+				numeric := (lp - lm) / (2 * h)
+				if math.Abs(numeric-grads.W[li].At(i, j)) > tol {
+					t.Errorf("layer %d W(%d,%d): analytic %v numeric %v",
+						li, i, j, grads.W[li].At(i, j), numeric)
+				}
+			}
+		}
+		for j := range layer.B {
+			orig := layer.B[j]
+			layer.B[j] = orig + h
+			lp := loss()
+			layer.B[j] = orig - h
+			lm := loss()
+			layer.B[j] = orig
+			numeric := (lp - lm) / (2 * h)
+			if math.Abs(numeric-grads.B[li][j]) > tol {
+				t.Errorf("layer %d B(%d): analytic %v numeric %v",
+					li, j, grads.B[li][j], numeric)
+			}
+		}
+	}
+}
+
+func TestCloneAndCopy(t *testing.T) {
+	m := smallNet(4)
+	c := m.Clone()
+	x := []float64{0.5, -0.5, 1}
+	a, b := m.Forward(x), c.Forward(x)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("clone must compute identically")
+		}
+	}
+	c.Layers[0].W.Set(0, 0, 42)
+	if m.Layers[0].W.At(0, 0) == 42 {
+		t.Fatal("clone must deep-copy")
+	}
+	m.CopyWeightsFrom(c)
+	if m.Layers[0].W.At(0, 0) != 42 {
+		t.Fatal("CopyWeightsFrom failed")
+	}
+}
+
+// TestAdamLearnsRegression: the full stack (forward, backward, Adam) must
+// fit a small regression problem.
+func TestAdamLearnsRegression(t *testing.T) {
+	r := rng.New(5)
+	m := NewMLP([]int{1, 16, 1},
+		[]activation.Func{activation.Tanh, activation.Identity}, r)
+	opt := NewAdam(0.01)
+	var loss MSELoss
+
+	// Target: y = x² on [-1, 1].
+	k := 64
+	x := mat.Zeros(k, 1)
+	y := make([]float64, k)
+	for i := 0; i < k; i++ {
+		v := -1 + 2*float64(i)/float64(k-1)
+		x.Set(i, 0, v)
+		y[i] = v * v
+	}
+	var final float64
+	for epoch := 0; epoch < 2000; epoch++ {
+		out, cache := m.ForwardBatch(x)
+		pred := out.Col(0)
+		final = loss.Loss(pred, y)
+		g := loss.Grad(pred, y)
+		dLoss := mat.Zeros(k, 1)
+		for i, gv := range g {
+			dLoss.Set(i, 0, gv)
+		}
+		grads := m.BackwardBatch(cache, dLoss)
+		opt.Step(m, grads)
+	}
+	if final > 1e-3 {
+		t.Errorf("regression did not converge: loss %v", final)
+	}
+	if opt.StepCount() != 2000 {
+		t.Errorf("StepCount = %d", opt.StepCount())
+	}
+}
+
+func TestAdamReset(t *testing.T) {
+	m := smallNet(6)
+	opt := NewAdam(0.01)
+	g := m.ZeroGradsLike()
+	opt.Step(m, g)
+	opt.Reset()
+	if opt.StepCount() != 0 {
+		t.Error("Reset must zero the step counter")
+	}
+	opt.Step(m, g) // must not panic after reset (buffers reallocate)
+}
+
+func TestHuberLoss(t *testing.T) {
+	var h HuberLoss
+	// Quadratic region: |d| < 1.
+	if got := h.Loss([]float64{0.5}, []float64{0}); got != 0.125 {
+		t.Errorf("quadratic Huber = %v", got)
+	}
+	// Linear region: |d| >= 1 → |d| - 0.5 (paper Eq. 15).
+	if got := h.Loss([]float64{3}, []float64{0}); got != 2.5 {
+		t.Errorf("linear Huber = %v", got)
+	}
+	// Gradient clips at ±1/n.
+	g := h.Grad([]float64{5, -5, 0.5, 0}, []float64{0, 0, 0, 0})
+	want := []float64{0.25, -0.25, 0.125, 0}
+	for i := range want {
+		if math.Abs(g[i]-want[i]) > 1e-14 {
+			t.Errorf("grad[%d] = %v want %v", i, g[i], want[i])
+		}
+	}
+	if h.Loss(nil, nil) != 0 {
+		t.Error("empty Huber loss must be 0")
+	}
+}
+
+func TestHuberGradMatchesFiniteDifference(t *testing.T) {
+	var hl HuberLoss
+	x := []float64{0.3, -2, 0.9}
+	y := []float64{0, 0, 1}
+	g := hl.Grad(x, y)
+	const h = 1e-6
+	for i := range x {
+		xp := append([]float64(nil), x...)
+		xm := append([]float64(nil), x...)
+		xp[i] += h
+		xm[i] -= h
+		numeric := (hl.Loss(xp, y) - hl.Loss(xm, y)) / (2 * h)
+		if math.Abs(numeric-g[i]) > 1e-5 {
+			t.Errorf("Huber grad[%d]: analytic %v numeric %v", i, g[i], numeric)
+		}
+	}
+}
+
+func TestMSELoss(t *testing.T) {
+	var m MSELoss
+	if got := m.Loss([]float64{2}, []float64{0}); got != 2 {
+		t.Errorf("MSE = %v", got)
+	}
+	g := m.Grad([]float64{2, 4}, []float64{0, 0})
+	if g[0] != 1 || g[1] != 2 {
+		t.Errorf("MSE grad = %v", g)
+	}
+}

@@ -1,0 +1,166 @@
+// Package onlad implements the on-device learning anomaly detector the
+// paper builds on (reference [3]: Tsukada, Kondo, Matsutani, "A Neural
+// Network-Based On-device Learning Anomaly Detector for Edge Devices",
+// IEEE TC 2020) — the substrate whose "low-cost OS-ELM core optimized to
+// batch size 1" the paper's §4.2 extends into the Q-network core.
+//
+// The detector is an OS-ELM *autoencoder*: a single-hidden-layer network
+// trained to reconstruct its input (targets = inputs). The anomaly score
+// of a sample is its reconstruction error ‖x − x̂‖; scores far above the
+// normal regime's distribution flag anomalies. Training is sequential
+// (rank-1, batch size 1), so the detector adapts on-device to
+// concept drift — with an optional forgetting factor to track
+// non-stationary normals, mirroring the FOS-ELM extension.
+package onlad
+
+import (
+	"fmt"
+	"math"
+
+	"oselmrl/internal/activation"
+	"oselmrl/internal/elm"
+	"oselmrl/internal/mat"
+	"oselmrl/internal/oselm"
+	"oselmrl/internal/rng"
+	"oselmrl/internal/stats"
+)
+
+// Config holds the detector's hyperparameters.
+type Config struct {
+	// InputSize is the feature dimension.
+	InputSize int
+	// Hidden is the autoencoder's hidden width; typically below InputSize
+	// for a compressing bottleneck, but OS-ELM also works overcomplete.
+	Hidden int
+	// Delta is the ReOS-ELM L2 regularization for initial training.
+	Delta float64
+	// Forgetting is the FOS-ELM factor λ in (0, 1]; 1 disables forgetting.
+	Forgetting float64
+	// Activation is the hidden activation (sigmoid is the classic choice).
+	Activation activation.Func
+	// Seed drives the random frozen weights.
+	Seed uint64
+	// ThresholdQuantile sets the anomaly threshold at this quantile of the
+	// calibration scores (e.g. 0.99).
+	ThresholdQuantile float64
+}
+
+// DefaultConfig returns the standard detector settings.
+func DefaultConfig(inputSize, hidden int) Config {
+	return Config{
+		InputSize:         inputSize,
+		Hidden:            hidden,
+		Delta:             0.05,
+		Forgetting:        1,
+		Activation:        activation.Sigmoid,
+		Seed:              1,
+		ThresholdQuantile: 0.99,
+	}
+}
+
+// Detector is the OS-ELM autoencoder anomaly detector.
+type Detector struct {
+	cfg   Config
+	model *oselm.Model
+
+	calibScores []float64
+	threshold   float64
+}
+
+// New builds a detector.
+func New(cfg Config) (*Detector, error) {
+	if cfg.InputSize <= 0 || cfg.Hidden <= 0 {
+		return nil, fmt.Errorf("onlad: invalid sizes in=%d hidden=%d", cfg.InputSize, cfg.Hidden)
+	}
+	if cfg.Forgetting <= 0 || cfg.Forgetting > 1 {
+		return nil, fmt.Errorf("onlad: forgetting factor %g outside (0, 1]", cfg.Forgetting)
+	}
+	if cfg.ThresholdQuantile <= 0 || cfg.ThresholdQuantile >= 1 {
+		return nil, fmt.Errorf("onlad: threshold quantile %g outside (0, 1)", cfg.ThresholdQuantile)
+	}
+	if cfg.Activation.F == nil {
+		cfg.Activation = activation.Sigmoid
+	}
+	base := elm.NewModel(cfg.InputSize, cfg.Hidden, cfg.InputSize,
+		cfg.Activation, rng.New(cfg.Seed), elm.DefaultOptions())
+	return &Detector{cfg: cfg, model: oselm.New(base, cfg.Delta)}, nil
+}
+
+// MustNew is New that panics on configuration errors.
+func MustNew(cfg Config) *Detector {
+	d, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Fit performs the initial training on a chunk of normal samples
+// (autoencoder targets = inputs) and calibrates the anomaly threshold on
+// the same chunk's reconstruction errors.
+func (d *Detector) Fit(normal *mat.Dense) error {
+	if normal.Cols() != d.cfg.InputSize {
+		return fmt.Errorf("onlad: samples have %d features, detector expects %d",
+			normal.Cols(), d.cfg.InputSize)
+	}
+	if err := d.model.InitTrain(normal, normal); err != nil {
+		return fmt.Errorf("onlad: initial training: %w", err)
+	}
+	d.calibScores = d.calibScores[:0]
+	for i := 0; i < normal.Rows(); i++ {
+		d.calibScores = append(d.calibScores, d.Score(normal.Row(i)))
+	}
+	d.threshold = stats.Percentile(d.calibScores, d.cfg.ThresholdQuantile*100)
+	return nil
+}
+
+// Fitted reports whether initial training has completed.
+func (d *Detector) Fitted() bool { return d.model.Initialized() }
+
+// Score returns the reconstruction error ‖x − x̂‖₂ — the anomaly score.
+func (d *Detector) Score(x []float64) float64 {
+	rec := d.model.PredictOne(x)
+	var sum float64
+	for i, v := range x {
+		diff := v - rec[i]
+		sum += diff * diff
+	}
+	return math.Sqrt(sum)
+}
+
+// Threshold returns the calibrated anomaly threshold.
+func (d *Detector) Threshold() float64 { return d.threshold }
+
+// SetThreshold overrides the calibrated threshold.
+func (d *Detector) SetThreshold(t float64) { d.threshold = t }
+
+// IsAnomaly reports whether x's score exceeds the threshold.
+func (d *Detector) IsAnomaly(x []float64) bool { return d.Score(x) > d.threshold }
+
+// Update performs one sequential training step on a sample assumed normal
+// — the on-device adaptation loop. With Forgetting < 1 old normals decay,
+// letting the detector track drifting regimes.
+func (d *Detector) Update(x []float64) error {
+	if !d.Fitted() {
+		return fmt.Errorf("onlad: Update before Fit")
+	}
+	if d.cfg.Forgetting < 1 {
+		return d.model.SeqTrainOneForgetting(x, x, d.cfg.Forgetting)
+	}
+	return d.model.SeqTrainOne(x, x)
+}
+
+// UpdateIfNormal scores x first and only trains on it when it is not
+// flagged — the guard [3] uses so anomalies do not poison the model.
+// It returns the score and whether x was flagged.
+func (d *Detector) UpdateIfNormal(x []float64) (score float64, anomaly bool, err error) {
+	score = d.Score(x)
+	anomaly = score > d.threshold
+	if !anomaly {
+		err = d.Update(x)
+	}
+	return score, anomaly, err
+}
+
+// Model exposes the underlying OS-ELM (tests, persistence).
+func (d *Detector) Model() *oselm.Model { return d.model }

@@ -1,0 +1,166 @@
+package onlad
+
+import (
+	"math"
+	"testing"
+
+	"oselmrl/internal/mat"
+	"oselmrl/internal/rng"
+)
+
+// normalChunk draws samples from the "normal" regime: points on a noisy
+// 2-D circle embedded in 4 dimensions.
+func normalChunk(r *rng.RNG, n int, offset float64) *mat.Dense {
+	out := mat.Zeros(n, 4)
+	for i := 0; i < n; i++ {
+		theta := r.Uniform(0, 2*math.Pi)
+		out.SetRow(i, []float64{
+			math.Cos(theta) + r.Normal(0, 0.02) + offset,
+			math.Sin(theta) + r.Normal(0, 0.02),
+			0.5*math.Cos(theta) + r.Normal(0, 0.02),
+			0.5*math.Sin(theta) + r.Normal(0, 0.02),
+		})
+	}
+	return out
+}
+
+func fitted(t *testing.T, cfg Config) *Detector {
+	t.Helper()
+	d := MustNew(cfg)
+	r := rng.New(cfg.Seed + 100)
+	if err := d.Fit(normalChunk(r, 200, 0)); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{InputSize: 0, Hidden: 4, Forgetting: 1, ThresholdQuantile: 0.9},
+		{InputSize: 4, Hidden: 0, Forgetting: 1, ThresholdQuantile: 0.9},
+		{InputSize: 4, Hidden: 4, Forgetting: 0, ThresholdQuantile: 0.9},
+		{InputSize: 4, Hidden: 4, Forgetting: 1, ThresholdQuantile: 1.5},
+	}
+	for i, c := range bad {
+		if _, err := New(c); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestDetectsAnomalies(t *testing.T) {
+	cfg := DefaultConfig(4, 24)
+	cfg.Seed = 2
+	d := fitted(t, cfg)
+	if !d.Fitted() || d.Threshold() <= 0 {
+		t.Fatal("fit failed")
+	}
+	r := rng.New(3)
+	// Normal samples: almost none flagged (threshold at the 99th pct).
+	flagged := 0
+	const n = 300
+	for i := 0; i < n; i++ {
+		x := normalChunk(r, 1, 0).Row(0)
+		if d.IsAnomaly(x) {
+			flagged++
+		}
+	}
+	if rate := float64(flagged) / n; rate > 0.05 {
+		t.Errorf("false positive rate %v on normal data", rate)
+	}
+	// Gross anomalies: all flagged.
+	for i := 0; i < 50; i++ {
+		x := []float64{r.Uniform(5, 10), r.Uniform(5, 10), r.Uniform(-10, -5), 0}
+		if !d.IsAnomaly(x) {
+			t.Fatalf("missed anomaly %v (score %v, threshold %v)", x, d.Score(x), d.Threshold())
+		}
+	}
+}
+
+func TestUpdateBeforeFitErrors(t *testing.T) {
+	d := MustNew(DefaultConfig(4, 8))
+	if err := d.Update([]float64{0, 0, 0, 0}); err == nil {
+		t.Error("Update before Fit must fail")
+	}
+}
+
+func TestFitShapeError(t *testing.T) {
+	d := MustNew(DefaultConfig(4, 8))
+	if err := d.Fit(mat.Zeros(10, 3)); err == nil {
+		t.Error("wrong feature width must fail")
+	}
+}
+
+// TestDriftAdaptation: with forgetting enabled, the detector follows a
+// shifted normal regime after sequential updates; without, it lags.
+func TestDriftAdaptation(t *testing.T) {
+	run := func(lambda float64) float64 {
+		cfg := DefaultConfig(4, 24)
+		cfg.Seed = 4
+		cfg.Forgetting = lambda
+		d := MustNew(cfg)
+		r := rng.New(5)
+		if err := d.Fit(normalChunk(r, 200, 0)); err != nil {
+			t.Fatal(err)
+		}
+		// The regime drifts: offset 1.5 on the first coordinate. Train on
+		// the new normal.
+		for i := 0; i < 1500; i++ {
+			if err := d.Update(normalChunk(r, 1, 1.5).Row(0)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Mean score on the NEW normal regime (lower = better adapted).
+		var sum float64
+		const n = 200
+		for i := 0; i < n; i++ {
+			sum += d.Score(normalChunk(r, 1, 1.5).Row(0))
+		}
+		return sum / n
+	}
+	plain := run(1)
+	forgetting := run(0.99)
+	if forgetting >= plain {
+		t.Errorf("forgetting (%v) should adapt better than plain (%v)", forgetting, plain)
+	}
+}
+
+// TestUpdateIfNormalGuards: anomalous samples must not be trained on.
+func TestUpdateIfNormalGuards(t *testing.T) {
+	cfg := DefaultConfig(4, 24)
+	cfg.Seed = 6
+	d := fitted(t, cfg)
+	before := d.Model().Updates()
+	// A gross anomaly: flagged, not trained.
+	score, anomaly, err := d.UpdateIfNormal([]float64{9, 9, -9, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !anomaly || score <= d.Threshold() {
+		t.Fatal("gross anomaly must be flagged")
+	}
+	if d.Model().Updates() != before {
+		t.Error("anomaly must not trigger training")
+	}
+	// A normal sample: trained.
+	r := rng.New(7)
+	_, anomaly, err = d.UpdateIfNormal(normalChunk(r, 1, 0).Row(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if anomaly {
+		t.Skip("unlucky normal sample above the 99th percentile")
+	}
+	if d.Model().Updates() != before+1 {
+		t.Error("normal sample must train the model")
+	}
+}
+
+func TestSetThreshold(t *testing.T) {
+	cfg := DefaultConfig(4, 8)
+	d := fitted(t, cfg)
+	d.SetThreshold(1e9)
+	if d.IsAnomaly([]float64{100, 100, 100, 100}) {
+		t.Error("threshold override ignored")
+	}
+}

@@ -1,0 +1,90 @@
+package oselm
+
+import (
+	"fmt"
+
+	"oselmrl/internal/mat"
+)
+
+// SeqTrainOneForgetting performs a rank-1 sequential update with an
+// exponential forgetting factor λ ∈ (0, 1] (FOS-ELM; Zhao et al. 2012):
+//
+//	s  = 1 / (λ + h·P·hᵀ)
+//	P  = (P − s·(P·hᵀ)(P·hᵀ)ᵀ) / λ
+//	β  = β + P·hᵀ·(t − h·β)
+//
+// λ = 1 recovers the paper's plain OS-ELM update. λ < 1 geometrically
+// down-weights old samples, which counters the learning-rate collapse of
+// pure recursive least squares: in reinforcement learning the regression
+// targets are non-stationary (they move every time θ2 syncs), so without
+// forgetting the gain P·hᵀ shrinks toward zero and the Q-network freezes
+// on its early — often wrong — targets. This is an extension beyond the
+// paper (its remedy is the §4.3 weight-reset rule); the ablation bench
+// compares the two.
+//
+// Caveat (classic RLS estimator wind-up): with λ < 1, P grows by 1/λ per
+// step along directions the input stream does not excite, so the data
+// must be persistently exciting — feeding the same (or low-rank) inputs
+// for tens of thousands of steps blows P up exponentially until the gain
+// denominator loses positivity, at which point this method returns an
+// error and the caller should reinitialize (the reset rule covers this in
+// the RL setting).
+func (m *Model) SeqTrainOneForgetting(x, t []float64, lambda float64) error {
+	if !m.initialized {
+		return ErrNotInitialized
+	}
+	if lambda <= 0 || lambda > 1 {
+		return fmt.Errorf("oselm: forgetting factor %g outside (0, 1]", lambda)
+	}
+	if len(t) != m.OutputSize() {
+		return fmt.Errorf("oselm: target length %d, model outputs %d", len(t), m.OutputSize())
+	}
+	h := m.HiddenOne(x)
+	n := m.HiddenSize()
+
+	ph := mat.MulVec(m.P, h)
+	denom := lambda + mat.Dot(h, ph)
+	if denom <= 0 {
+		m.P.Symmetrize()
+		return fmt.Errorf("oselm: non-positive forgetting gain denominator %g", denom)
+	}
+	s := 1 / denom
+	invLambda := 1 / lambda
+
+	pd := m.P.RawData()
+	for i := 0; i < n; i++ {
+		phi := s * ph[i]
+		row := pd[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			row[j] = (row[j] - phi*ph[j]) * invLambda
+		}
+	}
+
+	// β update with the refreshed gain P·hᵀ = s·ph/λ · ... recompute for
+	// clarity; the Ñ·Ñ work dominates anyway.
+	pred := mat.VecMul(h, m.Beta)
+	newPh := mat.MulVec(m.P, h)
+	bd := m.Beta.RawData()
+	mOut := m.OutputSize()
+	for i := 0; i < n; i++ {
+		g := newPh[i]
+		if g == 0 {
+			continue
+		}
+		for c := 0; c < mOut; c++ {
+			bd[i*mOut+c] += g * (t[c] - pred[c])
+		}
+	}
+	m.updates++
+	return nil
+}
+
+// GainTrace returns trace(P)/Ñ — the mean eigenvalue of P, a cheap proxy
+// for the effective learning rate. Pure RLS drives it monotonically to
+// zero; forgetting holds it at a floor.
+func (m *Model) GainTrace() float64 {
+	if m.P == nil {
+		return 0
+	}
+	return m.P.Trace() / float64(m.HiddenSize())
+}

@@ -1,0 +1,177 @@
+package oselm
+
+import (
+	"math"
+	"testing"
+
+	"oselmrl/internal/activation"
+	"oselmrl/internal/elm"
+	"oselmrl/internal/mat"
+	"oselmrl/internal/rng"
+)
+
+func TestForgettingLambda1MatchesPlain(t *testing.T) {
+	mk := func() *Model {
+		base := elm.NewModel(2, 10, 1, activation.Sigmoid, rng.New(40), elm.DefaultOptions())
+		m := New(base, 0.3)
+		x, tt := randomData(41, 12, 2, 1)
+		if err := m.InitTrain(x, tt); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	plain, forget := mk(), mk()
+	x, tt := randomData(42, 20, 2, 1)
+	for i := 0; i < 20; i++ {
+		if err := plain.SeqTrainOne(x.Row(i), tt.Row(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := forget.SeqTrainOneForgetting(x.Row(i), tt.Row(i), 1.0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !mat.Equal(plain.Beta, forget.Beta, 1e-9) {
+		t.Error("lambda=1 must match the plain rank-1 update")
+	}
+	if !mat.Equal(plain.P, forget.P, 1e-9) {
+		t.Error("P matrices differ at lambda=1")
+	}
+}
+
+func TestForgettingValidation(t *testing.T) {
+	base := elm.NewModel(2, 8, 1, activation.Sigmoid, rng.New(43), elm.DefaultOptions())
+	m := New(base, 0.3)
+	if err := m.SeqTrainOneForgetting([]float64{1, 2}, []float64{0}, 0.9); err == nil {
+		t.Error("must fail before init training")
+	}
+	x, tt := randomData(44, 10, 2, 1)
+	if err := m.InitTrain(x, tt); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []float64{0, -0.5, 1.5} {
+		if err := m.SeqTrainOneForgetting([]float64{1, 2}, []float64{0}, bad); err == nil {
+			t.Errorf("lambda=%v must be rejected", bad)
+		}
+	}
+	if err := m.SeqTrainOneForgetting([]float64{1, 2}, []float64{0, 0}, 0.9); err == nil {
+		t.Error("target length mismatch must be rejected")
+	}
+}
+
+// The headline property: under a drifting target, forgetting tracks while
+// plain RLS freezes on the average of old and new regimes.
+func TestForgettingTracksDrift(t *testing.T) {
+	mk := func() *Model {
+		base := elm.NewModel(1, 30, 1, activation.Sigmoid, rng.New(45), elm.DefaultOptions())
+		m := New(base, 0.01)
+		r := rng.New(46)
+		x := mat.Zeros(30, 1)
+		y := mat.Zeros(30, 1)
+		for i := 0; i < 30; i++ {
+			v := r.Uniform(-1, 1)
+			x.Set(i, 0, v)
+			y.Set(i, 0, math.Sin(3*v))
+		}
+		if err := m.InitTrain(x, y); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	plain, forget := mk(), mk()
+	r := rng.New(47)
+
+	// Long stationary phase to collapse the plain model's gain.
+	for i := 0; i < 3000; i++ {
+		v := r.Uniform(-1, 1)
+		y := []float64{math.Sin(3 * v)}
+		if err := plain.SeqTrainOne([]float64{v}, y); err != nil {
+			t.Fatal(err)
+		}
+		if err := forget.SeqTrainOneForgetting([]float64{v}, y, 0.995); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The target drifts: sin(3x) -> sin(3x) + 1.
+	for i := 0; i < 800; i++ {
+		v := r.Uniform(-1, 1)
+		y := []float64{math.Sin(3*v) + 1}
+		if err := plain.SeqTrainOne([]float64{v}, y); err != nil {
+			t.Fatal(err)
+		}
+		if err := forget.SeqTrainOneForgetting([]float64{v}, y, 0.995); err != nil {
+			t.Fatal(err)
+		}
+	}
+	errOf := func(m *Model) float64 {
+		var sum float64
+		for i := 0; i < 100; i++ {
+			v := r.Uniform(-1, 1)
+			sum += math.Abs(m.PredictOne([]float64{v})[0] - (math.Sin(3*v) + 1))
+		}
+		return sum / 100
+	}
+	pe, fe := errOf(plain), errOf(forget)
+	if fe >= pe {
+		t.Errorf("forgetting error %v should beat plain RLS %v after drift", fe, pe)
+	}
+	if fe > 0.1 {
+		t.Errorf("forgetting model failed to track: error %v", fe)
+	}
+}
+
+func TestGainTraceBehaviour(t *testing.T) {
+	base := elm.NewModel(1, 12, 1, activation.Sigmoid, rng.New(48), elm.DefaultOptions())
+	m := New(base, 0.1)
+	if m.GainTrace() != 0 {
+		t.Error("GainTrace before init must be 0")
+	}
+	x, tt := randomData(49, 15, 1, 1)
+	if err := m.InitTrain(x, tt); err != nil {
+		t.Fatal(err)
+	}
+	g0 := m.GainTrace()
+	if g0 <= 0 {
+		t.Fatal("GainTrace must be positive after init")
+	}
+	r := rng.New(50)
+	for i := 0; i < 500; i++ {
+		v := r.Uniform(-1, 1)
+		if err := m.SeqTrainOne([]float64{v}, []float64{v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Pure RLS: the gain collapses monotonically.
+	if g := m.GainTrace(); g >= g0 {
+		t.Errorf("plain RLS gain should shrink: %v -> %v", g0, g)
+	}
+}
+
+// TestForgettingWindUpSurfacesError: with λ < 1 and non-exciting (fixed)
+// inputs, P grows exponentially along the unexcited directions — classic
+// RLS estimator wind-up. The update must detect the lost positivity and
+// return an error instead of silently producing NaNs.
+func TestForgettingWindUpSurfacesError(t *testing.T) {
+	base := elm.NewModel(5, 64, 1, activation.ReLU, rng.New(55), elm.DefaultOptions())
+	m := New(base, 0.5)
+	x, tt := randomData(56, 64, 5, 1)
+	if err := m.InitTrain(x, tt); err != nil {
+		t.Fatal(err)
+	}
+	xi := []float64{0.1, -0.2, 0.3, -0.4, 1}
+	var windUpErr error
+	for i := 0; i < 500000; i++ {
+		if err := m.SeqTrainOneForgetting(xi, []float64{0.5}, 0.99); err != nil {
+			windUpErr = err
+			break
+		}
+	}
+	if windUpErr == nil {
+		t.Fatal("wind-up never detected under zero excitation")
+	}
+	// And the model's parameters are still finite (no NaN leaked).
+	for _, v := range m.Beta.RawData() {
+		if math.IsNaN(v) {
+			t.Fatal("beta contains NaN after wind-up")
+		}
+	}
+}

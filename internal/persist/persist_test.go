@@ -1,0 +1,225 @@
+package persist
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"oselmrl/internal/activation"
+	"oselmrl/internal/elm"
+	"oselmrl/internal/env"
+	"oselmrl/internal/mat"
+	"oselmrl/internal/oselm"
+	"oselmrl/internal/qnet"
+	"oselmrl/internal/replay"
+	"oselmrl/internal/rng"
+)
+
+func trainedModel(t *testing.T) *oselm.Model {
+	t.Helper()
+	r := rng.New(1)
+	base := elm.NewModel(3, 12, 2, activation.Sigmoid, r, elm.DefaultOptions())
+	m := oselm.New(base, 0.4)
+	x := mat.Zeros(15, 3)
+	y := mat.Zeros(15, 2)
+	r.FillUniform(x.RawData(), -1, 1)
+	r.FillUniform(y.RawData(), -1, 1)
+	if err := m.InitTrain(x, y); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		xi := make([]float64, 3)
+		r.FillUniform(xi, -1, 1)
+		if err := m.SeqTrainOne(xi, []float64{r.Float64(), r.Float64()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+func TestOSELMRoundTrip(t *testing.T) {
+	m := trainedModel(t)
+	var buf bytes.Buffer
+	if err := SaveOSELM(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadOSELM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Initialized() {
+		t.Fatal("restored model must be initialized")
+	}
+	if got.Delta != m.Delta || got.Updates() != m.Updates() {
+		t.Error("hyperparameters not restored")
+	}
+	// Predictions identical.
+	probe := []float64{0.3, -0.2, 0.9}
+	a, b := m.PredictOne(probe), got.PredictOne(probe)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("prediction[%d]: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// Restored model can continue sequential training.
+	if err := got.SeqTrainOne(probe, []float64{0.5, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOSELMUntrainedRoundTrip(t *testing.T) {
+	base := elm.NewModel(2, 6, 1, activation.ReLU, rng.New(2), elm.DefaultOptions())
+	m := oselm.New(base, 0.1)
+	var buf bytes.Buffer
+	if err := SaveOSELM(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadOSELM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Initialized() {
+		t.Error("untrained model must restore as untrained")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := LoadOSELM(strings.NewReader("{not json")); err == nil {
+		t.Error("garbage must fail")
+	}
+	if _, err := LoadOSELM(strings.NewReader(`{"version":99}`)); err == nil {
+		t.Error("wrong version must fail")
+	}
+	// Inconsistent dimensions.
+	bad := `{"version":1,"input_size":2,"hidden_size":3,"output_size":1,
+		"activation":"relu","alpha":{"rows":2,"cols":2,"data":[1,2,3,4]},
+		"bias":[0,0,0],"beta":{"rows":3,"cols":1,"data":[1,2,3]}}`
+	if _, err := LoadOSELM(strings.NewReader(bad)); err == nil {
+		t.Error("inconsistent dims must fail")
+	}
+	// Unknown activation.
+	bad2 := strings.Replace(bad, `"relu"`, `"mystery"`, 1)
+	if _, err := LoadOSELM(strings.NewReader(bad2)); err == nil {
+		t.Error("unknown activation must fail")
+	}
+}
+
+// TestAgentRoundTrip: a trained Q-network agent survives save/load with
+// identical greedy behaviour, and can keep learning.
+func TestAgentRoundTrip(t *testing.T) {
+	cfg := qnet.DefaultConfig(qnet.VariantOSELML2Lipschitz, 4, 2, 16)
+	cfg.Seed = 5
+	agent := qnet.MustNew(cfg)
+
+	// Train for a while on CartPole.
+	e := env.NewShaped(env.NewCartPoleV0(105), env.RewardSurvival)
+	s := e.Reset()
+	for i := 0; i < 2000; i++ {
+		act := agent.SelectAction(s)
+		ns, r, done := e.Step(act)
+		if err := agent.Observe(replay.Transition{State: s, Action: act, Reward: r, NextState: ns, Done: done}); err != nil {
+			t.Fatal(err)
+		}
+		s = ns
+		if done {
+			s = e.Reset()
+		}
+	}
+	if !agent.Trained() {
+		t.Fatal("agent should be trained")
+	}
+
+	var buf bytes.Buffer
+	if err := SaveAgent(&buf, agent); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadAgent(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Name() != agent.Name() {
+		t.Errorf("restored design %q", restored.Name())
+	}
+	if !restored.Trained() {
+		t.Fatal("restored agent must be trained")
+	}
+	// Greedy decisions must agree across a batch of probe states.
+	r := rng.New(9)
+	for i := 0; i < 100; i++ {
+		probe := make([]float64, 4)
+		r.FillUniform(probe, -1, 1)
+		if agent.GreedyAction(probe) != restored.GreedyAction(probe) {
+			t.Fatalf("greedy action mismatch at probe %d", i)
+		}
+	}
+	// σmax(β) identical.
+	if math.Abs(agent.BetaSigmaMax()-restored.BetaSigmaMax()) > 1e-9 {
+		t.Error("restored beta differs")
+	}
+	// The restored agent continues learning without error.
+	s = e.Reset()
+	for i := 0; i < 100; i++ {
+		act := restored.SelectAction(s)
+		ns, rw, done := e.Step(act)
+		if err := restored.Observe(replay.Transition{State: s, Action: act, Reward: rw, NextState: ns, Done: done}); err != nil {
+			t.Fatal(err)
+		}
+		s = ns
+		if done {
+			s = e.Reset()
+		}
+	}
+}
+
+func TestAgentSnapshotIsJSON(t *testing.T) {
+	cfg := qnet.DefaultConfig(qnet.VariantOSELM, 4, 2, 8)
+	agent := qnet.MustNew(cfg)
+	var buf bytes.Buffer
+	if err := SaveAgent(&buf, agent); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, key := range []string{`"config"`, `"theta1"`, `"theta2"`, `"alpha"`, `"hidden":8`} {
+		if !strings.Contains(out, key) {
+			t.Errorf("snapshot missing %s", key)
+		}
+	}
+}
+
+func TestLoadAgentErrorPaths(t *testing.T) {
+	if _, err := LoadAgent(strings.NewReader("{bad")); err == nil {
+		t.Error("garbage must fail")
+	}
+	if _, err := LoadAgent(strings.NewReader(`{"version":99}`)); err == nil {
+		t.Error("wrong version must fail")
+	}
+	if _, err := LoadAgent(strings.NewReader(`{"version":1}`)); err == nil {
+		t.Error("missing networks must fail")
+	}
+	// A valid snapshot with corrupted theta dimensions must be rejected by
+	// RestoreModels.
+	cfg := qnet.DefaultConfig(qnet.VariantOSELM, 4, 2, 8)
+	agent := qnet.MustNew(cfg)
+	var buf bytes.Buffer
+	if err := SaveAgent(&buf, agent); err != nil {
+		t.Fatal(err)
+	}
+	corrupted := strings.Replace(buf.String(), `"hidden":8`, `"hidden":16`, 1)
+	if _, err := LoadAgent(strings.NewReader(corrupted)); err == nil {
+		t.Error("config/network dimension mismatch must fail")
+	}
+}
+
+func TestDecodeMatrixErrors(t *testing.T) {
+	if _, err := decodeMatrix(&matrixJSON{Rows: 2, Cols: 2, Data: []float64{1}}); err == nil {
+		t.Error("length mismatch must fail")
+	}
+	if _, err := decodeMatrix(&matrixJSON{Rows: -1, Cols: 2}); err == nil {
+		t.Error("negative dims must fail")
+	}
+	m, err := decodeMatrix(nil)
+	if err != nil || m != nil {
+		t.Error("nil payload must decode to nil")
+	}
+}

@@ -1,0 +1,92 @@
+package qnet
+
+import (
+	"testing"
+
+	"oselmrl/internal/env"
+	"oselmrl/internal/replay"
+)
+
+func runEpisodes(t *testing.T, a *Agent, seed uint64, episodes int) {
+	t.Helper()
+	e := env.NewShaped(env.NewCartPoleV0(seed), env.RewardSurvival)
+	for ep := 1; ep <= episodes; ep++ {
+		s := e.Reset()
+		for {
+			act := a.SelectAction(s)
+			ns, r, done := e.Step(act)
+			// Plain OS-ELM may report recoverable numerical errors; the
+			// diagnostics are exactly about observing that regime.
+			_ = a.Observe(replay.Transition{State: s, Action: act, Reward: r, NextState: ns, Done: done})
+			s = ns
+			if done {
+				break
+			}
+		}
+		a.EndEpisode(ep)
+	}
+}
+
+func TestSnapshotFieldsPopulated(t *testing.T) {
+	cfg := cfgFor(VariantOSELML2Lipschitz)
+	a := MustNew(cfg)
+	runEpisodes(t, a, 100, 30)
+	probes := [][]float64{{0.1, 0, 0.05, 0}, {-0.5, 1, -0.1, 0.5}}
+	d := a.Snapshot(30, probes)
+	if d.Episode != 30 {
+		t.Errorf("episode = %d", d.Episode)
+	}
+	if d.BetaSigmaMax <= 0 || d.BetaFrobenius <= 0 {
+		t.Error("beta norms must be positive after training")
+	}
+	if d.GainTrace <= 0 || d.PMaxAbs <= 0 {
+		t.Error("P diagnostics must be positive after init training")
+	}
+	if d.QProbeMax < 0 {
+		t.Error("QProbeMax is an absolute value")
+	}
+	// Relation 13: the spectral norm never exceeds the Frobenius norm.
+	if d.BetaSigmaMax > d.BetaFrobenius+1e-9 {
+		t.Errorf("sigma(B)=%v > ||B||_F=%v violates Relation 13", d.BetaSigmaMax, d.BetaFrobenius)
+	}
+	// Spectral normalization held: the bound equals sigma(B).
+	if d.AlphaSigmaMax < 0.999 || d.AlphaSigmaMax > 1.001 {
+		t.Errorf("sigma(alpha) = %v, want 1 for the Lipschitz variant", d.AlphaSigmaMax)
+	}
+}
+
+func TestSnapshotBeforeTraining(t *testing.T) {
+	a := MustNew(cfgFor(VariantOSELM))
+	d := a.Snapshot(0, nil)
+	if d.BetaSigmaMax != 0 || d.GainTrace != 0 || d.PMaxAbs != 0 {
+		t.Errorf("untrained snapshot should be zeros: %+v", d)
+	}
+}
+
+// The paper's §4.3 mechanism, quantified: the unregularized design's
+// stability metrics blow up relative to the fully regularized one on the
+// same workload.
+func TestRegularizationShrinksDiagnostics(t *testing.T) {
+	mk := func(v Variant) Diagnostics {
+		cfg := DefaultConfig(v, 4, 2, 32)
+		cfg.Seed = 1
+		a := MustNew(cfg)
+		runEpisodes(t, a, 101, 120)
+		return a.Snapshot(120, [][]float64{{0, 0, 0.05, 0}, {1, -1, -0.1, 1}})
+	}
+	plain := mk(VariantOSELM)
+	reg := mk(VariantOSELML2Lipschitz)
+	if !(reg.BetaSigmaMax < plain.BetaSigmaMax) {
+		t.Errorf("sigma(B): regularized %v should be < plain %v", reg.BetaSigmaMax, plain.BetaSigmaMax)
+	}
+	if !(reg.PMaxAbs < plain.PMaxAbs) {
+		t.Errorf("max|P|: regularized %v should be < plain %v", reg.PMaxAbs, plain.PMaxAbs)
+	}
+	if !(reg.LipschitzBound < plain.LipschitzBound) {
+		t.Errorf("Lipschitz bound: regularized %v should be < plain %v", reg.LipschitzBound, plain.LipschitzBound)
+	}
+	// δ = 0.5 bounds P's entries by 1/δ = 2.
+	if reg.PMaxAbs > 2.0+1e-6 {
+		t.Errorf("regularized max|P| = %v exceeds 1/delta", reg.PMaxAbs)
+	}
+}

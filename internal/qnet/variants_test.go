@@ -1,0 +1,95 @@
+package qnet
+
+import (
+	"testing"
+
+	"oselmrl/internal/mat"
+	"oselmrl/internal/replay"
+	"oselmrl/internal/timing"
+)
+
+// Table-driven regression over all five design variants: each must honor
+// its own combination of stabilization techniques. This pins the §4.1
+// design matrix so a refactor cannot silently merge variant behaviours.
+func TestVariantBehaviourMatrix(t *testing.T) {
+	state := []float64{0.1, 0.2, 0.3, 0.4}
+	for _, v := range []Variant{
+		VariantELM, VariantOSELM, VariantOSELML2,
+		VariantOSELMLipschitz, VariantOSELML2Lipschitz,
+	} {
+		v := v
+		t.Run(v.String(), func(t *testing.T) {
+			cfg := DefaultConfig(v, 4, 2, 8)
+			cfg.Seed = 7
+			cfg.Epsilon2 = 1 // deterministic updates for counting
+			a := MustNew(cfg)
+
+			// 1. Spectral normalization iff the variant declares it.
+			sigma := mat.LargestSingularValue(a.Theta1().Alpha, 500, nil)
+			if v.SpectralNormalize() {
+				if sigma < 0.999 || sigma > 1.001 {
+					t.Errorf("sigma(alpha) = %v, want 1", sigma)
+				}
+			} else if sigma > 0.9 && sigma < 1.1 {
+				t.Errorf("sigma(alpha) = %v suspiciously normalized", sigma)
+			}
+
+			// 2. L2 regularization iff declared: theta1.Delta mirrors it.
+			if v.UsesL2() && a.Theta1().Delta == 0 {
+				t.Error("L2 variant must carry delta")
+			}
+			if !v.UsesL2() && a.Theta1().Delta != 0 {
+				t.Error("non-L2 variant must not carry delta")
+			}
+
+			// 3. Fill buffer D: all variants train at exactly Ñ observations.
+			for i := 0; i < 8; i++ {
+				if err := a.Observe(replay.Transition{State: state, NextState: state, Reward: 0.1}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if !a.Trained() {
+				t.Fatal("must train when D fills")
+			}
+			if got := a.Counters().Calls(timing.PhaseInitTrain); got != 1 {
+				t.Fatalf("init_train calls = %d", got)
+			}
+
+			// 4. Post-init behaviour: sequential variants update per step
+			// (ε₂ = 1); batch ELM accumulates a fresh buffer instead.
+			for i := 0; i < 8; i++ {
+				if err := a.Observe(replay.Transition{State: state, NextState: state, Reward: 0.1}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			seq := a.Counters().Calls(timing.PhaseSeqTrain)
+			init := a.Counters().Calls(timing.PhaseInitTrain)
+			if v.Sequential() {
+				if seq != 8 {
+					t.Errorf("sequential updates = %d, want 8", seq)
+				}
+				if init != 1 {
+					t.Errorf("init_train calls = %d, want 1 (no retraining)", init)
+				}
+			} else {
+				if seq != 0 {
+					t.Errorf("batch ELM ran %d sequential updates", seq)
+				}
+				if init != 2 {
+					t.Errorf("batch ELM trainings = %d, want 2", init)
+				}
+			}
+
+			// 5. θ2 sync: sequential variants sync on even episodes; the
+			// batch ELM keeps θ2 pinned to its own post-training copy.
+			if v.Sequential() {
+				a.EndEpisode(2)
+				if !mat.Equal(a.Theta1().Beta, a.Theta2().Beta, 0) {
+					t.Error("θ2 must sync at UPDATE_STEP")
+				}
+			} else if !mat.Equal(a.Theta1().Beta, a.Theta2().Beta, 0) {
+				t.Error("batch ELM keeps θ2 = θ1 after each batch training")
+			}
+		})
+	}
+}

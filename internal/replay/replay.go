@@ -1,0 +1,121 @@
+// Package replay provides the two experience stores the paper uses:
+//
+//   - Buffer: the classic ring-buffer experience replay with uniform random
+//     sampling that the DQN baseline needs (paper §2.4). Its size is the
+//     very memory cost the paper argues makes DQN infeasible on edge
+//     devices.
+//   - InitStore: the small Ñ-slot buffer D of Algorithm 1 that the ELM and
+//     OS-ELM Q-Networks fill once to run their initial training; after the
+//     initial training OS-ELM needs no buffer at all (the "random update"
+//     replaces replay, §3.2).
+package replay
+
+import "oselmrl/internal/rng"
+
+// Transition is one (sₜ, aₜ, rₜ, sₜ₊₁, dₜ) tuple (Algorithm 1 line 15).
+type Transition struct {
+	State     []float64
+	Action    int
+	Reward    float64
+	NextState []float64
+	Done      bool
+}
+
+// Buffer is a fixed-capacity ring buffer with uniform sampling.
+type Buffer struct {
+	data  []Transition
+	next  int
+	count int
+}
+
+// NewBuffer allocates a buffer with the given capacity.
+func NewBuffer(capacity int) *Buffer {
+	if capacity <= 0 {
+		panic("replay: capacity must be positive")
+	}
+	return &Buffer{data: make([]Transition, capacity)}
+}
+
+// Add stores a transition, evicting the oldest when full.
+func (b *Buffer) Add(t Transition) {
+	b.data[b.next] = t
+	b.next = (b.next + 1) % len(b.data)
+	if b.count < len(b.data) {
+		b.count++
+	}
+}
+
+// Len returns the number of stored transitions.
+func (b *Buffer) Len() int { return b.count }
+
+// Cap returns the buffer capacity.
+func (b *Buffer) Cap() int { return len(b.data) }
+
+// Sample draws n transitions uniformly with replacement. It panics if the
+// buffer is empty.
+func (b *Buffer) Sample(r *rng.RNG, n int) []Transition {
+	if b.count == 0 {
+		panic("replay: sampling from empty buffer")
+	}
+	out := make([]Transition, n)
+	for i := range out {
+		out[i] = b.data[r.Intn(b.count)]
+	}
+	return out
+}
+
+// Clear empties the buffer (agent reinitialization).
+func (b *Buffer) Clear() {
+	b.next = 0
+	b.count = 0
+}
+
+// MemoryBytes estimates the buffer's storage footprint assuming float64
+// observations of the given width — the quantity the paper's edge-device
+// argument is about.
+func (b *Buffer) MemoryBytes(obsWidth int) int {
+	perTransition := 2*obsWidth*8 + 8 + 8 + 1 // two states, reward, action, done
+	return len(b.data) * perTransition
+}
+
+// InitStore is Algorithm 1's buffer D: it accumulates exactly capacity
+// transitions for the one-time initial training, then reports full.
+type InitStore struct {
+	data     []Transition
+	capacity int
+}
+
+// NewInitStore allocates the Ñ-slot store.
+func NewInitStore(capacity int) *InitStore {
+	if capacity <= 0 {
+		panic("replay: init store capacity must be positive")
+	}
+	return &InitStore{capacity: capacity}
+}
+
+// Add appends a transition while the store has room; once full, further
+// adds are dropped (Algorithm 1 only stores until len(D) == Ñ).
+func (s *InitStore) Add(t Transition) {
+	if len(s.data) < s.capacity {
+		s.data = append(s.data, t)
+	}
+}
+
+// Full reports len(D) == Ñ (Algorithm 1 line 17).
+func (s *InitStore) Full() bool { return len(s.data) == s.capacity }
+
+// Len returns the number of stored transitions.
+func (s *InitStore) Len() int { return len(s.data) }
+
+// Cap returns the store capacity Ñ.
+func (s *InitStore) Cap() int { return s.capacity }
+
+// Drain returns the stored transitions and empties the store.
+func (s *InitStore) Drain() []Transition {
+	out := s.data
+	s.data = nil
+	return out
+}
+
+// Clear empties the store (agent reinitialization).
+func (s *InitStore) Clear() { s.data = nil }

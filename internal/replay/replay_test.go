@@ -1,0 +1,173 @@
+package replay
+
+import (
+	"testing"
+	"testing/quick"
+
+	"oselmrl/internal/rng"
+)
+
+func tr(id int) Transition {
+	return Transition{
+		State:     []float64{float64(id)},
+		Action:    id % 2,
+		Reward:    float64(id),
+		NextState: []float64{float64(id + 1)},
+		Done:      id%10 == 0,
+	}
+}
+
+func TestBufferFillAndEvict(t *testing.T) {
+	b := NewBuffer(3)
+	if b.Cap() != 3 || b.Len() != 0 {
+		t.Fatalf("fresh buffer cap=%d len=%d", b.Cap(), b.Len())
+	}
+	for i := 1; i <= 3; i++ {
+		b.Add(tr(i))
+		if b.Len() != i {
+			t.Fatalf("len after %d adds = %d", i, b.Len())
+		}
+	}
+	// Fourth add evicts the oldest; Len stays at capacity.
+	b.Add(tr(4))
+	if b.Len() != 3 {
+		t.Errorf("len after eviction = %d", b.Len())
+	}
+	// The evicted transition (id=1) must never be sampled again.
+	r := rng.New(1)
+	for i := 0; i < 200; i++ {
+		s := b.Sample(r, 1)[0]
+		if s.Reward == 1 {
+			t.Fatal("evicted transition sampled")
+		}
+	}
+}
+
+func TestBufferSampleDistribution(t *testing.T) {
+	b := NewBuffer(4)
+	for i := 0; i < 4; i++ {
+		b.Add(tr(i))
+	}
+	r := rng.New(2)
+	counts := make(map[float64]int)
+	for _, s := range b.Sample(r, 4000) {
+		counts[s.Reward]++
+	}
+	for i := 0; i < 4; i++ {
+		if c := counts[float64(i)]; c < 700 {
+			t.Errorf("transition %d sampled %d/4000 times", i, c)
+		}
+	}
+}
+
+func TestBufferSampleEmptyPanics(t *testing.T) {
+	b := NewBuffer(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	b.Sample(rng.New(3), 1)
+}
+
+func TestBufferClear(t *testing.T) {
+	b := NewBuffer(2)
+	b.Add(tr(1))
+	b.Clear()
+	if b.Len() != 0 {
+		t.Error("Clear must empty the buffer")
+	}
+}
+
+func TestBufferInvalidCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewBuffer(0)
+}
+
+func TestBufferMemoryBytes(t *testing.T) {
+	b := NewBuffer(1000)
+	// 4-wide observations: 2*4*8 + 8 + 8 + 1 = 81 bytes per transition.
+	if got := b.MemoryBytes(4); got != 81000 {
+		t.Errorf("MemoryBytes = %d", got)
+	}
+	// The paper's edge argument: the DQN buffer dwarfs OS-ELM's Ñ-slot one.
+	small := NewInitStore(64)
+	if small.Cap()*81 >= b.MemoryBytes(4) {
+		t.Error("init store must be far smaller than the replay buffer")
+	}
+}
+
+func TestInitStoreFillsExactly(t *testing.T) {
+	s := NewInitStore(3)
+	for i := 0; i < 5; i++ {
+		s.Add(tr(i))
+	}
+	if !s.Full() || s.Len() != 3 {
+		t.Fatalf("full=%v len=%d", s.Full(), s.Len())
+	}
+	got := s.Drain()
+	if len(got) != 3 {
+		t.Fatalf("drained %d", len(got))
+	}
+	// The first three adds are kept, later ones dropped.
+	for i, g := range got {
+		if g.Reward != float64(i) {
+			t.Errorf("drained[%d].Reward = %v", i, g.Reward)
+		}
+	}
+	if s.Len() != 0 || s.Full() {
+		t.Error("Drain must empty the store")
+	}
+}
+
+func TestInitStoreClear(t *testing.T) {
+	s := NewInitStore(2)
+	s.Add(tr(1))
+	s.Clear()
+	if s.Len() != 0 {
+		t.Error("Clear failed")
+	}
+}
+
+func TestInitStoreInvalidCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewInitStore(-1)
+}
+
+// Property: a buffer never reports more than capacity and sampling returns
+// only stored values.
+func TestPropertyBufferInvariants(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		capacity := int(n%20) + 1
+		b := NewBuffer(capacity)
+		r := rng.New(seed)
+		total := int(seed%50) + 1
+		for i := 0; i < total; i++ {
+			b.Add(tr(i))
+			if b.Len() > capacity {
+				return false
+			}
+		}
+		lo := total - capacity
+		if lo < 0 {
+			lo = 0
+		}
+		for _, s := range b.Sample(r, 20) {
+			if int(s.Reward) < lo || int(s.Reward) >= total {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,144 @@
+// Package rng provides a deterministic, splittable pseudo-random number
+// generator for the experiments. Every figure in the paper depends heavily
+// on random initial weights (the authors even reset unpromising seeds), so
+// reproducibility demands identical random streams across runs and across
+// goroutines: math/rand's global source is shared and lock-contended,
+// whereas each rng.RNG here is an independent xoshiro256** stream derived
+// from a seed via SplitMix64.
+package rng
+
+import "math"
+
+// RNG is a xoshiro256** generator. Not safe for concurrent use; derive one
+// per goroutine with Split.
+type RNG struct {
+	s [4]uint64
+	// cached second normal deviate for Box-Muller
+	hasGauss bool
+	gauss    float64
+}
+
+// New returns a generator seeded from seed via SplitMix64 so that nearby
+// seeds yield decorrelated states.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	for i := range r.s {
+		sm += 0x9E3779B97F4A7C15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		z ^= z >> 31
+		r.s[i] = z
+	}
+	// xoshiro must not start from the all-zero state.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
+	}
+	return r
+}
+
+// Split returns a new generator whose stream is independent of r's
+// continued use: it is seeded from r's next output.
+func (r *RNG) Split() *RNG { return New(r.Uint64()) }
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Uniform returns a uniform value in [lo, hi).
+func (r *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with n <= 0")
+	}
+	// Lemire's multiply-shift rejection method for unbiased bounded ints.
+	bound := uint64(n)
+	for {
+		x := r.Uint64()
+		hi, lo := mul64(x, bound)
+		if lo >= bound || lo >= (-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	t := aLo*bHi + (aLo*bLo)>>32
+	lo = a * b
+	hi = aHi*bHi + t>>32 + (t&mask+aHi*bLo)>>32
+	return
+}
+
+// Norm returns a standard normal deviate via Box-Muller, caching the pair.
+func (r *RNG) Norm() float64 {
+	if r.hasGauss {
+		r.hasGauss = false
+		return r.gauss
+	}
+	var u1 float64
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	mag := math.Sqrt(-2 * math.Log(u1))
+	r.gauss = mag * math.Sin(2*math.Pi*u2)
+	r.hasGauss = true
+	return mag * math.Cos(2*math.Pi*u2)
+}
+
+// Normal returns a normal deviate with the given mean and standard deviation.
+func (r *RNG) Normal(mean, std float64) float64 { return mean + std*r.Norm() }
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool { return r.Float64() < p }
+
+// FillUniform fills dst with uniform values in [lo, hi).
+func (r *RNG) FillUniform(dst []float64, lo, hi float64) {
+	for i := range dst {
+		dst[i] = r.Uniform(lo, hi)
+	}
+}
+
+// FillNormal fills dst with normal deviates.
+func (r *RNG) FillNormal(dst []float64, mean, std float64) {
+	for i := range dst {
+		dst[i] = r.Normal(mean, std)
+	}
+}
+
+// Perm returns a random permutation of [0, n) via Fisher-Yates.
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

@@ -1,0 +1,239 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d collisions in 100 draws from different seeds", same)
+	}
+}
+
+func TestZeroSeedWorks(t *testing.T) {
+	r := New(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Error("zero seed produced a degenerate stream")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(8)
+	var sum float64
+	n := 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 1000; i++ {
+		v := r.Uniform(-3, 5)
+		if v < -3 || v >= 5 {
+			t.Fatalf("Uniform(-3,5) = %v", v)
+		}
+	}
+}
+
+func TestIntnRangeAndCoverage(t *testing.T) {
+	r := New(10)
+	seen := make(map[int]int)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+		seen[v]++
+	}
+	for k := 0; k < 7; k++ {
+		if seen[k] < 1000 {
+			t.Errorf("value %d appeared only %d/10000 times", k, seen[k])
+		}
+	}
+}
+
+func TestIntnOne(t *testing.T) {
+	r := New(11)
+	for i := 0; i < 10; i++ {
+		if r.Intn(1) != 0 {
+			t.Fatal("Intn(1) must be 0")
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	r := New(12)
+	for _, n := range []int{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Intn(%d) must panic", n)
+				}
+			}()
+			r.Intn(n)
+		}()
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(13)
+	n := 200000
+	var sum, sq float64
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		sum += v
+		sq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance = %v", variance)
+	}
+}
+
+func TestNormal(t *testing.T) {
+	r := New(14)
+	n := 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Normal(10, 2)
+	}
+	if mean := sum / float64(n); math.Abs(mean-10) > 0.05 {
+		t.Errorf("Normal(10,2) mean = %v", mean)
+	}
+}
+
+func TestBool(t *testing.T) {
+	r := New(15)
+	n, hits := 100000, 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / float64(n)
+	if math.Abs(p-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) rate = %v", p)
+	}
+	if r.Bool(0) {
+		t.Error("Bool(0) must be false")
+	}
+}
+
+func TestFillers(t *testing.T) {
+	r := New(16)
+	u := make([]float64, 100)
+	r.FillUniform(u, 2, 3)
+	for _, v := range u {
+		if v < 2 || v >= 3 {
+			t.Fatalf("FillUniform value %v", v)
+		}
+	}
+	nrm := make([]float64, 100)
+	r.FillNormal(nrm, 0, 1)
+	allSame := true
+	for _, v := range nrm[1:] {
+		if v != nrm[0] {
+			allSame = false
+			break
+		}
+	}
+	if allSame {
+		t.Error("FillNormal produced constant values")
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(17)
+	p := r.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(18)
+	child := parent.Split()
+	// The child stream must differ from the parent's continued stream.
+	same := 0
+	for i := 0; i < 50; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d collisions between parent and split child", same)
+	}
+}
+
+// Property: Intn is always within bounds for arbitrary seeds and sizes.
+func TestPropertyIntnBounds(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		size := int(n%100) + 1
+		r := New(seed)
+		for i := 0; i < 20; i++ {
+			v := r.Intn(size)
+			if v < 0 || v >= size {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkNorm(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Norm()
+	}
+}

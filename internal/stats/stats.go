@@ -1,0 +1,169 @@
+// Package stats provides the summary statistics the experiment reports
+// use: central moments, percentiles, confidence intervals and fixed-width
+// histograms. The paper reports averages over 100 trials (20 for the FPGA
+// design); these helpers turn raw trial vectors into those summaries.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary holds the descriptive statistics of a sample.
+type Summary struct {
+	N         int
+	Mean, Std float64
+	Min, Max  float64
+	Median    float64
+	P25, P75  float64
+	// SE is the standard error of the mean.
+	SE float64
+}
+
+// Summarize computes a Summary. An empty sample yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var sq float64
+	for _, x := range xs {
+		d := x - s.Mean
+		sq += d * d
+	}
+	if len(xs) > 1 {
+		s.Std = math.Sqrt(sq / float64(len(xs)-1))
+		s.SE = s.Std / math.Sqrt(float64(len(xs)))
+	}
+	s.Median = Percentile(xs, 50)
+	s.P25 = Percentile(xs, 25)
+	s.P75 = Percentile(xs, 75)
+	return s
+}
+
+// Percentile returns the p-th percentile (0..100) by linear interpolation
+// between order statistics. It panics on an empty sample.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: percentile of empty sample")
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// ConfidenceInterval95 returns the mean ± half-width of a normal-theory
+// 95% confidence interval (z = 1.96). For the small trial counts here this
+// slightly understates the width versus a t interval; it matches how such
+// plots are usually annotated.
+func ConfidenceInterval95(xs []float64) (mean, halfWidth float64) {
+	s := Summarize(xs)
+	return s.Mean, 1.96 * s.SE
+}
+
+// Histogram bins xs into n equal-width bins over [min, max].
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+}
+
+// NewHistogram builds a histogram with n bins; values outside [min, max]
+// clamp to the edge bins. It panics for n <= 0 or an empty range.
+func NewHistogram(xs []float64, n int, min, max float64) *Histogram {
+	if n <= 0 || !(max > min) {
+		panic(fmt.Sprintf("stats: invalid histogram spec n=%d range=[%g,%g]", n, min, max))
+	}
+	h := &Histogram{Min: min, Max: max, Counts: make([]int, n)}
+	width := (max - min) / float64(n)
+	for _, x := range xs {
+		i := int((x - min) / width)
+		if i < 0 {
+			i = 0
+		}
+		if i >= n {
+			i = n - 1
+		}
+		h.Counts[i]++
+	}
+	return h
+}
+
+// Mode returns the index of the fullest bin.
+func (h *Histogram) Mode() int {
+	best := 0
+	for i, c := range h.Counts {
+		if c > h.Counts[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Render draws an ASCII bar chart, one row per bin.
+func (h *Histogram) Render(width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	maxC := 1
+	for _, c := range h.Counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	binWidth := (h.Max - h.Min) / float64(len(h.Counts))
+	var sb strings.Builder
+	for i, c := range h.Counts {
+		lo := h.Min + float64(i)*binWidth
+		bar := strings.Repeat("#", c*width/maxC)
+		fmt.Fprintf(&sb, "%10.3f | %-*s %d\n", lo, width, bar, c)
+	}
+	return sb.String()
+}
+
+// Welch performs Welch's unequal-variance t-test and returns the t
+// statistic and approximate degrees of freedom — used to check whether two
+// designs' episodes-to-solve distributions differ.
+func Welch(a, b []float64) (t, df float64) {
+	sa, sb := Summarize(a), Summarize(b)
+	if sa.N < 2 || sb.N < 2 {
+		return 0, 0
+	}
+	va := sa.Std * sa.Std / float64(sa.N)
+	vb := sb.Std * sb.Std / float64(sb.N)
+	if va+vb == 0 {
+		return 0, 0
+	}
+	t = (sa.Mean - sb.Mean) / math.Sqrt(va+vb)
+	df = (va + vb) * (va + vb) /
+		(va*va/float64(sa.N-1) + vb*vb/float64(sb.N-1))
+	return t, df
+}

@@ -1,0 +1,182 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"oselmrl/internal/rng"
+)
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if s.Mean != 5 {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	// Sample std of this classic dataset is sqrt(32/7).
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(s.Std-want) > 1e-12 {
+		t.Errorf("std = %v want %v", s.Std, want)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if s.Median != 4.5 {
+		t.Errorf("median = %v", s.Median)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Error("empty summary must be zero")
+	}
+	s := Summarize([]float64{3})
+	if s.Mean != 3 || s.Std != 0 || s.Median != 3 {
+		t.Errorf("single-value summary %+v", s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2}, {75, 4}, {10, 1.4},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("P%g = %v want %v", c.p, got, c.want)
+		}
+	}
+	// Out-of-range p clamps.
+	if Percentile(xs, -5) != 1 || Percentile(xs, 200) != 5 {
+		t.Error("percentile clamping failed")
+	}
+	// Input must not be mutated (sorted copy).
+	unsorted := []float64{3, 1, 2}
+	Percentile(unsorted, 50)
+	if unsorted[0] != 3 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestPercentileEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Percentile(nil, 50)
+}
+
+func TestConfidenceInterval(t *testing.T) {
+	r := rng.New(1)
+	xs := make([]float64, 10000)
+	r.FillNormal(xs, 10, 2)
+	mean, hw := ConfidenceInterval95(xs)
+	if math.Abs(mean-10) > 0.1 {
+		t.Errorf("mean = %v", mean)
+	}
+	// Half width ≈ 1.96 * 2/sqrt(10000) ≈ 0.0392.
+	if hw < 0.03 || hw > 0.05 {
+		t.Errorf("half width = %v", hw)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0.1, 0.2, 0.5, 0.9, 1.5, -3}
+	h := NewHistogram(xs, 4, 0, 1)
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != len(xs) {
+		t.Errorf("histogram lost values: %d", total)
+	}
+	// -3 clamps to bin 0; 1.5 clamps to the last bin.
+	if h.Counts[0] < 3 { // 0.1, 0.2, -3
+		t.Errorf("bin 0 = %d", h.Counts[0])
+	}
+	if h.Counts[3] < 2 { // 0.9, 1.5
+		t.Errorf("bin 3 = %d", h.Counts[3])
+	}
+	if h.Mode() != 0 {
+		t.Errorf("mode = %d", h.Mode())
+	}
+	out := h.Render(20)
+	if !strings.Contains(out, "#") {
+		t.Error("render missing bars")
+	}
+}
+
+func TestHistogramInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistogram(nil, 0, 0, 1)
+}
+
+func TestWelch(t *testing.T) {
+	r := rng.New(2)
+	a := make([]float64, 200)
+	b := make([]float64, 200)
+	r.FillNormal(a, 0, 1)
+	r.FillNormal(b, 1, 1)
+	tStat, df := Welch(a, b)
+	if tStat > -5 {
+		t.Errorf("clearly different means should give large negative t, got %v", tStat)
+	}
+	if df < 100 {
+		t.Errorf("df = %v", df)
+	}
+	// Identical samples: t == 0.
+	if tt, _ := Welch(a, a); tt != 0 {
+		t.Errorf("self-test t = %v", tt)
+	}
+	// Degenerate inputs.
+	if tt, dd := Welch([]float64{1}, []float64{2}); tt != 0 || dd != 0 {
+		t.Error("tiny samples must return zeros")
+	}
+}
+
+// Property: Summarize is translation-equivariant in the mean and
+// translation-invariant in the std.
+func TestPropertyTranslation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(50)
+		xs := make([]float64, n)
+		r.FillUniform(xs, -10, 10)
+		shift := r.Uniform(-100, 100)
+		ys := make([]float64, n)
+		for i, x := range xs {
+			ys[i] = x + shift
+		}
+		sx, sy := Summarize(xs), Summarize(ys)
+		return math.Abs(sy.Mean-(sx.Mean+shift)) < 1e-9 &&
+			math.Abs(sy.Std-sx.Std) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: min <= P25 <= median <= P75 <= max.
+func TestPropertyQuantileOrdering(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(40)
+		xs := make([]float64, n)
+		r.FillUniform(xs, -50, 50)
+		s := Summarize(xs)
+		return s.Min <= s.P25+1e-12 && s.P25 <= s.Median+1e-12 &&
+			s.Median <= s.P75+1e-12 && s.P75 <= s.Max+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,253 @@
+// Package svgplot renders minimal SVG line and stacked-bar charts using
+// the standard library only. It exists so the regenerated figures can be
+// *drawn*, not just tabulated: cmd/plot turns the harness's CSV outputs
+// into figure4.svg (training curves) and figure5.svg (stacked
+// time-to-complete bars) lookalikes.
+package svgplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Palette is a set of line/bar colors cycled by series index.
+var Palette = []string{
+	"#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee", "#aa3377", "#bbbbbb",
+}
+
+// Series is one named line on a line chart.
+type Series struct {
+	Name string
+	X, Y []float64
+	// Light draws the series thin and translucent (Figure 4's per-episode
+	// line under the moving average).
+	Light bool
+}
+
+// LineChart describes a line plot.
+type LineChart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int
+	Height int
+	Series []Series
+}
+
+const margin = 55.0
+
+// Render produces a complete SVG document.
+func (c *LineChart) Render() (string, error) {
+	if c.Width <= 0 {
+		c.Width = 720
+	}
+	if c.Height <= 0 {
+		c.Height = 420
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return "", fmt.Errorf("svgplot: series %q has %d x vs %d y", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			xmin, xmax = math.Min(xmin, s.X[i]), math.Max(xmax, s.X[i])
+			ymin, ymax = math.Min(ymin, s.Y[i]), math.Max(ymax, s.Y[i])
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		return "", fmt.Errorf("svgplot: no data")
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// Pad the y range and include zero when close.
+	if ymin > 0 && ymin < 0.3*ymax {
+		ymin = 0
+	}
+	w, h := float64(c.Width), float64(c.Height)
+	plotW, plotH := w-2*margin, h-2*margin
+	sx := func(x float64) float64 { return margin + (x-xmin)/(xmax-xmin)*plotW }
+	sy := func(y float64) float64 { return h - margin - (y-ymin)/(ymax-ymin)*plotH }
+
+	var sb strings.Builder
+	header(&sb, c.Width, c.Height, c.Title)
+	axes(&sb, w, h, c.XLabel, c.YLabel, xmin, xmax, ymin, ymax)
+
+	colorIdx := 0
+	for _, s := range c.Series {
+		color := Palette[colorIdx%len(Palette)]
+		if !s.Light {
+			colorIdx++
+		}
+		var pts strings.Builder
+		for i := range s.X {
+			if i > 0 {
+				pts.WriteByte(' ')
+			}
+			fmt.Fprintf(&pts, "%.1f,%.1f", sx(s.X[i]), sy(s.Y[i]))
+		}
+		width, opacity := 2.0, 1.0
+		if s.Light {
+			width, opacity = 1.0, 0.3
+		}
+		fmt.Fprintf(&sb,
+			`<polyline fill="none" stroke="%s" stroke-width="%.1f" stroke-opacity="%.2f" points="%s"/>`+"\n",
+			color, width, opacity, pts.String())
+	}
+	legend(&sb, c.Series)
+	sb.WriteString("</svg>\n")
+	return sb.String(), nil
+}
+
+// Bar is one stacked bar.
+type Bar struct {
+	Label string
+	// Segments are stacked bottom-up in order; keys order follows SegmentNames.
+	Segments []float64
+}
+
+// BarChart describes a stacked bar plot (Figure 5's breakdowns).
+type BarChart struct {
+	Title        string
+	YLabel       string
+	SegmentNames []string
+	Bars         []Bar
+	Width        int
+	Height       int
+	// LogScale plots bar heights on log10 (the paper's Figure 5 spans
+	// three decades).
+	LogScale bool
+}
+
+// Render produces a complete SVG document.
+func (c *BarChart) Render() (string, error) {
+	if c.Width <= 0 {
+		c.Width = 720
+	}
+	if c.Height <= 0 {
+		c.Height = 420
+	}
+	if len(c.Bars) == 0 {
+		return "", fmt.Errorf("svgplot: no bars")
+	}
+	maxTotal := 0.0
+	for _, b := range c.Bars {
+		if len(b.Segments) != len(c.SegmentNames) {
+			return "", fmt.Errorf("svgplot: bar %q has %d segments, chart names %d",
+				b.Label, len(b.Segments), len(c.SegmentNames))
+		}
+		total := 0.0
+		for _, v := range b.Segments {
+			if v < 0 {
+				return "", fmt.Errorf("svgplot: negative segment in bar %q", b.Label)
+			}
+			total += v
+		}
+		maxTotal = math.Max(maxTotal, total)
+	}
+	if maxTotal == 0 {
+		maxTotal = 1
+	}
+	w, h := float64(c.Width), float64(c.Height)
+	plotW, plotH := w-2*margin, h-2*margin
+	scale := func(total float64) float64 {
+		if c.LogScale {
+			// Map [0.1, maxTotal] to the plot height on log10.
+			lo, hi := math.Log10(0.1), math.Log10(maxTotal)
+			if total <= 0.1 {
+				return 0
+			}
+			return (math.Log10(total) - lo) / (hi - lo) * plotH
+		}
+		return total / maxTotal * plotH
+	}
+
+	var sb strings.Builder
+	header(&sb, c.Width, c.Height, c.Title)
+	fmt.Fprintf(&sb, `<text x="14" y="%.1f" transform="rotate(-90 14 %.1f)" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		h/2, h/2, escape(c.YLabel))
+
+	barW := plotW / float64(len(c.Bars)) * 0.6
+	gap := plotW / float64(len(c.Bars))
+	for i, b := range c.Bars {
+		x := margin + float64(i)*gap + (gap-barW)/2
+		// Stack from the bottom: heights are proportional to each
+		// segment's share of the (possibly log-scaled) total height.
+		total := 0.0
+		for _, v := range b.Segments {
+			total += v
+		}
+		hTotal := scale(total)
+		yCursor := h - margin
+		for si, v := range b.Segments {
+			if v <= 0 || total == 0 {
+				continue
+			}
+			segH := hTotal * (v / total)
+			yCursor -= segH
+			fmt.Fprintf(&sb, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+				x, yCursor, barW, segH, Palette[si%len(Palette)])
+		}
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" font-size="10" text-anchor="middle">%s</text>`+"\n",
+			x+barW/2, h-margin+14, escape(b.Label))
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" font-size="10" text-anchor="middle">%.4g</text>`+"\n",
+			x+barW/2, h-margin-hTotal-4, total)
+	}
+	// Segment legend.
+	for si, name := range c.SegmentNames {
+		y := margin + float64(si)*16
+		fmt.Fprintf(&sb, `<rect x="%.1f" y="%.1f" width="10" height="10" fill="%s"/>`+"\n",
+			w-margin-120, y, Palette[si%len(Palette)])
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%.1f" font-size="11">%s</text>`+"\n",
+			w-margin-105, y+9, escape(name))
+	}
+	sb.WriteString("</svg>\n")
+	return sb.String(), nil
+}
+
+func header(sb *strings.Builder, w, h int, title string) {
+	fmt.Fprintf(sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif">`+"\n", w, h, w, h)
+	fmt.Fprintf(sb, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	fmt.Fprintf(sb, `<text x="%d" y="24" font-size="15" text-anchor="middle">%s</text>`+"\n", w/2, escape(title))
+}
+
+func axes(sb *strings.Builder, w, h float64, xl, yl string, xmin, xmax, ymin, ymax float64) {
+	fmt.Fprintf(sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+		margin, h-margin, w-margin, h-margin)
+	fmt.Fprintf(sb, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="black"/>`+"\n",
+		margin, margin, margin, h-margin)
+	fmt.Fprintf(sb, `<text x="%.1f" y="%.1f" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		w/2, h-14, escape(xl))
+	fmt.Fprintf(sb, `<text x="14" y="%.1f" transform="rotate(-90 14 %.1f)" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		h/2, h/2, escape(yl))
+	// Min/max tick labels.
+	fmt.Fprintf(sb, `<text x="%.1f" y="%.1f" font-size="10">%.4g</text>`+"\n", margin, h-margin+14, xmin)
+	fmt.Fprintf(sb, `<text x="%.1f" y="%.1f" font-size="10" text-anchor="end">%.4g</text>`+"\n", w-margin, h-margin+14, xmax)
+	fmt.Fprintf(sb, `<text x="%.1f" y="%.1f" font-size="10" text-anchor="end">%.4g</text>`+"\n", margin-4, h-margin, ymin)
+	fmt.Fprintf(sb, `<text x="%.1f" y="%.1f" font-size="10" text-anchor="end">%.4g</text>`+"\n", margin-4, margin+4, ymax)
+}
+
+func legend(sb *strings.Builder, series []Series) {
+	idx := 0
+	for _, s := range series {
+		if s.Light {
+			continue
+		}
+		y := margin + float64(idx)*16
+		fmt.Fprintf(sb, `<rect x="%.1f" y="%.1f" width="10" height="10" fill="%s"/>`+"\n",
+			margin+10, y, Palette[idx%len(Palette)])
+		fmt.Fprintf(sb, `<text x="%.1f" y="%.1f" font-size="11">%s</text>`+"\n",
+			margin+25, y+9, escape(s.Name))
+		idx++
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,129 @@
+package svgplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLineChartRenders(t *testing.T) {
+	c := &LineChart{
+		Title:  "Training curve",
+		XLabel: "episode",
+		YLabel: "steps",
+		Series: []Series{
+			{Name: "OS-ELM-L2", X: []float64{1, 2, 3}, Y: []float64{10, 100, 195}},
+			{Name: "raw", X: []float64{1, 2, 3}, Y: []float64{5, 150, 200}, Light: true},
+		},
+	}
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<svg", "</svg>", "polyline", "Training curve", "OS-ELM-L2", "episode", "steps"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in SVG", want)
+		}
+	}
+	// Light series must not appear in the legend.
+	if strings.Count(out, ">raw<") != 0 {
+		t.Error("light series leaked into the legend")
+	}
+	// Two polylines: one per series.
+	if got := strings.Count(out, "<polyline"); got != 2 {
+		t.Errorf("polylines = %d", got)
+	}
+}
+
+func TestLineChartErrors(t *testing.T) {
+	c := &LineChart{Series: []Series{{Name: "bad", X: []float64{1}, Y: []float64{1, 2}}}}
+	if _, err := c.Render(); err == nil {
+		t.Error("mismatched series must fail")
+	}
+	empty := &LineChart{}
+	if _, err := empty.Render(); err == nil {
+		t.Error("no data must fail")
+	}
+}
+
+func TestLineChartDegenerateRanges(t *testing.T) {
+	// Constant series: ranges must expand rather than divide by zero.
+	c := &LineChart{Series: []Series{{Name: "flat", X: []float64{1, 1}, Y: []float64{5, 5}}}}
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Error("degenerate range produced NaN/Inf coordinates")
+	}
+}
+
+func TestBarChartRenders(t *testing.T) {
+	c := &BarChart{
+		Title:        "Execution time",
+		YLabel:       "seconds",
+		SegmentNames: []string{"seq_train", "predict_seq"},
+		Bars: []Bar{
+			{Label: "OS-ELM", Segments: []float64{60, 20}},
+			{Label: "FPGA", Segments: []float64{5, 2}},
+		},
+	}
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<svg", "seq_train", "OS-ELM", "FPGA", "<rect"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+	// 4 segment rects + background + 2 legend swatches = at least 7 rects.
+	if got := strings.Count(out, "<rect"); got < 7 {
+		t.Errorf("rects = %d", got)
+	}
+}
+
+func TestBarChartLogScale(t *testing.T) {
+	c := &BarChart{
+		SegmentNames: []string{"a"},
+		Bars: []Bar{
+			{Label: "small", Segments: []float64{1}},
+			{Label: "big", Segments: []float64{1000}},
+		},
+		LogScale: true,
+	}
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "NaN") {
+		t.Error("log scale produced NaN")
+	}
+}
+
+func TestBarChartErrors(t *testing.T) {
+	if _, err := (&BarChart{}).Render(); err == nil {
+		t.Error("no bars must fail")
+	}
+	bad := &BarChart{SegmentNames: []string{"a", "b"}, Bars: []Bar{{Label: "x", Segments: []float64{1}}}}
+	if _, err := bad.Render(); err == nil {
+		t.Error("segment count mismatch must fail")
+	}
+	neg := &BarChart{SegmentNames: []string{"a"}, Bars: []Bar{{Label: "x", Segments: []float64{-1}}}}
+	if _, err := neg.Render(); err == nil {
+		t.Error("negative segment must fail")
+	}
+}
+
+func TestEscape(t *testing.T) {
+	c := &LineChart{
+		Title:  `<script>&"`,
+		Series: []Series{{Name: "s", X: []float64{0, 1}, Y: []float64{0, 1}}},
+	}
+	out, err := c.Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "<script>") {
+		t.Error("title not escaped")
+	}
+}

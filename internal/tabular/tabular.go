@@ -1,0 +1,212 @@
+// Package tabular implements classic table-based Q-learning (Watkins,
+// 1989). It serves as the ground-truth reference the function-
+// approximation agents are validated against: on a small discrete task
+// (GridWorld) tabular Q-learning provably converges to the optimal
+// policy, so any correct ELM/OS-ELM/DQN agent must reach the same greedy
+// decisions there. The discretizer also lets it run on continuous tasks
+// as a crude baseline.
+package tabular
+
+import (
+	"fmt"
+	"math"
+
+	"oselmrl/internal/replay"
+	"oselmrl/internal/rng"
+	"oselmrl/internal/timing"
+)
+
+// Discretizer maps a continuous observation to a table index.
+type Discretizer struct {
+	// Low and High bound each dimension; values clamp to the range.
+	Low, High []float64
+	// Bins is the number of cells per dimension.
+	Bins []int
+}
+
+// NewUniformDiscretizer builds a discretizer with the same bin count per
+// dimension.
+func NewUniformDiscretizer(low, high []float64, bins int) (*Discretizer, error) {
+	if len(low) != len(high) || len(low) == 0 {
+		return nil, fmt.Errorf("tabular: bounds length mismatch %d/%d", len(low), len(high))
+	}
+	if bins < 1 {
+		return nil, fmt.Errorf("tabular: bins must be >= 1")
+	}
+	b := make([]int, len(low))
+	for i := range b {
+		if !(high[i] > low[i]) {
+			return nil, fmt.Errorf("tabular: empty range in dimension %d", i)
+		}
+		b[i] = bins
+	}
+	return &Discretizer{Low: append([]float64(nil), low...), High: append([]float64(nil), high...), Bins: b}, nil
+}
+
+// States returns the table size.
+func (d *Discretizer) States() int {
+	n := 1
+	for _, b := range d.Bins {
+		n *= b
+	}
+	return n
+}
+
+// Index maps an observation to its cell index.
+func (d *Discretizer) Index(obs []float64) int {
+	if len(obs) != len(d.Bins) {
+		panic(fmt.Sprintf("tabular: observation length %d, discretizer expects %d", len(obs), len(d.Bins)))
+	}
+	idx := 0
+	for i, v := range obs {
+		cell := int(float64(d.Bins[i]) * (v - d.Low[i]) / (d.High[i] - d.Low[i]))
+		if cell < 0 {
+			cell = 0
+		}
+		if cell >= d.Bins[i] {
+			cell = d.Bins[i] - 1
+		}
+		idx = idx*d.Bins[i] + cell
+	}
+	return idx
+}
+
+// Config holds the Q-learning hyperparameters.
+type Config struct {
+	// Actions is the number of discrete actions.
+	Actions int
+	// Alpha is the learning rate.
+	Alpha float64
+	// Gamma is the discount rate.
+	Gamma float64
+	// Epsilon1 is the greedy probability (Algorithm 1's convention).
+	Epsilon1 float64
+	// ExploreDecay anneals exploration per episode, as in qnet.
+	ExploreDecay float64
+	// Seed drives the exploration stream.
+	Seed uint64
+}
+
+// DefaultConfig returns standard tabular settings.
+func DefaultConfig(actions int) Config {
+	return Config{Actions: actions, Alpha: 0.2, Gamma: 0.99, Epsilon1: 0.7, ExploreDecay: 0.99, Seed: 1}
+}
+
+// Agent is a tabular Q-learner implementing the harness Agent contract.
+type Agent struct {
+	cfg  Config
+	disc *Discretizer
+	q    []float64 // states × actions, row-major
+	rng  *rng.RNG
+
+	exploreProb float64
+	counters    *timing.Counters
+}
+
+// New builds the agent over a discretizer.
+func New(cfg Config, disc *Discretizer) (*Agent, error) {
+	if cfg.Actions <= 0 {
+		return nil, fmt.Errorf("tabular: actions must be positive")
+	}
+	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
+		return nil, fmt.Errorf("tabular: alpha %g outside (0, 1]", cfg.Alpha)
+	}
+	if disc == nil {
+		return nil, fmt.Errorf("tabular: discretizer required")
+	}
+	a := &Agent{
+		cfg:      cfg,
+		disc:     disc,
+		q:        make([]float64, disc.States()*cfg.Actions),
+		rng:      rng.New(cfg.Seed),
+		counters: timing.NewCounters(),
+	}
+	a.exploreProb = 1 - cfg.Epsilon1
+	return a, nil
+}
+
+// MustNew is New that panics on configuration errors.
+func MustNew(cfg Config, disc *Discretizer) *Agent {
+	a, err := New(cfg, disc)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Name implements the harness contract.
+func (a *Agent) Name() string { return "Tabular-Q" }
+
+// Counters implements the harness contract; table lookups are free
+// relative to the matrix designs, so only seq_train-equivalent updates are
+// tracked (4 flops each).
+func (a *Agent) Counters() *timing.Counters { return a.counters }
+
+func (a *Agent) row(state []float64) []float64 {
+	i := a.disc.Index(state)
+	return a.q[i*a.cfg.Actions : (i+1)*a.cfg.Actions]
+}
+
+// GreedyAction returns argmax with random tie-breaking.
+func (a *Agent) GreedyAction(state []float64) int {
+	row := a.row(state)
+	best, arg, ties := math.Inf(-1), 0, 0
+	for i, v := range row {
+		switch {
+		case v > best:
+			best, arg, ties = v, i, 1
+		case v == best:
+			ties++
+			if a.rng.Intn(ties) == 0 {
+				arg = i
+			}
+		}
+	}
+	return arg
+}
+
+// SelectAction is ε-greedy.
+func (a *Agent) SelectAction(state []float64) int {
+	if a.rng.Float64() < a.exploreProb {
+		return a.rng.Intn(a.cfg.Actions)
+	}
+	return a.GreedyAction(state)
+}
+
+// Observe applies the Q-learning update
+// Q(s,a) += α (r + γ(1-d) max Q(s',·) − Q(s,a)).
+func (a *Agent) Observe(t replay.Transition) error {
+	row := a.row(t.State)
+	target := t.Reward
+	if !t.Done {
+		next := a.row(t.NextState)
+		best := math.Inf(-1)
+		for _, v := range next {
+			if v > best {
+				best = v
+			}
+		}
+		target += a.cfg.Gamma * best
+	}
+	row[t.Action] += a.cfg.Alpha * (target - row[t.Action])
+	a.counters.Add(timing.PhaseSeqTrain, 4)
+	return nil
+}
+
+// EndEpisode anneals exploration.
+func (a *Agent) EndEpisode(int) {
+	if a.cfg.ExploreDecay > 0 && a.cfg.ExploreDecay <= 1 {
+		a.exploreProb *= a.cfg.ExploreDecay
+	}
+}
+
+// Reinitialize zeroes the table and restores exploration.
+func (a *Agent) Reinitialize() {
+	for i := range a.q {
+		a.q[i] = 0
+	}
+	a.exploreProb = 1 - a.cfg.Epsilon1
+}
+
+// Q returns Q(s, a) for inspection.
+func (a *Agent) Q(state []float64, action int) float64 { return a.row(state)[action] }

@@ -1,0 +1,179 @@
+package tabular
+
+import (
+	"testing"
+
+	"oselmrl/internal/env"
+	"oselmrl/internal/harness"
+	"oselmrl/internal/replay"
+)
+
+func gridDiscretizer(t *testing.T, n int) *Discretizer {
+	t.Helper()
+	d, err := NewUniformDiscretizer([]float64{0, 0}, []float64{1.0001, 1.0001}, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDiscretizerIndexing(t *testing.T) {
+	d := gridDiscretizer(t, 3)
+	if d.States() != 9 {
+		t.Fatalf("states = %d", d.States())
+	}
+	// Distinct cells for distinct grid positions.
+	seen := map[int]bool{}
+	for _, pos := range [][]float64{{0, 0}, {0, 0.5}, {0, 1}, {0.5, 0}, {1, 1}} {
+		idx := d.Index(pos)
+		if idx < 0 || idx >= 9 {
+			t.Fatalf("index %d out of range", idx)
+		}
+		seen[idx] = true
+	}
+	if len(seen) != 5 {
+		t.Errorf("positions collided: %v", seen)
+	}
+	// Out-of-range values clamp.
+	if d.Index([]float64{-5, 7}) != d.Index([]float64{0, 1.0001 - 1e-9}) {
+		t.Error("clamping broken")
+	}
+}
+
+func TestDiscretizerValidation(t *testing.T) {
+	if _, err := NewUniformDiscretizer([]float64{0}, []float64{0}, 3); err == nil {
+		t.Error("empty range must fail")
+	}
+	if _, err := NewUniformDiscretizer([]float64{0}, []float64{1, 2}, 3); err == nil {
+		t.Error("length mismatch must fail")
+	}
+	if _, err := NewUniformDiscretizer([]float64{0}, []float64{1}, 0); err == nil {
+		t.Error("zero bins must fail")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	d := gridDiscretizer(t, 3)
+	bad := DefaultConfig(0)
+	if _, err := New(bad, d); err == nil {
+		t.Error("zero actions must fail")
+	}
+	bad2 := DefaultConfig(2)
+	bad2.Alpha = 0
+	if _, err := New(bad2, d); err == nil {
+		t.Error("zero alpha must fail")
+	}
+	if _, err := New(DefaultConfig(2), nil); err == nil {
+		t.Error("nil discretizer must fail")
+	}
+}
+
+func TestQUpdateMovesTowardTarget(t *testing.T) {
+	d := gridDiscretizer(t, 2)
+	a := MustNew(DefaultConfig(2), d)
+	s := []float64{0, 0}
+	if a.Q(s, 1) != 0 {
+		t.Fatal("fresh table must be zero")
+	}
+	for i := 0; i < 100; i++ {
+		if err := a.Observe(replay.Transition{State: s, Action: 1, Reward: 1, NextState: s, Done: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q := a.Q(s, 1); q < 0.95 {
+		t.Errorf("Q after repeated reward-1 updates = %v", q)
+	}
+	if q := a.Q(s, 0); q != 0 {
+		t.Errorf("untouched action Q = %v", q)
+	}
+}
+
+// TestTabularSolvesGridWorld: the reference agent masters GridWorld — the
+// ground truth the function-approximation agents are compared against.
+func TestTabularSolvesGridWorld(t *testing.T) {
+	g := env.NewGridWorld(4, 5)
+	d := gridDiscretizer(t, 4)
+	cfg := DefaultConfig(g.ActionCount())
+	cfg.Seed = 7
+	a := MustNew(cfg, d)
+	for ep := 1; ep <= 500; ep++ {
+		s := g.Reset()
+		for {
+			act := a.SelectAction(s)
+			ns, r, done := g.Step(act)
+			if err := a.Observe(replay.Transition{State: s, Action: act, Reward: r, NextState: ns, Done: done}); err != nil {
+				t.Fatal(err)
+			}
+			s = ns
+			if done {
+				break
+			}
+		}
+		a.EndEpisode(ep)
+	}
+	// Optimal path on a 4x4 grid is 6 moves.
+	score := harness.EvaluateGreedy(a, g, 5, true)
+	if score > 6.5 {
+		t.Errorf("tabular greedy path = %v moves, optimal is 6", score)
+	}
+}
+
+// TestAgreementWithDQN: on the same grid, tabular and DQN greedy policies
+// agree on the first move from the start state (both must head toward the
+// goal). Validates the function approximators against ground truth.
+func TestAgreementWithDQN(t *testing.T) {
+	g := env.NewGridWorld(3, 9)
+	d := gridDiscretizer(t, 3)
+	cfg := DefaultConfig(g.ActionCount())
+	cfg.Seed = 7
+	a := MustNew(cfg, d)
+	for ep := 1; ep <= 400; ep++ {
+		s := g.Reset()
+		for {
+			act := a.SelectAction(s)
+			ns, r, done := g.Step(act)
+			if err := a.Observe(replay.Transition{State: s, Action: act, Reward: r, NextState: ns, Done: done}); err != nil {
+				t.Fatal(err)
+			}
+			s = ns
+			if done {
+				break
+			}
+		}
+		a.EndEpisode(ep)
+	}
+	start := g.Reset()
+	move := a.GreedyAction(start)
+	// From (0,0) the optimal first moves are right (1) or down (2).
+	if move != 1 && move != 2 {
+		t.Errorf("tabular first move = %d, optimal is right or down", move)
+	}
+}
+
+func TestReinitialize(t *testing.T) {
+	d := gridDiscretizer(t, 2)
+	a := MustNew(DefaultConfig(2), d)
+	s := []float64{0, 0}
+	if err := a.Observe(replay.Transition{State: s, Action: 0, Reward: 1, NextState: s, Done: true}); err != nil {
+		t.Fatal(err)
+	}
+	a.EndEpisode(1)
+	a.Reinitialize()
+	if a.Q(s, 0) != 0 {
+		t.Error("table must be zeroed")
+	}
+}
+
+// The harness contract holds end to end.
+func TestHarnessIntegration(t *testing.T) {
+	g := env.NewGridWorld(3, 11)
+	d := gridDiscretizer(t, 3)
+	cfg := DefaultConfig(g.ActionCount())
+	cfg.Seed = 3
+	a := MustNew(cfg, d)
+	rc := harness.Config{MaxEpisodes: 200, SolveWindow: 20, SolveThreshold: 1e18, ScoreIsSteps: false, RecordCurve: true}
+	res := harness.Run(a, g, rc)
+	if res.Episodes != 200 || len(res.Curve) != 200 {
+		t.Errorf("episodes %d curve %d", res.Episodes, len(res.Curve))
+	}
+}

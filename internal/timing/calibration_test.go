@@ -1,0 +1,64 @@
+package timing
+
+import "testing"
+
+// TestCalibrationWindows pins the modelled per-operation costs at the
+// paper's design points. EXPERIMENTS.md's paper-vs-ours tables depend on
+// these constants; an accidental recalibration should fail loudly here,
+// not surface as silently different tables.
+func TestCalibrationWindows(t *testing.T) {
+	type window struct{ lo, hi float64 } // seconds
+	cases := []struct {
+		hidden int
+		want   window
+	}{
+		// One OS-ELM rank-1 update (with its θ2 target evaluation) on the
+		// PyTorch profile: sub-millisecond at 32 units, a few ms at 192.
+		{32, window{300e-6, 900e-6}},
+		{64, window{500e-6, 2e-3}},
+		{128, window{1e-3, 4e-3}},
+		{192, window{2e-3, 8e-3}},
+	}
+	for _, c := range cases {
+		d := OSELMDims{In: 5, Hidden: c.hidden, Out: 1}
+		work := 2*d.PredictFlops() + d.SeqTrainFlops()
+		sec := CortexA9PyTorch.Seconds(PhaseSeqTrain, 1, work)
+		if sec < c.want.lo || sec > c.want.hi {
+			t.Errorf("%d units: seq_train step = %v s, outside [%v, %v]",
+				c.hidden, sec, c.want.lo, c.want.hi)
+		}
+	}
+
+	// One DQN train step (batch 32) on the NumPy profile: milliseconds,
+	// growing with width — the cost that makes DQN the slow baseline.
+	prev := 0.0
+	for _, hidden := range []int{32, 64, 128, 192} {
+		d := DQNDims{In: 4, Hidden: hidden, Actions: 2}
+		work := d.TrainFlops(32) + d.PredictBatchFlops(32)
+		sec := CortexA9NumPy.Seconds(PhaseTrainDQN, 1, work)
+		if sec <= prev {
+			t.Errorf("DQN step cost not increasing at %d units", hidden)
+		}
+		if sec < 1e-3 || sec > 30e-3 {
+			t.Errorf("%d units: DQN step = %v s, outside the ms regime", hidden, sec)
+		}
+		prev = sec
+	}
+
+	// The FPGA profile turns the 64-unit seq_train cycle count (17,521)
+	// into ~140 µs — the figure EXPERIMENTS.md quotes.
+	sec := FPGA125.Seconds(PhaseSeqTrain, 1, 17521)
+	if sec < 130e-6 || sec > 160e-6 {
+		t.Errorf("FPGA 64-unit update = %v s, want ~140 µs", sec)
+	}
+
+	// Cross-design ordering at 64 units: one DQN step costs more than one
+	// OS-ELM update, which costs more than one FPGA update.
+	oselmSec := CortexA9PyTorch.Seconds(PhaseSeqTrain, 1,
+		2*OSELMDims{In: 5, Hidden: 64, Out: 1}.PredictFlops()+
+			OSELMDims{In: 5, Hidden: 64, Out: 1}.SeqTrainFlops())
+	dqnSec := CortexA9NumPy.Seconds(PhaseTrainDQN, 1, DQNDims{In: 4, Hidden: 64, Actions: 2}.TrainFlops(32))
+	if !(dqnSec > oselmSec && oselmSec > sec) {
+		t.Errorf("ordering broken: dqn %v, oselm %v, fpga %v", dqnSec, oselmSec, sec)
+	}
+}

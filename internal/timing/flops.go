@@ -1,0 +1,79 @@
+package timing
+
+// Analytic floating-point operation counts per phase, parameterized on the
+// network dimensions. These are the standard 2·m·n·k GEMM counts plus the
+// vector terms; they drive the device-time model for the software designs.
+// The FPGA design does not use these — its cycle counts come from the
+// datapath simulator in internal/fpga, which counts every add/mul/div it
+// actually issues.
+
+// OSELMDims describes an OS-ELM Q-network: n inputs (states+action under
+// the simplified output model), hidden units, m outputs (1).
+type OSELMDims struct {
+	In, Hidden, Out int
+}
+
+// PredictFlops is one k=1 forward pass: H = G(x·α+b) then H·β.
+func (d OSELMDims) PredictFlops() float64 {
+	n, h, m := float64(d.In), float64(d.Hidden), float64(d.Out)
+	return 2*n*h + h + 2*h*m
+}
+
+// SeqTrainFlops is one rank-1 sequential update (Eq. 5, k=1): the hidden
+// pass, P·hᵀ, the scalar gain, the symmetric rank-1 downdate of P, the
+// prediction residual and the β update. The Ñ² terms dominate — this is
+// the "RÑ×Ñ·RÑ×Ñ" growth the paper cites for rising completion times.
+func (d OSELMDims) SeqTrainFlops() float64 {
+	n, h, m := float64(d.In), float64(d.Hidden), float64(d.Out)
+	hidden := 2*n*h + h
+	ph := 2 * h * h
+	gain := 2*h + 2
+	downdate := 3 * h * h
+	residual := 2 * h * m
+	betaUpd := h + 3*h*m
+	return hidden + ph + gain + downdate + residual + betaUpd
+}
+
+// InitTrainFlops is the one-shot initial training (Eq. 7/8) on a k-row
+// chunk: build H, form HᵀH (+δI), invert (Gauss-Jordan ~2Ñ³), then
+// P·Hᵀ·t.
+func (d OSELMDims) InitTrainFlops(chunk int) float64 {
+	n, h, m, k := float64(d.In), float64(d.Hidden), float64(d.Out), float64(chunk)
+	buildH := k * (2*n*h + h)
+	gram := 2 * h * h * k
+	inverse := 2 * h * h * h
+	pht := 2 * h * h * k
+	times := 2 * h * k * m
+	return buildH + gram + inverse + pht + times
+}
+
+// ELMBatchTrainFlops is ELM's batch training via the regularized normal
+// equations on a k-row chunk — the same cost shape as OS-ELM's initial
+// training (the ELM design retrains from its buffer each time D fills).
+func (d OSELMDims) ELMBatchTrainFlops(chunk int) float64 {
+	return d.InitTrainFlops(chunk)
+}
+
+// DQNDims describes the baseline three-layer DQN: n inputs, hidden units,
+// a outputs (one Q per action).
+type DQNDims struct {
+	In, Hidden, Actions int
+}
+
+func (d DQNDims) forwardFlops(batch int) float64 {
+	n, h, a, b := float64(d.In), float64(d.Hidden), float64(d.Actions), float64(batch)
+	return b * (2*n*h + h + 2*h*a + a)
+}
+
+// Predict1Flops is a batch-1 forward pass (action selection).
+func (d DQNDims) Predict1Flops() float64 { return d.forwardFlops(1) }
+
+// PredictBatchFlops is a batch-k forward pass (target computation).
+func (d DQNDims) PredictBatchFlops(batch int) float64 { return d.forwardFlops(batch) }
+
+// TrainFlops is one gradient step on a batch: forward + backward (≈2×
+// forward for the matrix products) + Adam's ~10 flops per parameter.
+func (d DQNDims) TrainFlops(batch int) float64 {
+	params := float64(d.In*d.Hidden + d.Hidden + d.Hidden*d.Actions + d.Actions)
+	return 3*d.forwardFlops(batch) + 10*params
+}

@@ -1,0 +1,144 @@
+// Package trace renders experiment results as CSV and aligned-text tables
+// so the cmd/ tools can regenerate the paper's figures as data files that
+// plot directly (each figure's X/Y series or table rows).
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"oselmrl/internal/harness"
+	"oselmrl/internal/timing"
+)
+
+// WriteCurveCSV emits a training curve (paper Figure 4's light line plus
+// the 100-episode moving average dark line) as CSV:
+// episode,steps,score,moving_avg.
+func WriteCurveCSV(w io.Writer, curve []harness.EpisodeStat) error {
+	if _, err := fmt.Fprintln(w, "episode,steps,score,moving_avg"); err != nil {
+		return err
+	}
+	for _, p := range curve {
+		if _, err := fmt.Fprintf(w, "%d,%d,%s,%s\n",
+			p.Episode, p.Steps, formatFloat(p.Score), formatFloat(p.MovingAvg)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BreakdownRow is one design's execution-time breakdown at one hidden size
+// (one bar of paper Figure 5/6).
+type BreakdownRow struct {
+	Design string
+	Hidden int
+	// Breakdown maps phase to modelled seconds.
+	Breakdown timing.Breakdown
+	// Solved and Episodes qualify the measurement.
+	Solved   bool
+	Episodes int
+}
+
+// WriteBreakdownCSV emits Figure 5-style rows:
+// design,hidden,solved,episodes,<phase columns...>,total.
+func WriteBreakdownCSV(w io.Writer, rows []BreakdownRow) error {
+	cols := make([]string, 0, len(timing.AllPhases))
+	for _, p := range timing.AllPhases {
+		cols = append(cols, string(p))
+	}
+	if _, err := fmt.Fprintf(w, "design,hidden,solved,episodes,%s,total\n",
+		strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fields := []string{r.Design, strconv.Itoa(r.Hidden),
+			strconv.FormatBool(r.Solved), strconv.Itoa(r.Episodes)}
+		for _, p := range timing.AllPhases {
+			fields = append(fields, formatFloat(r.Breakdown[p]))
+		}
+		fields = append(fields, formatFloat(r.Breakdown.Total()))
+		if _, err := fmt.Fprintln(w, strings.Join(fields, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FormatBreakdownTable renders rows as an aligned text table grouped by
+// hidden size, mirroring how Figure 5 is organized.
+func FormatBreakdownTable(rows []BreakdownRow) string {
+	var sb strings.Builder
+	byHidden := map[int][]BreakdownRow{}
+	hiddens := []int{}
+	for _, r := range rows {
+		if _, ok := byHidden[r.Hidden]; !ok {
+			hiddens = append(hiddens, r.Hidden)
+		}
+		byHidden[r.Hidden] = append(byHidden[r.Hidden], r)
+	}
+	sort.Ints(hiddens)
+	for _, h := range hiddens {
+		fmt.Fprintf(&sb, "== %d hidden units ==\n", h)
+		for _, r := range byHidden[h] {
+			status := "solved"
+			if !r.Solved {
+				status = "NOT SOLVED"
+			}
+			fmt.Fprintf(&sb, "%-22s %-10s episodes=%-6d total=%9.2fs\n",
+				r.Design, status, r.Episodes, r.Breakdown.Total())
+			for _, p := range timing.AllPhases {
+				if v, ok := r.Breakdown[p]; ok && v > 0 {
+					fmt.Fprintf(&sb, "    %-13s %10.3fs\n", p, v)
+				}
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// SpeedupTable renders "X.XXx faster than DQN" comparisons per hidden size
+// (the paper's §4.4 headline numbers).
+func SpeedupTable(rows []BreakdownRow) string {
+	var sb strings.Builder
+	byHidden := map[int]map[string]BreakdownRow{}
+	hiddens := []int{}
+	for _, r := range rows {
+		if byHidden[r.Hidden] == nil {
+			byHidden[r.Hidden] = map[string]BreakdownRow{}
+			hiddens = append(hiddens, r.Hidden)
+		}
+		byHidden[r.Hidden][r.Design] = r
+	}
+	sort.Ints(hiddens)
+	for _, h := range hiddens {
+		group := byHidden[h]
+		dqn, ok := group["DQN"]
+		if !ok || !dqn.Solved {
+			fmt.Fprintf(&sb, "%d units: no solved DQN baseline\n", h)
+			continue
+		}
+		base := dqn.Breakdown.Total()
+		fmt.Fprintf(&sb, "%d units (DQN = %.2fs):\n", h, base)
+		names := make([]string, 0, len(group))
+		for name := range group {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			r := group[name]
+			if name == "DQN" || !r.Solved {
+				continue
+			}
+			fmt.Fprintf(&sb, "  %-22s %8.2fs  %6.2fx faster than DQN\n",
+				name, r.Breakdown.Total(), base/r.Breakdown.Total())
+		}
+	}
+	return sb.String()
+}
+
+// formatFloat renders with enough precision for plotting without noise.
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }

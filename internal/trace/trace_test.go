@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"oselmrl/internal/harness"
+	"oselmrl/internal/timing"
+)
+
+func sampleRows() []BreakdownRow {
+	return []BreakdownRow{
+		{
+			Design: "DQN", Hidden: 32, Solved: true, Episodes: 4000,
+			Breakdown: timing.Breakdown{
+				timing.PhaseTrainDQN:  100,
+				timing.PhasePredict1:  20,
+				timing.PhasePredict32: 30,
+			},
+		},
+		{
+			Design: "OS-ELM-L2-Lipschitz", Hidden: 32, Solved: true, Episodes: 2000,
+			Breakdown: timing.Breakdown{
+				timing.PhaseSeqTrain:   10,
+				timing.PhasePredictSeq: 4,
+				timing.PhaseInitTrain:  1,
+			},
+		},
+		{
+			Design: "OS-ELM", Hidden: 32, Solved: false, Episodes: 50000,
+			Breakdown: timing.Breakdown{timing.PhaseSeqTrain: 99},
+		},
+		{
+			Design: "FPGA", Hidden: 64, Solved: true, Episodes: 1500,
+			Breakdown: timing.Breakdown{timing.PhaseSeqTrain: 2},
+		},
+	}
+}
+
+func TestWriteCurveCSV(t *testing.T) {
+	curve := []harness.EpisodeStat{
+		{Episode: 1, Steps: 12, Score: 12, MovingAvg: 12},
+		{Episode: 2, Steps: 30, Score: 30, MovingAvg: 21},
+	}
+	var sb strings.Builder
+	if err := WriteCurveCSV(&sb, curve); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if lines[0] != "episode,steps,score,moving_avg" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[2], "2,30,30,21") {
+		t.Errorf("row = %q", lines[2])
+	}
+}
+
+func TestWriteBreakdownCSV(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteBreakdownCSV(&sb, sampleRows()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.Contains(lines[0], "seq_train") || !strings.Contains(lines[0], "train_DQN") {
+		t.Errorf("header missing phases: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "DQN,32,true,4000") {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	// Total column: DQN total = 150.
+	if !strings.HasSuffix(lines[1], ",150") {
+		t.Errorf("DQN total suffix wrong: %q", lines[1])
+	}
+}
+
+func TestFormatBreakdownTable(t *testing.T) {
+	out := FormatBreakdownTable(sampleRows())
+	if !strings.Contains(out, "== 32 hidden units ==") ||
+		!strings.Contains(out, "== 64 hidden units ==") {
+		t.Error("missing hidden-size groups")
+	}
+	if !strings.Contains(out, "NOT SOLVED") {
+		t.Error("unsolved marker missing")
+	}
+	if !strings.Contains(out, "OS-ELM-L2-Lipschitz") {
+		t.Error("design name missing")
+	}
+}
+
+func TestSpeedupTable(t *testing.T) {
+	out := SpeedupTable(sampleRows())
+	// 32 units: DQN 150s vs OS-ELM-L2-Lipschitz 15s → 10x.
+	if !strings.Contains(out, "10.00x faster than DQN") {
+		t.Errorf("speedup not computed:\n%s", out)
+	}
+	// Unsolved OS-ELM must not be listed as a speedup.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "OS-ELM ") && strings.Contains(line, "faster") {
+			t.Errorf("unsolved design listed: %q", line)
+		}
+	}
+	// 64 units: no DQN baseline present.
+	if !strings.Contains(out, "64 units: no solved DQN baseline") {
+		t.Errorf("missing baseline note:\n%s", out)
+	}
+}

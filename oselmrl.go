@@ -1,0 +1,91 @@
+// Package oselmrl is a Go reproduction of "An FPGA-Based On-Device
+// Reinforcement Learning Approach using Online Sequential Learning"
+// (Watanabe, Tsukada, Matsutani): backpropagation-free Q-learning built on
+// OS-ELM with spectral normalization and L2 regularization, a conventional
+// DQN baseline, a bit-accurate Q20 fixed-point simulator of the paper's
+// PYNQ-Z1 core, and the experiment harness that regenerates the paper's
+// tables and figures.
+//
+// This package is the public facade over the internal implementation:
+//
+//	agent, _ := oselmrl.NewAgent(oselmrl.DesignOSELML2Lipschitz, 4, 2, 64, seed)
+//	task := oselmrl.NewCartPole(seed)
+//	result := oselmrl.Run(agent, task, oselmrl.DefaultRunConfig())
+//
+// The internal packages remain available for fine-grained use: internal/elm
+// and internal/oselm implement the training algorithms, internal/qnet the
+// Q-network agents (paper Algorithm 1), internal/dqn the baseline,
+// internal/fpga the fixed-point core with cycle counting and the Table 3
+// resource model, internal/env the CartPole/MountainCar/Acrobot/GridWorld/
+// Pendulum environments, and internal/harness the experiment driver.
+package oselmrl
+
+import (
+	"oselmrl/internal/env"
+	"oselmrl/internal/harness"
+	"oselmrl/internal/timing"
+)
+
+// Design names the paper's seven compared designs (§4.1).
+type Design = harness.Design
+
+// The seven designs, in the paper's order.
+const (
+	DesignELM              = harness.DesignELM
+	DesignOSELM            = harness.DesignOSELM
+	DesignOSELML2          = harness.DesignOSELML2
+	DesignOSELMLipschitz   = harness.DesignOSELMLipschitz
+	DesignOSELML2Lipschitz = harness.DesignOSELML2Lipschitz
+	DesignDQN              = harness.DesignDQN
+	DesignFPGA             = harness.DesignFPGA
+)
+
+// AllDesigns lists the seven designs in the paper's order.
+var AllDesigns = harness.AllDesigns
+
+// Agent is the contract every design implements.
+type Agent = harness.Agent
+
+// Env is a discrete-action episodic environment.
+type Env = env.Env
+
+// RunConfig controls a training run (solve criterion, reset rule, cutoff).
+type RunConfig = harness.Config
+
+// Result summarizes one training run.
+type Result = harness.Result
+
+// Breakdown maps execution phases to modelled device seconds.
+type Breakdown = timing.Breakdown
+
+// NewAgent constructs the named design with the paper's hyperparameters
+// for an environment with obsSize observations and actions actions, Ñ =
+// hidden, seeded deterministically.
+func NewAgent(d Design, obsSize, actions, hidden int, seed uint64) (Agent, error) {
+	return harness.NewAgent(d, obsSize, actions, hidden, seed)
+}
+
+// NewCartPole returns the paper's evaluation task: CartPole-v0 with the
+// [-1, 1] reward convention of §3.1 (+1 per step, -1 on failure).
+func NewCartPole(seed uint64) Env {
+	return env.NewShaped(env.NewCartPoleV0(seed), env.RewardSurvival)
+}
+
+// DefaultRunConfig returns the paper's run settings: 50,000-episode
+// cutoff, 300-episode reset rule, solved at a 100-episode average of 195.
+func DefaultRunConfig() RunConfig { return harness.Defaults() }
+
+// RunConfigFor adapts a run configuration to a design (DQN runs without
+// the reset rule, matching §4.3).
+func RunConfigFor(d Design, base RunConfig) RunConfig {
+	return harness.RunConfigFor(d, base)
+}
+
+// Run trains agent on e until solved or cut off.
+func Run(agent Agent, e Env, cfg RunConfig) *Result { return harness.Run(agent, e, cfg) }
+
+// ModelBreakdown converts a finished run's work counters into the paper's
+// Figure 5 per-phase device-time breakdown for the given design.
+func ModelBreakdown(d Design, r *Result) Breakdown {
+	return harness.Breakdown(d, r.Counters)
+}

@@ -1,0 +1,39 @@
+package oselmrl_test
+
+import (
+	"testing"
+
+	"oselmrl"
+)
+
+// TestFacadeEndToEnd exercises the public API exactly as the README's
+// quickstart does.
+func TestFacadeEndToEnd(t *testing.T) {
+	agent, err := oselmrl.NewAgent(oselmrl.DesignOSELML2Lipschitz, 4, 2, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := oselmrl.NewCartPole(104)
+	cfg := oselmrl.RunConfigFor(oselmrl.DesignOSELML2Lipschitz, oselmrl.DefaultRunConfig())
+	cfg.MaxEpisodes = 200
+	cfg.RecordCurve = true
+	res := oselmrl.Run(agent, task, cfg)
+	if res.Episodes == 0 || res.TotalSteps == 0 {
+		t.Fatal("run produced no episodes")
+	}
+	if len(res.Curve) != res.Episodes {
+		t.Fatalf("curve %d vs episodes %d", len(res.Curve), res.Episodes)
+	}
+	bd := oselmrl.ModelBreakdown(oselmrl.DesignOSELML2Lipschitz, res)
+	if bd.Total() <= 0 {
+		t.Fatal("empty breakdown")
+	}
+}
+
+func TestFacadeAllDesignsConstruct(t *testing.T) {
+	for _, d := range oselmrl.AllDesigns {
+		if _, err := oselmrl.NewAgent(d, 4, 2, 32, 1); err != nil {
+			t.Errorf("%s: %v", d, err)
+		}
+	}
+}
