@@ -9,16 +9,24 @@
 //
 //	go run ./cmd/ablation -sweep delta -trials 3 -episodes 2000
 //	go run ./cmd/ablation -sweep eps2
-//	go run ./cmd/ablation -sweep doubleq
+//	go run ./cmd/ablation -sweep doubleq -events sweep.jsonl -manifest sweep.json
+//
+// With -events every configuration's trials stream structured run events
+// into one labeled JSONL log (see cmd/runlog); -manifest records the sweep
+// parameters; -pprof serves net/http/pprof for live profiling.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"time"
 
+	"oselmrl/internal/cli"
 	"oselmrl/internal/env"
 	"oselmrl/internal/harness"
+	"oselmrl/internal/obs"
 	"oselmrl/internal/qnet"
 	"oselmrl/internal/stats"
 )
@@ -28,7 +36,21 @@ func main() {
 	hidden := flag.Int("hidden", 32, "hidden width")
 	trials := flag.Int("trials", 3, "seeds per configuration")
 	episodes := flag.Int("episodes", 2000, "episode budget per trial")
+	eventsPath := flag.String("events", "", "write a merged JSONL run-event log to this file ('-' for stderr)")
+	manifestPath := flag.String("manifest", "", "write a JSON sweep manifest to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	if err := cli.StartPprof(*pprofAddr); err != nil {
+		fmt.Fprintln(os.Stderr, "ablation:", err)
+		os.Exit(1)
+	}
+	emitter, err := cli.NewEventsEmitter(*eventsPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ablation:", err)
+		os.Exit(1)
+	}
+	start := time.Now()
 
 	type variant struct {
 		label  string
@@ -85,6 +107,10 @@ func main() {
 			task := env.NewShaped(env.NewCartPoleV0(uint64(i)+101), env.RewardSurvival)
 			rc := harness.Defaults()
 			rc.MaxEpisodes = *episodes
+			rc.Obs = emitter.With(map[string]string{
+				"config": v.label,
+				"trial":  strconv.Itoa(i),
+			})
 			res := harness.Run(agent, task, rc)
 			best := 0.0
 			for _, p := range res.Curve {
@@ -99,5 +125,36 @@ func main() {
 		}
 		s := stats.Summarize(bests)
 		fmt.Printf("%-18s %d/%-8d %-14.1f %-12.1f\n", v.label, solved, *trials, s.Mean, s.Max)
+	}
+	if err := emitter.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "ablation: closing event log:", err)
+	}
+	if *manifestPath != "" {
+		labels := make([]string, len(variants))
+		for i, v := range variants {
+			labels[i] = v.label
+		}
+		m := obs.NewManifest()
+		m.Start = start
+		m.End = time.Now()
+		m.Hidden = *hidden
+		m.Trials = *trials
+		m.Config = map[string]any{
+			"sweep":    *sweep,
+			"configs":  labels,
+			"episodes": *episodes,
+			"design":   qnet.VariantOSELML2Lipschitz.String(),
+		}
+		m.EventsPath = *eventsPath
+		m.Extra = map[string]string{"tool": "ablation"}
+		if emitter.Enabled() {
+			snap := emitter.Metrics().Snapshot()
+			m.Metrics = &snap
+		}
+		if err := cli.WriteManifestFile(*manifestPath, m); err != nil {
+			fmt.Fprintln(os.Stderr, "ablation:", err)
+			os.Exit(1)
+		}
+		fmt.Println("Sweep manifest written to", *manifestPath)
 	}
 }

@@ -1,0 +1,272 @@
+// Command runlog summarizes (or, with -f, live-tails) the JSONL run-event
+// streams written by the -events flag of cmd/train, cmd/timetocomplete and
+// cmd/ablation. It decodes the stream with obs.ReadEvents and re-renders
+// it through the repo's existing report formats: per-run episode
+// statistics via stats.Summarize and measured wall-clock phase breakdowns
+// via trace.FormatBreakdownTable — the same table Figure 5 uses for
+// modelled device time, here fed with real host seconds.
+//
+// Usage:
+//
+//	go run ./cmd/train -events run.jsonl ... && go run ./cmd/runlog run.jsonl
+//	go run ./cmd/runlog < run.jsonl
+//	go run ./cmd/runlog -f run.jsonl      # follow a run in progress
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"oselmrl/internal/obs"
+	"oselmrl/internal/stats"
+	"oselmrl/internal/timing"
+	"oselmrl/internal/trace"
+)
+
+func main() {
+	follow := flag.Bool("f", false, "follow mode: tail the log, printing events as they arrive")
+	flag.Parse()
+
+	path := flag.Arg(0)
+	if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "runlog: at most one input file")
+		os.Exit(2)
+	}
+
+	if *follow {
+		if err := tail(path); err != nil {
+			fmt.Fprintln(os.Stderr, "runlog:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var in io.Reader = os.Stdin
+	if path != "" && path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "runlog:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	events, err := obs.ReadEvents(in)
+	if err != nil {
+		// A run killed mid-write leaves a truncated final line; summarize
+		// what did decode rather than refusing the whole log. Anything
+		// else (corrupt content) is a hard error.
+		if !errors.Is(err, io.ErrUnexpectedEOF) || len(events) == 0 {
+			fmt.Fprintln(os.Stderr, "runlog:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "runlog: warning: log ends mid-event (run killed?); summarizing the complete events")
+	}
+	summarize(os.Stdout, events)
+}
+
+// labelKey renders a label set as a stable one-line identifier so events
+// from the same (trial, design, ...) combination group together even in a
+// merged multi-trial stream.
+func labelKey(labels map[string]string) string {
+	if len(labels) == 0 {
+		return "(run)"
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + labels[k]
+	}
+	return strings.Join(parts, " ")
+}
+
+// runGroup accumulates one run's events (one label set).
+type runGroup struct {
+	key    string
+	labels map[string]string
+	steps  []float64
+	scores []float64
+	end    *obs.Event
+}
+
+func summarize(w io.Writer, events []obs.Event) {
+	byType := map[string]int{}
+	groups := map[string]*runGroup{}
+	var order []string
+	for i := range events {
+		ev := &events[i]
+		byType[ev.Type]++
+		key := labelKey(ev.Labels)
+		g := groups[key]
+		if g == nil {
+			g = &runGroup{key: key, labels: ev.Labels}
+			groups[key] = g
+			order = append(order, key)
+		}
+		switch ev.Type {
+		case obs.EventEpisodeEnd:
+			g.steps = append(g.steps, ev.Data["steps"])
+			g.scores = append(g.scores, ev.Data["score"])
+		case obs.EventRunEnd:
+			g.end = ev
+		}
+	}
+
+	fmt.Fprintf(w, "%d events", len(events))
+	types := make([]string, 0, len(byType))
+	for t := range byType {
+		types = append(types, t)
+	}
+	sort.Strings(types)
+	var parts []string
+	for _, t := range types {
+		parts = append(parts, fmt.Sprintf("%s=%d", t, byType[t]))
+	}
+	fmt.Fprintf(w, " (%s)\n\n", strings.Join(parts, ", "))
+
+	// Per-run episode statistics and verdicts.
+	fmt.Fprintln(w, "Runs:")
+	var rows []trace.BreakdownRow
+	for _, key := range order {
+		g := groups[key]
+		fmt.Fprintf(w, "  %s\n", g.key)
+		if len(g.steps) > 0 {
+			printSummary(w, "episode steps", stats.Summarize(g.steps))
+			printSummary(w, "episode score", stats.Summarize(g.scores))
+		}
+		if g.end == nil {
+			fmt.Fprintln(w, "    verdict       (run still in progress — no run_end event)")
+			continue
+		}
+		d := g.end.Data
+		verdict := "impossible"
+		if d["solved"] == 1 {
+			verdict = "solved"
+		}
+		fmt.Fprintf(w, "    verdict       %s after %d episodes (%d resets, %d steps, %.0f ms wall)\n",
+			verdict, int(d["episodes"]), int(d["resets"]), int(d["total_steps"]), d["wall_ms"])
+		rows = append(rows, breakdownRow(g))
+	}
+
+	if len(rows) > 0 {
+		fmt.Fprintln(w, "\nMeasured wall-clock per phase (host seconds, trace table format):")
+		fmt.Fprint(w, trace.FormatBreakdownTable(rows))
+	}
+}
+
+func printSummary(w io.Writer, name string, s stats.Summary) {
+	fmt.Fprintf(w, "    %-13s n=%-5d mean=%-8.1f std=%-8.1f min=%-6.0f median=%-6.0f max=%-6.0f\n",
+		name, s.N, s.Mean, s.Std, s.Min, s.Median, s.Max)
+}
+
+// breakdownRow converts a run_end event's wall_ms_<phase> payload into the
+// trace.BreakdownRow the Figure 5 table renderer expects, with seconds in
+// place of modelled device time.
+func breakdownRow(g *runGroup) trace.BreakdownRow {
+	d := g.end.Data
+	design := g.labels["design"]
+	if design == "" {
+		design = g.key
+	}
+	hidden, _ := strconv.Atoi(g.labels["hidden"])
+	bd := make(timing.Breakdown)
+	for k, v := range d {
+		if phase, ok := strings.CutPrefix(k, "wall_ms_"); ok {
+			bd[timing.Phase(phase)] = v / 1e3
+		}
+	}
+	return trace.BreakdownRow{
+		Design:    design,
+		Hidden:    hidden,
+		Breakdown: bd,
+		Solved:    d["solved"] == 1,
+		Episodes:  int(d["episodes"]),
+	}
+}
+
+// tail follows path, decoding events as they are appended and printing a
+// one-line rendition of the progress-relevant ones (episode_end, reinit,
+// init_train, run_start/run_end). It returns when the producer closes the
+// stream only if reading stdin; for files it polls forever.
+func tail(path string) error {
+	var in io.Reader = os.Stdin
+	fromFile := false
+	if path != "" && path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+		fromFile = true
+	}
+	r := bufio.NewReader(in)
+	var partial []byte
+	for {
+		line, err := r.ReadBytes('\n')
+		if len(line) > 0 && err == nil {
+			if len(partial) > 0 {
+				line = append(partial, line...)
+				partial = nil
+			}
+			var ev obs.Event
+			if jerr := json.Unmarshal(line, &ev); jerr == nil {
+				printLive(os.Stdout, &ev)
+			}
+			continue
+		}
+		// Partial trailing line or EOF: stash what we have and, for
+		// files, wait for the writer to append more.
+		partial = append(partial, line...)
+		if errors.Is(err, io.EOF) {
+			if !fromFile {
+				return nil
+			}
+			time.Sleep(250 * time.Millisecond)
+			continue
+		}
+		if err != nil {
+			return err
+		}
+	}
+}
+
+func printLive(w io.Writer, ev *obs.Event) {
+	prefix := ""
+	if key := labelKey(ev.Labels); key != "(run)" {
+		prefix = "[" + key + "] "
+	}
+	d := ev.Data
+	switch ev.Type {
+	case obs.EventRunStart:
+		fmt.Fprintf(w, "%srun_start max_episodes=%d\n", prefix, int(d["max_episodes"]))
+	case obs.EventEpisodeEnd:
+		fmt.Fprintf(w, "%sepisode %-5d steps=%-4d score=%-7.1f avg=%.1f\n",
+			prefix, ev.Episode, int(d["steps"]), d["score"], d["moving_avg"])
+	case obs.EventReinit:
+		fmt.Fprintf(w, "%sreinit #%d after %d stale episodes\n",
+			prefix, int(d["resets"]), int(d["episodes_since_reset"]))
+	case obs.EventInitTrain:
+		fmt.Fprintf(w, "%sinit_train size=%d step=%d\n", prefix, int(d["size"]), int(d["step"]))
+	case obs.EventRunEnd:
+		verdict := "impossible"
+		if d["solved"] == 1 {
+			verdict = "solved"
+		}
+		fmt.Fprintf(w, "%srun_end %s episodes=%d wall=%.0fms\n",
+			prefix, verdict, int(d["episodes"]), d["wall_ms"])
+	}
+}

@@ -12,6 +12,12 @@
 //	go run ./cmd/timetocomplete -hidden 32 -trials 3
 //	go run ./cmd/timetocomplete -hidden 32,64 -designs FPGA -trials 5
 //	go run ./cmd/timetocomplete -hidden 64 -speedup -out results
+//	go run ./cmd/timetocomplete -events sweep.jsonl -manifest sweep.json
+//
+// With -events every trial of every design streams structured run events
+// into one JSONL log, labeled by design/trial/seed (see cmd/runlog);
+// -manifest records the sweep parameters and aggregated metrics; -pprof
+// serves net/http/pprof for live profiling.
 package main
 
 import (
@@ -20,10 +26,12 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"oselmrl/internal/cli"
 	"oselmrl/internal/env"
 	"oselmrl/internal/harness"
+	"oselmrl/internal/obs"
 	"oselmrl/internal/timing"
 	"oselmrl/internal/trace"
 )
@@ -38,7 +46,18 @@ func main() {
 	speedup := flag.Bool("speedup", false, "print the paper's §4.4 speedup table")
 	report := flag.String("report", "best", "aggregate solved trials: best | mean (the paper reports means over 100 trials)")
 	outDir := flag.String("out", "", "directory for CSV output")
+	eventsPath := flag.String("events", "", "write a merged JSONL run-event log to this file ('-' for stderr)")
+	manifestPath := flag.String("manifest", "", "write a JSON sweep manifest to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	if err := cli.StartPprof(*pprofAddr); err != nil {
+		fail(err)
+	}
+	emitter, err := cli.NewEventsEmitter(*eventsPath)
+	if err != nil {
+		fail(err)
+	}
 
 	sizes, err := cli.ParseIntList(*hiddenFlag)
 	if err != nil {
@@ -56,12 +75,41 @@ func main() {
 		}
 	}
 
+	start := time.Now()
 	var rows []trace.BreakdownRow
 	for _, hidden := range sizes {
 		for _, d := range designs {
-			row := runDesign(d, hidden, *trials, *maxEpisodes, *dqnEpisodes, *seed, *report)
+			row := runDesign(d, hidden, *trials, *maxEpisodes, *dqnEpisodes, *seed, *report, emitter)
 			rows = append(rows, row)
 		}
+	}
+	if err := emitter.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "timetocomplete: closing event log:", err)
+	}
+
+	if *manifestPath != "" {
+		m := obs.NewManifest()
+		m.Start = start
+		m.End = time.Now()
+		m.BaseSeed = *seed
+		m.Trials = *trials
+		m.Config = map[string]any{
+			"hidden":       sizes,
+			"designs":      designs,
+			"episodes":     *maxEpisodes,
+			"dqn_episodes": *dqnEpisodes,
+			"report":       *report,
+		}
+		m.EventsPath = *eventsPath
+		m.Extra = map[string]string{"tool": "timetocomplete"}
+		if emitter.Enabled() {
+			snap := emitter.Metrics().Snapshot()
+			m.Metrics = &snap
+		}
+		if err := cli.WriteManifestFile(*manifestPath, m); err != nil {
+			fail(err)
+		}
+		fmt.Println("Sweep manifest written to", *manifestPath)
 	}
 
 	fmt.Print(trace.FormatBreakdownTable(rows))
@@ -90,7 +138,7 @@ func main() {
 // small trial counts); with report=mean it averages the breakdowns of all
 // solved trials, matching the paper's 100-trial (20 for FPGA) means. If no
 // trial solved, the first trial is reported as NOT SOLVED.
-func runDesign(d harness.Design, hidden, trials, maxEpisodes, dqnEpisodes int, seed uint64, report string) trace.BreakdownRow {
+func runDesign(d harness.Design, hidden, trials, maxEpisodes, dqnEpisodes int, seed uint64, report string, emitter *obs.Emitter) trace.BreakdownRow {
 	budget := maxEpisodes
 	if d == harness.DesignDQN {
 		budget = dqnEpisodes
@@ -106,6 +154,7 @@ func runDesign(d harness.Design, hidden, trials, maxEpisodes, dqnEpisodes int, s
 			c := harness.RunConfigFor(d, harness.Defaults())
 			c.MaxEpisodes = budget
 			c.RecordCurve = false
+			c.Obs = emitter.With(map[string]string{"hidden": fmt.Sprint(hidden)})
 			return c
 		}(),
 		Trials:   trials,

@@ -9,6 +9,15 @@
 //	go run ./cmd/train -design DQN -env gridworld -episodes 500
 //	go run ./cmd/train -design OS-ELM-L2 -save agent.json -eval 20
 //	go run ./cmd/train -load agent.json -eval 20
+//	go run ./cmd/train -events run.jsonl -manifest run.json -pprof localhost:6060
+//
+// The final solve/impossible verdict is echoed to stderr and reflected in
+// the exit code — 0 when solved, 3 when the episode budget ran out
+// ("impossible", paper §4.4) — so scripted sweeps can branch on outcome.
+// With -events the run emits a JSONL event stream (see cmd/runlog and
+// README.md §Observability); -manifest records the full configuration and
+// outcome as a JSON header; -pprof serves net/http/pprof for live
+// profiling of long runs.
 package main
 
 import (
@@ -17,11 +26,17 @@ import (
 	"os"
 	"strings"
 
+	"oselmrl/internal/cli"
 	"oselmrl/internal/env"
 	"oselmrl/internal/harness"
+	"oselmrl/internal/obs"
 	"oselmrl/internal/persist"
 	"oselmrl/internal/qnet"
 )
+
+// exitImpossible is the exit code for a run that exhausted its episode
+// budget without meeting the solve criterion.
+const exitImpossible = 3
 
 func makeEnv(name string, seed uint64) (env.Env, error) {
 	switch strings.ToLower(name) {
@@ -50,7 +65,9 @@ func solveFor(name string, cfg *harness.Config) {
 	}
 }
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	designName := flag.String("design", "OS-ELM-L2-Lipschitz", "design to train")
 	envName := flag.String("env", "cartpole", "environment")
 	hidden := flag.Int("hidden", 32, "hidden width")
@@ -59,46 +76,74 @@ func main() {
 	savePath := flag.String("save", "", "save the trained agent to this JSON file (ELM/OS-ELM designs)")
 	loadPath := flag.String("load", "", "load an agent snapshot instead of training")
 	evalEps := flag.Int("eval", 0, "greedy-policy evaluation episodes after training")
+	eventsPath := flag.String("events", "", "write a JSONL run-event log to this file ('-' for stderr)")
+	manifestPath := flag.String("manifest", "", "write a JSON run manifest to this file")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	if err := cli.StartPprof(*pprofAddr); err != nil {
+		return fail(err)
+	}
 
 	task, err := makeEnv(*envName, *seed+100)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 
 	if *loadPath != "" {
 		f, err := os.Open(*loadPath)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		defer f.Close()
 		agent, err := persist.LoadAgent(f)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		fmt.Printf("Loaded %s agent from %s\n", agent.Name(), *loadPath)
 		if *evalEps > 0 {
 			score := harness.EvaluateGreedy(agent, task, *evalEps, true)
 			fmt.Printf("Greedy evaluation over %d episodes: %.1f steps/episode\n", *evalEps, score)
 		}
-		return
+		return 0
 	}
 
 	d, err := harness.ParseDesign(*designName)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	agent, err := harness.NewAgent(d, task.ObservationSize(), task.ActionCount(), *hidden, *seed)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	cfg := harness.RunConfigFor(d, harness.Defaults())
 	cfg.MaxEpisodes = *episodes
 	solveFor(*envName, &cfg)
 
+	emitter, err := cli.NewEventsEmitter(*eventsPath)
+	if err != nil {
+		return fail(err)
+	}
+	cfg.Obs = emitter.With(map[string]string{
+		"hidden": fmt.Sprint(*hidden),
+		"seed":   fmt.Sprint(*seed),
+	})
+
+	manifest := obs.NewManifest()
+	manifest.Design = string(d)
+	manifest.Env = task.Name()
+	manifest.Hidden = *hidden
+	manifest.Seed = *seed
+	manifest.Config = cfg
+	manifest.EventsPath = *eventsPath
+	manifest.Extra = map[string]string{"tool": "train"}
+
 	fmt.Printf("Training %s on %s (%d hidden units, <= %d episodes) ...\n",
 		d, task.Name(), *hidden, *episodes)
 	res := harness.Run(agent, task, cfg)
+	if err := emitter.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "train: closing event log:", err)
+	}
 	if res.Err != nil {
 		fmt.Println("warning:", res.Err)
 	}
@@ -118,6 +163,25 @@ func main() {
 	fmt.Println("Modelled device time:")
 	fmt.Print(bd.Format())
 
+	if *manifestPath != "" {
+		manifest.End = manifest.Start.Add(res.WallTime)
+		manifest.Outcome = &obs.Outcome{
+			Solved:      res.Solved,
+			Episodes:    res.Episodes,
+			TotalSteps:  res.TotalSteps,
+			Resets:      res.Resets,
+			WallSeconds: res.WallTime.Seconds(),
+		}
+		if res.Err != nil {
+			manifest.Outcome.Err = res.Err.Error()
+		}
+		manifest.Metrics = res.Metrics
+		if err := cli.WriteManifestFile(*manifestPath, manifest); err != nil {
+			return fail(err)
+		}
+		fmt.Println("Run manifest written to", *manifestPath)
+	}
+
 	if *evalEps > 0 {
 		if gp, ok := agent.(harness.GreedyPolicy); ok {
 			score := harness.EvaluateGreedy(gp, task, *evalEps, true)
@@ -128,21 +192,33 @@ func main() {
 	if *savePath != "" {
 		qa, ok := agent.(*qnet.Agent)
 		if !ok {
-			fail(fmt.Errorf("-save supports the ELM/OS-ELM designs, not %s", d))
+			return fail(fmt.Errorf("-save supports the ELM/OS-ELM designs, not %s", d))
 		}
 		f, err := os.Create(*savePath)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
-		defer f.Close()
 		if err := persist.SaveAgent(f, qa); err != nil {
-			fail(err)
+			f.Close()
+			return fail(err)
+		}
+		if err := f.Close(); err != nil {
+			return fail(err)
 		}
 		fmt.Println("Agent snapshot written to", *savePath)
 	}
+
+	// The machine-readable verdict goes to stderr so sweeps can branch on
+	// it without parsing the human-oriented stdout report.
+	if res.Solved {
+		fmt.Fprintf(os.Stderr, "train: verdict solved episodes=%d\n", res.Episodes)
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "train: verdict impossible episodes=%d\n", res.Episodes)
+	return exitImpossible
 }
 
-func fail(err error) {
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "train:", err)
-	os.Exit(1)
+	return 1
 }

@@ -1,0 +1,59 @@
+package cli
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	// Register the profiling handlers on http.DefaultServeMux; the -pprof
+	// flag serves that mux.
+	_ "net/http/pprof"
+	"os"
+
+	"oselmrl/internal/obs"
+)
+
+// NewEventsEmitter opens a JSONL event log at path and returns an emitter
+// writing to it. An empty path returns a nil emitter (observability off).
+// "-" writes to stderr, keeping stdout clean for the tool's tables.
+func NewEventsEmitter(path string) (*obs.Emitter, error) {
+	switch path {
+	case "":
+		return nil, nil
+	case "-":
+		return obs.NewEmitter(obs.NewJSONLSink(os.Stderr)), nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("events log: %w", err)
+	}
+	return obs.NewEmitter(obs.NewJSONLSink(f)), nil
+}
+
+// WriteManifestFile writes m to path as a single JSON document.
+func WriteManifestFile(path string, m *obs.Manifest) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("manifest: %w", err)
+	}
+	if err := obs.WriteManifest(f, m); err != nil {
+		f.Close()
+		return fmt.Errorf("manifest: %w", err)
+	}
+	return f.Close()
+}
+
+// StartPprof serves net/http/pprof on addr (e.g. "localhost:6060") in the
+// background, returning once the listener is bound so port conflicts
+// surface synchronously. An empty addr is a no-op. The live profiling
+// endpoints are then at http://addr/debug/pprof/.
+func StartPprof(addr string) error {
+	if addr == "" {
+		return nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("pprof: %w", err)
+	}
+	go http.Serve(ln, nil)
+	return nil
+}

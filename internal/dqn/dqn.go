@@ -12,6 +12,7 @@ import (
 	"oselmrl/internal/activation"
 	"oselmrl/internal/mat"
 	"oselmrl/internal/nn"
+	"oselmrl/internal/obs"
 	"oselmrl/internal/replay"
 	"oselmrl/internal/rng"
 	"oselmrl/internal/timing"
@@ -82,6 +83,9 @@ type Agent struct {
 	dims        timing.DQNDims
 	counters    *timing.Counters
 	exploreProb float64
+
+	// obs receives structured events and metrics; nil disables.
+	obs *obs.Emitter
 }
 
 // New builds the baseline agent.
@@ -136,6 +140,9 @@ func (a *Agent) Name() string { return "DQN" }
 // Counters exposes the accumulated timing counters.
 func (a *Agent) Counters() *timing.Counters { return a.counters }
 
+// SetObserver installs the observability emitter (harness.Observable).
+func (a *Agent) SetObserver(e *obs.Emitter) { a.obs = e }
+
 // SelectAction is ε-greedy with the same convention as Algorithm 1.
 func (a *Agent) SelectAction(state []float64) int {
 	if a.rng.Float64() >= a.exploreProb {
@@ -169,6 +176,9 @@ func (a *Agent) greedy(state []float64) int {
 // performs one gradient step per environment step.
 func (a *Agent) Observe(t replay.Transition) error {
 	a.buffer.Add(t)
+	if a.obs != nil {
+		a.obs.SetGauge(obs.GaugeBufferOccupancy, float64(a.buffer.Len())/float64(a.buffer.Cap()))
+	}
 	if a.buffer.Len() < a.cfg.BatchSize {
 		return nil
 	}
@@ -179,6 +189,7 @@ func (a *Agent) Observe(t replay.Transition) error {
 // trainStep samples a batch, builds targets from θ2 (Eq. 9) and applies
 // one Adam update on the Huber loss of the selected-action Q values.
 func (a *Agent) trainStep() {
+	t0 := a.obs.Now()
 	batch := a.buffer.Sample(a.rng, a.cfg.BatchSize)
 	k := len(batch)
 
@@ -238,6 +249,11 @@ func (a *Agent) trainStep() {
 	grads := a.theta1.BackwardBatch(cache, dLoss)
 	a.opt.Step(a.theta1, grads)
 	a.counters.Add(timing.PhaseTrainDQN, a.dims.TrainFlops(k))
+	if a.obs != nil {
+		a.obs.AddWallSince(string(timing.PhaseTrainDQN), t0)
+		a.obs.Inc(obs.MetricTrainSteps, 1)
+		a.obs.Emit(obs.EventTrainStep, 0, map[string]float64{"batch": float64(k)})
+	}
 }
 
 // EndEpisode syncs θ2 ← θ1 every UpdateEvery episodes (1-based episodes).
@@ -245,6 +261,10 @@ func (a *Agent) EndEpisode(episode int) {
 	a.exploreProb *= a.cfg.ExploreDecay
 	if episode%a.cfg.UpdateEvery == 0 {
 		a.theta2.CopyWeightsFrom(a.theta1)
+		if a.obs != nil {
+			a.obs.Inc(obs.MetricTheta2Syncs, 1)
+			a.obs.Emit(obs.EventTheta2Sync, episode, nil)
+		}
 	}
 }
 

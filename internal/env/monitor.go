@@ -65,6 +65,15 @@ func (m *Monitor) flush() {
 // Episodes returns the number of completed episodes.
 func (m *Monitor) Episodes() int { return len(m.Lengths) }
 
+// Summary returns the descriptive statistics of the completed episodes'
+// lengths and returns in one call. With no completed episodes both
+// summaries are zero (stats.Summarize's empty-sample convention); an
+// episode in progress is not counted until it finishes or a mid-episode
+// Reset truncates it.
+func (m *Monitor) Summary() (lengths, returns stats.Summary) {
+	return stats.Summarize(m.Lengths), stats.Summarize(m.Returns)
+}
+
 // LengthStats summarizes episode lengths.
 func (m *Monitor) LengthStats() stats.Summary { return stats.Summarize(m.Lengths) }
 

@@ -58,6 +58,61 @@ func TestMonitorRecentMean(t *testing.T) {
 	}
 }
 
+// TestMonitorSummaryEmpty: with no completed episodes Summary must return
+// the zero Summary for both series, not panic on the empty sample — even
+// after a Reset that starts (but does not finish) an episode.
+func TestMonitorSummaryEmpty(t *testing.T) {
+	m := NewMonitor(NewGridWorld(3, 5))
+	ls, rs := m.Summary()
+	if ls.N != 0 || rs.N != 0 || ls.Mean != 0 || rs.Mean != 0 {
+		t.Fatalf("empty summary not zero: lengths=%+v returns=%+v", ls, rs)
+	}
+	m.Reset() // episode in progress, still nothing completed
+	if ls, rs = m.Summary(); ls.N != 0 || rs.N != 0 {
+		t.Fatalf("in-progress episode counted: lengths=%+v returns=%+v", ls, rs)
+	}
+	// A bare Reset with zero steps must not record a ghost episode either.
+	m.Reset()
+	if ls, _ = m.Summary(); ls.N != 0 {
+		t.Fatalf("zero-step reset recorded an episode: %+v", ls)
+	}
+}
+
+// TestMonitorSummaryMidEpisodeReset: a mid-episode Reset truncates the
+// running episode into the record, and Summary covers both the truncated
+// and the completed episodes.
+func TestMonitorSummaryMidEpisodeReset(t *testing.T) {
+	m := NewMonitor(NewGridWorld(3, 6))
+	// One full 4-step episode.
+	m.Reset()
+	for _, a := range []int{1, 1, 2, 2} {
+		m.Step(a)
+	}
+	// Two steps, then abandon mid-episode.
+	m.Reset()
+	m.Step(1)
+	m.Step(1)
+	m.Reset()
+	ls, rs := m.Summary()
+	if ls.N != 2 || rs.N != 2 {
+		t.Fatalf("want 2 recorded episodes, got lengths=%+v returns=%+v", ls, rs)
+	}
+	if ls.Min != 2 || ls.Max != 4 || ls.Mean != 3 {
+		t.Fatalf("length summary %+v, want min=2 max=4 mean=3", ls)
+	}
+	// The truncated episode's return is two -0.01 step penalties.
+	if math.Abs(rs.Min-(-0.02)) > 1e-12 {
+		t.Fatalf("truncated return = %v, want -0.02", rs.Min)
+	}
+	// Consistency with the single-series accessors.
+	if l2 := m.LengthStats(); l2 != ls {
+		t.Fatalf("Summary lengths %+v != LengthStats %+v", ls, l2)
+	}
+	if r2 := m.ReturnStats(); r2 != rs {
+		t.Fatalf("Summary returns %+v != ReturnStats %+v", rs, r2)
+	}
+}
+
 func TestMonitorTransparent(t *testing.T) {
 	inner := NewCartPoleV0(4)
 	m := NewMonitor(inner)

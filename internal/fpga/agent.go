@@ -7,6 +7,7 @@ import (
 	"oselmrl/internal/elm"
 	"oselmrl/internal/fixed"
 	"oselmrl/internal/mat"
+	"oselmrl/internal/obs"
 	"oselmrl/internal/oselm"
 	"oselmrl/internal/qnet"
 	"oselmrl/internal/replay"
@@ -46,6 +47,9 @@ type Agent struct {
 	cycles      CycleModel
 	scratch     []fixed.Fixed
 	exploreProb float64
+
+	// obs receives structured events and metrics; nil disables.
+	obs *obs.Emitter
 }
 
 // NewAgent builds the FPGA agent. The variant is forced to
@@ -120,6 +124,9 @@ func (a *Agent) Name() string { return "FPGA" }
 // Counters exposes the accumulated timing counters. PL phases are in
 // datapath cycles; init_train is in flops (see timing.ModelMixed).
 func (a *Agent) Counters() *timing.Counters { return a.counters }
+
+// SetObserver installs the observability emitter (harness.Observable).
+func (a *Agent) SetObserver(e *obs.Emitter) { a.obs = e }
 
 // Core exposes the datapath for white-box tests.
 func (a *Agent) Core() *Core { return a.core }
@@ -214,6 +221,9 @@ func (a *Agent) Observe(t replay.Transition) error {
 	a.globalStep++
 	if !a.loaded {
 		a.buffer.Add(t)
+		if a.obs != nil {
+			a.obs.SetGauge(obs.GaugeBufferOccupancy, float64(a.buffer.Len())/float64(a.buffer.Cap()))
+		}
 		if a.buffer.Full() {
 			return a.initTrain()
 		}
@@ -221,6 +231,8 @@ func (a *Agent) Observe(t replay.Transition) error {
 	}
 	if a.rng.Float64() < a.cfg.Epsilon2 {
 		a.sequentialUpdate(t)
+	} else {
+		a.obs.Inc(obs.MetricSeqSkipped, 1)
 	}
 	return nil
 }
@@ -228,6 +240,7 @@ func (a *Agent) Observe(t replay.Transition) error {
 // initTrain runs the CPU-side ReOS-ELM initial training (Eq. 8) and DMA-loads
 // the quantized parameters into the core.
 func (a *Agent) initTrain() error {
+	t0 := a.obs.Now()
 	trans := a.buffer.Drain()
 	k := len(trans)
 	x := mat.Zeros(k, a.dims.In)
@@ -266,27 +279,53 @@ func (a *Agent) initTrain() error {
 	busSec := a.bus.LoadCoreParameters(a.core)
 	a.counters.AddN(timing.PhaseInitTrain, 0, busSec*timing.CortexA9Init.WorkUnitsPerSec)
 	a.loaded = true
+	if a.obs != nil {
+		a.obs.AddWallSince(string(timing.PhaseInitTrain), t0)
+		a.obs.Inc(obs.MetricInitTrains, 1)
+		a.obs.SetGauge(obs.GaugeBufferOccupancy, 0)
+		a.obs.Emit(obs.EventInitTrain, 0, map[string]float64{
+			"size":        float64(k),
+			"step":        float64(a.globalStep),
+			"bus_load_ms": busSec * 1e3,
+		})
+	}
 	return nil
 }
 
 // sequentialUpdate computes the clipped target with the θ2 β on the core
 // and runs the seq_train module.
 func (a *Agent) sequentialUpdate(t replay.Transition) {
+	t0 := a.obs.Now()
 	start := a.core.Cycles()
 	y := t.Reward
 	if !t.Done {
 		next, _ := a.maxQCore(a.beta2, t.NextState)
 		y += a.cfg.Gamma * next
 	}
+	clipped := false
 	if y < a.cfg.ClipLow {
 		y = a.cfg.ClipLow
+		clipped = true
 	}
 	if y > a.cfg.ClipHigh {
 		y = a.cfg.ClipHigh
+		clipped = true
 	}
 	in := a.encode(t.State, t.Action)
 	a.core.SeqTrain(in, []fixed.Fixed{fixed.FromFloat(y)})
 	a.counters.Add(timing.PhaseSeqTrain, float64(a.core.Cycles()-start))
+	if a.obs != nil {
+		a.obs.AddWallSince(string(timing.PhaseSeqTrain), t0)
+		a.obs.Inc(obs.MetricSeqUpdates, 1)
+		a.obs.Inc(obs.MetricTargets, 1)
+		if clipped {
+			a.obs.Inc(obs.MetricTargetsClipped, 1)
+		}
+		a.obs.Emit(obs.EventSeqUpdate, 0, map[string]float64{
+			"step":   float64(a.globalStep),
+			"target": y,
+		})
+	}
 }
 
 // EndEpisode syncs θ2's β every UpdateEvery episodes (Algorithm 1 line 23-24).
@@ -294,6 +333,10 @@ func (a *Agent) EndEpisode(episode int) {
 	a.exploreProb *= a.cfg.ExploreDecay
 	if episode%a.cfg.UpdateEvery == 0 && a.loaded {
 		a.beta2 = a.core.Beta.Clone()
+		if a.obs != nil {
+			a.obs.Inc(obs.MetricTheta2Syncs, 1)
+			a.obs.Emit(obs.EventTheta2Sync, episode, nil)
+		}
 	}
 }
 

@@ -12,9 +12,17 @@ import (
 	"time"
 
 	"oselmrl/internal/env"
+	"oselmrl/internal/obs"
 	"oselmrl/internal/replay"
 	"oselmrl/internal/timing"
 )
+
+// Observable is implemented by agents that accept a runtime observability
+// emitter (all designs in this repository do). Run installs the
+// configured emitter automatically before the first episode.
+type Observable interface {
+	SetObserver(*obs.Emitter)
+}
 
 // Agent is the contract every design implements (qnet.Agent, dqn.Agent,
 // fpga.Agent).
@@ -54,6 +62,11 @@ type Config struct {
 	// steps for continuously standing", the paper's Y-axis); otherwise the
 	// accumulated raw reward is the score.
 	ScoreIsSteps bool
+	// Obs receives structured run events and metrics (internal/obs). Nil —
+	// the default — disables observability; the hot path then pays only a
+	// nil check. Excluded from manifests (it is runtime plumbing, not
+	// configuration).
+	Obs *obs.Emitter `json:"-"`
 }
 
 // Defaults returns the paper's CartPole-v0 run configuration.
@@ -117,6 +130,9 @@ type Result struct {
 	// Err records an agent failure (numerical breakdown) if any occurred;
 	// the run continues past recoverable update errors.
 	Err error
+	// Metrics is the final observability snapshot (counters, gauges,
+	// histograms, per-phase wall-clock); nil unless Config.Obs was set.
+	Metrics *obs.Snapshot
 }
 
 // movingWindow tracks a fixed-size trailing mean.
@@ -153,6 +169,16 @@ func (w *movingWindow) full() bool { return w.n == len(w.buf) }
 func Run(agent Agent, e env.Env, cfg Config) *Result {
 	cfg.fill()
 	res := &Result{Design: agent.Name(), EnvName: e.Name()}
+	eobs := cfg.Obs.With(map[string]string{"design": agent.Name(), "env": e.Name()})
+	if eobs.Enabled() {
+		if o, ok := agent.(Observable); ok {
+			o.SetObserver(eobs)
+		}
+		eobs.Emit(obs.EventRunStart, 0, map[string]float64{
+			"max_episodes": float64(cfg.MaxEpisodes),
+			"reset_after":  float64(cfg.ResetAfter),
+		})
+	}
 	window := newMovingWindow(cfg.SolveWindow)
 	start := time.Now()
 	episodesSinceReset := 0
@@ -198,6 +224,14 @@ func Run(agent Agent, e env.Env, cfg Config) *Result {
 				MovingAvg: window.mean(),
 			})
 		}
+		if eobs.Enabled() {
+			eobs.Emit(obs.EventEpisodeEnd, ep, map[string]float64{
+				"steps":      float64(steps),
+				"score":      score,
+				"moving_avg": window.mean(),
+				"resets":     float64(res.Resets),
+			})
+		}
 		if window.full() && window.mean() >= cfg.SolveThreshold {
 			res.Solved = true
 			break
@@ -205,12 +239,39 @@ func Run(agent Agent, e env.Env, cfg Config) *Result {
 		if cfg.ResetAfter > 0 && episodesSinceReset >= cfg.ResetAfter {
 			agent.Reinitialize()
 			res.Resets++
+			eobs.Emit(obs.EventReinit, ep, map[string]float64{
+				"episodes_since_reset": float64(episodesSinceReset),
+				"resets":               float64(res.Resets),
+			})
 			episodesSinceReset = 0
 		}
 	}
 	res.WallTime = time.Since(start)
 	res.Counters = agent.Counters()
+	if eobs.Enabled() {
+		snap := eobs.Metrics().Snapshot()
+		res.Metrics = &snap
+		data := map[string]float64{
+			"solved":      boolTo01(res.Solved),
+			"episodes":    float64(res.Episodes),
+			"total_steps": float64(res.TotalSteps),
+			"resets":      float64(res.Resets),
+			"wall_ms":     float64(res.WallTime) / float64(time.Millisecond),
+		}
+		// Per-phase real wall-clock alongside the modelled device seconds.
+		for phase, sec := range snap.WallSeconds {
+			data["wall_ms_"+phase] = sec * 1e3
+		}
+		eobs.Emit(obs.EventRunEnd, res.Episodes, data)
+	}
 	return res
+}
+
+func boolTo01(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // GreedyPolicy is implemented by agents that can act without exploration

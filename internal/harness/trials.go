@@ -3,6 +3,7 @@ package harness
 import (
 	"math"
 	"runtime"
+	"strconv"
 	"sync"
 
 	"oselmrl/internal/env"
@@ -58,7 +59,15 @@ func RunTrials(spec TrialSpec) []*Result {
 				return
 			}
 			e := spec.MakeEnv(seed)
-			results[i] = Run(agent, e, spec.Config)
+			cfg := spec.Config
+			// Tag each trial's events so the merged JSONL stream (one sink,
+			// parallel writers) stays attributable; the metrics registry is
+			// shared and aggregates across trials.
+			cfg.Obs = cfg.Obs.With(map[string]string{
+				"trial": strconv.Itoa(i),
+				"seed":  strconv.FormatUint(seed, 10),
+			})
+			results[i] = Run(agent, e, cfg)
 		}(i)
 	}
 	wg.Wait()

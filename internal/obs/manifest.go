@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+)
+
+// ManifestSchemaVersion is bumped whenever a field changes meaning or is
+// removed; additions are backwards-compatible and do not bump it. The
+// current schema is documented in README.md §Observability and
+// results/README.md.
+const ManifestSchemaVersion = 1
+
+// Manifest is the JSON header of a run: everything needed to trace a
+// results file back to the exact configuration that produced it.
+type Manifest struct {
+	// SchemaVersion is ManifestSchemaVersion at write time.
+	SchemaVersion int `json:"schema_version"`
+	// Design is the paper design name ("OS-ELM-L2-Lipschitz", "DQN", ...).
+	Design string `json:"design,omitempty"`
+	// Env is the environment name.
+	Env string `json:"env,omitempty"`
+	// Hidden is Ñ, the hidden-layer width.
+	Hidden int `json:"hidden,omitempty"`
+	// Seed is the run seed (single runs) and BaseSeed/Trials describe a
+	// repeated-trial sweep (trial i uses BaseSeed + i).
+	Seed     uint64 `json:"seed,omitempty"`
+	BaseSeed uint64 `json:"base_seed,omitempty"`
+	Trials   int    `json:"trials,omitempty"`
+	// Config is the full run configuration (harness.Config for training
+	// runs; tool-specific sweep parameters otherwise). Stored verbatim so
+	// ReadManifest round-trips it without this package importing the
+	// config's package.
+	Config any `json:"config,omitempty"`
+	// Start and End bound the run in wall-clock time.
+	Start time.Time `json:"start"`
+	End   time.Time `json:"end,omitempty"`
+	// Outcome summarizes the result; nil while the run is in flight.
+	Outcome *Outcome `json:"outcome,omitempty"`
+	// Metrics is the final registry snapshot, when observability was on.
+	Metrics *Snapshot `json:"metrics,omitempty"`
+	// EventsPath points at the companion JSONL event log, if one was
+	// written.
+	EventsPath string `json:"events_path,omitempty"`
+	// Host pins the machine the run executed on.
+	Host HostInfo `json:"host"`
+	// Extra carries tool-specific fields (sweep labels, notes).
+	Extra map[string]string `json:"extra,omitempty"`
+}
+
+// Outcome is a run's verdict.
+type Outcome struct {
+	// Solved is the §4.4 verdict: true when the solve criterion was met
+	// before the episode cutoff, false for "impossible".
+	Solved bool `json:"solved"`
+	// Episodes, TotalSteps and Resets are the run totals.
+	Episodes   int `json:"episodes"`
+	TotalSteps int `json:"total_steps,omitempty"`
+	Resets     int `json:"resets,omitempty"`
+	// WallSeconds is the host wall-clock duration.
+	WallSeconds float64 `json:"wall_seconds,omitempty"`
+	// Err records an agent failure, if any.
+	Err string `json:"err,omitempty"`
+}
+
+// HostInfo identifies the runtime environment of a run.
+type HostInfo struct {
+	GoVersion string `json:"go_version"`
+	OS        string `json:"os"`
+	Arch      string `json:"arch"`
+	NumCPU    int    `json:"num_cpu"`
+}
+
+// NewManifest starts a manifest stamped with the current schema version,
+// start time and host info.
+func NewManifest() *Manifest {
+	return &Manifest{
+		SchemaVersion: ManifestSchemaVersion,
+		Start:         time.Now(),
+		Host: HostInfo{
+			GoVersion: runtime.Version(),
+			OS:        runtime.GOOS,
+			Arch:      runtime.GOARCH,
+			NumCPU:    runtime.NumCPU(),
+		},
+	}
+}
+
+// WriteManifest writes m as indented JSON.
+func WriteManifest(w io.Writer, m *Manifest) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// ReadManifest decodes a manifest and validates its schema version.
+func ReadManifest(r io.Reader) (*Manifest, error) {
+	var m Manifest
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("obs: decoding manifest: %w", err)
+	}
+	if m.SchemaVersion <= 0 || m.SchemaVersion > ManifestSchemaVersion {
+		return nil, fmt.Errorf("obs: unsupported manifest schema version %d (supported: 1..%d)",
+			m.SchemaVersion, ManifestSchemaVersion)
+	}
+	return &m, nil
+}

@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := NewManifest()
+	m.Design = "OS-ELM-L2-Lipschitz"
+	m.Env = "CartPole-v0"
+	m.Hidden = 64
+	m.Seed = 7
+	m.Config = map[string]any{"MaxEpisodes": 5000.0, "ResetAfter": 300.0}
+	m.End = m.Start.Add(3 * time.Second)
+	m.Outcome = &Outcome{Solved: true, Episodes: 412, TotalSteps: 33017, Resets: 1, WallSeconds: 2.9}
+	m.EventsPath = "run.jsonl"
+	m.Extra = map[string]string{"tool": "train"}
+
+	var buf bytes.Buffer
+	if err := WriteManifest(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SchemaVersion != ManifestSchemaVersion {
+		t.Fatalf("schema version = %d, want %d", got.SchemaVersion, ManifestSchemaVersion)
+	}
+	if got.Design != m.Design || got.Env != m.Env || got.Hidden != 64 || got.Seed != 7 {
+		t.Fatalf("identity fields mangled: %+v", got)
+	}
+	if got.Outcome == nil || !got.Outcome.Solved || got.Outcome.Episodes != 412 {
+		t.Fatalf("outcome mangled: %+v", got.Outcome)
+	}
+	cfg, ok := got.Config.(map[string]any)
+	if !ok || cfg["MaxEpisodes"] != 5000.0 {
+		t.Fatalf("config mangled: %#v", got.Config)
+	}
+	if got.Host.GoVersion == "" || got.Host.NumCPU <= 0 {
+		t.Fatalf("host info missing: %+v", got.Host)
+	}
+	if got.Extra["tool"] != "train" {
+		t.Fatalf("extra mangled: %+v", got.Extra)
+	}
+}
+
+func TestManifestRejectsBadVersion(t *testing.T) {
+	for _, doc := range []string{
+		`{"schema_version": 0, "start": "2026-01-01T00:00:00Z"}`,
+		`{"schema_version": 999, "start": "2026-01-01T00:00:00Z"}`,
+		`not json`,
+	} {
+		if _, err := ReadManifest(strings.NewReader(doc)); err == nil {
+			t.Fatalf("want error for %q", doc)
+		}
+	}
+}

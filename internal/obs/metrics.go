@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Metric names the training stack records. Consumers key Snapshot maps by
+// these; the set is open.
+const (
+	// MetricSeqUpdates counts executed OS-ELM sequential updates.
+	MetricSeqUpdates = "seq_updates"
+	// MetricSeqSkipped counts update opportunities the ε₂ random-update
+	// gate skipped (Algorithm 1 line 21 with r₂ ≥ ε₂).
+	MetricSeqSkipped = "seq_updates_skipped"
+	// MetricTargets counts Bellman targets computed.
+	MetricTargets = "targets"
+	// MetricTargetsClipped counts targets saturated by the §3.1 Q-value
+	// clip; clipped/targets is the clip saturation rate.
+	MetricTargetsClipped = "targets_clipped"
+	// MetricInitTrains counts initial trainings / batch-ELM retrains.
+	MetricInitTrains = "init_trains"
+	// MetricTheta2Syncs counts θ2 ← θ1 target-network syncs.
+	MetricTheta2Syncs = "theta2_syncs"
+	// MetricTrainSteps counts DQN gradient steps.
+	MetricTrainSteps = "train_steps"
+	// GaugeBufferOccupancy is the replay/init-store fill level [0, 1].
+	GaugeBufferOccupancy = "buffer_occupancy"
+	// GaugeBetaSigmaMax is the latest σmax(β) estimate (§3.3); the
+	// same-named histogram tracks its distribution over the run.
+	GaugeBetaSigmaMax = "beta_sigma_max"
+)
+
+// DefaultBuckets are the upper bounds used when Observe creates a
+// histogram implicitly: a coarse log scale covering the magnitudes the
+// stack records (σmax estimates, wall milliseconds, target values).
+var DefaultBuckets = []float64{0.01, 0.1, 0.5, 1, 2, 5, 10, 100, 1000}
+
+// Histogram is a fixed-bucket histogram: Counts[i] tallies values v with
+// v <= Bounds[i] (and above the previous bound); values above the last
+// bound land in the overflow count Counts[len(Bounds)].
+type Histogram struct {
+	// Bounds are the inclusive upper bounds, ascending.
+	Bounds []float64 `json:"bounds"`
+	// Counts has len(Bounds)+1 entries; the last is overflow.
+	Counts []int64 `json:"counts"`
+	// N, Sum, Min and Max summarize all observed values.
+	N   int64   `json:"n"`
+	Sum float64 `json:"sum"`
+	Min float64 `json:"min"`
+	Max float64 `json:"max"`
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{Bounds: b, Counts: make([]int64, len(b)+1)}
+}
+
+func (h *Histogram) observe(v float64) {
+	i := sort.SearchFloat64s(h.Bounds, v)
+	h.Counts[i]++
+	if h.N == 0 || v < h.Min {
+		h.Min = v
+	}
+	if h.N == 0 || v > h.Max {
+		h.Max = v
+	}
+	h.N++
+	h.Sum += v
+}
+
+// Mean returns the observed mean (0 for an empty histogram).
+func (h *Histogram) Mean() float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.N)
+}
+
+func (h *Histogram) clone() *Histogram {
+	c := *h
+	c.Bounds = append([]float64(nil), h.Bounds...)
+	c.Counts = append([]int64(nil), h.Counts...)
+	return &c
+}
+
+// Registry is a thread-safe in-process metrics store: counters, gauges,
+// histograms and per-phase wall-clock accumulators. The zero value is not
+// usable; call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	gauges   map[string]float64
+	hists    map[string]*Histogram
+	wall     map[string]time.Duration
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]int64),
+		gauges:   make(map[string]float64),
+		hists:    make(map[string]*Histogram),
+		wall:     make(map[string]time.Duration),
+	}
+}
+
+// Inc adds delta to a counter.
+func (r *Registry) Inc(name string, delta int64) {
+	r.mu.Lock()
+	r.counters[name] += delta
+	r.mu.Unlock()
+}
+
+// SetGauge records the latest value of a gauge.
+func (r *Registry) SetGauge(name string, v float64) {
+	r.mu.Lock()
+	r.gauges[name] = v
+	r.mu.Unlock()
+}
+
+// NewHistogram registers a histogram with explicit bucket bounds,
+// replacing any existing histogram of that name.
+func (r *Registry) NewHistogram(name string, bounds []float64) {
+	r.mu.Lock()
+	r.hists[name] = newHistogram(bounds)
+	r.mu.Unlock()
+}
+
+// Observe adds v to a histogram, creating it with DefaultBuckets on first
+// use.
+func (r *Registry) Observe(name string, v float64) {
+	r.mu.Lock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(DefaultBuckets)
+		r.hists[name] = h
+	}
+	h.observe(v)
+	r.mu.Unlock()
+}
+
+// AddWall accumulates wall-clock time under a phase name.
+func (r *Registry) AddWall(phase string, d time.Duration) {
+	r.mu.Lock()
+	r.wall[phase] += d
+	r.mu.Unlock()
+}
+
+// Snapshot is a point-in-time copy of a registry, JSON-serializable (it
+// is embedded in manifests and summaries).
+type Snapshot struct {
+	Counters   map[string]int64      `json:"counters,omitempty"`
+	Gauges     map[string]float64    `json:"gauges,omitempty"`
+	Histograms map[string]*Histogram `json:"histograms,omitempty"`
+	// WallSeconds is real elapsed time per phase — the measured companion
+	// to internal/timing's modelled device seconds.
+	WallSeconds map[string]float64 `json:"wall_seconds,omitempty"`
+}
+
+// Counter returns a counter's value from the snapshot (0 when absent).
+func (s Snapshot) Counter(name string) int64 { return s.Counters[name] }
+
+// Snapshot copies the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:    make(map[string]int64, len(r.counters)),
+		Gauges:      make(map[string]float64, len(r.gauges)),
+		Histograms:  make(map[string]*Histogram, len(r.hists)),
+		WallSeconds: make(map[string]float64, len(r.wall)),
+	}
+	for k, v := range r.counters {
+		s.Counters[k] = v
+	}
+	for k, v := range r.gauges {
+		s.Gauges[k] = v
+	}
+	for k, h := range r.hists {
+		s.Histograms[k] = h.clone()
+	}
+	for k, d := range r.wall {
+		s.WallSeconds[k] = d.Seconds()
+	}
+	return s
+}
+
+// Reset clears all metrics (histogram bucket layouts registered with
+// NewHistogram are preserved with zeroed counts).
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters = make(map[string]int64)
+	r.gauges = make(map[string]float64)
+	r.wall = make(map[string]time.Duration)
+	for name, h := range r.hists {
+		r.hists[name] = newHistogram(h.Bounds)
+	}
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRegistryCountersGaugesWall(t *testing.T) {
+	r := NewRegistry()
+	r.Inc(MetricSeqUpdates, 3)
+	r.Inc(MetricSeqUpdates, 2)
+	r.SetGauge(GaugeBufferOccupancy, 0.25)
+	r.SetGauge(GaugeBufferOccupancy, 0.75) // gauges keep the latest value
+	r.AddWall("seq_train", 250*time.Millisecond)
+	r.AddWall("seq_train", 250*time.Millisecond)
+
+	s := r.Snapshot()
+	if s.Counter(MetricSeqUpdates) != 5 {
+		t.Fatalf("counter = %d, want 5", s.Counter(MetricSeqUpdates))
+	}
+	if s.Gauges[GaugeBufferOccupancy] != 0.75 {
+		t.Fatalf("gauge = %g, want 0.75", s.Gauges[GaugeBufferOccupancy])
+	}
+	if got := s.WallSeconds["seq_train"]; got < 0.499 || got > 0.501 {
+		t.Fatalf("wall = %g, want 0.5", got)
+	}
+
+	// Snapshot is a copy: later mutation must not leak in.
+	r.Inc(MetricSeqUpdates, 100)
+	if s.Counter(MetricSeqUpdates) != 5 {
+		t.Fatal("snapshot aliased live registry state")
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	r := NewRegistry()
+	r.NewHistogram("h", []float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 10} {
+		r.Observe("h", v)
+	}
+	h := r.Snapshot().Histograms["h"]
+	// Inclusive upper bounds: [<=1]=2 (0.5, 1), [<=2]=2 (1.5, 2),
+	// [<=5]=1 (3), overflow=1 (10).
+	want := []int64{2, 2, 1, 1}
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, h.Counts[i], w, h.Counts)
+		}
+	}
+	if h.N != 6 || h.Min != 0.5 || h.Max != 10 {
+		t.Fatalf("summary wrong: n=%d min=%g max=%g", h.N, h.Min, h.Max)
+	}
+	if mean := h.Mean(); mean < 3 || mean > 3.1 {
+		t.Fatalf("mean = %g, want 3", mean)
+	}
+}
+
+func TestObserveCreatesDefaultHistogram(t *testing.T) {
+	r := NewRegistry()
+	r.Observe(GaugeBetaSigmaMax, 1.5)
+	h := r.Snapshot().Histograms[GaugeBetaSigmaMax]
+	if h == nil || h.N != 1 {
+		t.Fatalf("implicit histogram missing: %+v", h)
+	}
+	if len(h.Bounds) != len(DefaultBuckets) {
+		t.Fatalf("want default buckets, got %v", h.Bounds)
+	}
+}
+
+func TestRegistryReset(t *testing.T) {
+	r := NewRegistry()
+	r.NewHistogram("h", []float64{1, 10})
+	r.Observe("h", 5)
+	r.Inc("c", 9)
+	r.SetGauge("g", 1)
+	r.AddWall("p", time.Second)
+	r.Reset()
+	s := r.Snapshot()
+	if s.Counter("c") != 0 || len(s.Gauges) != 0 || len(s.WallSeconds) != 0 {
+		t.Fatalf("reset incomplete: %+v", s)
+	}
+	h := s.Histograms["h"]
+	if h == nil {
+		t.Fatal("reset dropped registered histogram layout")
+	}
+	if h.N != 0 || len(h.Bounds) != 2 {
+		t.Fatalf("histogram not zeroed: %+v", h)
+	}
+}
+
+func TestHistogramEmptyMean(t *testing.T) {
+	h := newHistogram([]float64{1})
+	if h.Mean() != 0 {
+		t.Fatal("empty histogram mean must be 0")
+	}
+}

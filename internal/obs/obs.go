@@ -1,0 +1,266 @@
+// Package obs is the runtime observability layer: structured run events,
+// a metrics registry and run manifests. The training stack (harness,
+// qnet/dqn/fpga agents, cmd tools) emits through an *Emitter; a nil
+// *Emitter is the fully disabled state — every method is nil-safe and
+// returns immediately, so the hot path pays one pointer comparison when
+// observability is off.
+//
+// Events are JSON Lines: one JSON object per line, schema documented on
+// Event (and in README.md §Observability). Manifests are single JSON
+// documents tying a results file to the exact configuration that produced
+// it (manifest.go). Metrics are in-process counters/gauges/histograms
+// snapshotted into the run_end event and available programmatically
+// (metrics.go).
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event types emitted by the training stack. The set is open — consumers
+// must tolerate unknown types — but these cover the paper's Algorithm 1
+// control flow.
+const (
+	// EventRunStart opens a run: labels carry design and env.
+	EventRunStart = "run_start"
+	// EventEpisodeEnd closes one episode: episode, steps, score,
+	// moving_avg, resets.
+	EventEpisodeEnd = "episode_end"
+	// EventSeqUpdate is one OS-ELM rank-1 sequential update (Algorithm 1
+	// line 22): step, target, clipped (0/1).
+	EventSeqUpdate = "seq_update"
+	// EventInitTrain is an initial training / batch-ELM retrain on a full
+	// buffer D (lines 16-19): size, wall_ms, retrain (0/1).
+	EventInitTrain = "init_train"
+	// EventReinit is a §4.3 weight reinitialization: episode,
+	// episodes_since_reset.
+	EventReinit = "reinit"
+	// EventTheta2Sync is the θ2 ← θ1 target sync (lines 23-24): episode,
+	// and beta_sigma_max when the model exposes it.
+	EventTheta2Sync = "theta2_sync"
+	// EventTrainStep is one DQN gradient step: step, batch.
+	EventTrainStep = "train_step"
+	// EventRunEnd closes a run with the solve/impossible verdict: solved
+	// (0/1), episodes, total_steps, resets, wall_ms, plus one
+	// wall_ms_<phase> entry per timed phase.
+	EventRunEnd = "run_end"
+)
+
+// Event is one line of a JSONL run log.
+type Event struct {
+	// Type is one of the Event* constants (or a consumer-defined type).
+	Type string `json:"type"`
+	// Seq is a per-sink monotonically increasing sequence number; with
+	// concurrent trials writing to one sink it orders the merged stream.
+	Seq int64 `json:"seq"`
+	// WallMS is milliseconds since the emitter was created.
+	WallMS float64 `json:"wall_ms"`
+	// Episode is the 1-based episode number, when meaningful.
+	Episode int `json:"episode,omitempty"`
+	// Data holds the event's numeric payload.
+	Data map[string]float64 `json:"data,omitempty"`
+	// Labels holds string context (design, env, trial, ...), set once per
+	// emitter via With and attached to every event it emits.
+	Labels map[string]string `json:"labels,omitempty"`
+}
+
+// Sink consumes events. Implementations must be safe for concurrent use;
+// the harness's parallel trial runner writes one merged stream.
+type Sink interface {
+	Write(ev *Event) error
+	Close() error
+}
+
+// jsonlSink writes one JSON document per line through a buffered writer.
+type jsonlSink struct {
+	mu  sync.Mutex
+	buf *bufio.Writer
+	enc *json.Encoder
+	c   io.Closer
+	seq int64
+	err error
+}
+
+// NewJSONLSink wraps w in a buffered JSONL sink. If w is an io.Closer,
+// Close closes it after flushing.
+func NewJSONLSink(w io.Writer) Sink {
+	buf := bufio.NewWriter(w)
+	s := &jsonlSink{buf: buf, enc: json.NewEncoder(buf)}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+func (s *jsonlSink) Write(ev *Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	s.seq++
+	ev.Seq = s.seq
+	if err := s.enc.Encode(ev); err != nil {
+		s.err = err
+		return err
+	}
+	return nil
+}
+
+func (s *jsonlSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.buf.Flush(); err != nil && s.err == nil {
+		s.err = err
+	}
+	if s.c != nil {
+		if err := s.c.Close(); err != nil && s.err == nil {
+			s.err = err
+		}
+	}
+	return s.err
+}
+
+// Emitter attaches a metrics registry and a label set to a sink. The zero
+// value of *Emitter (nil) is the disabled state: every method no-ops, so
+// callers thread a possibly-nil *Emitter without guards.
+type Emitter struct {
+	sink   Sink
+	reg    *Registry
+	labels map[string]string
+	start  time.Time
+}
+
+// NewEmitter builds an emitter over sink with a fresh metrics registry.
+// sink may be nil (metrics-only observability).
+func NewEmitter(sink Sink) *Emitter {
+	return &Emitter{sink: sink, reg: NewRegistry(), start: time.Now()}
+}
+
+// With derives an emitter sharing the sink, registry and clock but
+// attaching the extra labels to every event — how the parallel trial
+// runner tags each trial's events in the merged stream.
+func (e *Emitter) With(labels map[string]string) *Emitter {
+	if e == nil {
+		return nil
+	}
+	merged := make(map[string]string, len(e.labels)+len(labels))
+	for k, v := range e.labels {
+		merged[k] = v
+	}
+	for k, v := range labels {
+		merged[k] = v
+	}
+	return &Emitter{sink: e.sink, reg: e.reg, labels: merged, start: e.start}
+}
+
+// Enabled reports whether the emitter records anything.
+func (e *Emitter) Enabled() bool { return e != nil }
+
+// Metrics returns the registry (nil for a nil emitter).
+func (e *Emitter) Metrics() *Registry {
+	if e == nil {
+		return nil
+	}
+	return e.reg
+}
+
+// Emit writes one event. data is owned by the emitter after the call.
+func (e *Emitter) Emit(typ string, episode int, data map[string]float64) {
+	if e == nil || e.sink == nil {
+		return
+	}
+	e.sink.Write(&Event{
+		Type:    typ,
+		WallMS:  float64(time.Since(e.start)) / float64(time.Millisecond),
+		Episode: episode,
+		Data:    data,
+		Labels:  e.labels,
+	})
+}
+
+// Inc adds delta to the named counter.
+func (e *Emitter) Inc(name string, delta int64) {
+	if e == nil {
+		return
+	}
+	e.reg.Inc(name, delta)
+}
+
+// SetGauge records the latest value of the named gauge.
+func (e *Emitter) SetGauge(name string, v float64) {
+	if e == nil {
+		return
+	}
+	e.reg.SetGauge(name, v)
+}
+
+// Observe adds v to the named histogram (created with DefaultBuckets on
+// first use).
+func (e *Emitter) Observe(name string, v float64) {
+	if e == nil {
+		return
+	}
+	e.reg.Observe(name, v)
+}
+
+// AddWall accumulates real wall-clock time for a phase (the companion to
+// the modelled device seconds of internal/timing).
+func (e *Emitter) AddWall(phase string, d time.Duration) {
+	if e == nil {
+		return
+	}
+	e.reg.AddWall(phase, d)
+}
+
+// Now returns the current time when enabled and the zero time when
+// disabled, so hot paths can skip the clock read entirely:
+//
+//	t0 := e.Now()
+//	... work ...
+//	e.AddWallSince("seq_train", t0)
+func (e *Emitter) Now() time.Time {
+	if e == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// AddWallSince accumulates wall-clock since t0 (a Now() result); no-op for
+// a nil emitter or zero t0.
+func (e *Emitter) AddWallSince(phase string, t0 time.Time) {
+	if e == nil || t0.IsZero() {
+		return
+	}
+	e.reg.AddWall(phase, time.Since(t0))
+}
+
+// Close flushes and closes the sink, if any.
+func (e *Emitter) Close() error {
+	if e == nil || e.sink == nil {
+		return nil
+	}
+	return e.sink.Close()
+}
+
+// ReadEvents decodes a JSONL stream produced by a JSONL sink. Unknown
+// fields are ignored; a trailing partial line yields an error alongside
+// the events decoded so far.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	for {
+		var ev Event
+		if err := dec.Decode(&ev); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return out, err
+		}
+		out = append(out, ev)
+	}
+}

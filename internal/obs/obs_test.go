@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilEmitterIsSafe(t *testing.T) {
+	var e *Emitter
+	if e.Enabled() {
+		t.Fatal("nil emitter must report disabled")
+	}
+	// Every method must be callable on nil without panicking.
+	e.Emit(EventEpisodeEnd, 1, map[string]float64{"steps": 10})
+	e.Inc(MetricSeqUpdates, 1)
+	e.SetGauge(GaugeBufferOccupancy, 0.5)
+	e.Observe(GaugeBetaSigmaMax, 1.2)
+	e.AddWall("seq_train", time.Millisecond)
+	e.AddWallSince("seq_train", e.Now())
+	if !e.Now().IsZero() {
+		t.Fatal("nil emitter Now() must return the zero time")
+	}
+	if e.Metrics() != nil {
+		t.Fatal("nil emitter must have nil registry")
+	}
+	if e.With(map[string]string{"a": "b"}) != nil {
+		t.Fatal("With on nil must stay nil")
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewEmitter(NewJSONLSink(&buf))
+	e.Emit(EventRunStart, 0, nil)
+	e.Emit(EventEpisodeEnd, 1, map[string]float64{"steps": 17, "score": 17})
+	e.Emit(EventRunEnd, 1, map[string]float64{"solved": 1})
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if n := strings.Count(buf.String(), "\n"); n != 3 {
+		t.Fatalf("want 3 lines, got %d: %q", n, buf.String())
+	}
+	events, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("want 3 events, got %d", len(events))
+	}
+	if events[0].Type != EventRunStart || events[2].Type != EventRunEnd {
+		t.Fatalf("unexpected event order: %+v", events)
+	}
+	if events[1].Episode != 1 || events[1].Data["steps"] != 17 {
+		t.Fatalf("episode_end payload mangled: %+v", events[1])
+	}
+	for i, ev := range events {
+		if ev.Seq != int64(i+1) {
+			t.Fatalf("event %d has seq %d, want %d", i, ev.Seq, i+1)
+		}
+		if ev.WallMS < 0 {
+			t.Fatalf("negative wall_ms: %+v", ev)
+		}
+	}
+}
+
+func TestWithLabels(t *testing.T) {
+	var buf bytes.Buffer
+	root := NewEmitter(NewJSONLSink(&buf))
+	trial := root.With(map[string]string{"trial": "3"})
+	trial2 := trial.With(map[string]string{"seed": "7"})
+	trial2.Emit(EventEpisodeEnd, 1, nil)
+	root.Emit(EventEpisodeEnd, 2, nil)
+	if err := root.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events[0].Labels["trial"] != "3" || events[0].Labels["seed"] != "7" {
+		t.Fatalf("derived labels missing: %+v", events[0].Labels)
+	}
+	if len(events[1].Labels) != 0 {
+		t.Fatalf("root emitter must not inherit derived labels: %+v", events[1].Labels)
+	}
+	// Derived emitters share the registry.
+	trial.Inc(MetricSeqUpdates, 2)
+	root.Inc(MetricSeqUpdates, 1)
+	if got := root.Metrics().Snapshot().Counter(MetricSeqUpdates); got != 3 {
+		t.Fatalf("shared registry count = %d, want 3", got)
+	}
+}
+
+func TestConcurrentEmission(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewEmitter(NewJSONLSink(&buf))
+	var wg sync.WaitGroup
+	const workers, each = 8, 50
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				e.Emit(EventSeqUpdate, i, map[string]float64{"w": float64(w)})
+				e.Inc(MetricSeqUpdates, 1)
+				e.AddWall("seq_train", time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != workers*each {
+		t.Fatalf("got %d events, want %d", len(events), workers*each)
+	}
+	seen := make(map[int64]bool, len(events))
+	for _, ev := range events {
+		if seen[ev.Seq] {
+			t.Fatalf("duplicate seq %d", ev.Seq)
+		}
+		seen[ev.Seq] = true
+	}
+	snap := e.Metrics().Snapshot()
+	if snap.Counter(MetricSeqUpdates) != workers*each {
+		t.Fatalf("counter = %d, want %d", snap.Counter(MetricSeqUpdates), workers*each)
+	}
+	if snap.WallSeconds["seq_train"] <= 0 {
+		t.Fatal("wall clock not accumulated")
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"oselmrl/internal/activation"
 	"oselmrl/internal/elm"
 	"oselmrl/internal/mat"
+	"oselmrl/internal/obs"
 	"oselmrl/internal/oselm"
 	"oselmrl/internal/replay"
 	"oselmrl/internal/rng"
@@ -217,6 +218,10 @@ type Agent struct {
 	// scratch holds the network input [state..., action] to avoid per-call
 	// allocation in the hot path.
 	scratch []float64
+
+	// obs receives structured events and metrics; nil (the default)
+	// disables observability at the cost of one nil check per guard.
+	obs *obs.Emitter
 }
 
 // New builds an agent from cfg.
@@ -288,6 +293,9 @@ func (a *Agent) Config() Config { return a.cfg }
 
 // Counters exposes the timing counters accumulated so far.
 func (a *Agent) Counters() *timing.Counters { return a.counters }
+
+// SetObserver installs the observability emitter (harness.Observable).
+func (a *Agent) SetObserver(e *obs.Emitter) { a.obs = e }
 
 // Trained reports whether initial training has completed (OS-ELM) or the
 // first batch training has run (ELM).
@@ -403,11 +411,20 @@ func (a *Agent) target(t replay.Transition) float64 {
 		}
 	}
 	y := t.Reward + a.cfg.Gamma*boolTo01(!t.Done)*next
+	clipped := false
 	if y < a.cfg.ClipLow {
 		y = a.cfg.ClipLow
+		clipped = true
 	}
 	if y > a.cfg.ClipHigh {
 		y = a.cfg.ClipHigh
+		clipped = true
+	}
+	if a.obs != nil {
+		a.obs.Inc(obs.MetricTargets, 1)
+		if clipped {
+			a.obs.Inc(obs.MetricTargetsClipped, 1)
+		}
 	}
 	return y
 }
@@ -425,6 +442,9 @@ func (a *Agent) Observe(t replay.Transition) error {
 	a.globalStep++
 	if !a.theta1.Initialized() {
 		a.buffer.Add(t)
+		if a.obs != nil {
+			a.obs.SetGauge(obs.GaugeBufferOccupancy, float64(a.buffer.Len())/float64(a.buffer.Cap()))
+		}
 		// Line 16-19: once D holds Ñ transitions, run the initial (ELM:
 		// batch) training.
 		if a.buffer.Full() {
@@ -435,6 +455,9 @@ func (a *Agent) Observe(t replay.Transition) error {
 	if !a.cfg.Variant.Sequential() {
 		// Batch ELM keeps refilling D and retraining when it is full.
 		a.buffer.Add(t)
+		if a.obs != nil {
+			a.obs.SetGauge(obs.GaugeBufferOccupancy, float64(a.buffer.Len())/float64(a.buffer.Cap()))
+		}
 		if a.buffer.Full() {
 			return a.trainFromBuffer()
 		}
@@ -444,12 +467,15 @@ func (a *Agent) Observe(t replay.Transition) error {
 	if a.rng.Float64() < a.cfg.Epsilon2 {
 		return a.sequentialUpdate(t)
 	}
+	a.obs.Inc(obs.MetricSeqSkipped, 1)
 	return nil
 }
 
 // trainFromBuffer runs the initial/batch training on buffer D with targets
 // computed from θ2 (Algorithm 1 lines 17-19), then clears D.
 func (a *Agent) trainFromBuffer() error {
+	t0 := a.obs.Now()
+	retrain := a.Trained() // refilled-buffer retrain vs first initial training
 	trans := a.buffer.Drain()
 	k := len(trans)
 	x := mat.Zeros(k, a.dims.In)
@@ -487,12 +513,23 @@ func (a *Agent) trainFromBuffer() error {
 		a.batchTrained = true
 	}
 	a.counters.Add(timing.PhaseInitTrain, work)
+	if a.obs != nil {
+		a.obs.AddWallSince(string(timing.PhaseInitTrain), t0)
+		a.obs.Inc(obs.MetricInitTrains, 1)
+		a.obs.SetGauge(obs.GaugeBufferOccupancy, 0)
+		a.obs.Emit(obs.EventInitTrain, 0, map[string]float64{
+			"size":    float64(k),
+			"step":    float64(a.globalStep),
+			"retrain": boolTo01(retrain),
+		})
+	}
 	return err
 }
 
 // sequentialUpdate runs one rank-1 OS-ELM update toward the clipped target
 // (Algorithm 1 line 22).
 func (a *Agent) sequentialUpdate(t replay.Transition) error {
+	t0 := a.obs.Now()
 	y := a.target(t)
 	var err error
 	if a.cfg.StandardOutputModel {
@@ -507,6 +544,14 @@ func (a *Agent) sequentialUpdate(t replay.Transition) error {
 	// Work: the target's θ2 evaluations plus the rank-1 update itself.
 	work := float64(a.cfg.ActionCount)*a.dims.PredictFlops() + a.dims.SeqTrainFlops()
 	a.counters.Add(timing.PhaseSeqTrain, work)
+	if a.obs != nil {
+		a.obs.AddWallSince(string(timing.PhaseSeqTrain), t0)
+		a.obs.Inc(obs.MetricSeqUpdates, 1)
+		a.obs.Emit(obs.EventSeqUpdate, 0, map[string]float64{
+			"step":   float64(a.globalStep),
+			"target": y,
+		})
+	}
 	return err
 }
 
@@ -519,6 +564,17 @@ func (a *Agent) EndEpisode(episode int) {
 	}
 	if episode%a.cfg.UpdateEvery == 0 {
 		a.theta2.CopyStateFrom(a.theta1)
+		if a.obs != nil {
+			// σmax(β) is the Lipschitz bound the §3.3 regularization caps;
+			// tracked at sync points so its drift over a run is inspectable.
+			sigma := a.theta1.BetaSigmaMax()
+			a.obs.Inc(obs.MetricTheta2Syncs, 1)
+			a.obs.SetGauge(obs.GaugeBetaSigmaMax, sigma)
+			a.obs.Observe(obs.GaugeBetaSigmaMax, sigma)
+			a.obs.Emit(obs.EventTheta2Sync, episode, map[string]float64{
+				"beta_sigma_max": sigma,
+			})
+		}
 	}
 }
 

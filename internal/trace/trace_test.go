@@ -111,3 +111,48 @@ func TestSpeedupTable(t *testing.T) {
 		t.Errorf("missing baseline note:\n%s", out)
 	}
 }
+
+// TestSpeedupTableNoDQNRow: a sweep run without the DQN design at all
+// (e.g. -designs FPGA) must degrade to the baseline note for every hidden
+// size rather than fabricate ratios or panic.
+func TestSpeedupTableNoDQNRow(t *testing.T) {
+	rows := []BreakdownRow{
+		{Design: "FPGA", Hidden: 32, Solved: true, Episodes: 1500,
+			Breakdown: timing.Breakdown{timing.PhaseSeqTrain: 2}},
+		{Design: "OS-ELM-L2-Lipschitz", Hidden: 64, Solved: true, Episodes: 2000,
+			Breakdown: timing.Breakdown{timing.PhaseSeqTrain: 10}},
+	}
+	out := SpeedupTable(rows)
+	if !strings.Contains(out, "32 units: no solved DQN baseline") ||
+		!strings.Contains(out, "64 units: no solved DQN baseline") {
+		t.Errorf("missing baseline notes:\n%s", out)
+	}
+	if strings.Contains(out, "faster than DQN") {
+		t.Errorf("speedup fabricated without a baseline:\n%s", out)
+	}
+}
+
+// TestSpeedupTableUnsolvedDQN: a DQN row that exhausted its budget is not
+// a valid baseline — its (censored) total would overstate every speedup.
+func TestSpeedupTableUnsolvedDQN(t *testing.T) {
+	rows := []BreakdownRow{
+		{Design: "DQN", Hidden: 32, Solved: false, Episodes: 3000,
+			Breakdown: timing.Breakdown{timing.PhaseTrainDQN: 500}},
+		{Design: "FPGA", Hidden: 32, Solved: true, Episodes: 1500,
+			Breakdown: timing.Breakdown{timing.PhaseSeqTrain: 2}},
+	}
+	out := SpeedupTable(rows)
+	if !strings.Contains(out, "32 units: no solved DQN baseline") {
+		t.Errorf("unsolved DQN accepted as baseline:\n%s", out)
+	}
+	if strings.Contains(out, "faster than DQN") {
+		t.Errorf("speedup computed against unsolved DQN:\n%s", out)
+	}
+}
+
+// TestSpeedupTableEmpty: no rows, no output, no panic.
+func TestSpeedupTableEmpty(t *testing.T) {
+	if out := SpeedupTable(nil); out != "" {
+		t.Errorf("empty input produced output: %q", out)
+	}
+}
