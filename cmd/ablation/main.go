@@ -13,7 +13,10 @@
 //
 // With -events every configuration's trials stream structured run events
 // into one labeled JSONL log (see cmd/runlog); -manifest records the sweep
-// parameters; -pprof serves net/http/pprof for live profiling.
+// parameters; -serve exposes live Prometheus /metrics while the sweep
+// runs; -trace writes a Chrome/Perfetto trace-event timeline at exit;
+// -pprof serves net/http/pprof for live profiling ("serve" mounts it on
+// the -serve address).
 package main
 
 import (
@@ -38,18 +41,19 @@ func main() {
 	episodes := flag.Int("episodes", 2000, "episode budget per trial")
 	eventsPath := flag.String("events", "", "write a merged JSONL run-event log to this file ('-' for stderr)")
 	manifestPath := flag.String("manifest", "", "write a JSON sweep manifest to this file")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	serveAddr := flag.String("serve", "", "serve live telemetry (/metrics, /healthz, /snapshot, /trace) on this address")
+	tracePath := flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON timeline to this file at exit")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060), or 'serve' to mount it on the -serve address")
 	flag.Parse()
 
-	if err := cli.StartPprof(*pprofAddr); err != nil {
-		fmt.Fprintln(os.Stderr, "ablation:", err)
-		os.Exit(1)
-	}
-	emitter, err := cli.NewEventsEmitter(*eventsPath)
+	tel, err := cli.StartTelemetry(cli.TelemetryFlags{
+		Events: *eventsPath, Serve: *serveAddr, Trace: *tracePath, Pprof: *pprofAddr,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ablation:", err)
 		os.Exit(1)
 	}
+	emitter := tel.Emitter
 	start := time.Now()
 
 	type variant struct {
@@ -126,8 +130,8 @@ func main() {
 		s := stats.Summarize(bests)
 		fmt.Printf("%-18s %d/%-8d %-14.1f %-12.1f\n", v.label, solved, *trials, s.Mean, s.Max)
 	}
-	if err := emitter.Close(); err != nil {
-		fmt.Fprintln(os.Stderr, "ablation: closing event log:", err)
+	if err := tel.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "ablation: closing telemetry:", err)
 	}
 	if *manifestPath != "" {
 		labels := make([]string, len(variants))

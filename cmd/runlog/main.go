@@ -1,16 +1,24 @@
 // Command runlog summarizes (or, with -f, live-tails) the JSONL run-event
 // streams written by the -events flag of cmd/train, cmd/timetocomplete and
-// cmd/ablation. It decodes the stream with obs.ReadEvents and re-renders
-// it through the repo's existing report formats: per-run episode
-// statistics via stats.Summarize and measured wall-clock phase breakdowns
-// via trace.FormatBreakdownTable — the same table Figure 5 uses for
-// modelled device time, here fed with real host seconds.
+// cmd/ablation. It decodes the stream incrementally with obs.ScanEvents —
+// multi-million-step logs are never held in memory — and re-renders it
+// through the repo's existing report formats: per-run episode statistics
+// via stats.Summarize (plus histogram-estimated p50/p95/p99), and measured
+// wall-clock phase breakdowns via trace.FormatBreakdownTable — the same
+// table Figure 5 uses for modelled device time, here fed with real host
+// seconds.
+//
+// The export subcommand converts a JSONL event log into a Chrome
+// trace-event / Perfetto-compatible JSON timeline offline, pairing each
+// phase's measured host wall time with its modelled device time (the same
+// format the training tools' -trace flag writes live).
 //
 // Usage:
 //
 //	go run ./cmd/train -events run.jsonl ... && go run ./cmd/runlog run.jsonl
 //	go run ./cmd/runlog < run.jsonl
-//	go run ./cmd/runlog -f run.jsonl      # follow a run in progress
+//	go run ./cmd/runlog -f run.jsonl                 # follow a run in progress
+//	go run ./cmd/runlog export -o run-trace.json run.jsonl
 package main
 
 import (
@@ -27,12 +35,26 @@ import (
 	"time"
 
 	"oselmrl/internal/obs"
+	"oselmrl/internal/obs/export"
 	"oselmrl/internal/stats"
 	"oselmrl/internal/timing"
 	"oselmrl/internal/trace"
 )
 
+// stepBuckets are the histogram bounds for per-episode step counts:
+// CartPole episodes run 1-200 steps, the other environments up to a few
+// thousand, so a coarse log-ish scale covers every built-in task.
+var stepBuckets = []float64{1, 2, 5, 10, 20, 50, 100, 150, 200, 300, 500, 1000}
+
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "export" {
+		if err := runExport(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "runlog export:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	follow := flag.Bool("f", false, "follow mode: tail the log, printing events as they arrive")
 	flag.Parse()
 
@@ -50,28 +72,87 @@ func main() {
 		return
 	}
 
-	var in io.Reader = os.Stdin
-	if path != "" && path != "-" {
-		f, err := os.Open(path)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "runlog:", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		in = f
-	}
-	events, err := obs.ReadEvents(in)
+	in, closeIn, err := openInput(path)
 	if err != nil {
+		fmt.Fprintln(os.Stderr, "runlog:", err)
+		os.Exit(1)
+	}
+	defer closeIn()
+
+	acc := newSummary()
+	if err := obs.ScanEvents(in, acc.add); err != nil {
 		// A run killed mid-write leaves a truncated final line; summarize
 		// what did decode rather than refusing the whole log. Anything
 		// else (corrupt content) is a hard error.
-		if !errors.Is(err, io.ErrUnexpectedEOF) || len(events) == 0 {
+		if !errors.Is(err, io.ErrUnexpectedEOF) || acc.total == 0 {
 			fmt.Fprintln(os.Stderr, "runlog:", err)
 			os.Exit(1)
 		}
 		fmt.Fprintln(os.Stderr, "runlog: warning: log ends mid-event (run killed?); summarizing the complete events")
 	}
-	summarize(os.Stdout, events)
+	acc.print(os.Stdout)
+}
+
+// openInput resolves path ("" or "-" meaning stdin) to a reader and a
+// close function.
+func openInput(path string) (io.Reader, func(), error) {
+	if path == "" || path == "-" {
+		return os.Stdin, func() {}, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, func() { f.Close() }, nil
+}
+
+// runExport implements "runlog export [-o out.json] [run.jsonl]": it
+// streams the event log through export.EventConverter and writes the
+// reconstructed span timeline in Chrome trace-event format.
+func runExport(args []string) error {
+	fs := flag.NewFlagSet("runlog export", flag.ContinueOnError)
+	outPath := fs.String("o", "", "output trace file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 1 {
+		return errors.New("at most one input file")
+	}
+
+	in, closeIn, err := openInput(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer closeIn()
+
+	conv := export.NewEventConverter()
+	if err := obs.ScanEvents(in, conv.Add); err != nil {
+		if !errors.Is(err, io.ErrUnexpectedEOF) || len(conv.Spans()) == 0 {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "runlog export: warning: log ends mid-event (run killed?); exporting the complete events")
+	}
+	spans := conv.Spans()
+	if len(spans) == 0 {
+		return errors.New("no convertible events in the log")
+	}
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := export.WriteTrace(out, spans, export.TraceMeta{Tool: "runlog export"}); err != nil {
+		return err
+	}
+	if *outPath != "" {
+		fmt.Fprintf(os.Stderr, "runlog export: %d spans written to %s\n", len(spans), *outPath)
+	}
+	return nil
 }
 
 // labelKey renders a label set as a stable one-line identifier so events
@@ -95,57 +176,77 @@ func labelKey(labels map[string]string) string {
 
 // runGroup accumulates one run's events (one label set).
 type runGroup struct {
-	key    string
-	labels map[string]string
-	steps  []float64
-	scores []float64
-	end    *obs.Event
+	key      string
+	labels   map[string]string
+	steps    []float64
+	scores   []float64
+	stepHist *obs.Histogram
+	end      *obs.Event
 }
 
-func summarize(w io.Writer, events []obs.Event) {
-	byType := map[string]int{}
-	groups := map[string]*runGroup{}
-	var order []string
-	for i := range events {
-		ev := &events[i]
-		byType[ev.Type]++
-		key := labelKey(ev.Labels)
-		g := groups[key]
-		if g == nil {
-			g = &runGroup{key: key, labels: ev.Labels}
-			groups[key] = g
-			order = append(order, key)
-		}
-		switch ev.Type {
-		case obs.EventEpisodeEnd:
-			g.steps = append(g.steps, ev.Data["steps"])
-			g.scores = append(g.scores, ev.Data["score"])
-		case obs.EventRunEnd:
-			g.end = ev
-		}
-	}
+// summary is the streaming accumulator behind the default (summarize)
+// mode: obs.ScanEvents feeds it one decoded event at a time, so the log
+// itself is never resident in memory — only the per-run aggregates.
+type summary struct {
+	total  int
+	byType map[string]int
+	groups map[string]*runGroup
+	order  []string
+}
 
-	fmt.Fprintf(w, "%d events", len(events))
-	types := make([]string, 0, len(byType))
-	for t := range byType {
+func newSummary() *summary {
+	return &summary{byType: map[string]int{}, groups: map[string]*runGroup{}}
+}
+
+// add consumes one event; its signature matches obs.ScanEvents. The event
+// pointer is only valid for the duration of the call, so everything kept
+// (labels, run_end payload) is copied or retained by value.
+func (s *summary) add(ev *obs.Event) error {
+	s.total++
+	s.byType[ev.Type]++
+	key := labelKey(ev.Labels)
+	g := s.groups[key]
+	if g == nil {
+		g = &runGroup{key: key, labels: ev.Labels, stepHist: obs.NewHistogram(stepBuckets)}
+		s.groups[key] = g
+		s.order = append(s.order, key)
+	}
+	switch ev.Type {
+	case obs.EventEpisodeEnd:
+		g.steps = append(g.steps, ev.Data["steps"])
+		g.scores = append(g.scores, ev.Data["score"])
+		g.stepHist.Observe(ev.Data["steps"])
+	case obs.EventRunEnd:
+		end := *ev
+		g.end = &end
+	}
+	return nil
+}
+
+func (s *summary) print(w io.Writer) {
+	fmt.Fprintf(w, "%d events", s.total)
+	types := make([]string, 0, len(s.byType))
+	for t := range s.byType {
 		types = append(types, t)
 	}
 	sort.Strings(types)
 	var parts []string
 	for _, t := range types {
-		parts = append(parts, fmt.Sprintf("%s=%d", t, byType[t]))
+		parts = append(parts, fmt.Sprintf("%s=%d", t, s.byType[t]))
 	}
 	fmt.Fprintf(w, " (%s)\n\n", strings.Join(parts, ", "))
 
 	// Per-run episode statistics and verdicts.
 	fmt.Fprintln(w, "Runs:")
 	var rows []trace.BreakdownRow
-	for _, key := range order {
-		g := groups[key]
+	for _, key := range s.order {
+		g := s.groups[key]
 		fmt.Fprintf(w, "  %s\n", g.key)
 		if len(g.steps) > 0 {
 			printSummary(w, "episode steps", stats.Summarize(g.steps))
 			printSummary(w, "episode score", stats.Summarize(g.scores))
+			fmt.Fprintf(w, "    %-13s p50=%-6.0f p95=%-6.0f p99=%-6.0f (histogram estimate)\n",
+				"steps qtiles", g.stepHist.Quantile(0.50), g.stepHist.Quantile(0.95), g.stepHist.Quantile(0.99))
 		}
 		if g.end == nil {
 			fmt.Fprintln(w, "    verdict       (run still in progress — no run_end event)")

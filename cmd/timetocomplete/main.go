@@ -16,8 +16,11 @@
 //
 // With -events every trial of every design streams structured run events
 // into one JSONL log, labeled by design/trial/seed (see cmd/runlog);
-// -manifest records the sweep parameters and aggregated metrics; -pprof
-// serves net/http/pprof for live profiling.
+// -manifest records the sweep parameters and aggregated metrics; -serve
+// exposes live Prometheus /metrics while the sweep runs; -trace writes a
+// Chrome/Perfetto trace-event timeline of every trial's phases at exit;
+// -pprof serves net/http/pprof for live profiling ("serve" mounts it on
+// the -serve address).
 package main
 
 import (
@@ -48,16 +51,18 @@ func main() {
 	outDir := flag.String("out", "", "directory for CSV output")
 	eventsPath := flag.String("events", "", "write a merged JSONL run-event log to this file ('-' for stderr)")
 	manifestPath := flag.String("manifest", "", "write a JSON sweep manifest to this file")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	serveAddr := flag.String("serve", "", "serve live telemetry (/metrics, /healthz, /snapshot, /trace) on this address")
+	tracePath := flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON timeline to this file at exit")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060), or 'serve' to mount it on the -serve address")
 	flag.Parse()
 
-	if err := cli.StartPprof(*pprofAddr); err != nil {
-		fail(err)
-	}
-	emitter, err := cli.NewEventsEmitter(*eventsPath)
+	tel, err := cli.StartTelemetry(cli.TelemetryFlags{
+		Events: *eventsPath, Serve: *serveAddr, Trace: *tracePath, Pprof: *pprofAddr,
+	})
 	if err != nil {
 		fail(err)
 	}
+	emitter := tel.Emitter
 
 	sizes, err := cli.ParseIntList(*hiddenFlag)
 	if err != nil {
@@ -83,8 +88,8 @@ func main() {
 			rows = append(rows, row)
 		}
 	}
-	if err := emitter.Close(); err != nil {
-		fmt.Fprintln(os.Stderr, "timetocomplete: closing event log:", err)
+	if err := tel.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "timetocomplete: closing telemetry:", err)
 	}
 
 	if *manifestPath != "" {

@@ -10,14 +10,19 @@
 //	go run ./cmd/train -design OS-ELM-L2 -save agent.json -eval 20
 //	go run ./cmd/train -load agent.json -eval 20
 //	go run ./cmd/train -events run.jsonl -manifest run.json -pprof localhost:6060
+//	go run ./cmd/train -serve :9090 -trace run-trace.json
 //
 // The final solve/impossible verdict is echoed to stderr and reflected in
 // the exit code — 0 when solved, 3 when the episode budget ran out
 // ("impossible", paper §4.4) — so scripted sweeps can branch on outcome.
 // With -events the run emits a JSONL event stream (see cmd/runlog and
 // README.md §Observability); -manifest records the full configuration and
-// outcome as a JSON header; -pprof serves net/http/pprof for live
-// profiling of long runs.
+// outcome as a JSON header; -serve exposes live Prometheus /metrics (plus
+// /healthz, /snapshot and /trace) while the run executes; -trace writes a
+// Chrome/Perfetto trace-event timeline of the run's phases (measured wall
+// time paired with modelled device time) at exit; -pprof serves
+// net/http/pprof for live profiling of long runs ("serve" mounts it on
+// the -serve address instead).
 package main
 
 import (
@@ -78,10 +83,15 @@ func run() int {
 	evalEps := flag.Int("eval", 0, "greedy-policy evaluation episodes after training")
 	eventsPath := flag.String("events", "", "write a JSONL run-event log to this file ('-' for stderr)")
 	manifestPath := flag.String("manifest", "", "write a JSON run manifest to this file")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	serveAddr := flag.String("serve", "", "serve live telemetry (/metrics, /healthz, /snapshot, /trace) on this address (e.g. :9090; :0 picks a port)")
+	tracePath := flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON timeline to this file at exit")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060), or 'serve' to mount it on the -serve address")
 	flag.Parse()
 
-	if err := cli.StartPprof(*pprofAddr); err != nil {
+	tel, err := cli.StartTelemetry(cli.TelemetryFlags{
+		Events: *eventsPath, Serve: *serveAddr, Trace: *tracePath, Pprof: *pprofAddr,
+	})
+	if err != nil {
 		return fail(err)
 	}
 
@@ -120,11 +130,7 @@ func run() int {
 	cfg.MaxEpisodes = *episodes
 	solveFor(*envName, &cfg)
 
-	emitter, err := cli.NewEventsEmitter(*eventsPath)
-	if err != nil {
-		return fail(err)
-	}
-	cfg.Obs = emitter.With(map[string]string{
+	cfg.Obs = tel.Emitter.With(map[string]string{
 		"hidden": fmt.Sprint(*hidden),
 		"seed":   fmt.Sprint(*seed),
 	})
@@ -141,8 +147,8 @@ func run() int {
 	fmt.Printf("Training %s on %s (%d hidden units, <= %d episodes) ...\n",
 		d, task.Name(), *hidden, *episodes)
 	res := harness.Run(agent, task, cfg)
-	if err := emitter.Close(); err != nil {
-		fmt.Fprintln(os.Stderr, "train: closing event log:", err)
+	if err := tel.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "train: closing telemetry:", err)
 	}
 	if res.Err != nil {
 		fmt.Println("warning:", res.Err)

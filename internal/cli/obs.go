@@ -10,6 +10,7 @@ import (
 	"os"
 
 	"oselmrl/internal/obs"
+	"oselmrl/internal/obs/export"
 )
 
 // NewEventsEmitter opens a JSONL event log at path and returns an emitter
@@ -38,6 +39,128 @@ func WriteManifestFile(path string, m *obs.Manifest) error {
 	if err := obs.WriteManifest(f, m); err != nil {
 		f.Close()
 		return fmt.Errorf("manifest: %w", err)
+	}
+	return f.Close()
+}
+
+// TelemetryFlags groups the observability flags shared by the training
+// CLIs (cmd/train, cmd/timetocomplete, cmd/ablation).
+type TelemetryFlags struct {
+	// Events is the -events JSONL log path ("" off, "-" stderr).
+	Events string
+	// Serve is the -serve address for live /metrics, /healthz, /snapshot
+	// and /trace ("" off; ":0" picks a free port).
+	Serve string
+	// Trace is the -trace output path for the Chrome/Perfetto trace-event
+	// timeline written at Close ("" off).
+	Trace string
+	// Pprof is the -pprof address for net/http/pprof, or the special
+	// value "serve" to mount /debug/pprof on the -serve mux instead of a
+	// dedicated listener.
+	Pprof string
+}
+
+// Telemetry is the live observability runtime a training CLI holds for
+// the duration of a run: the (possibly nil) emitter to install as
+// harness.Config.Obs, the span tracer behind it, and the telemetry HTTP
+// server. With every flag empty, Emitter stays nil and the training hot
+// path keeps its zero-cost disabled state.
+type Telemetry struct {
+	// Emitter is nil when all observability is off; otherwise it carries
+	// the metrics registry, the event sink (with -events) and the span
+	// tracer (with -trace).
+	Emitter *obs.Emitter
+
+	tracer    *obs.Tracer
+	tracePath string
+	server    *export.Server
+}
+
+// StartTelemetry wires up the observability runtime for one tool
+// invocation: the events emitter, the span tracer, the telemetry server
+// and the pprof listener, in one call. Listener errors surface
+// synchronously.
+func StartTelemetry(f TelemetryFlags) (*Telemetry, error) {
+	t := &Telemetry{}
+	emitter, err := NewEventsEmitter(f.Events)
+	if err != nil {
+		return nil, err
+	}
+	if emitter == nil && (f.Serve != "" || f.Trace != "") {
+		// Metrics/trace-only observability: a registry with no event sink.
+		emitter = obs.NewEmitter(nil)
+	}
+	t.Emitter = emitter
+
+	if f.Trace != "" {
+		t.tracer = obs.NewTracer()
+		t.tracePath = f.Trace
+		emitter.SetTracer(t.tracer)
+	}
+
+	pprofOnServe := f.Pprof == "serve"
+	if pprofOnServe && f.Serve == "" {
+		return nil, fmt.Errorf("telemetry: -pprof serve requires -serve")
+	}
+	if !pprofOnServe {
+		if err := StartPprof(f.Pprof); err != nil {
+			return nil, err
+		}
+	}
+	if f.Serve != "" {
+		var opts []export.Option
+		if t.tracer != nil {
+			opts = append(opts, export.WithTracer(t.tracer))
+		}
+		if pprofOnServe {
+			opts = append(opts, export.WithPprof())
+		}
+		srv, err := export.Serve(f.Serve, emitter.Metrics(), opts...)
+		if err != nil {
+			return nil, err
+		}
+		t.server = srv
+		fmt.Fprintf(os.Stderr, "telemetry: serving http://%s/metrics\n", srv.Addr())
+	}
+	return t, nil
+}
+
+// Addr returns the telemetry server's bound address ("" when -serve was
+// off), for tests binding ":0".
+func (t *Telemetry) Addr() string {
+	if t.server == nil {
+		return ""
+	}
+	return t.server.Addr()
+}
+
+// Tracer exposes the span tracer (nil without -trace).
+func (t *Telemetry) Tracer() *obs.Tracer { return t.tracer }
+
+// Close flushes the event log and writes the trace file. The telemetry
+// server keeps serving until process exit so a final scrape after the
+// run completes still sees the end-state metrics.
+func (t *Telemetry) Close() error {
+	firstErr := t.Emitter.Close()
+	if t.tracer != nil && t.tracePath != "" {
+		if err := writeTraceFile(t.tracePath, t.tracer); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if n := t.tracer.Dropped(); n > 0 {
+			fmt.Fprintf(os.Stderr, "telemetry: %d spans beyond the cap were dropped; the trace is truncated\n", n)
+		}
+	}
+	return firstErr
+}
+
+func writeTraceFile(path string, tr *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	if err := export.WriteTrace(f, tr.Spans(), export.TraceMeta{Dropped: tr.Dropped()}); err != nil {
+		f.Close()
+		return fmt.Errorf("trace: %w", err)
 	}
 	return f.Close()
 }

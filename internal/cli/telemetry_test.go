@@ -1,0 +1,155 @@
+package cli
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"oselmrl/internal/env"
+	"oselmrl/internal/harness"
+	"oselmrl/internal/obs"
+	"oselmrl/internal/obs/export"
+)
+
+func TestStartTelemetryAllOff(t *testing.T) {
+	tel, err := StartTelemetry(TelemetryFlags{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tel.Emitter != nil {
+		t.Fatal("with every flag empty the emitter must stay nil (zero-cost hot path)")
+	}
+	if tel.Addr() != "" || tel.Tracer() != nil {
+		t.Fatal("no server or tracer expected")
+	}
+	if err := tel.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStartTelemetryPprofServeRequiresServe(t *testing.T) {
+	if _, err := StartTelemetry(TelemetryFlags{Pprof: "serve"}); err == nil {
+		t.Fatal("-pprof serve without -serve must fail")
+	}
+}
+
+// TestTelemetryEndToEnd exercises the exact wiring cmd/train uses for
+// "-events X -serve :0 -trace Y": a real (short) training run against
+// the live telemetry server, a /metrics scrape that must be Prometheus
+// text, and the trace file written at Close carrying both the measured
+// and the modelled track.
+func TestTelemetryEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	eventsPath := filepath.Join(dir, "run.jsonl")
+	tracePath := filepath.Join(dir, "run-trace.json")
+
+	tel, err := StartTelemetry(TelemetryFlags{
+		Events: eventsPath,
+		Serve:  "127.0.0.1:0",
+		Trace:  tracePath,
+		Pprof:  "serve",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tel.server.Close()
+	if tel.Addr() == "" {
+		t.Fatal("server address missing")
+	}
+
+	d, err := harness.ParseDesign("OS-ELM-L2-Lipschitz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// hidden=8 fills the init store within the first episodes, so the run
+	// emits init_train, seq_train and predict spans with modelled time.
+	agent, err := harness.NewAgent(d, 4, 2, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := env.NewShaped(env.NewCartPoleV0(7), env.RewardSurvival)
+	cfg := harness.RunConfigFor(d, harness.Defaults())
+	cfg.MaxEpisodes = 20
+	cfg.ResetAfter = 0
+	cfg.RecordCurve = false
+	cfg.Obs = tel.Emitter.With(map[string]string{"hidden": "8"})
+	harness.Run(agent, task, cfg)
+
+	base := "http://" + tel.Addr()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("metrics content type = %q", ct)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE oselmrl_seq_updates_total counter",
+		"oselmrl_phase_wall_seconds_total{phase=\"seq_train\"}",
+		"oselmrl_buffer_occupancy",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("scrape missing %q:\n%s", want, text)
+		}
+	}
+	// -pprof serve mounts the profiler on the telemetry mux.
+	if presp, err := http.Get(base + "/debug/pprof/cmdline"); err != nil || presp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof on serve mux: %v %v", err, presp)
+	} else {
+		presp.Body.Close()
+	}
+
+	if err := tel.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The events log must stream-decode.
+	f, err := os.Open(eventsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	events := 0
+	if err := obs.ScanEvents(f, func(*obs.Event) error { events++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if events == 0 {
+		t.Fatal("no events logged")
+	}
+
+	// The trace file must be valid trace-event JSON with both timelines.
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf export.TraceFile
+	if err := json.Unmarshal(raw, &tf); err != nil {
+		t.Fatalf("trace file not JSON: %v", err)
+	}
+	tids := map[int]int{}
+	phases := map[string]bool{}
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph == "X" {
+			tids[ev.TID]++
+			phases[ev.Name] = true
+		}
+	}
+	if tids[1] == 0 || tids[2] == 0 {
+		t.Fatalf("trace missing a track: tid counts %v", tids)
+	}
+	for _, want := range []string{"episode", "seq_train", "init_train"} {
+		if !phases[want] {
+			t.Fatalf("trace missing phase %q (got %v)", want, phases)
+		}
+	}
+}

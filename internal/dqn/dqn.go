@@ -8,6 +8,7 @@ package dqn
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"oselmrl/internal/activation"
 	"oselmrl/internal/mat"
@@ -146,8 +147,14 @@ func (a *Agent) SetObserver(e *obs.Emitter) { a.obs = e }
 // SelectAction is ε-greedy with the same convention as Algorithm 1.
 func (a *Agent) SelectAction(state []float64) int {
 	if a.rng.Float64() >= a.exploreProb {
+		sp := a.obs.StartSpan(string(timing.PhasePredict1))
+		act := a.greedy(state)
 		a.counters.Add(timing.PhasePredict1, a.dims.Predict1Flops())
-		return a.greedy(state)
+		if sp.Active() {
+			// Modelled counterpart on the DQN software stack (§4.3: NumPy).
+			sp.EndModelled(timing.CortexA9NumPy.Seconds(timing.PhasePredict1, 1, a.dims.Predict1Flops()))
+		}
+		return act
 	}
 	return a.rng.Intn(a.cfg.ActionCount)
 }
@@ -189,9 +196,13 @@ func (a *Agent) Observe(t replay.Transition) error {
 // trainStep samples a batch, builds targets from θ2 (Eq. 9) and applies
 // one Adam update on the Huber loss of the selected-action Q values.
 func (a *Agent) trainStep() {
+	sp := a.obs.StartSpan(string(timing.PhaseTrainDQN))
 	t0 := a.obs.Now()
 	batch := a.buffer.Sample(a.rng, a.cfg.BatchSize)
 	k := len(batch)
+	// predict32Calls tracks the batched target/ranking forward passes so
+	// the span's modelled time covers everything the step dispatched.
+	predict32Calls := int64(1)
 
 	states := matFromStates(batch, false, a.cfg.ObservationSize)
 	nextStates := matFromStates(batch, true, a.cfg.ObservationSize)
@@ -205,6 +216,7 @@ func (a *Agent) trainStep() {
 	if a.cfg.DoubleQ {
 		nextQ1, _ = a.theta1.ForwardBatch(nextStates)
 		a.counters.Add(timing.PhasePredict32, a.dims.PredictBatchFlops(k))
+		predict32Calls++
 	}
 
 	targets := make([]float64, k)
@@ -250,9 +262,20 @@ func (a *Agent) trainStep() {
 	a.opt.Step(a.theta1, grads)
 	a.counters.Add(timing.PhaseTrainDQN, a.dims.TrainFlops(k))
 	if a.obs != nil {
-		a.obs.AddWallSince(string(timing.PhaseTrainDQN), t0)
+		// Modelled device time for everything the step dispatched: the
+		// batched forward passes plus the gradient step (NumPy profile).
+		model := timing.CortexA9NumPy.Seconds(timing.PhasePredict32, predict32Calls,
+			float64(predict32Calls)*a.dims.PredictBatchFlops(k)) +
+			timing.CortexA9NumPy.Seconds(timing.PhaseTrainDQN, 1, a.dims.TrainFlops(k))
+		sp.EndModelled(model)
+		d := time.Since(t0)
+		a.obs.AddWall(string(timing.PhaseTrainDQN), d)
 		a.obs.Inc(obs.MetricTrainSteps, 1)
-		a.obs.Emit(obs.EventTrainStep, 0, map[string]float64{"batch": float64(k)})
+		a.obs.Emit(obs.EventTrainStep, 0, map[string]float64{
+			"batch":    float64(k),
+			"dur_ms":   float64(d) / float64(time.Millisecond),
+			"model_ms": model * 1e3,
+		})
 	}
 }
 

@@ -3,6 +3,7 @@ package fpga
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"oselmrl/internal/elm"
 	"oselmrl/internal/fixed"
@@ -194,15 +195,27 @@ func (a *Agent) SelectAction(state []float64) int {
 		return a.rng.Intn(a.cfg.ActionCount)
 	}
 	if !a.loaded {
+		sp := a.obs.StartSpan(string(timing.PhasePredictInit))
 		_, act := a.maxQCPU(state, false)
 		a.counters.AddN(timing.PhasePredictInit, int64(a.cfg.ActionCount),
 			float64(a.cfg.ActionCount)*a.dims.PredictFlops())
+		if sp.Active() {
+			sp.EndModelled(timing.CortexA9Init.Seconds(timing.PhasePredictInit,
+				int64(a.cfg.ActionCount), float64(a.cfg.ActionCount)*a.dims.PredictFlops()))
+		}
 		return act
 	}
+	sp := a.obs.StartSpan(string(timing.PhasePredictSeq))
 	start := a.core.Cycles()
 	_, act := a.maxQCore(nil, state)
-	a.counters.AddN(timing.PhasePredictSeq, int64(a.cfg.ActionCount),
-		float64(a.core.Cycles()-start))
+	cycles := float64(a.core.Cycles() - start)
+	a.counters.AddN(timing.PhasePredictSeq, int64(a.cfg.ActionCount), cycles)
+	if sp.Active() {
+		// Modelled PL time: datapath cycles at 125 MHz plus one AXI
+		// handshake per action-candidate invocation.
+		sp.EndModelled(timing.FPGA125.Seconds(timing.PhasePredictSeq,
+			int64(a.cfg.ActionCount), cycles))
+	}
 	return act
 }
 
@@ -220,10 +233,12 @@ func (a *Agent) GreedyAction(state []float64) int {
 func (a *Agent) Observe(t replay.Transition) error {
 	a.globalStep++
 	if !a.loaded {
+		sp := a.obs.StartSpan("buffer_refill")
 		a.buffer.Add(t)
 		if a.obs != nil {
 			a.obs.SetGauge(obs.GaugeBufferOccupancy, float64(a.buffer.Len())/float64(a.buffer.Cap()))
 		}
+		sp.End()
 		if a.buffer.Full() {
 			return a.initTrain()
 		}
@@ -240,6 +255,7 @@ func (a *Agent) Observe(t replay.Transition) error {
 // initTrain runs the CPU-side ReOS-ELM initial training (Eq. 8) and DMA-loads
 // the quantized parameters into the core.
 func (a *Agent) initTrain() error {
+	sp := a.obs.StartSpan(string(timing.PhaseInitTrain))
 	t0 := a.obs.Now()
 	trans := a.buffer.Drain()
 	k := len(trans)
@@ -280,13 +296,21 @@ func (a *Agent) initTrain() error {
 	a.counters.AddN(timing.PhaseInitTrain, 0, busSec*timing.CortexA9Init.WorkUnitsPerSec)
 	a.loaded = true
 	if a.obs != nil {
-		a.obs.AddWallSince(string(timing.PhaseInitTrain), t0)
+		// CPU-side modelled time for the solve plus the AXI bulk load,
+		// expressed in the same profile's work units as the counters.
+		model := timing.CortexA9Init.Seconds(timing.PhaseInitTrain, 1,
+			work+busSec*timing.CortexA9Init.WorkUnitsPerSec)
+		sp.EndModelled(model)
+		d := time.Since(t0)
+		a.obs.AddWall(string(timing.PhaseInitTrain), d)
 		a.obs.Inc(obs.MetricInitTrains, 1)
 		a.obs.SetGauge(obs.GaugeBufferOccupancy, 0)
 		a.obs.Emit(obs.EventInitTrain, 0, map[string]float64{
 			"size":        float64(k),
 			"step":        float64(a.globalStep),
 			"bus_load_ms": busSec * 1e3,
+			"dur_ms":      float64(d) / float64(time.Millisecond),
+			"model_ms":    model * 1e3,
 		})
 	}
 	return nil
@@ -295,6 +319,7 @@ func (a *Agent) initTrain() error {
 // sequentialUpdate computes the clipped target with the θ2 β on the core
 // and runs the seq_train module.
 func (a *Agent) sequentialUpdate(t replay.Transition) {
+	sp := a.obs.StartSpan(string(timing.PhaseSeqTrain))
 	t0 := a.obs.Now()
 	start := a.core.Cycles()
 	y := t.Reward
@@ -313,17 +338,23 @@ func (a *Agent) sequentialUpdate(t replay.Transition) {
 	}
 	in := a.encode(t.State, t.Action)
 	a.core.SeqTrain(in, []fixed.Fixed{fixed.FromFloat(y)})
-	a.counters.Add(timing.PhaseSeqTrain, float64(a.core.Cycles()-start))
+	cycles := float64(a.core.Cycles() - start)
+	a.counters.Add(timing.PhaseSeqTrain, cycles)
 	if a.obs != nil {
-		a.obs.AddWallSince(string(timing.PhaseSeqTrain), t0)
+		model := timing.FPGA125.Seconds(timing.PhaseSeqTrain, 1, cycles)
+		sp.EndModelled(model)
+		d := time.Since(t0)
+		a.obs.AddWall(string(timing.PhaseSeqTrain), d)
 		a.obs.Inc(obs.MetricSeqUpdates, 1)
 		a.obs.Inc(obs.MetricTargets, 1)
 		if clipped {
 			a.obs.Inc(obs.MetricTargetsClipped, 1)
 		}
 		a.obs.Emit(obs.EventSeqUpdate, 0, map[string]float64{
-			"step":   float64(a.globalStep),
-			"target": y,
+			"step":     float64(a.globalStep),
+			"target":   y,
+			"dur_ms":   float64(d) / float64(time.Millisecond),
+			"model_ms": model * 1e3,
 		})
 	}
 }

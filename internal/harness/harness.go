@@ -184,6 +184,10 @@ func Run(agent Agent, e env.Env, cfg Config) *Result {
 	episodesSinceReset := 0
 
 	for ep := 1; ep <= cfg.MaxEpisodes; ep++ {
+		// Episode-level span on the wall track; the agents contribute the
+		// per-phase spans (predict, seq_train, ...) nested inside it. An
+		// inactive span (no tracer) is a zero value — no clock, no alloc.
+		epSpan := eobs.StartSpan("episode")
 		state := e.Reset()
 		steps := 0
 		ret := 0.0
@@ -207,6 +211,7 @@ func Run(agent Agent, e env.Env, cfg Config) *Result {
 			}
 		}
 		agent.EndEpisode(ep)
+		epSpan.End()
 		res.Episodes = ep
 		res.TotalSteps += steps
 		episodesSinceReset++

@@ -1,0 +1,216 @@
+// Package export serves and exports the runtime observability layer of
+// internal/obs: a Prometheus text-format /metrics endpoint rendered from
+// a Registry snapshot, JSON snapshots, health checks, optional
+// net/http/pprof mounting, and Chrome trace-event / Perfetto-compatible
+// span timelines (trace.go) pairing measured wall time with the modelled
+// device time of internal/timing.
+package export
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"strings"
+
+	"oselmrl/internal/obs"
+)
+
+// MetricPrefix namespaces every exposed metric, per the Prometheus
+// naming convention (results/README.md documents the full scheme).
+const MetricPrefix = "oselmrl_"
+
+// sanitizeMetricName maps a registry name onto the Prometheus metric
+// name grammar [a-zA-Z_:][a-zA-Z0-9_:]*.
+func sanitizeMetricName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WriteMetricsText renders a registry snapshot in the Prometheus text
+// exposition format (version 0.0.4): counters as <name>_total, gauges
+// verbatim, per-phase wall accumulators as
+// oselmrl_phase_wall_seconds_total{phase="..."}, and histograms with
+// cumulative le buckets plus _sum/_count and _p50/_p95/_p99 quantile
+// gauges.
+func WriteMetricsText(w io.Writer, s obs.Snapshot) error {
+	var b strings.Builder
+	for _, name := range sortedKeys(s.Counters) {
+		n := MetricPrefix + sanitizeMetricName(name) + "_total"
+		fmt.Fprintf(&b, "# HELP %s Cumulative count of %q events.\n", n, name)
+		fmt.Fprintf(&b, "# TYPE %s counter\n", n)
+		fmt.Fprintf(&b, "%s %d\n", n, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		n := MetricPrefix + sanitizeMetricName(name)
+		fmt.Fprintf(&b, "# HELP %s Latest value of %q.\n", n, name)
+		fmt.Fprintf(&b, "# TYPE %s gauge\n", n)
+		fmt.Fprintf(&b, "%s %s\n", n, formatFloat(s.Gauges[name]))
+	}
+	if len(s.WallSeconds) > 0 {
+		n := MetricPrefix + "phase_wall_seconds_total"
+		fmt.Fprintf(&b, "# HELP %s Measured wall-clock seconds per phase (companion to the modelled device seconds).\n", n)
+		fmt.Fprintf(&b, "# TYPE %s counter\n", n)
+		for _, phase := range sortedKeys(s.WallSeconds) {
+			fmt.Fprintf(&b, "%s{phase=%q} %s\n", n, phase, formatFloat(s.WallSeconds[phase]))
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		n := MetricPrefix + sanitizeMetricName(name)
+		fmt.Fprintf(&b, "# HELP %s Distribution of %q.\n", n, name)
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", n)
+		var cum int64
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", n, formatFloat(bound), cum)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", n, h.N)
+		fmt.Fprintf(&b, "%s_sum %s\n", n, formatFloat(h.Sum))
+		fmt.Fprintf(&b, "%s_count %d\n", n, h.N)
+		for _, q := range []struct {
+			suffix string
+			p      float64
+		}{{"p50", 0.50}, {"p95", 0.95}, {"p99", 0.99}} {
+			qn := n + "_" + q.suffix
+			fmt.Fprintf(&b, "# TYPE %s gauge\n", qn)
+			fmt.Fprintf(&b, "%s %s\n", qn, formatFloat(h.Quantile(q.p)))
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Option configures NewHandler / Serve.
+type Option func(*handlerOpts)
+
+type handlerOpts struct {
+	tracer *obs.Tracer
+	pprof  bool
+}
+
+// WithTracer additionally serves the tracer's current spans as Chrome
+// trace-event JSON at /trace.
+func WithTracer(t *obs.Tracer) Option {
+	return func(o *handlerOpts) { o.tracer = t }
+}
+
+// WithPprof mounts net/http/pprof under /debug/pprof/ on the telemetry
+// mux (the -pprof serve plumbing of the training CLIs).
+func WithPprof() Option {
+	return func(o *handlerOpts) { o.pprof = true }
+}
+
+// NewHandler builds the telemetry mux over reg:
+//
+//	/metrics   Prometheus text exposition of the registry snapshot
+//	/healthz   liveness probe ("ok")
+//	/snapshot  the full obs.Snapshot as JSON
+//	/trace     Chrome trace-event JSON of recorded spans (WithTracer)
+//	/debug/pprof/...  live profiling (WithPprof)
+//
+// reg may be nil (all endpoints serve empty data).
+func NewHandler(reg *obs.Registry, opts ...Option) http.Handler {
+	var o handlerOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	snapshot := func() obs.Snapshot {
+		if reg == nil {
+			return obs.Snapshot{}
+		}
+		return reg.Snapshot()
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := WriteMetricsText(w, snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	if o.tracer != nil {
+		tracer := o.tracer
+		mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			if err := WriteTrace(w, tracer.Spans(), TraceMeta{Dropped: tracer.Dropped()}); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+	}
+	if o.pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// Server is a live telemetry HTTP server over one metrics registry.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve binds addr (":0" picks a free port; the bound address is
+// Addr()) and serves the NewHandler endpoints in the background. The
+// listener error is returned synchronously so port conflicts surface at
+// startup, matching cli.StartPprof.
+func Serve(addr string, reg *obs.Registry, opts ...Option) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: NewHandler(reg, opts...)}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address (host:port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server immediately. Nil-safe.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

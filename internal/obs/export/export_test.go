@@ -1,0 +1,334 @@
+package export
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"oselmrl/internal/obs"
+)
+
+var (
+	sampleRE = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (\S+)( [0-9]+)?$`)
+	labelRE  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$`)
+	helpRE   = regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) .*$`)
+	typeRE   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$`)
+)
+
+// promSample is one parsed exposition line.
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// parsePromText validates text against the Prometheus 0.0.4 exposition
+// grammar — metric-name and label syntax, float-parseable values, TYPE
+// declared before each family's first sample — and returns the samples.
+// It is a strict structural check, standing in for a real scraper (no
+// external dependencies in this repo).
+func parsePromText(t *testing.T, text string) []promSample {
+	t.Helper()
+	var samples []promSample
+	typed := map[string]string{}
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if m := helpRE.FindStringSubmatch(line); m != nil {
+			continue
+		} else if strings.HasPrefix(line, "# HELP") {
+			t.Fatalf("line %d: malformed HELP: %q", ln+1, line)
+		}
+		if m := typeRE.FindStringSubmatch(line); m != nil {
+			typed[m[1]] = m[2]
+			continue
+		} else if strings.HasPrefix(line, "#") {
+			t.Fatalf("line %d: malformed comment: %q", ln+1, line)
+		}
+		m := sampleRE.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("line %d: not a valid sample: %q", ln+1, line)
+		}
+		name, labelText, valueText := m[1], m[2], m[3]
+		v, err := strconv.ParseFloat(valueText, 64)
+		if err != nil {
+			t.Fatalf("line %d: unparseable value %q: %v", ln+1, valueText, err)
+		}
+		labels := map[string]string{}
+		if labelText != "" {
+			inner := strings.TrimSuffix(strings.TrimPrefix(labelText, "{"), "}")
+			for _, pair := range strings.Split(inner, ",") {
+				if !labelRE.MatchString(pair) {
+					t.Fatalf("line %d: malformed label %q", ln+1, pair)
+				}
+				k, val, _ := strings.Cut(pair, "=")
+				uq, err := strconv.Unquote(val)
+				if err != nil {
+					t.Fatalf("line %d: label value %q: %v", ln+1, val, err)
+				}
+				labels[k] = uq
+			}
+		}
+		// Histogram series carry the family name plus a suffix; the TYPE
+		// line names the family.
+		family := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if f := strings.TrimSuffix(name, suf); f != name && typed[f] == "histogram" {
+				family = f
+			}
+		}
+		if _, ok := typed[family]; !ok {
+			t.Fatalf("line %d: sample %q has no preceding TYPE", ln+1, name)
+		}
+		samples = append(samples, promSample{name: name, labels: labels, value: v})
+	}
+	return samples
+}
+
+// find returns the samples with the given series name.
+func find(samples []promSample, name string) []promSample {
+	var out []promSample
+	for _, s := range samples {
+		if s.name == name {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func testRegistry() *obs.Registry {
+	r := obs.NewRegistry()
+	r.Inc(obs.MetricSeqUpdates, 42)
+	r.Inc(obs.MetricInitTrains, 1)
+	r.SetGauge(obs.GaugeBufferOccupancy, 0.5)
+	r.AddWall("seq_train", 1500*time.Millisecond)
+	r.AddWall("predict_seq", 250*time.Millisecond)
+	r.NewHistogram("beta_sigma_max", []float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1.5, 1.7, 3, 10} {
+		r.Observe("beta_sigma_max", v)
+	}
+	return r
+}
+
+func TestWriteMetricsTextParses(t *testing.T) {
+	var b strings.Builder
+	if err := WriteMetricsText(&b, testRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	samples := parsePromText(t, b.String())
+
+	if s := find(samples, "oselmrl_seq_updates_total"); len(s) != 1 || s[0].value != 42 {
+		t.Fatalf("counter wrong: %+v", s)
+	}
+	if s := find(samples, "oselmrl_buffer_occupancy"); len(s) != 1 || s[0].value != 0.5 {
+		t.Fatalf("gauge wrong: %+v", s)
+	}
+	wall := find(samples, "oselmrl_phase_wall_seconds_total")
+	if len(wall) != 2 {
+		t.Fatalf("want 2 phase wall samples, got %+v", wall)
+	}
+	byPhase := map[string]float64{}
+	for _, s := range wall {
+		byPhase[s.labels["phase"]] = s.value
+	}
+	if byPhase["seq_train"] != 1.5 || byPhase["predict_seq"] != 0.25 {
+		t.Fatalf("wall values wrong: %v", byPhase)
+	}
+
+	// Histogram: buckets cumulative and monotone, +Inf equals _count.
+	buckets := find(samples, "oselmrl_beta_sigma_max_bucket")
+	if len(buckets) != 4 {
+		t.Fatalf("want 4 buckets (3 bounds + +Inf), got %+v", buckets)
+	}
+	prev := -1.0
+	var inf float64
+	for _, s := range buckets {
+		if s.value < prev {
+			t.Fatalf("bucket counts not cumulative: %+v", buckets)
+		}
+		prev = s.value
+		if s.labels["le"] == "+Inf" {
+			inf = s.value
+		}
+	}
+	count := find(samples, "oselmrl_beta_sigma_max_count")
+	if len(count) != 1 || count[0].value != 5 || inf != 5 {
+		t.Fatalf("count=%+v +Inf=%g, want 5", count, inf)
+	}
+	if s := find(samples, "oselmrl_beta_sigma_max_sum"); len(s) != 1 || s[0].value != 16.7 {
+		t.Fatalf("sum wrong: %+v", s)
+	}
+	// Quantile gauges from the Histogram.Quantile satellite.
+	for _, q := range []string{"_p50", "_p95", "_p99"} {
+		if s := find(samples, "oselmrl_beta_sigma_max"+q); len(s) != 1 || s[0].value < 0.5 || s[0].value > 10 {
+			t.Fatalf("quantile %s out of observed range: %+v", q, s)
+		}
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	for in, want := range map[string]string{
+		"seq_updates":    "seq_updates",
+		"beta.sigma-max": "beta_sigma_max",
+		"9lives":         "_lives",
+	} {
+		if got := sanitizeMetricName(in); got != want {
+			t.Fatalf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func get(t *testing.T, url string) (string, *http.Response) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body), resp
+}
+
+func TestServeEndpoints(t *testing.T) {
+	reg := testRegistry()
+	tr := obs.NewTracer()
+	tr.StartSpan("seq_train").EndModelled(0.001)
+
+	srv, err := Serve("127.0.0.1:0", reg, WithTracer(tr), WithPprof())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	body, resp := get(t, base+"/metrics")
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("metrics content type = %q", ct)
+	}
+	samples := parsePromText(t, body)
+	if len(find(samples, "oselmrl_seq_updates_total")) != 1 {
+		t.Fatal("scraped metrics missing the counter")
+	}
+
+	if body, _ := get(t, base+"/healthz"); body != "ok\n" {
+		t.Fatalf("healthz = %q", body)
+	}
+
+	body, resp = get(t, base+"/snapshot")
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("snapshot content type = %q", ct)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("snapshot not JSON: %v", err)
+	}
+	if snap.Counter(obs.MetricSeqUpdates) != 42 {
+		t.Fatalf("snapshot counter = %d, want 42", snap.Counter(obs.MetricSeqUpdates))
+	}
+
+	body, _ = get(t, base+"/trace")
+	var tf TraceFile
+	if err := json.Unmarshal([]byte(body), &tf); err != nil {
+		t.Fatalf("trace not JSON: %v", err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		t.Fatal("trace endpoint returned no events")
+	}
+
+	if _, resp := get(t, base+"/debug/pprof/cmdline"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof not mounted: %d", resp.StatusCode)
+	}
+}
+
+func TestServeWithoutOptions(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+	if _, resp := get(t, base+"/trace"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("trace must 404 without WithTracer, got %d", resp.StatusCode)
+	}
+	if _, resp := get(t, base+"/debug/pprof/"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof must 404 without WithPprof, got %d", resp.StatusCode)
+	}
+	// A nil registry serves an empty but valid exposition.
+	body, resp := get(t, base+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics on nil registry: %d", resp.StatusCode)
+	}
+	parsePromText(t, body)
+}
+
+// TestConcurrentScrapeWhileEmitting is the issue's -race requirement: a
+// training-loop stand-in hammers the shared registry and tracer while
+// /metrics and /trace are scraped concurrently. Run with -race this
+// proves scrapes take consistent snapshots without stalling emission.
+func TestConcurrentScrapeWhileEmitting(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer()
+	// Keep the span buffer small: the emitters below produce spans far
+	// faster than /trace can serialize a near-DefaultMaxSpans timeline.
+	tr.SetMaxSpans(2000)
+	srv, err := Serve("127.0.0.1:0", reg, WithTracer(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				reg.Inc(obs.MetricSeqUpdates, 1)
+				reg.SetGauge(obs.GaugeBufferOccupancy, float64(i%100)/100)
+				reg.Observe("beta_sigma_max", float64(i%7))
+				reg.AddWall("seq_train", time.Microsecond)
+				sp := tr.StartSpanGroup("seq_train", fmt.Sprintf("w%d", w))
+				sp.EndModelled(1e-6)
+			}
+		}(w)
+	}
+
+	for i := 0; i < 8; i++ {
+		body, resp := get(t, base+"/metrics")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("scrape %d: status %d", i, resp.StatusCode)
+		}
+		parsePromText(t, body)
+		if _, resp := get(t, base+"/trace"); resp.StatusCode != http.StatusOK {
+			t.Fatalf("trace scrape %d: status %d", i, resp.StatusCode)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// After emission stops the scrape must reflect everything emitted.
+	body, _ := get(t, base+"/metrics")
+	samples := parsePromText(t, body)
+	s := find(samples, "oselmrl_seq_updates_total")
+	if len(s) != 1 || s[0].value <= 0 {
+		t.Fatalf("final counter missing: %+v", s)
+	}
+}

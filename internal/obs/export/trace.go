@@ -1,0 +1,217 @@
+package export
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strings"
+
+	"oselmrl/internal/obs"
+)
+
+// Thread IDs of the two tracks every trace process carries: the
+// host-measured wall timeline and the modelled-device timeline built
+// from the internal/timing profiles. Rendering them as sibling threads
+// makes the wall-vs-modelled divergence visible per phase in
+// Perfetto/chrome://tracing.
+const (
+	tidWall  = 1
+	tidModel = 2
+)
+
+// TraceEvent is one entry of the Chrome trace-event format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU):
+// ph "X" complete events carry ts+dur, ph "M" metadata events name
+// processes and threads. Timestamps are microseconds.
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// TraceFile is the JSON-object form of the trace format, which Perfetto
+// and chrome://tracing both accept.
+type TraceFile struct {
+	TraceEvents     []TraceEvent   `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// TraceMeta carries run-level annotations into the trace's otherData.
+type TraceMeta struct {
+	// Tool and Labels identify the producing run.
+	Tool   string
+	Labels map[string]string
+	// Dropped is the tracer's span-cap overflow count; nonzero means the
+	// timeline is truncated.
+	Dropped int64
+}
+
+// BuildTrace converts span records into the Chrome trace-event form.
+// Each distinct span group becomes one trace process with two threads:
+// the measured wall track replays spans at their recorded start times,
+// and the modelled track lays the same spans end-to-end with their
+// modelled device durations — an aligned counterpart timeline whose
+// total width is the modelled time-to-complete.
+func BuildTrace(spans []obs.SpanRecord, meta TraceMeta) TraceFile {
+	groups := make(map[string]int)
+	var order []string
+	for _, sp := range spans {
+		if _, ok := groups[sp.Group]; !ok {
+			groups[sp.Group] = 0
+			order = append(order, sp.Group)
+		}
+	}
+	sort.Strings(order)
+	for i, g := range order {
+		groups[g] = i + 1 // pids are 1-based
+	}
+
+	var events []TraceEvent
+	for _, g := range order {
+		pid := groups[g]
+		pname := g
+		if pname == "" {
+			pname = "run"
+		}
+		events = append(events,
+			TraceEvent{Name: "process_name", Ph: "M", PID: pid, TID: 0,
+				Args: map[string]any{"name": pname}},
+			TraceEvent{Name: "thread_name", Ph: "M", PID: pid, TID: tidWall,
+				Args: map[string]any{"name": "host wall (measured)"}},
+			TraceEvent{Name: "thread_name", Ph: "M", PID: pid, TID: tidModel,
+				Args: map[string]any{"name": "device (modelled)"}},
+		)
+	}
+
+	modelClock := make(map[string]float64, len(groups)) // per-group modelled timeline cursor
+	for _, sp := range spans {
+		pid := groups[sp.Group]
+		args := map[string]any{"wall_us": sp.DurUS}
+		if sp.ModelUS > 0 {
+			args["model_us"] = sp.ModelUS
+		}
+		events = append(events, TraceEvent{
+			Name: sp.Name, Cat: "wall", Ph: "X",
+			TS: sp.StartUS, Dur: sp.DurUS,
+			PID: pid, TID: tidWall, Args: args,
+		})
+		if sp.ModelUS > 0 {
+			ts := modelClock[sp.Group]
+			events = append(events, TraceEvent{
+				Name: sp.Name, Cat: "modelled", Ph: "X",
+				TS: ts, Dur: sp.ModelUS,
+				PID: pid, TID: tidModel,
+				Args: map[string]any{"wall_us": sp.DurUS, "model_us": sp.ModelUS},
+			})
+			modelClock[sp.Group] = ts + sp.ModelUS
+		}
+	}
+
+	other := map[string]any{"format": "oselmrl-span-trace"}
+	if meta.Tool != "" {
+		other["tool"] = meta.Tool
+	}
+	for k, v := range meta.Labels {
+		other["label_"+k] = v
+	}
+	if meta.Dropped > 0 {
+		other["dropped_spans"] = meta.Dropped
+	}
+	return TraceFile{TraceEvents: events, DisplayTimeUnit: "ms", OtherData: other}
+}
+
+// WriteTrace writes spans as indented Chrome trace-event JSON, loadable
+// in Perfetto (ui.perfetto.dev) and chrome://tracing.
+func WriteTrace(w io.Writer, spans []obs.SpanRecord, meta TraceMeta) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(BuildTrace(spans, meta))
+}
+
+// EventConverter rebuilds span records from a recorded JSONL event log
+// (the -events format), so runs traced only through -events — including
+// logs from before span tracing existed — still render as timelines.
+//
+// Update events that carry dur_ms/model_ms (written since the span
+// tracer landed) become full-width spans with modelled counterparts;
+// events without durations degrade to zero-width markers. episode_end
+// events become back-to-back "episode" spans per label group.
+type EventConverter struct {
+	spans       []obs.SpanRecord
+	lastEpisode map[string]float64 // label group -> previous episode boundary (ms)
+}
+
+// NewEventConverter returns an empty converter; feed it events in log
+// order with Add (e.g. via obs.ScanEvents) and collect Spans.
+func NewEventConverter() *EventConverter {
+	return &EventConverter{lastEpisode: make(map[string]float64)}
+}
+
+// groupKey distinguishes concurrent producers in a merged sweep log.
+func groupKey(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := sortedKeys(labels)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + labels[k]
+	}
+	return strings.Join(parts, " ")
+}
+
+// Add consumes one event. The signature matches obs.ScanEvents.
+func (c *EventConverter) Add(ev *obs.Event) error {
+	group := groupKey(ev.Labels)
+	switch ev.Type {
+	case obs.EventSeqUpdate:
+		c.addPhase(ev, group, "seq_train")
+	case obs.EventInitTrain:
+		c.addPhase(ev, group, "init_train")
+	case obs.EventTrainStep:
+		c.addPhase(ev, group, "train_DQN")
+	case obs.EventEpisodeEnd:
+		start := c.lastEpisode[group]
+		c.spans = append(c.spans, obs.SpanRecord{
+			Name:    "episode",
+			Group:   group,
+			StartUS: start * 1e3,
+			DurUS:   (ev.WallMS - start) * 1e3,
+		})
+		c.lastEpisode[group] = ev.WallMS
+	case obs.EventReinit, obs.EventTheta2Sync, obs.EventRunEnd:
+		// Zero-width markers: visible as instants on the wall track.
+		c.spans = append(c.spans, obs.SpanRecord{
+			Name:    ev.Type,
+			Group:   group,
+			StartUS: ev.WallMS * 1e3,
+		})
+	}
+	return nil
+}
+
+// addPhase appends a phase span ending at the event's timestamp, using
+// the recorded wall duration and modelled device duration when present.
+func (c *EventConverter) addPhase(ev *obs.Event, group, name string) {
+	dur := ev.Data["dur_ms"]
+	start := ev.WallMS - dur
+	if start < 0 {
+		start = 0
+	}
+	c.spans = append(c.spans, obs.SpanRecord{
+		Name:    name,
+		Group:   group,
+		StartUS: start * 1e3,
+		DurUS:   dur * 1e3,
+		ModelUS: ev.Data["model_ms"] * 1e3,
+	})
+}
+
+// Spans returns the reconstructed spans in log order.
+func (c *EventConverter) Spans() []obs.SpanRecord { return c.spans }

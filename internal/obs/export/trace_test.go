@@ -1,0 +1,246 @@
+package export
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"oselmrl/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenSpans is a deterministic timeline exercising every exporter
+// feature: the default group and a named group, spans with and without
+// modelled counterparts, and paper phase names.
+func goldenSpans() []obs.SpanRecord {
+	return []obs.SpanRecord{
+		{Name: "episode", StartUS: 0, DurUS: 1500},
+		{Name: "predict_seq", StartUS: 100, DurUS: 40, ModelUS: 10},
+		{Name: "seq_train", StartUS: 200, DurUS: 300, ModelUS: 120},
+		{Name: "seq_train", StartUS: 600, DurUS: 280, ModelUS: 110},
+		{Name: "init_train", Group: "trial=1", StartUS: 50, DurUS: 400, ModelUS: 600},
+	}
+}
+
+// validateTraceFile checks tf against the Chrome trace-event schema
+// subset the exporter emits: ph X/M only, microsecond ts/dur, 1-based
+// pids, the two fixed track tids, named processes and threads, and a
+// wall-track partner for every modelled event.
+func validateTraceFile(t *testing.T, tf TraceFile) {
+	t.Helper()
+	if tf.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", tf.DisplayTimeUnit)
+	}
+	if tf.OtherData["format"] != "oselmrl-span-trace" {
+		t.Fatalf("format marker missing: %v", tf.OtherData)
+	}
+	type track struct {
+		pid, tid int
+	}
+	named := map[track]bool{}
+	processes := map[int]bool{}
+	wallByName := map[string]int{}
+	modelByName := map[string]int{}
+	for i, ev := range tf.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			switch ev.Name {
+			case "process_name":
+				if ev.Args["name"] == "" {
+					t.Fatalf("event %d: unnamed process", i)
+				}
+				processes[ev.PID] = true
+			case "thread_name":
+				if ev.TID != tidWall && ev.TID != tidModel {
+					t.Fatalf("event %d: metadata for unknown tid %d", i, ev.TID)
+				}
+				named[track{ev.PID, ev.TID}] = true
+			default:
+				t.Fatalf("event %d: unknown metadata %q", i, ev.Name)
+			}
+		case "X":
+			if ev.TS < 0 || ev.Dur < 0 {
+				t.Fatalf("event %d: negative time: %+v", i, ev)
+			}
+			if ev.PID < 1 {
+				t.Fatalf("event %d: pid %d not 1-based", i, ev.PID)
+			}
+			if !processes[ev.PID] {
+				t.Fatalf("event %d: pid %d has no process_name metadata", i, ev.PID)
+			}
+			if !named[track{ev.PID, ev.TID}] {
+				t.Fatalf("event %d: tid %d/%d has no thread_name metadata", i, ev.PID, ev.TID)
+			}
+			switch ev.TID {
+			case tidWall:
+				if ev.Cat != "wall" {
+					t.Fatalf("event %d: wall track cat = %q", i, ev.Cat)
+				}
+				wallByName[ev.Name]++
+			case tidModel:
+				if ev.Cat != "modelled" {
+					t.Fatalf("event %d: model track cat = %q", i, ev.Cat)
+				}
+				if ev.Args["model_us"] == nil {
+					t.Fatalf("event %d: modelled event without model_us arg", i)
+				}
+				modelByName[ev.Name]++
+			default:
+				t.Fatalf("event %d: X event on unknown tid %d", i, ev.TID)
+			}
+		default:
+			t.Fatalf("event %d: unsupported ph %q", i, ev.Ph)
+		}
+	}
+	// Both tracks must be populated, and every modelled phase must have a
+	// measured-wall partner of the same name.
+	if len(wallByName) == 0 || len(modelByName) == 0 {
+		t.Fatalf("missing a track: wall=%v model=%v", wallByName, modelByName)
+	}
+	for name, n := range modelByName {
+		if wallByName[name] < n {
+			t.Fatalf("modelled %q events (%d) exceed wall partners (%d)", name, n, wallByName[name])
+		}
+	}
+}
+
+func TestBuildTraceTwoTracks(t *testing.T) {
+	tf := BuildTrace(goldenSpans(), TraceMeta{
+		Tool:    "test",
+		Labels:  map[string]string{"design": "OS-ELM"},
+		Dropped: 2,
+	})
+	validateTraceFile(t, tf)
+	if tf.OtherData["tool"] != "test" || tf.OtherData["label_design"] != "OS-ELM" {
+		t.Fatalf("meta not carried: %v", tf.OtherData)
+	}
+	if tf.OtherData["dropped_spans"] != int64(2) {
+		t.Fatalf("dropped_spans = %v, want 2", tf.OtherData["dropped_spans"])
+	}
+
+	// The modelled track lays spans end-to-end per group: the two
+	// seq_train modelled events must abut (10 us predict + 120 us first
+	// seq_train → second starts at 130).
+	var modelTS []float64
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph == "X" && ev.TID == tidModel && ev.PID == 1 {
+			modelTS = append(modelTS, ev.TS)
+		}
+	}
+	want := []float64{0, 10, 130}
+	if len(modelTS) != len(want) {
+		t.Fatalf("default-group modelled events = %v, want %v", modelTS, want)
+	}
+	for i := range want {
+		if modelTS[i] != want[i] {
+			t.Fatalf("modelled track not cumulative: %v, want %v", modelTS, want)
+		}
+	}
+
+	// Groups sort deterministically: "" (run) gets pid 1, trial=1 pid 2.
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph == "X" && ev.Name == "init_train" && ev.PID != 2 {
+			t.Fatalf("grouped span on pid %d, want 2", ev.PID)
+		}
+	}
+}
+
+// TestTraceGolden pins the exact exported JSON. Regenerate with
+//
+//	go test ./internal/obs/export -run TestTraceGolden -update
+func TestTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteTrace(&buf, goldenSpans(), TraceMeta{Tool: "golden", Labels: map[string]string{"design": "OS-ELM"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "trace_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exported trace drifted from golden file (re-run with -update if intended)\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+	// The golden bytes must themselves satisfy the schema.
+	var tf TraceFile
+	if err := json.Unmarshal(want, &tf); err != nil {
+		t.Fatal(err)
+	}
+	validateTraceFile(t, tf)
+}
+
+func TestEventConverterRebuildsSpans(t *testing.T) {
+	labels := map[string]string{"design": "OS-ELM-L2", "trial": "1"}
+	events := []obs.Event{
+		{Type: obs.EventRunStart, WallMS: 0, Labels: labels},
+		{Type: obs.EventInitTrain, WallMS: 12, Labels: labels,
+			Data: map[string]float64{"dur_ms": 8, "model_ms": 20}},
+		{Type: obs.EventSeqUpdate, WallMS: 15, Labels: labels,
+			Data: map[string]float64{"dur_ms": 2, "model_ms": 0.5}},
+		{Type: obs.EventTheta2Sync, WallMS: 16, Labels: labels},
+		{Type: obs.EventEpisodeEnd, WallMS: 20, Episode: 1, Labels: labels,
+			Data: map[string]float64{"steps": 30}},
+		{Type: obs.EventEpisodeEnd, WallMS: 31, Episode: 2, Labels: labels,
+			Data: map[string]float64{"steps": 40}},
+		// A pre-span-tracer log line: no dur_ms, degrades to zero width.
+		{Type: obs.EventTrainStep, WallMS: 33, Labels: map[string]string{"design": "DQN"}},
+		{Type: obs.EventRunEnd, WallMS: 35, Labels: labels,
+			Data: map[string]float64{"solved": 1}},
+	}
+	conv := NewEventConverter()
+	for i := range events {
+		if err := conv.Add(&events[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	spans := conv.Spans()
+	byName := map[string][]obs.SpanRecord{}
+	for _, sp := range spans {
+		byName[sp.Name] = append(byName[sp.Name], sp)
+	}
+
+	it := byName["init_train"]
+	if len(it) != 1 || it[0].StartUS != 4000 || it[0].DurUS != 8000 || it[0].ModelUS != 20000 {
+		t.Fatalf("init_train span wrong: %+v", it)
+	}
+	st := byName["seq_train"]
+	if len(st) != 1 || st[0].DurUS != 2000 || st[0].ModelUS != 500 {
+		t.Fatalf("seq_train span wrong: %+v", st)
+	}
+	if st[0].Group != "design=OS-ELM-L2 trial=1" {
+		t.Fatalf("group key wrong: %q", st[0].Group)
+	}
+	eps := byName["episode"]
+	if len(eps) != 2 || eps[0].StartUS != 0 || eps[0].DurUS != 20000 ||
+		eps[1].StartUS != 20000 || eps[1].DurUS != 11000 {
+		t.Fatalf("episode spans wrong: %+v", eps)
+	}
+	td := byName["train_DQN"]
+	if len(td) != 1 || td[0].DurUS != 0 || td[0].StartUS != 33000 || td[0].Group != "design=DQN" {
+		t.Fatalf("durationless event must become a marker: %+v", td)
+	}
+	for _, name := range []string{"theta2_sync", "run_end"} {
+		if len(byName[name]) != 1 || byName[name][0].DurUS != 0 {
+			t.Fatalf("%s marker missing: %+v", name, byName[name])
+		}
+	}
+	if len(byName["run_start"]) != 0 {
+		t.Fatal("run_start must not produce a span")
+	}
+
+	// The rebuilt spans must export as a schema-valid two-track trace.
+	validateTraceFile(t, BuildTrace(spans, TraceMeta{Tool: "runlog export"}))
+}

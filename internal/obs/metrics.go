@@ -50,13 +50,26 @@ type Histogram struct {
 	Sum float64 `json:"sum"`
 	Min float64 `json:"min"`
 	Max float64 `json:"max"`
+	// P50, P95 and P99 are Quantile estimates filled when the histogram
+	// is snapshotted (Registry.Snapshot); zero on a live histogram.
+	P50 float64 `json:"p50,omitempty"`
+	P95 float64 `json:"p95,omitempty"`
+	P99 float64 `json:"p99,omitempty"`
 }
+
+// NewHistogram returns a standalone fixed-bucket histogram (consumers
+// aggregating outside a Registry, e.g. cmd/runlog). Observe is not
+// synchronized; wrap access or use Registry.Observe for concurrent use.
+func NewHistogram(bounds []float64) *Histogram { return newHistogram(bounds) }
 
 func newHistogram(bounds []float64) *Histogram {
 	b := append([]float64(nil), bounds...)
 	sort.Float64s(b)
 	return &Histogram{Bounds: b, Counts: make([]int64, len(b)+1)}
 }
+
+// Observe adds one value. Not synchronized — Registry.Observe locks.
+func (h *Histogram) Observe(v float64) { h.observe(v) }
 
 func (h *Histogram) observe(v float64) {
 	i := sort.SearchFloat64s(h.Bounds, v)
@@ -79,10 +92,67 @@ func (h *Histogram) Mean() float64 {
 	return h.Sum / float64(h.N)
 }
 
+// Quantile estimates the p-quantile (p in [0, 1]) by linear
+// interpolation within the fixed buckets, clamped to the observed
+// [Min, Max]. The first bucket interpolates from Min and the overflow
+// bucket toward Max, so estimates never leave the observed range. An
+// empty histogram returns 0.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h.N == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return h.Min
+	}
+	if p >= 1 {
+		return h.Max
+	}
+	rank := p * float64(h.N)
+	var cum float64
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		fc := float64(c)
+		if cum+fc < rank {
+			cum += fc
+			continue
+		}
+		lo, hi := h.bucketEdges(i)
+		v := lo + (hi-lo)*(rank-cum)/fc
+		if v < h.Min {
+			v = h.Min
+		}
+		if v > h.Max {
+			v = h.Max
+		}
+		return v
+	}
+	return h.Max
+}
+
+// bucketEdges returns bucket i's interpolation range, substituting the
+// observed Min/Max for the open outer edges.
+func (h *Histogram) bucketEdges(i int) (lo, hi float64) {
+	switch {
+	case len(h.Bounds) == 0:
+		return h.Min, h.Max
+	case i == 0:
+		return h.Min, h.Bounds[0]
+	case i == len(h.Bounds):
+		return h.Bounds[i-1], h.Max
+	default:
+		return h.Bounds[i-1], h.Bounds[i]
+	}
+}
+
 func (h *Histogram) clone() *Histogram {
 	c := *h
 	c.Bounds = append([]float64(nil), h.Bounds...)
 	c.Counts = append([]int64(nil), h.Counts...)
+	c.P50 = h.Quantile(0.50)
+	c.P95 = h.Quantile(0.95)
+	c.P99 = h.Quantile(0.99)
 	return &c
 }
 

@@ -94,3 +94,80 @@ func TestHistogramEmptyMean(t *testing.T) {
 		t.Fatal("empty histogram mean must be 0")
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{10, 20, 30, 40, 50, 60, 70, 80, 90})
+	for v := 1.0; v <= 100; v++ {
+		h.Observe(v)
+	}
+	// Uniform 1..100: the interpolated estimates should land within one
+	// bucket width of the exact quantiles.
+	for _, tc := range []struct{ p, want, tol float64 }{
+		{0.50, 50, 5},
+		{0.95, 95, 5},
+		{0.99, 99, 5},
+		{0.10, 10, 5},
+	} {
+		if got := h.Quantile(tc.p); got < tc.want-tc.tol || got > tc.want+tc.tol {
+			t.Fatalf("Quantile(%g) = %g, want %g ± %g", tc.p, got, tc.want, tc.tol)
+		}
+	}
+	// Edges clamp to the observed range.
+	if h.Quantile(0) != 1 || h.Quantile(-1) != 1 {
+		t.Fatalf("p<=0 must return Min, got %g", h.Quantile(0))
+	}
+	if h.Quantile(1) != 100 || h.Quantile(2) != 100 {
+		t.Fatalf("p>=1 must return Max, got %g", h.Quantile(1))
+	}
+	// Estimates never leave [Min, Max] even in outer buckets.
+	if q := h.Quantile(0.001); q < 1 || q > 100 {
+		t.Fatalf("quantile escaped observed range: %g", q)
+	}
+	if q := h.Quantile(0.999); q < 1 || q > 100 {
+		t.Fatalf("quantile escaped observed range: %g", q)
+	}
+}
+
+func TestHistogramQuantileDegenerate(t *testing.T) {
+	empty := NewHistogram([]float64{1, 2})
+	if empty.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile must be 0")
+	}
+	// All mass in the overflow bucket: interpolation runs from the last
+	// bound toward Max but the clamp keeps it within what was observed.
+	over := NewHistogram([]float64{1})
+	over.Observe(7)
+	over.Observe(7)
+	if q := over.Quantile(0.5); q < 1 || q > 7 {
+		t.Fatalf("overflow-only quantile out of range: %g", q)
+	}
+	// No bounds at all: everything interpolates across [Min, Max].
+	flat := NewHistogram(nil)
+	flat.Observe(10)
+	flat.Observe(20)
+	if q := flat.Quantile(0.5); q < 10 || q > 20 {
+		t.Fatalf("boundless quantile out of range: %g", q)
+	}
+}
+
+func TestSnapshotFillsQuantiles(t *testing.T) {
+	r := NewRegistry()
+	r.NewHistogram("h", []float64{10, 100})
+	for v := 1.0; v <= 50; v++ {
+		r.Observe("h", v)
+	}
+	live := r.hists["h"]
+	if live.P50 != 0 || live.P95 != 0 || live.P99 != 0 {
+		t.Fatalf("live histogram must not carry quantiles: %+v", live)
+	}
+	h := r.Snapshot().Histograms["h"]
+	if h.P50 == 0 || h.P95 == 0 || h.P99 == 0 {
+		t.Fatalf("snapshot quantiles missing: %+v", h)
+	}
+	if !(h.P50 <= h.P95 && h.P95 <= h.P99) {
+		t.Fatalf("quantiles not monotone: p50=%g p95=%g p99=%g", h.P50, h.P95, h.P99)
+	}
+	if h.P99 > h.Max || h.P50 < h.Min {
+		t.Fatalf("quantiles escaped [Min, Max]: %+v", h)
+	}
+}

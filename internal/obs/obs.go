@@ -131,6 +131,7 @@ func (s *jsonlSink) Close() error {
 type Emitter struct {
 	sink   Sink
 	reg    *Registry
+	tracer *Tracer
 	labels map[string]string
 	start  time.Time
 }
@@ -155,7 +156,36 @@ func (e *Emitter) With(labels map[string]string) *Emitter {
 	for k, v := range labels {
 		merged[k] = v
 	}
-	return &Emitter{sink: e.sink, reg: e.reg, labels: merged, start: e.start}
+	return &Emitter{sink: e.sink, reg: e.reg, tracer: e.tracer, labels: merged, start: e.start}
+}
+
+// SetTracer attaches a span tracer; derived emitters created later via
+// With share it. A nil tracer (the default) disables span recording.
+// Nil-safe.
+func (e *Emitter) SetTracer(t *Tracer) {
+	if e == nil {
+		return
+	}
+	e.tracer = t
+}
+
+// Tracer returns the attached tracer (nil when absent or for a nil
+// emitter).
+func (e *Emitter) Tracer() *Tracer {
+	if e == nil {
+		return nil
+	}
+	return e.tracer
+}
+
+// StartSpan opens a phase span on the attached tracer. With no tracer —
+// or a nil emitter — it returns the inactive zero Span at the cost of a
+// nil check, keeping the hot path free when tracing is off.
+func (e *Emitter) StartSpan(name string) Span {
+	if e == nil || e.tracer == nil {
+		return Span{}
+	}
+	return e.tracer.StartSpan(name)
 }
 
 // Enabled reports whether the emitter records anything.
@@ -247,20 +277,38 @@ func (e *Emitter) Close() error {
 	return e.sink.Close()
 }
 
-// ReadEvents decodes a JSONL stream produced by a JSONL sink. Unknown
-// fields are ignored; a trailing partial line yields an error alongside
-// the events decoded so far.
-func ReadEvents(r io.Reader) ([]Event, error) {
+// ScanEvents streams a JSONL event log, invoking fn once per decoded
+// event. The *Event passed to fn is reused between calls — copy it to
+// retain it. Memory stays constant in the log length, so multi-million
+// step logs summarize without loading into RAM (the ReadEvents
+// alternative). Unknown fields are ignored; decode errors (including a
+// trailing partial line) and errors returned by fn stop the scan.
+func ScanEvents(r io.Reader, fn func(*Event) error) error {
 	dec := json.NewDecoder(r)
-	var out []Event
+	var ev Event
 	for {
-		var ev Event
+		ev = Event{}
 		if err := dec.Decode(&ev); err != nil {
 			if err == io.EOF {
-				return out, nil
+				return nil
 			}
-			return out, err
+			return err
 		}
-		out = append(out, ev)
+		if err := fn(&ev); err != nil {
+			return err
+		}
 	}
+}
+
+// ReadEvents decodes a JSONL stream produced by a JSONL sink into a
+// slice. Unknown fields are ignored; a trailing partial line yields an
+// error alongside the events decoded so far. Prefer ScanEvents for logs
+// of unbounded size.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	var out []Event
+	err := ScanEvents(r, func(ev *Event) error {
+		out = append(out, *ev)
+		return nil
+	})
+	return out, err
 }

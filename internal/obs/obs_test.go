@@ -2,6 +2,8 @@ package obs
 
 import (
 	"bytes"
+	"errors"
+	"io"
 	"strings"
 	"sync"
 	"testing"
@@ -95,6 +97,58 @@ func TestWithLabels(t *testing.T) {
 	root.Inc(MetricSeqUpdates, 1)
 	if got := root.Metrics().Snapshot().Counter(MetricSeqUpdates); got != 3 {
 		t.Fatalf("shared registry count = %d, want 3", got)
+	}
+}
+
+func TestScanEventsStreams(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewEmitter(NewJSONLSink(&buf))
+	e.With(map[string]string{"trial": "1"}).Emit(EventEpisodeEnd, 1, map[string]float64{"steps": 9})
+	e.Emit(EventRunEnd, 1, map[string]float64{"solved": 1})
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	log := buf.String()
+
+	var got []Event
+	err := ScanEvents(strings.NewReader(log), func(ev *Event) error {
+		got = append(got, *ev) // the pointer is reused; copy to retain
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("want 2 events, got %d", len(got))
+	}
+	if got[0].Labels["trial"] != "1" || got[0].Data["steps"] != 9 {
+		t.Fatalf("first event mangled: %+v", got[0])
+	}
+	// The reused decode target must not bleed fields between events: the
+	// second event has no labels, so its map must be empty even though the
+	// first event's decode populated one.
+	if len(got[1].Labels) != 0 {
+		t.Fatalf("label state leaked across ScanEvents iterations: %+v", got[1].Labels)
+	}
+
+	// Errors from fn abort the scan and surface verbatim.
+	wantErr := errors.New("stop")
+	calls := 0
+	err = ScanEvents(strings.NewReader(log), func(*Event) error { calls++; return wantErr })
+	if !errors.Is(err, wantErr) || calls != 1 {
+		t.Fatalf("fn error not propagated: err=%v calls=%d", err, calls)
+	}
+
+	// A truncated final line (run killed mid-write) yields
+	// io.ErrUnexpectedEOF after the complete events were delivered.
+	truncated := log[:len(log)-10]
+	calls = 0
+	err = ScanEvents(strings.NewReader(truncated), func(*Event) error { calls++; return nil })
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated log error = %v, want io.ErrUnexpectedEOF", err)
+	}
+	if calls != 1 {
+		t.Fatalf("complete events before the truncation must be delivered, got %d", calls)
 	}
 }
 

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultMaxSpans bounds a tracer's memory: a multi-million-step run with
+// per-step spans would otherwise grow without limit. Spans past the cap
+// are counted in Dropped and discarded; the exporters report the loss.
+const DefaultMaxSpans = 1 << 20
+
+// SpanRecord is one completed span on a trace timeline. Times are in
+// microseconds — the unit of the Chrome trace-event format the export
+// package writes — relative to the tracer's creation.
+type SpanRecord struct {
+	// Name is the phase name (timing.Phase values plus harness-level
+	// names like "episode" and "buffer_refill").
+	Name string `json:"name"`
+	// Group separates concurrent producers (e.g. trials in a merged
+	// sweep) onto distinct trace processes; empty means the single
+	// default group.
+	Group string `json:"group,omitempty"`
+	// StartUS and DurUS are the measured wall-clock start and duration.
+	StartUS float64 `json:"start_us"`
+	DurUS   float64 `json:"dur_us"`
+	// ModelUS is the modelled device duration of the same work
+	// (internal/timing profiles), zero when the span has no modelled
+	// counterpart. The exporter renders these as a second, aligned track.
+	ModelUS float64 `json:"model_us,omitempty"`
+}
+
+// Tracer records phase-level spans with both measured wall time and
+// modelled device time. Like *Emitter, a nil *Tracer is the disabled
+// state: StartSpan returns an inactive Span and every method no-ops, so
+// the training hot path pays one pointer comparison when tracing is off —
+// no clock reads, no allocation, no locks.
+type Tracer struct {
+	start time.Time
+
+	mu      sync.Mutex
+	spans   []SpanRecord
+	max     int
+	dropped int64
+}
+
+// NewTracer returns an enabled tracer whose timeline starts now, capped
+// at DefaultMaxSpans records.
+func NewTracer() *Tracer {
+	return &Tracer{start: time.Now(), max: DefaultMaxSpans}
+}
+
+// SetMaxSpans caps the number of retained spans (n <= 0 restores the
+// default). Nil-safe.
+func (t *Tracer) SetMaxSpans(n int) {
+	if t == nil {
+		return
+	}
+	if n <= 0 {
+		n = DefaultMaxSpans
+	}
+	t.mu.Lock()
+	t.max = n
+	t.mu.Unlock()
+}
+
+// Span is an in-flight span handle, held by value so starting and ending
+// a span never allocates. The zero Span is inactive: End and EndModelled
+// no-op.
+type Span struct {
+	tr    *Tracer
+	name  string
+	group string
+	start time.Time
+}
+
+// StartSpan opens a span; close it with End or EndModelled. On a nil
+// tracer it returns the inactive zero Span without reading the clock.
+func (t *Tracer) StartSpan(name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{tr: t, name: name, start: time.Now()}
+}
+
+// StartSpanGroup is StartSpan with an explicit group (trace process) for
+// merged multi-trial timelines.
+func (t *Tracer) StartSpanGroup(name, group string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{tr: t, name: name, group: group, start: time.Now()}
+}
+
+// Active reports whether the span records anything — use it to skip
+// computing modelled durations on the disabled path.
+func (s Span) Active() bool { return s.tr != nil }
+
+// End closes the span with its measured wall duration only.
+func (s Span) End() { s.end(0) }
+
+// EndModelled closes the span recording both the measured wall duration
+// and modelSeconds of modelled device time for the same work.
+func (s Span) EndModelled(modelSeconds float64) { s.end(modelSeconds * 1e6) }
+
+func (s Span) end(modelUS float64) {
+	if s.tr == nil {
+		return
+	}
+	now := time.Now()
+	rec := SpanRecord{
+		Name:    s.name,
+		Group:   s.group,
+		StartUS: float64(s.start.Sub(s.tr.start)) / float64(time.Microsecond),
+		DurUS:   float64(now.Sub(s.start)) / float64(time.Microsecond),
+		ModelUS: modelUS,
+	}
+	t := s.tr
+	t.mu.Lock()
+	if len(t.spans) < t.max {
+		t.spans = append(t.spans, rec)
+	} else {
+		t.dropped++
+	}
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans in completion order.
+// Nil-safe.
+func (t *Tracer) Spans() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]SpanRecord(nil), t.spans...)
+}
+
+// Len returns the number of retained spans. Nil-safe.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Dropped returns the number of spans discarded past the cap. Nil-safe.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}

@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTracerRecordsSpans(t *testing.T) {
+	tr := NewTracer()
+	sp := tr.StartSpan("seq_train")
+	if !sp.Active() {
+		t.Fatal("span from a live tracer must be active")
+	}
+	time.Sleep(time.Millisecond)
+	sp.EndModelled(0.25) // 0.25 s of modelled device time
+
+	gsp := tr.StartSpanGroup("episode", "trial=1")
+	gsp.End()
+
+	spans := tr.Spans()
+	if len(spans) != 2 || tr.Len() != 2 {
+		t.Fatalf("want 2 spans, got %d (Len %d)", len(spans), tr.Len())
+	}
+	first := spans[0]
+	if first.Name != "seq_train" || first.Group != "" {
+		t.Fatalf("span 0 identity wrong: %+v", first)
+	}
+	if first.StartUS < 0 || first.DurUS < 1000 {
+		t.Fatalf("span 0 timing wrong (slept 1ms): %+v", first)
+	}
+	if first.ModelUS != 0.25*1e6 {
+		t.Fatalf("modelled duration = %g us, want 250000", first.ModelUS)
+	}
+	second := spans[1]
+	if second.Name != "episode" || second.Group != "trial=1" || second.ModelUS != 0 {
+		t.Fatalf("span 1 wrong: %+v", second)
+	}
+	if second.StartUS < first.StartUS {
+		t.Fatalf("spans out of order: %+v before %+v", first, second)
+	}
+
+	// Spans returns a copy: mutating it must not corrupt the tracer.
+	spans[0].Name = "mutated"
+	if tr.Spans()[0].Name != "seq_train" {
+		t.Fatal("Spans aliased tracer state")
+	}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.SetMaxSpans(10)
+	sp := tr.StartSpan("seq_train")
+	if sp.Active() {
+		t.Fatal("nil tracer must hand out inactive spans")
+	}
+	sp.End()
+	sp.EndModelled(1)
+	gsp := tr.StartSpanGroup("episode", "g")
+	if gsp.Active() {
+		t.Fatal("nil tracer group span must be inactive")
+	}
+	gsp.End()
+	if tr.Spans() != nil || tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Fatal("nil tracer must report empty state")
+	}
+	// The zero Span (from e.g. a nil emitter) is equally inert.
+	var zero Span
+	zero.End()
+	zero.EndModelled(1)
+}
+
+func TestTracerSpanCap(t *testing.T) {
+	tr := NewTracer()
+	tr.SetMaxSpans(2)
+	for i := 0; i < 5; i++ {
+		tr.StartSpan("seq_train").End()
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("cap not enforced: %d spans retained", tr.Len())
+	}
+	if tr.Dropped() != 3 {
+		t.Fatalf("dropped = %d, want 3", tr.Dropped())
+	}
+	tr.SetMaxSpans(0) // restores the default
+	tr.StartSpan("seq_train").End()
+	if tr.Len() != 3 {
+		t.Fatalf("raising the cap must resume recording, got %d", tr.Len())
+	}
+}
+
+func TestEmitterSpanPlumbing(t *testing.T) {
+	e := NewEmitter(nil)
+	if e.Tracer() != nil {
+		t.Fatal("fresh emitter must have no tracer")
+	}
+	if sp := e.StartSpan("seq_train"); sp.Active() {
+		t.Fatal("emitter without tracer must hand out inactive spans")
+	}
+	tr := NewTracer()
+	e.SetTracer(tr)
+	if e.Tracer() != tr {
+		t.Fatal("SetTracer not stored")
+	}
+	// Derived emitters keep the tracer, like the shared registry.
+	child := e.With(map[string]string{"trial": "1"})
+	child.StartSpan("seq_train").End()
+	if tr.Len() != 1 {
+		t.Fatalf("span via derived emitter not recorded: %d", tr.Len())
+	}
+
+	// Nil emitter: every span method inert.
+	var nilE *Emitter
+	nilE.SetTracer(tr)
+	if nilE.Tracer() != nil {
+		t.Fatal("nil emitter must report nil tracer")
+	}
+	if sp := nilE.StartSpan("x"); sp.Active() {
+		t.Fatal("nil emitter span must be inactive")
+	}
+}
+
+// TestDisabledSpanPathDoesNotAllocate pins the tentpole's zero-cost
+// contract: with tracing off (nil tracer / nil emitter), starting and
+// ending a span performs no allocation and reads no clock.
+func TestDisabledSpanPathDoesNotAllocate(t *testing.T) {
+	var tr *Tracer
+	if allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.StartSpan("seq_train")
+		sp.EndModelled(1)
+	}); allocs != 0 {
+		t.Fatalf("nil tracer span path allocates %g per op", allocs)
+	}
+	var e *Emitter
+	if allocs := testing.AllocsPerRun(1000, func() {
+		sp := e.StartSpan("seq_train")
+		sp.End()
+	}); allocs != 0 {
+		t.Fatalf("nil emitter span path allocates %g per op", allocs)
+	}
+}
+
+// The benchmark pair quantifies the disabled-vs-enabled span cost (the
+// PR's no-overhead-when-off evidence): disabled is a pointer check,
+// enabled pays two clock reads plus one locked append.
+func BenchmarkSpanDisabled(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.StartSpan("seq_train")
+		sp.EndModelled(1e-6)
+	}
+}
+
+func BenchmarkSpanEnabled(b *testing.B) {
+	tr := NewTracer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// Recycle the backing slice so large b.N measures the record path,
+		// not the past-cap drop path (nor unbounded growth).
+		if i&(1<<16-1) == 0 {
+			b.StopTimer()
+			tr.mu.Lock()
+			tr.spans = tr.spans[:0]
+			tr.mu.Unlock()
+			b.StartTimer()
+		}
+		sp := tr.StartSpan("seq_train")
+		sp.EndModelled(1e-6)
+	}
+}
+
+func BenchmarkSpanDisabledViaEmitter(b *testing.B) {
+	var e *Emitter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := e.StartSpan("seq_train")
+		sp.End()
+	}
+}

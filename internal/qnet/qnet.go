@@ -20,6 +20,7 @@ package qnet
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"oselmrl/internal/activation"
 	"oselmrl/internal/elm"
@@ -378,14 +379,28 @@ func (a *Agent) predictPhase() timing.Phase {
 	return timing.PhasePredictInit
 }
 
+// modelSeconds converts one phase invocation's work into modelled device
+// seconds on the software stack this agent represents (§4.3: PyTorch on
+// the Cortex-A9) — the modelled counterpart the span tracer records next
+// to measured wall time.
+func modelSeconds(p timing.Phase, work float64) float64 {
+	return timing.CortexA9PyTorch.Seconds(p, 1, work)
+}
+
 // SelectAction implements Algorithm 1 lines 10-13: greedy with probability
 // ε₁, uniformly random otherwise.
 func (a *Agent) SelectAction(state []float64) int {
 	if a.rng.Float64() >= a.exploreProb {
+		phase := a.predictPhase()
+		sp := a.obs.StartSpan(string(phase))
 		_, act := a.maxQ(a.theta1, state)
 		// One framework call: a NumPy/PyTorch implementation stacks the
 		// action candidates into a single batched forward pass.
-		a.counters.Add(a.predictPhase(), float64(a.cfg.ActionCount)*a.dims.PredictFlops())
+		work := float64(a.cfg.ActionCount) * a.dims.PredictFlops()
+		a.counters.Add(phase, work)
+		if sp.Active() {
+			sp.EndModelled(modelSeconds(phase, work))
+		}
 		return act
 	}
 	return a.rng.Intn(a.cfg.ActionCount)
@@ -441,10 +456,7 @@ func boolTo01(b bool) float64 {
 func (a *Agent) Observe(t replay.Transition) error {
 	a.globalStep++
 	if !a.theta1.Initialized() {
-		a.buffer.Add(t)
-		if a.obs != nil {
-			a.obs.SetGauge(obs.GaugeBufferOccupancy, float64(a.buffer.Len())/float64(a.buffer.Cap()))
-		}
+		a.bufferAdd(t)
 		// Line 16-19: once D holds Ñ transitions, run the initial (ELM:
 		// batch) training.
 		if a.buffer.Full() {
@@ -454,10 +466,7 @@ func (a *Agent) Observe(t replay.Transition) error {
 	}
 	if !a.cfg.Variant.Sequential() {
 		// Batch ELM keeps refilling D and retraining when it is full.
-		a.buffer.Add(t)
-		if a.obs != nil {
-			a.obs.SetGauge(obs.GaugeBufferOccupancy, float64(a.buffer.Len())/float64(a.buffer.Cap()))
-		}
+		a.bufferAdd(t)
 		if a.buffer.Full() {
 			return a.trainFromBuffer()
 		}
@@ -471,9 +480,21 @@ func (a *Agent) Observe(t replay.Transition) error {
 	return nil
 }
 
+// bufferAdd stores one transition in D under a "buffer_refill" trace
+// span, tracking occupancy.
+func (a *Agent) bufferAdd(t replay.Transition) {
+	sp := a.obs.StartSpan("buffer_refill")
+	a.buffer.Add(t)
+	if a.obs != nil {
+		a.obs.SetGauge(obs.GaugeBufferOccupancy, float64(a.buffer.Len())/float64(a.buffer.Cap()))
+	}
+	sp.End()
+}
+
 // trainFromBuffer runs the initial/batch training on buffer D with targets
 // computed from θ2 (Algorithm 1 lines 17-19), then clears D.
 func (a *Agent) trainFromBuffer() error {
+	sp := a.obs.StartSpan(string(timing.PhaseInitTrain))
 	t0 := a.obs.Now()
 	retrain := a.Trained() // refilled-buffer retrain vs first initial training
 	trans := a.buffer.Drain()
@@ -514,13 +535,18 @@ func (a *Agent) trainFromBuffer() error {
 	}
 	a.counters.Add(timing.PhaseInitTrain, work)
 	if a.obs != nil {
-		a.obs.AddWallSince(string(timing.PhaseInitTrain), t0)
+		model := modelSeconds(timing.PhaseInitTrain, work)
+		sp.EndModelled(model)
+		d := time.Since(t0)
+		a.obs.AddWall(string(timing.PhaseInitTrain), d)
 		a.obs.Inc(obs.MetricInitTrains, 1)
 		a.obs.SetGauge(obs.GaugeBufferOccupancy, 0)
 		a.obs.Emit(obs.EventInitTrain, 0, map[string]float64{
-			"size":    float64(k),
-			"step":    float64(a.globalStep),
-			"retrain": boolTo01(retrain),
+			"size":     float64(k),
+			"step":     float64(a.globalStep),
+			"retrain":  boolTo01(retrain),
+			"dur_ms":   float64(d) / float64(time.Millisecond),
+			"model_ms": model * 1e3,
 		})
 	}
 	return err
@@ -529,6 +555,7 @@ func (a *Agent) trainFromBuffer() error {
 // sequentialUpdate runs one rank-1 OS-ELM update toward the clipped target
 // (Algorithm 1 line 22).
 func (a *Agent) sequentialUpdate(t replay.Transition) error {
+	sp := a.obs.StartSpan(string(timing.PhaseSeqTrain))
 	t0 := a.obs.Now()
 	y := a.target(t)
 	var err error
@@ -545,11 +572,16 @@ func (a *Agent) sequentialUpdate(t replay.Transition) error {
 	work := float64(a.cfg.ActionCount)*a.dims.PredictFlops() + a.dims.SeqTrainFlops()
 	a.counters.Add(timing.PhaseSeqTrain, work)
 	if a.obs != nil {
-		a.obs.AddWallSince(string(timing.PhaseSeqTrain), t0)
+		model := modelSeconds(timing.PhaseSeqTrain, work)
+		sp.EndModelled(model)
+		d := time.Since(t0)
+		a.obs.AddWall(string(timing.PhaseSeqTrain), d)
 		a.obs.Inc(obs.MetricSeqUpdates, 1)
 		a.obs.Emit(obs.EventSeqUpdate, 0, map[string]float64{
-			"step":   float64(a.globalStep),
-			"target": y,
+			"step":     float64(a.globalStep),
+			"target":   y,
+			"dur_ms":   float64(d) / float64(time.Millisecond),
+			"model_ms": model * 1e3,
 		})
 	}
 	return err
