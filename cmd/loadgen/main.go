@@ -1,0 +1,193 @@
+// Command loadgen is a closed-loop load generator for cmd/serve: N
+// workers each issue one request at a time over keep-alive connections
+// for a fixed duration, then the tool reports achieved QPS and latency
+// quantiles — the measurement behind the serving-throughput acceptance
+// numbers in README.md.
+//
+// Usage:
+//
+//	go run ./cmd/serve -checkpoint agent.json -addr :8080 &
+//	go run ./cmd/loadgen -url http://localhost:8080 -duration 5s -concurrency 16
+//
+// The probe state defaults to a zero vector of the served model's input
+// size (discovered via /v1/info); -state overrides it with comma-
+// separated floats. Any non-2xx response or transport error counts as an
+// error, and the exit code is non-zero if any occurred (or if nothing
+// succeeded), so CI can assert a healthy server with one command.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+type report struct {
+	Requests   int     `json:"requests"`
+	Errors     int     `json:"errors"`
+	Seconds    float64 `json:"seconds"`
+	QPS        float64 `json:"qps"`
+	P50MS      float64 `json:"p50_ms"`
+	P95MS      float64 `json:"p95_ms"`
+	P99MS      float64 `json:"p99_ms"`
+	MaxMS      float64 `json:"max_ms"`
+	Endpoint   string  `json:"endpoint"`
+	Concurrent int     `json:"concurrency"`
+}
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	base := flag.String("url", "http://localhost:8080", "base URL of cmd/serve")
+	endpoint := flag.String("endpoint", "/v1/predict", "endpoint to hammer (/v1/predict or /v1/act)")
+	duration := flag.Duration("duration", 5*time.Second, "measurement window")
+	concurrency := flag.Int("concurrency", 16, "closed-loop workers")
+	stateFlag := flag.String("state", "", "comma-separated probe state (default: zeros sized via /v1/info)")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON")
+	flag.Parse()
+
+	state, err := probeState(*base, *stateFlag)
+	if err != nil {
+		return fail(err)
+	}
+	body, err := json.Marshal(map[string][]float64{"state": state})
+	if err != nil {
+		return fail(err)
+	}
+	url := strings.TrimRight(*base, "/") + *endpoint
+
+	tr := &http.Transport{
+		MaxIdleConns:        *concurrency,
+		MaxIdleConnsPerHost: *concurrency,
+	}
+	client := &http.Client{Transport: tr, Timeout: 10 * time.Second}
+
+	type workerResult struct {
+		lat  []float64 // milliseconds
+		errs int
+	}
+	results := make([]workerResult, *concurrency)
+	deadline := time.Now().Add(*duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			res := &results[w]
+			for time.Now().Before(deadline) {
+				t0 := time.Now()
+				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				if err != nil {
+					res.errs++
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					res.errs++
+					continue
+				}
+				res.lat = append(res.lat, float64(time.Since(t0))/float64(time.Millisecond))
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	var lats []float64
+	errs := 0
+	for _, r := range results {
+		lats = append(lats, r.lat...)
+		errs += r.errs
+	}
+	sort.Float64s(lats)
+	rep := report{
+		Requests:   len(lats),
+		Errors:     errs,
+		Seconds:    elapsed,
+		Endpoint:   *endpoint,
+		Concurrent: *concurrency,
+	}
+	if elapsed > 0 {
+		rep.QPS = float64(len(lats)) / elapsed
+	}
+	if len(lats) > 0 {
+		rep.P50MS = quantile(lats, 0.50)
+		rep.P95MS = quantile(lats, 0.95)
+		rep.P99MS = quantile(lats, 0.99)
+		rep.MaxMS = lats[len(lats)-1]
+	}
+
+	if *jsonOut {
+		json.NewEncoder(os.Stdout).Encode(rep)
+	} else {
+		fmt.Printf("loadgen: %d requests in %.2fs (%d errors), %.0f req/s\n",
+			rep.Requests, rep.Seconds, rep.Errors, rep.QPS)
+		fmt.Printf("latency ms: p50=%.3f p95=%.3f p99=%.3f max=%.3f\n",
+			rep.P50MS, rep.P95MS, rep.P99MS, rep.MaxMS)
+	}
+	if errs > 0 || len(lats) == 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: FAILED (errors or no successful requests)")
+		return 1
+	}
+	return 0
+}
+
+// probeState parses -state, or asks /v1/info for the model's input size
+// and returns a zero vector.
+func probeState(base, flagVal string) ([]float64, error) {
+	if flagVal != "" {
+		parts := strings.Split(flagVal, ",")
+		state := make([]float64, len(parts))
+		for i, p := range parts {
+			v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: -state: %w", err)
+			}
+			state[i] = v
+		}
+		return state, nil
+	}
+	resp, err := http.Get(strings.TrimRight(base, "/") + "/v1/info")
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: querying /v1/info: %w", err)
+	}
+	defer resp.Body.Close()
+	var info struct {
+		ObservationSize int `json:"observation_size"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return nil, fmt.Errorf("loadgen: decoding /v1/info: %w", err)
+	}
+	if info.ObservationSize <= 0 {
+		return nil, fmt.Errorf("loadgen: /v1/info reports observation_size %d", info.ObservationSize)
+	}
+	return make([]float64, info.ObservationSize), nil
+}
+
+// quantile returns the p-quantile of sorted values by nearest-rank.
+func quantile(sorted []float64, p float64) float64 {
+	i := int(p*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func fail(err error) int {
+	fmt.Fprintln(os.Stderr, err.Error())
+	return 1
+}

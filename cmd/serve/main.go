@@ -1,0 +1,118 @@
+// Command serve runs the policy-inference service of internal/serve: it
+// loads a trained agent checkpoint (cmd/train -save) and answers
+// /v1/predict, /v1/act and /v1/info over HTTP JSON, with live Prometheus
+// /metrics (plus /healthz and /snapshot) on the same listener.
+//
+// Usage:
+//
+//	go run ./cmd/train -design OS-ELM-L2-Lipschitz -save agent.json
+//	go run ./cmd/serve -checkpoint agent.json -addr :8080
+//	curl -s -d '{"state":[0.1,0,-0.05,0]}' localhost:8080/v1/predict
+//
+// Hot-reload: SIGHUP re-reads the checkpoint and swaps it in atomically
+// (zero dropped requests); -watch POLLS the file's mtime instead, for
+// training jobs that overwrite the snapshot on a schedule. SIGINT/SIGTERM
+// shut down gracefully, draining in-flight requests. Overload is shed
+// with 429 once the worker pool and its bounded queue are full — size
+// them with -pool and -queue. cmd/loadgen measures the achieved
+// throughput and latency quantiles.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"oselmrl/internal/cli"
+	"oselmrl/internal/obs"
+	"oselmrl/internal/obs/export"
+	"oselmrl/internal/serve"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	checkpoint := flag.String("checkpoint", "", "trained agent snapshot to serve (required; see cmd/train -save)")
+	addr := flag.String("addr", ":8080", "listen address (\":0\" picks a free port)")
+	pool := flag.Int("pool", 0, "max concurrent evaluations (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "max requests waiting beyond the pool before 429 (0 = 4x pool, -1 = none)")
+	timeout := flag.Duration("timeout", time.Second, "per-request budget including queue wait")
+	watch := flag.Duration("watch", 0, "poll the checkpoint mtime at this interval and hot-reload on change (0 = off; SIGHUP always reloads)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown budget for in-flight requests")
+	events := flag.String("events", "", "JSONL event log path (\"-\" for stderr); reload events land here")
+	flag.Parse()
+	if *checkpoint == "" {
+		fmt.Fprintln(os.Stderr, "serve: -checkpoint is required")
+		return 2
+	}
+
+	emitter, err := cli.NewEventsEmitter(*events)
+	if err != nil {
+		return fail(err)
+	}
+	if emitter == nil {
+		emitter = obs.NewEmitter(nil) // metrics-only: /metrics always serves
+	}
+
+	svc, err := serve.New(serve.Config{
+		Checkpoint: *checkpoint,
+		Pool:       *pool,
+		Queue:      *queue,
+		Timeout:    *timeout,
+		Obs:        emitter,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	info := svc.Policy().Info()
+	fmt.Fprintf(os.Stderr, "serve: loaded %s (%s, %d->%d, hidden %d, %d updates)\n",
+		info.Source, info.Design, info.ObservationSize, info.ActionCount, info.Hidden, info.Updates)
+
+	srv, err := export.Serve(*addr, emitter.Metrics(), export.WithRoute("/v1/", svc.Handler()))
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "serve: listening on http://%s (predict at /v1/predict, metrics at /metrics)\n", srv.Addr())
+
+	if *watch > 0 {
+		stop := svc.WatchCheckpoint(*watch, func(err error) {
+			fmt.Fprintln(os.Stderr, "serve: watch:", err)
+		})
+		defer stop()
+	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP)
+	for sig := range sigs {
+		if sig == syscall.SIGHUP {
+			if err := svc.Reload(); err != nil {
+				fmt.Fprintln(os.Stderr, "serve:", err)
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "serve: reloaded checkpoint (generation %d)\n", svc.Policy().Generation())
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "serve: %s received, draining\n", sig)
+		break
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fail(fmt.Errorf("shutdown: %w", err))
+	}
+	if err := emitter.Close(); err != nil {
+		return fail(err)
+	}
+	fmt.Fprintln(os.Stderr, "serve: drained, bye")
+	return 0
+}
+
+func fail(err error) int {
+	fmt.Fprintln(os.Stderr, "serve:", err)
+	return 1
+}

@@ -7,6 +7,12 @@
 // All operations saturate instead of wrapping: in the FPGA core an
 // overflowing accumulator clamps at the rails, and saturation is also what
 // keeps the Q-network's clipped targets well behaved.
+//
+// Rounding is round-to-nearest with ties toward +inf everywhere — the
+// behaviour of a DSP48 multiply-shift with the half-LSB pre-add — so
+// FromFloat, Mul, Div and QFormat.Quantize all land on the same grid
+// point for the same real value. One convention across conversion and
+// arithmetic is what makes the simulator's golden vectors meaningful.
 package fixed
 
 import (
@@ -29,8 +35,8 @@ const (
 // Fixed is a Q11.20 signed fixed-point number.
 type Fixed int32
 
-// FromFloat converts a float64 to fixed point with round-to-nearest and
-// saturation.
+// FromFloat converts a float64 to fixed point with round-to-nearest
+// (ties toward +inf, matching Mul and Div) and saturation.
 func FromFloat(f float64) Fixed {
 	if math.IsNaN(f) {
 		return 0
@@ -42,7 +48,7 @@ func FromFloat(f float64) Fixed {
 	if scaled <= float64(Min) {
 		return Fixed(Min)
 	}
-	return Fixed(int32(math.RoundToEven(scaled)))
+	return Fixed(int32(math.Floor(scaled + 0.5)))
 }
 
 // Float converts back to float64 exactly (every Q20 value is representable).
@@ -90,14 +96,18 @@ func Div(x, y Fixed) Fixed {
 		return Fixed(Min)
 	}
 	num := int64(x) << FracBits
-	// Round-half-away-from-zero.
-	half := int64(y) / 2
-	if (num >= 0) == (y > 0) {
-		num += half
-	} else {
-		num -= half
+	den := int64(y)
+	if den < 0 {
+		num, den = -num, -den
 	}
-	return sat64(num / int64(y))
+	// floor(num/den + 1/2) = floor((2·num + den) / (2·den)): round to
+	// nearest with ties toward +inf, the same convention as Mul.
+	a, b := 2*num+den, 2*den
+	q := a / b
+	if a%b != 0 && a < 0 {
+		q-- // Go's integer division truncates toward zero; we need floor.
+	}
+	return sat64(q)
 }
 
 // Recip returns 1/x, the scalar reciprocal that replaces the k×k matrix
@@ -152,7 +162,7 @@ func (q QFormat) Quantize(f float64) float64 {
 		panic(fmt.Sprintf("fixed: invalid fraction width %d", q.Frac))
 	}
 	one := float64(int64(1) << q.Frac)
-	scaled := math.RoundToEven(f * one)
+	scaled := math.Floor(f*one + 0.5)
 	maxV := float64(math.MaxInt32)
 	if scaled > maxV {
 		scaled = maxV

@@ -27,6 +27,65 @@ func TestFromFloatRounding(t *testing.T) {
 	}
 }
 
+// All rounding sites share one convention: nearest, ties toward +inf.
+// FromFloat previously used round-half-to-even while Mul/Div rounded
+// half-up, so conversion and arithmetic could disagree by one LSB on the
+// same real value.
+func TestRoundingConventionUnified(t *testing.T) {
+	res := 1.0 / float64(One)
+	// +2.5 LSB: half-up gives 3, half-to-even gave 2.
+	if got := FromFloat(2.5 * res); got != Fixed(3) {
+		t.Errorf("FromFloat(+2.5 LSB) = %d, want 3 (ties toward +inf)", got)
+	}
+	// -1.5 LSB: toward +inf gives -1, half-to-even gave -2.
+	if got := FromFloat(-1.5 * res); got != Fixed(-1) {
+		t.Errorf("FromFloat(-1.5 LSB) = %d, want -1 (ties toward +inf)", got)
+	}
+	// Mul ties: ±0.5 LSB products round toward +inf.
+	if got := Mul(Fixed(1), Fixed(1<<(FracBits-1))); got != Fixed(1) {
+		t.Errorf("Mul(+0.5 LSB tie) = %d, want 1", got)
+	}
+	if got := Mul(Fixed(-1), Fixed(1<<(FracBits-1))); got != Fixed(0) {
+		t.Errorf("Mul(-0.5 LSB tie) = %d, want 0", got)
+	}
+	// Div ties: ±1.5 LSB quotients round toward +inf (the old code
+	// rounded half away from zero, giving -2 for the negative case).
+	two := FromFloat(2)
+	if got := Div(Fixed(3), two); got != Fixed(2) {
+		t.Errorf("Div(+1.5 LSB tie) = %d, want 2", got)
+	}
+	if got := Div(Fixed(-3), two); got != Fixed(-1) {
+		t.Errorf("Div(-1.5 LSB tie) = %d, want -1", got)
+	}
+	// Negative divisor: (-3)/(-2) = +1.5 LSB, still toward +inf.
+	if got := Div(Fixed(-3), Neg(two)); got != Fixed(2) {
+		t.Errorf("Div(-3, -2) = %d, want 2", got)
+	}
+	// QFormat follows the same convention.
+	q := QFormat{Frac: FracBits}
+	if got := q.Quantize(2.5 * res); got != 3*res {
+		t.Errorf("Quantize(+2.5 LSB) = %v, want %v", got, 3*res)
+	}
+	if got := q.Quantize(-1.5 * res); got != -res {
+		t.Errorf("Quantize(-1.5 LSB) = %v, want %v", got, -res)
+	}
+}
+
+// Property: Mul agrees bit-for-bit with converting the exact float
+// product, for operands small enough that the product is exact in a
+// float64 (|raw| < 2^25 keeps the integer product under 2^50).
+func TestPropertyMulMatchesFromFloat(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		x := Fixed(r.Intn(1<<26) - 1<<25)
+		y := Fixed(r.Intn(1<<26) - 1<<25)
+		return Mul(x, y) == FromFloat(x.Float()*y.Float())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestFromFloatSaturates(t *testing.T) {
 	if FromFloat(1e9) != Fixed(Max) {
 		t.Error("large positive must saturate to Max")

@@ -47,10 +47,13 @@ func RunTrials(spec TrialSpec) []*Result {
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, par)
 	for i := 0; i < n; i++ {
+		// Acquire before spawning so at most par goroutines (each holding a
+		// live agent closure) exist at once — spawning all n up front made a
+		// 10k-trial sweep allocate 10k goroutines that immediately blocked.
+		sem <- struct{}{}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			sem <- struct{}{}
 			defer func() { <-sem }()
 			seed := spec.BaseSeed + uint64(i)
 			agent, err := spec.MakeAgent(seed)
@@ -93,21 +96,21 @@ type Aggregate struct {
 }
 
 // Summarize aggregates results; modelSeconds may be nil or one modelled
-// total per result (NaN entries are skipped with their result).
+// total per result. Errored trials (Result.Err != nil) never enter the
+// solved statistics, whatever their Solved flag says; NaN or missing
+// modelSeconds entries are excluded from MeanModelSeconds only (the
+// trial's other statistics still count).
 func Summarize(results []*Result, modelSeconds []float64) Aggregate {
 	agg := Aggregate{Trials: len(results)}
 	var epSum, epSq, stepSum, secSum float64
 	var resetSum float64
-	solved := 0
+	solved, secCount := 0, 0
 	for i, r := range results {
-		if r == nil || r.Err != nil && !r.Solved {
-			if r != nil {
-				resetSum += float64(r.Resets)
-			}
+		if r == nil {
 			continue
 		}
 		resetSum += float64(r.Resets)
-		if !r.Solved {
+		if r.Err != nil || !r.Solved {
 			continue
 		}
 		solved++
@@ -116,6 +119,7 @@ func Summarize(results []*Result, modelSeconds []float64) Aggregate {
 		stepSum += float64(r.TotalSteps)
 		if modelSeconds != nil && i < len(modelSeconds) && !math.IsNaN(modelSeconds[i]) {
 			secSum += modelSeconds[i]
+			secCount++
 		}
 	}
 	agg.SolvedCount = solved
@@ -130,7 +134,12 @@ func Summarize(results []*Result, modelSeconds []float64) Aggregate {
 			agg.StdEpisodes = math.Sqrt(variance)
 		}
 		agg.MeanSteps = stepSum / n
-		agg.MeanModelSeconds = secSum / n
+	}
+	// Divide by the count of trials that actually contributed a modelled
+	// total — dividing by the solved count silently deflated the mean
+	// whenever any entry was NaN or the slice was short.
+	if secCount > 0 {
+		agg.MeanModelSeconds = secSum / float64(secCount)
 	}
 	return agg
 }

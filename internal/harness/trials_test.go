@@ -1,0 +1,115 @@
+package harness
+
+import (
+	"errors"
+	"math"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"oselmrl/internal/env"
+)
+
+// Regression: a NaN modelled total on a *solved* trial must drop that
+// entry from the MeanModelSeconds numerator AND denominator. The pre-fix
+// code skipped it from the sum but still divided by the full solved
+// count, deflating the mean ((10+20)/3 instead of (10+20)/2).
+func TestSummarizeNaNModelSecondsOnSolvedTrial(t *testing.T) {
+	results := []*Result{
+		{Solved: true, Episodes: 100, TotalSteps: 5000},
+		{Solved: true, Episodes: 200, TotalSteps: 9000},
+		{Solved: true, Episodes: 300, TotalSteps: 9000},
+	}
+	secs := []float64{10, 20, math.NaN()}
+	agg := Summarize(results, secs)
+	if agg.SolvedCount != 3 {
+		t.Fatalf("solved = %d", agg.SolvedCount)
+	}
+	if agg.MeanModelSeconds != 15 {
+		t.Errorf("MeanModelSeconds = %v, want 15 (mean over the two non-NaN entries)", agg.MeanModelSeconds)
+	}
+	// A modelSeconds slice shorter than results behaves like NaN padding.
+	agg = Summarize(results, []float64{10, 20})
+	if agg.MeanModelSeconds != 15 {
+		t.Errorf("short slice MeanModelSeconds = %v, want 15", agg.MeanModelSeconds)
+	}
+	// All-NaN leaves the mean at zero rather than NaN/Inf.
+	agg = Summarize(results, []float64{math.NaN(), math.NaN(), math.NaN()})
+	if agg.MeanModelSeconds != 0 {
+		t.Errorf("all-NaN MeanModelSeconds = %v, want 0", agg.MeanModelSeconds)
+	}
+}
+
+// Regression: a result carrying both Err != nil and Solved == true (an
+// agent that hit numerical breakdown after meeting the solve criterion
+// mid-aggregation) must never enter the solved statistics. The pre-fix
+// skip condition `r.Err != nil && !r.Solved` let it through.
+func TestSummarizeErroredTrialNeverAggregated(t *testing.T) {
+	results := []*Result{
+		{Solved: true, Episodes: 100, TotalSteps: 5000, Resets: 1},
+		{Solved: true, Episodes: 300, TotalSteps: 9000, Err: errors.New("singular P"), Resets: 3},
+	}
+	agg := Summarize(results, []float64{10, 99})
+	if agg.SolvedCount != 1 {
+		t.Fatalf("SolvedCount = %d, want 1 (errored trial excluded)", agg.SolvedCount)
+	}
+	if agg.MeanEpisodes != 100 {
+		t.Errorf("MeanEpisodes = %v, want 100", agg.MeanEpisodes)
+	}
+	if agg.MeanSteps != 5000 {
+		t.Errorf("MeanSteps = %v, want 5000", agg.MeanSteps)
+	}
+	if agg.MeanModelSeconds != 10 {
+		t.Errorf("MeanModelSeconds = %v, want 10", agg.MeanModelSeconds)
+	}
+	// Resets still count for every non-nil result, errored or not.
+	if agg.MeanResets != 2 {
+		t.Errorf("MeanResets = %v, want 2", agg.MeanResets)
+	}
+}
+
+// Regression: RunTrials must not materialize one goroutine per trial up
+// front — with Parallelism 2 and many trials, only about two trial
+// goroutines may exist at a time. The pre-fix code spawned all n
+// immediately (each blocking on the semaphore with a live agent closure).
+func TestRunTrialsBoundsGoroutines(t *testing.T) {
+	const trials = 64
+	gate := make(chan struct{})
+	var started atomic.Int32
+	spec := TrialSpec{
+		MakeAgent: func(seed uint64) (Agent, error) {
+			started.Add(1)
+			<-gate
+			return nil, errors.New("measurement-only trial")
+		},
+		MakeEnv:     func(seed uint64) env.Env { return env.NewCartPoleV0(seed) },
+		Config:      Config{MaxEpisodes: 1},
+		Trials:      trials,
+		Parallelism: 2,
+	}
+	base := runtime.NumGoroutine()
+	done := make(chan []*Result, 1)
+	go func() { done <- RunTrials(spec) }()
+	// Wait until both permitted trials are inside MakeAgent.
+	deadline := time.Now().Add(5 * time.Second)
+	for started.Load() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("trials never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > base+trials/2 {
+		t.Errorf("%d goroutines live for %d trials at parallelism 2 (baseline %d) — trial goroutines not bounded by the semaphore", g, trials, base)
+	}
+	close(gate)
+	results := <-done
+	if len(results) != trials {
+		t.Fatalf("results = %d", len(results))
+	}
+	for i, r := range results {
+		if r == nil || r.Err == nil {
+			t.Fatalf("trial %d expected the construction error result", i)
+		}
+	}
+}

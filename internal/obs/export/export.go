@@ -7,6 +7,7 @@
 package export
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -112,6 +113,19 @@ type Option func(*handlerOpts)
 type handlerOpts struct {
 	tracer *obs.Tracer
 	pprof  bool
+	routes []route
+}
+
+type route struct {
+	pattern string
+	handler http.Handler
+}
+
+// WithRoute mounts an extra handler on the telemetry mux — how a serving
+// subsystem (internal/serve) shares one listener with /metrics so scrapes
+// see the serving load of the same process.
+func WithRoute(pattern string, h http.Handler) Option {
+	return func(o *handlerOpts) { o.routes = append(o.routes, route{pattern, h}) }
 }
 
 // WithTracer additionally serves the tracer's current spans as Chrome
@@ -174,6 +188,9 @@ func NewHandler(reg *obs.Registry, opts ...Option) http.Handler {
 			}
 		})
 	}
+	for _, rt := range o.routes {
+		mux.Handle(rt.pattern, rt.handler)
+	}
 	if o.pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -213,4 +230,14 @@ func (s *Server) Close() error {
 		return nil
 	}
 	return s.srv.Close()
+}
+
+// Shutdown stops accepting new connections and waits for in-flight
+// requests to drain (or ctx to expire) — the graceful counterpart to
+// Close, used by long-lived servers like cmd/serve. Nil-safe.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Shutdown(ctx)
 }

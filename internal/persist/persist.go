@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 
 	"oselmrl/internal/activation"
 	"oselmrl/internal/elm"
@@ -208,6 +209,40 @@ func SaveAgent(w io.Writer, a *qnet.Agent) error {
 		Theta2:  snapshotOSELM(a.Theta2()),
 	}
 	return json.NewEncoder(w).Encode(&j)
+}
+
+// SaveAgentFile writes an agent snapshot to path, creating or truncating
+// the file. The write is not atomic; writers coordinating with a live
+// checkpoint watcher should write to a temp file and rename.
+func SaveAgentFile(path string, a *qnet.Agent) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	if err := SaveAgent(f, a); err != nil {
+		f.Close()
+		return fmt.Errorf("persist: writing %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("persist: writing %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadAgentFile loads an agent snapshot from path — the checkpoint
+// entry point for deployment tools (cmd/serve hot-reload). The format
+// version is validated before any weights are reconstructed.
+func LoadAgentFile(path string) (*qnet.Agent, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	defer f.Close()
+	a, err := LoadAgent(f)
+	if err != nil {
+		return nil, fmt.Errorf("persist: checkpoint %s: %w", path, err)
+	}
+	return a, nil
 }
 
 // LoadAgent reconstructs a Q-network agent from a snapshot. Exploration

@@ -3,6 +3,8 @@ package persist
 import (
 	"bytes"
 	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -221,5 +223,48 @@ func TestDecodeMatrixErrors(t *testing.T) {
 	m, err := decodeMatrix(nil)
 	if err != nil || m != nil {
 		t.Error("nil payload must decode to nil")
+	}
+}
+
+func TestAgentFileRoundTrip(t *testing.T) {
+	cfg := qnet.DefaultConfig(qnet.VariantOSELML2, 4, 2, 8)
+	agent := qnet.MustNew(cfg)
+	path := filepath.Join(t.TempDir(), "agent.json")
+	if err := SaveAgentFile(path, agent); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadAgentFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Name() != agent.Name() || restored.Config().Hidden != 8 {
+		t.Errorf("restored %s hidden=%d", restored.Name(), restored.Config().Hidden)
+	}
+}
+
+func TestLoadAgentFileErrors(t *testing.T) {
+	if _, err := LoadAgentFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file must error")
+	}
+	// A future format version must be rejected with the path in the error.
+	path := filepath.Join(t.TempDir(), "v999.json")
+	agent := qnet.MustNew(qnet.DefaultConfig(qnet.VariantOSELM, 4, 2, 8))
+	var buf bytes.Buffer
+	if err := SaveAgent(&buf, agent); err != nil {
+		t.Fatal(err)
+	}
+	snap := strings.Replace(buf.String(), `{"version":1,`, `{"version":999,`, 1)
+	if !strings.Contains(snap, `"version":999`) {
+		t.Fatal("fixture did not rewrite the version field")
+	}
+	if err := os.WriteFile(path, []byte(snap), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadAgentFile(path)
+	if err == nil {
+		t.Fatal("version 999 snapshot must be rejected")
+	}
+	if !strings.Contains(err.Error(), "version 999") || !strings.Contains(err.Error(), path) {
+		t.Errorf("error should name the version and path: %v", err)
 	}
 }

@@ -1,0 +1,111 @@
+package qnet
+
+import (
+	"fmt"
+
+	"oselmrl/internal/mat"
+	"oselmrl/internal/oselm"
+)
+
+// Evaluator is an inference-only view of a trained agent's online network
+// θ1 for concurrent serving. Unlike SelectAction/GreedyAction it touches
+// none of the agent's mutable state (RNG, scratch buffer, counters): each
+// Evaluator carries its own work buffers, so any number of Evaluators over
+// the same agent may run in parallel — the one rule is that nothing may
+// train the underlying model concurrently. Ties in the argmax break
+// deterministically toward the lowest action index (serving wants
+// reproducible answers; the random tie-break in SelectAction exists only
+// to unfreeze untrained training-time agents).
+//
+// The QValues result is reused between calls on the same Evaluator; copy
+// it if it must outlive the next call.
+type Evaluator struct {
+	cfg   Config
+	model *oselm.Model
+	in    []float64 // encoded network input (simplified output model)
+	hid   []float64 // hidden activations
+	q     []float64 // one Q value per action
+	out   []float64 // raw network output row
+}
+
+// NewEvaluator builds an inference view over the agent's current θ1.
+// Snapshot semantics: a later Reinitialize or RestoreModels on the agent
+// swaps θ1 and is NOT seen by existing Evaluators — build new ones (this
+// is exactly what makes checkpoint hot-swap race-free in internal/serve).
+func (a *Agent) NewEvaluator() *Evaluator {
+	outSize := 1
+	if a.cfg.StandardOutputModel {
+		outSize = a.cfg.ActionCount
+	}
+	return &Evaluator{
+		cfg:   a.cfg,
+		model: a.theta1,
+		in:    make([]float64, a.dims.In),
+		hid:   make([]float64, a.cfg.Hidden),
+		q:     make([]float64, a.cfg.ActionCount),
+		out:   make([]float64, outSize),
+	}
+}
+
+// ObservationSize returns the expected state vector length.
+func (ev *Evaluator) ObservationSize() int { return ev.cfg.ObservationSize }
+
+// ActionCount returns the number of actions.
+func (ev *Evaluator) ActionCount() int { return ev.cfg.ActionCount }
+
+// QValues evaluates Q(state, ·) for every action without allocating.
+// The returned slice is owned by the Evaluator and reused on the next
+// call. The only error is a state-length mismatch.
+func (ev *Evaluator) QValues(state []float64) ([]float64, error) {
+	if len(state) != ev.cfg.ObservationSize {
+		return nil, fmt.Errorf("qnet: state has %d features, model expects %d",
+			len(state), ev.cfg.ObservationSize)
+	}
+	if ev.cfg.StandardOutputModel {
+		ev.model.HiddenOneInto(ev.hid, state)
+		mat.VecMulInto(ev.out, ev.hid, ev.model.Beta)
+		copy(ev.q, ev.out)
+		return ev.q, nil
+	}
+	copy(ev.in, state)
+	for act := 0; act < ev.cfg.ActionCount; act++ {
+		ev.encodeAction(len(state), act)
+		ev.model.HiddenOneInto(ev.hid, ev.in)
+		mat.VecMulInto(ev.out, ev.hid, ev.model.Beta)
+		ev.q[act] = ev.out[0]
+	}
+	return ev.q, nil
+}
+
+// encodeAction writes the action part of the simplified-output-model
+// input (scalar index by default, one-hot with OneHotActions), mirroring
+// Agent.encode.
+func (ev *Evaluator) encodeAction(stateLen, action int) {
+	if !ev.cfg.OneHotActions {
+		ev.in[stateLen] = float64(action)
+		return
+	}
+	for i := 0; i < ev.cfg.ActionCount; i++ {
+		v := 0.0
+		if i == action {
+			v = 1
+		}
+		ev.in[stateLen+i] = v
+	}
+}
+
+// Best returns the greedy action and its Q value, breaking ties toward
+// the lowest action index.
+func (ev *Evaluator) Best(state []float64) (action int, q float64, err error) {
+	qs, err := ev.QValues(state)
+	if err != nil {
+		return 0, 0, err
+	}
+	action, q = 0, qs[0]
+	for a := 1; a < len(qs); a++ {
+		if qs[a] > q {
+			action, q = a, qs[a]
+		}
+	}
+	return action, q, nil
+}

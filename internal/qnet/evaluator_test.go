@@ -1,0 +1,119 @@
+package qnet
+
+import (
+	"sync"
+	"testing"
+
+	"oselmrl/internal/replay"
+	"oselmrl/internal/rng"
+)
+
+// trainSmallAgent builds an agent and feeds enough random transitions to
+// complete the initial training plus some sequential updates, so β is
+// non-trivial.
+func trainSmallAgent(t *testing.T, cfg Config) *Agent {
+	t.Helper()
+	a := MustNew(cfg)
+	r := rng.New(99)
+	randState := func() []float64 {
+		s := make([]float64, cfg.ObservationSize)
+		for i := range s {
+			s[i] = r.Uniform(-1, 1)
+		}
+		return s
+	}
+	for i := 0; i < 4*cfg.Hidden; i++ {
+		tr := replay.Transition{
+			State:     randState(),
+			Action:    r.Intn(cfg.ActionCount),
+			Reward:    r.Uniform(-1, 1),
+			NextState: randState(),
+			Done:      i%17 == 0,
+		}
+		if err := a.Observe(tr); err != nil {
+			t.Fatalf("observe %d: %v", i, err)
+		}
+	}
+	if !a.Trained() {
+		t.Fatal("agent did not reach the trained state")
+	}
+	return a
+}
+
+// The evaluator must reproduce the agent's own Q values and greedy argmax
+// exactly, for both output models and both action encodings.
+func TestEvaluatorMatchesAgent(t *testing.T) {
+	configs := map[string]func(*Config){
+		"simplified": func(c *Config) {},
+		"onehot":     func(c *Config) { c.OneHotActions = true },
+		"standard":   func(c *Config) { c.StandardOutputModel = true },
+	}
+	for name, mod := range configs {
+		t.Run(name, func(t *testing.T) {
+			cfg := DefaultConfig(VariantOSELML2Lipschitz, 4, 3, 8)
+			mod(&cfg)
+			a := trainSmallAgent(t, cfg)
+			ev := a.NewEvaluator()
+			if ev.ObservationSize() != 4 || ev.ActionCount() != 3 {
+				t.Fatalf("dims %d/%d", ev.ObservationSize(), ev.ActionCount())
+			}
+			r := rng.New(7)
+			for trial := 0; trial < 50; trial++ {
+				state := []float64{r.Uniform(-1, 1), r.Uniform(-1, 1), r.Uniform(-1, 1), r.Uniform(-1, 1)}
+				qs, err := ev.QValues(state)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for act := 0; act < cfg.ActionCount; act++ {
+					if want := a.qValue(a.theta1, state, act); qs[act] != want {
+						t.Fatalf("Q(s,%d) = %v, agent says %v", act, qs[act], want)
+					}
+				}
+				best, bestQ, err := ev.Best(state)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if wantQ, _ := a.maxQ(a.theta1, state); bestQ != wantQ {
+					t.Fatalf("Best Q = %v, agent max = %v", bestQ, wantQ)
+				}
+				if qs[best] != bestQ {
+					t.Fatalf("Best action %d inconsistent with QValues", best)
+				}
+			}
+		})
+	}
+}
+
+func TestEvaluatorRejectsWrongStateLength(t *testing.T) {
+	a := trainSmallAgent(t, DefaultConfig(VariantOSELML2, 4, 2, 8))
+	ev := a.NewEvaluator()
+	if _, err := ev.QValues([]float64{1, 2}); err == nil {
+		t.Error("short state must error")
+	}
+	if _, _, err := ev.Best(make([]float64, 9)); err == nil {
+		t.Error("long state must error")
+	}
+}
+
+// Many evaluators over one frozen model must be race-free (run with
+// -race): this is the serving concurrency contract.
+func TestEvaluatorsConcurrent(t *testing.T) {
+	a := trainSmallAgent(t, DefaultConfig(VariantOSELML2Lipschitz, 4, 2, 8))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ev := a.NewEvaluator()
+			r := rng.New(uint64(g))
+			for i := 0; i < 200; i++ {
+				state := []float64{r.Uniform(-1, 1), r.Uniform(-1, 1), r.Uniform(-1, 1), r.Uniform(-1, 1)}
+				if _, _, err := ev.Best(state); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,287 @@
+// Package serve is the deployment layer the paper's cheap-inference story
+// points at: a concurrent policy-inference service over a checkpointed
+// OS-ELM Q-network (internal/persist), answering predict/act requests as
+// HTTP JSON with bounded worker-pool backpressure, request timeouts, and
+// atomic checkpoint hot-reload — the current *Policy swaps through an
+// atomic pointer, so reloads drop zero requests. Observability rides the
+// internal/obs stack: request counters and a latency histogram in the
+// metrics registry (scraped via the shared telemetry mux, see
+// export.WithRoute), optional per-request tracer spans, and a structured
+// event per reload.
+//
+// Endpoints (all JSON):
+//
+//	POST /v1/predict  {"state":[...]} → {"action":n,"q":[...],"generation":g}
+//	POST /v1/act      {"state":[...]} → {"action":n,"generation":g}
+//	GET  /v1/info     checkpoint provenance, network dims, pool config
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"oselmrl/internal/obs"
+	"oselmrl/internal/persist"
+)
+
+// Metric and event names the service records (results/README.md documents
+// the exported forms under the oselmrl_ prefix).
+const (
+	// MetricRequests counts every /v1/predict and /v1/act request.
+	MetricRequests = "serve_requests"
+	// MetricOK counts requests answered 200.
+	MetricOK = "serve_ok"
+	// MetricErrors counts requests rejected for client or decode errors.
+	MetricErrors = "serve_errors"
+	// MetricShed counts requests shed with 429 by backpressure (queue
+	// full, or the request timeout expired while waiting for a worker).
+	MetricShed = "serve_shed"
+	// MetricReloads and MetricReloadErrors count checkpoint hot-reloads.
+	MetricReloads      = "serve_reloads"
+	MetricReloadErrors = "serve_reload_errors"
+	// HistLatencyMS is the request latency histogram (milliseconds,
+	// admission wait included).
+	HistLatencyMS = "serve_latency_ms"
+	// GaugeGeneration is the current policy generation.
+	GaugeGeneration = "serve_generation"
+	// EventReload is emitted once per successful hot-reload.
+	EventReload = "serve_reload"
+)
+
+// LatencyBuckets are the HistLatencyMS upper bounds in milliseconds,
+// sized for an in-process predict path that answers in microseconds.
+var LatencyBuckets = []float64{0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250}
+
+// maxBodyBytes bounds a request body; states are tiny.
+const maxBodyBytes = 1 << 20
+
+// Config configures a Service.
+type Config struct {
+	// Checkpoint is the agent snapshot path, loaded at New and re-read by
+	// every Reload.
+	Checkpoint string
+	// Pool caps concurrently evaluating requests (default GOMAXPROCS).
+	Pool int
+	// Queue caps requests waiting for a worker beyond the pool; arrivals
+	// past pool+queue are shed immediately with 429 (default 4×Pool).
+	Queue int
+	// Timeout bounds one request including its wait for a worker
+	// (default 1s). A request still queued at the deadline is shed.
+	Timeout time.Duration
+	// Obs receives metrics, events and tracer spans; nil disables
+	// observability (every obs call is nil-safe).
+	Obs *obs.Emitter
+}
+
+func (c *Config) fill() {
+	if c.Pool <= 0 {
+		c.Pool = runtime.GOMAXPROCS(0)
+	}
+	if c.Queue < 0 {
+		c.Queue = 0
+	} else if c.Queue == 0 {
+		c.Queue = 4 * c.Pool
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = time.Second
+	}
+}
+
+// Service serves a checkpointed policy concurrently with hot-reload.
+type Service struct {
+	cfg    Config
+	obs    *obs.Emitter
+	policy atomic.Pointer[Policy]
+	sem    chan struct{} // worker slots
+	queue  chan struct{} // bounded wait slots beyond the pool
+
+	// reloading serializes Reload calls so generations stay monotonic.
+	reloading chan struct{}
+
+	// testHookEval, when set, runs inside the worker slot before each
+	// evaluation — tests use it to hold workers busy deterministically.
+	testHookEval func()
+}
+
+// New loads the initial checkpoint and returns a ready service.
+func New(cfg Config) (*Service, error) {
+	cfg.fill()
+	agent, err := persist.LoadAgentFile(cfg.Checkpoint)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	s := &Service{
+		cfg:       cfg,
+		obs:       cfg.Obs,
+		sem:       make(chan struct{}, cfg.Pool),
+		queue:     make(chan struct{}, cfg.Queue),
+		reloading: make(chan struct{}, 1),
+	}
+	if reg := s.obs.Metrics(); reg != nil {
+		reg.NewHistogram(HistLatencyMS, LatencyBuckets)
+	}
+	s.policy.Store(newPolicy(agent, cfg.Checkpoint, 1))
+	s.obs.SetGauge(GaugeGeneration, 1)
+	return s, nil
+}
+
+// Policy returns the currently served policy.
+func (s *Service) Policy() *Policy { return s.policy.Load() }
+
+// Reload re-reads the checkpoint and atomically swaps it in. In-flight
+// requests keep the policy they started with; new requests see the new
+// generation. On error the old policy keeps serving.
+func (s *Service) Reload() error {
+	s.reloading <- struct{}{}
+	defer func() { <-s.reloading }()
+	agent, err := persist.LoadAgentFile(s.cfg.Checkpoint)
+	if err != nil {
+		s.obs.Inc(MetricReloadErrors, 1)
+		return fmt.Errorf("serve: reload: %w", err)
+	}
+	gen := s.policy.Load().Generation() + 1
+	s.policy.Store(newPolicy(agent, s.cfg.Checkpoint, gen))
+	s.obs.SetGauge(GaugeGeneration, float64(gen))
+	s.obs.Inc(MetricReloads, 1)
+	s.obs.Emit(EventReload, 0, map[string]float64{"generation": float64(gen)})
+	return nil
+}
+
+// Handler returns the /v1 mux. Mount it on a dedicated server or on the
+// telemetry mux via export.WithRoute("/v1/", s.Handler()).
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/predict", func(w http.ResponseWriter, r *http.Request) {
+		s.handleEval(w, r, true)
+	})
+	mux.HandleFunc("/v1/act", func(w http.ResponseWriter, r *http.Request) {
+		s.handleEval(w, r, false)
+	})
+	mux.HandleFunc("/v1/info", s.handleInfo)
+	return mux
+}
+
+// evalRequest and evalResponse are the /v1/predict / /v1/act wire types.
+type evalRequest struct {
+	State []float64 `json:"state"`
+}
+
+type evalResponse struct {
+	Action     int       `json:"action"`
+	Q          []float64 `json:"q,omitempty"`
+	Generation int       `json:"generation"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// admit implements the bounded-pool backpressure: a free worker slot
+// admits immediately; otherwise the request takes a bounded queue slot
+// and waits for a worker until ctx expires; a full queue sheds at once.
+// On ok the caller must invoke release exactly once.
+func (s *Service) admit(ctx context.Context) (release func(), ok bool) {
+	release = func() { <-s.sem }
+	select {
+	case s.sem <- struct{}{}:
+		return release, true
+	default:
+	}
+	select {
+	case s.queue <- struct{}{}:
+		defer func() { <-s.queue }()
+		select {
+		case s.sem <- struct{}{}:
+			return release, true
+		case <-ctx.Done():
+			return nil, false
+		}
+	default:
+		return nil, false
+	}
+}
+
+func (s *Service) handleEval(w http.ResponseWriter, r *http.Request, includeQ bool) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST only"})
+		return
+	}
+	start := time.Now()
+	s.obs.Inc(MetricRequests, 1)
+	sp := s.obs.StartSpan("serve_predict")
+	defer func() {
+		sp.End()
+		s.obs.Observe(HistLatencyMS, float64(time.Since(start))/float64(time.Millisecond))
+	}()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	defer cancel()
+	release, ok := s.admit(ctx)
+	if !ok {
+		s.obs.Inc(MetricShed, 1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{"overloaded, retry later"})
+		return
+	}
+	defer release()
+
+	var req evalRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		s.obs.Inc(MetricErrors, 1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{"bad request body: " + err.Error()})
+		return
+	}
+	if s.testHookEval != nil {
+		s.testHookEval()
+	}
+
+	// The policy pointer read and the evaluation both happen against one
+	// consistent snapshot: a concurrent Reload swaps the pointer for
+	// future requests without touching this one.
+	p := s.policy.Load()
+	ev := p.acquire()
+	qs, err := ev.QValues(req.State)
+	if err != nil {
+		p.release(ev)
+		s.obs.Inc(MetricErrors, 1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		return
+	}
+	resp := evalResponse{Generation: p.generation}
+	for a := 1; a < len(qs); a++ {
+		if qs[a] > qs[resp.Action] {
+			resp.Action = a
+		}
+	}
+	if includeQ {
+		resp.Q = qs // evaluator-owned; marshalled before release below
+	}
+	writeJSON(w, http.StatusOK, resp)
+	p.release(ev)
+	s.obs.Inc(MetricOK, 1)
+}
+
+func (s *Service) handleInfo(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"GET only"})
+		return
+	}
+	info := s.policy.Load().Info()
+	writeJSON(w, http.StatusOK, struct {
+		Info
+		Pool    int     `json:"pool"`
+		Queue   int     `json:"queue"`
+		Timeout float64 `json:"timeout_seconds"`
+	}{info, s.cfg.Pool, s.cfg.Queue, s.cfg.Timeout.Seconds()})
+}

@@ -1,0 +1,57 @@
+package serve
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+// WatchCheckpoint polls the checkpoint file's mtime and size every
+// interval and hot-reloads when either changes — the -watch flag of
+// cmd/serve, for deployments where sending SIGHUP is inconvenient
+// (training jobs overwriting the snapshot on a schedule). The returned
+// stop function terminates the watcher; calling it more than once is
+// safe. onErr (may be nil) receives reload and stat errors; serving
+// continues on the old policy either way.
+func (s *Service) WatchCheckpoint(interval time.Duration, onErr func(error)) (stop func()) {
+	done := make(chan struct{})
+	var once sync.Once
+	lastMod, lastSize := statCheckpoint(s.cfg.Checkpoint)
+	go func() {
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+			}
+			st, err := os.Stat(s.cfg.Checkpoint)
+			if err != nil {
+				if onErr != nil {
+					onErr(err)
+				}
+				continue
+			}
+			if st.ModTime().Equal(lastMod) && st.Size() == lastSize {
+				continue
+			}
+			// Record the observed state before reloading: a failed reload
+			// (e.g. a partially written snapshot) retries only after the
+			// writer touches the file again, not every tick.
+			lastMod, lastSize = st.ModTime(), st.Size()
+			if err := s.Reload(); err != nil && onErr != nil {
+				onErr(err)
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
+
+func statCheckpoint(path string) (time.Time, int64) {
+	st, err := os.Stat(path)
+	if err != nil {
+		return time.Time{}, -1
+	}
+	return st.ModTime(), st.Size()
+}
