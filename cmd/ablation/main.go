@@ -44,10 +44,12 @@ func main() {
 	serveAddr := flag.String("serve", "", "serve live telemetry (/metrics, /healthz, /snapshot, /trace) on this address")
 	tracePath := flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON timeline to this file at exit")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060), or 'serve' to mount it on the -serve address")
+	watchdog := flag.Bool("watchdog", false, "enable the divergence watchdog (numeric_alert events, /health on -serve)")
 	flag.Parse()
 
 	tel, err := cli.StartTelemetry(cli.TelemetryFlags{
 		Events: *eventsPath, Serve: *serveAddr, Trace: *tracePath, Pprof: *pprofAddr,
+		Watchdog: *watchdog,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ablation:", err)
@@ -132,6 +134,9 @@ func main() {
 	}
 	if err := tel.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "ablation: closing telemetry:", err)
+	}
+	if wd := tel.Watchdog(); wd.Diverged() {
+		fmt.Fprintf(os.Stderr, "ablation: watchdog: %d numeric alerts across the sweep\n", wd.AlertCount())
 	}
 	if *manifestPath != "" {
 		labels := make([]string, len(variants))

@@ -1,0 +1,202 @@
+// Command bench runs the repo's Go benchmarks and records the results as
+// a numbered BENCH_<n>.json snapshot at the repo root — the start of a
+// perf trajectory: each run appends the next file in the sequence, so
+// regressions show up as a diff between consecutive snapshots rather than
+// a vague recollection of "it used to be faster".
+//
+// It shells out to the standard benchmark runner (`go test -bench`),
+// parses the textual output, and stamps the snapshot with the git commit
+// and Go version that produced it.
+//
+// Usage:
+//
+//	go run ./cmd/bench                            # full suite, next BENCH_<n>.json
+//	go run ./cmd/bench -bench 'Kernel' -benchtime 100x
+//	go run ./cmd/bench -pkg ./... -benchtime 1x -o smoke/bench.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// BenchResult is one benchmark's measurement.
+type BenchResult struct {
+	// Name is the full benchmark name including the -cpu suffix
+	// (e.g. "BenchmarkGEMM/64x64-8").
+	Name string `json:"name"`
+	// Iterations is b.N for the recorded run.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is nanoseconds per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are present when -benchmem reported them.
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Snapshot is the BENCH_<n>.json document.
+type Snapshot struct {
+	// GitSHA identifies the commit the benchmarks ran against ("unknown"
+	// outside a git checkout or with a dirty index the SHA still refers to
+	// HEAD).
+	GitSHA string `json:"git_sha"`
+	// GoVersion and GOOS/GOARCH pin the toolchain and platform.
+	GoVersion string `json:"go_version"`
+	Platform  string `json:"platform"`
+	// Time is the RFC3339 timestamp of the run.
+	Time string `json:"time"`
+	// Benchtime and Packages record how the suite was invoked.
+	Benchtime string        `json:"benchtime"`
+	Packages  []string      `json:"packages"`
+	Results   []BenchResult `json:"results"`
+}
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	benchPat := flag.String("bench", ".", "benchmark name pattern (go test -bench)")
+	benchtime := flag.String("benchtime", "1x", "per-benchmark budget (go test -benchtime)")
+	pkgs := flag.String("pkg", ".", "comma-separated package patterns to benchmark")
+	outPath := flag.String("o", "", "output file (default: next BENCH_<n>.json in -dir)")
+	dir := flag.String("dir", ".", "directory for auto-numbered snapshots")
+	flag.Parse()
+
+	pkgList := strings.Split(*pkgs, ",")
+	args := append([]string{"test", "-run", "^$", "-bench", *benchPat,
+		"-benchtime", *benchtime, "-benchmem"}, pkgList...)
+	fmt.Fprintln(os.Stderr, "bench: go", strings.Join(args, " "))
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	// The raw runner output streams to stderr-adjacent visibility via the
+	// parsed summary below; on failure show what we got before bailing.
+	if err != nil {
+		os.Stderr.Write(out)
+		fmt.Fprintln(os.Stderr, "bench: go test -bench failed:", err)
+		return 1
+	}
+
+	results := parseBench(string(out))
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "bench: no benchmark results in the output")
+		os.Stderr.Write(out)
+		return 1
+	}
+
+	snap := Snapshot{
+		GitSHA:    gitSHA(),
+		GoVersion: runtime.Version(),
+		Platform:  runtime.GOOS + "/" + runtime.GOARCH,
+		Time:      time.Now().UTC().Format(time.RFC3339),
+		Benchtime: *benchtime,
+		Packages:  pkgList,
+		Results:   results,
+	}
+
+	path := *outPath
+	if path == "" {
+		path, err = nextSnapshotPath(*dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			return 1
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		return 1
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		f.Close()
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		return 1
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		return 1
+	}
+	fmt.Printf("bench: %d benchmarks @ %s written to %s\n", len(results), snap.GitSHA, path)
+	return 0
+}
+
+// benchLine matches the standard benchmark result format:
+//
+//	BenchmarkName-8   \t  123  \t  456.7 ns/op  \t  89 B/op  \t  1 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+// parseBench extracts results from `go test -bench` textual output. Lines
+// that are not benchmark results (pkg headers, PASS/ok, sub-benchmark
+// logs) are skipped.
+func parseBench(out string) []BenchResult {
+	var results []BenchResult
+	for _, line := range strings.Split(out, "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := BenchResult{Name: m[1], Iterations: iters}
+		// The tail is value/unit pairs: "456.7 ns/op 89 B/op 1 allocs/op".
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				r.BytesPerOp = v
+			case "allocs/op":
+				r.AllocsPerOp = v
+			}
+		}
+		results = append(results, r)
+	}
+	return results
+}
+
+// gitSHA returns the current HEAD commit, or "unknown" outside a checkout.
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// nextSnapshotPath finds the first unused BENCH_<n>.json index in dir,
+// continuing the sequence after the highest existing snapshot.
+func nextSnapshotPath(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	max := 0
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "BENCH_") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "BENCH_"), ".json"))
+		if err == nil && n > max {
+			max = n
+		}
+	}
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", max+1)), nil
+}

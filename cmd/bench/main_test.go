@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseBench(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+pkg: oselmrl
+BenchmarkOSELMSeqTrainKernel/n=32-8         	    1000	    123456 ns/op	     512 B/op	       4 allocs/op
+BenchmarkGEMM-8   	 200	 78910.5 ns/op	       0 B/op	       0 allocs/op
+BenchmarkNoMem-8 	 300	 42 ns/op
+some log line from a benchmark body
+PASS
+ok  	oselmrl	1.234s
+`
+	rs := parseBench(out)
+	if len(rs) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(rs), rs)
+	}
+	r := rs[0]
+	if r.Name != "BenchmarkOSELMSeqTrainKernel/n=32-8" || r.Iterations != 1000 ||
+		r.NsPerOp != 123456 || r.BytesPerOp != 512 || r.AllocsPerOp != 4 {
+		t.Fatalf("result 0 = %+v", r)
+	}
+	if rs[1].NsPerOp != 78910.5 || rs[1].AllocsPerOp != 0 {
+		t.Fatalf("result 1 = %+v", rs[1])
+	}
+	if rs[2].NsPerOp != 42 || rs[2].BytesPerOp != 0 {
+		t.Fatalf("result 2 = %+v", rs[2])
+	}
+}
+
+func TestParseBenchEmpty(t *testing.T) {
+	if rs := parseBench("PASS\nok\n"); len(rs) != 0 {
+		t.Fatalf("parsed %d results from benchless output", len(rs))
+	}
+}
+
+func TestNextSnapshotPath(t *testing.T) {
+	dir := t.TempDir()
+	p, err := nextSnapshotPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(p) != "BENCH_1.json" {
+		t.Fatalf("empty dir → %s, want BENCH_1.json", p)
+	}
+	for _, name := range []string{"BENCH_1.json", "BENCH_7.json", "BENCH_x.json", "BENCH_3.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err = nextSnapshotPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(p) != "BENCH_8.json" {
+		t.Fatalf("continuation → %s, want BENCH_8.json", p)
+	}
+}

@@ -9,6 +9,11 @@
 //
 //	go run ./cmd/diagnose -design OS-ELM -episodes 600
 //	go run ./cmd/diagnose -design OS-ELM-L2-Lipschitz -episodes 600
+//	go run ./cmd/diagnose -design OS-ELM -watchdog
+//
+// With -watchdog the divergence watchdog evaluates the same run and the
+// tripped rules are printed at the end — the online counterpart to the
+// sampled table.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 
 	"oselmrl/internal/env"
 	"oselmrl/internal/harness"
+	"oselmrl/internal/obs"
 	"oselmrl/internal/qnet"
 	"oselmrl/internal/replay"
 	"oselmrl/internal/rng"
@@ -29,6 +35,7 @@ func main() {
 	episodes := flag.Int("episodes", 600, "episodes to run")
 	every := flag.Int("every", 50, "episodes between diagnostic samples")
 	seed := flag.Uint64("seed", 1, "seed")
+	watchdog := flag.Bool("watchdog", false, "run the divergence watchdog alongside the sampled diagnostics")
 	flag.Parse()
 
 	d, err := harness.ParseDesign(*designName)
@@ -44,6 +51,14 @@ func main() {
 		fail(fmt.Errorf("diagnose supports the ELM/OS-ELM designs, not %s", d))
 	}
 	task := env.NewShaped(env.NewCartPoleV0(*seed+100), env.RewardSurvival)
+
+	var wd *obs.Watchdog
+	if *watchdog {
+		wd = obs.NewWatchdog(obs.DefaultWatchdogConfig())
+		emitter := obs.NewEmitter(nil)
+		emitter.SetWatchdog(wd)
+		agent.SetObserver(emitter)
+	}
 
 	// Probe states: a fixed random sample of plausible CartPole states.
 	probeRNG := rng.New(42)
@@ -99,6 +114,18 @@ func main() {
 		final.LipschitzBound, final.AlphaSigmaMax)
 	fmt.Println("Relation 13 check: σmax(β) <= ||β||_F:",
 		final.BetaSigmaMax <= final.BetaFrobenius+1e-9)
+
+	if wd != nil {
+		if wd.Diverged() {
+			fmt.Printf("\nWatchdog: DIVERGED (%d alerts)\n", wd.AlertCount())
+			for _, al := range wd.Alerts() {
+				fmt.Printf("  %s on %s: value %g vs threshold %g (%d violations)\n",
+					al.Rule, al.Metric, al.Value, al.Threshold, al.Count)
+			}
+		} else {
+			fmt.Println("\nWatchdog: healthy (zero alerts)")
+		}
+	}
 }
 
 func fail(err error) {

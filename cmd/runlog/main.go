@@ -13,12 +13,19 @@
 // phase's measured host wall time with its modelled device time (the same
 // format the training tools' -trace flag writes live).
 //
+// The learn subcommand renders an offline learning-dynamics and
+// numeric-health report: |TD-error| and target statistics, σmax(β) drift
+// across θ2 syncs, any numeric_alert events a live -watchdog recorded,
+// and an offline re-evaluation of the watchdog thresholds for logs
+// recorded without one (see README.md §Numeric health).
+//
 // Usage:
 //
 //	go run ./cmd/train -events run.jsonl ... && go run ./cmd/runlog run.jsonl
 //	go run ./cmd/runlog < run.jsonl
 //	go run ./cmd/runlog -f run.jsonl                 # follow a run in progress
 //	go run ./cmd/runlog export -o run-trace.json run.jsonl
+//	go run ./cmd/runlog learn run.jsonl              # TD/σmax(β)/alert report
 package main
 
 import (
@@ -50,6 +57,13 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "export" {
 		if err := runExport(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "runlog export:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "learn" {
+		if err := runLearn(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "runlog learn:", err)
 			os.Exit(1)
 		}
 		return

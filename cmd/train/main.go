@@ -22,7 +22,11 @@
 // Chrome/Perfetto trace-event timeline of the run's phases (measured wall
 // time paired with modelled device time) at exit; -pprof serves
 // net/http/pprof for live profiling of long runs ("serve" mounts it on
-// the -serve address instead).
+// the -serve address instead); -watchdog arms the divergence watchdog
+// (numeric_alert events, a diverged verdict in run_end and the manifest,
+// and /health on the -serve mux — see README.md §Numeric health);
+// -linger keeps the -serve endpoints up after the run so CI or a
+// scheduler can take one final scrape of the end-state metrics.
 package main
 
 import (
@@ -30,6 +34,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"oselmrl/internal/cli"
 	"oselmrl/internal/env"
@@ -86,10 +91,13 @@ func run() int {
 	serveAddr := flag.String("serve", "", "serve live telemetry (/metrics, /healthz, /snapshot, /trace) on this address (e.g. :9090; :0 picks a port)")
 	tracePath := flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON timeline to this file at exit")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060), or 'serve' to mount it on the -serve address")
+	watchdog := flag.Bool("watchdog", false, "enable the divergence watchdog (numeric_alert events, diverged verdict, /health on -serve)")
+	linger := flag.Duration("linger", 0, "keep the -serve telemetry server up this long after the run so a final scrape sees the end state (e.g. 10s)")
 	flag.Parse()
 
 	tel, err := cli.StartTelemetry(cli.TelemetryFlags{
 		Events: *eventsPath, Serve: *serveAddr, Trace: *tracePath, Pprof: *pprofAddr,
+		Watchdog: *watchdog,
 	})
 	if err != nil {
 		return fail(err)
@@ -181,6 +189,8 @@ func run() int {
 		if res.Err != nil {
 			manifest.Outcome.Err = res.Err.Error()
 		}
+		manifest.Outcome.Diverged = res.Diverged
+		manifest.Outcome.NumericAlerts = res.Alerts
 		manifest.Metrics = res.Metrics
 		if err := cli.WriteManifestFile(*manifestPath, manifest); err != nil {
 			return fail(err)
@@ -212,6 +222,19 @@ func run() int {
 			return fail(err)
 		}
 		fmt.Println("Agent snapshot written to", *savePath)
+	}
+
+	if *linger > 0 && *serveAddr != "" {
+		fmt.Fprintf(os.Stderr, "train: telemetry server lingering %s for a final scrape\n", *linger)
+		time.Sleep(*linger)
+	}
+
+	if res.Diverged {
+		fmt.Fprintf(os.Stderr, "train: watchdog: run DIVERGED (%d alerts)\n", len(res.Alerts))
+		for _, al := range res.Alerts {
+			fmt.Fprintf(os.Stderr, "train: watchdog:   %s on %s: value %g vs threshold %g (%d violations)\n",
+				al.Rule, al.Metric, al.Value, al.Threshold, al.Count)
+		}
 	}
 
 	// The machine-readable verdict goes to stderr so sweeps can branch on

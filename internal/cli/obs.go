@@ -58,6 +58,10 @@ type TelemetryFlags struct {
 	// value "serve" to mount /debug/pprof on the -serve mux instead of a
 	// dedicated listener.
 	Pprof string
+	// Watchdog enables the divergence watchdog (-watchdog): threshold
+	// rules over the metric stream, numeric_alert events, the diverged
+	// verdict on run_end/manifest, and /health on the -serve mux.
+	Watchdog bool
 }
 
 // Telemetry is the live observability runtime a training CLI holds for
@@ -72,6 +76,7 @@ type Telemetry struct {
 	Emitter *obs.Emitter
 
 	tracer    *obs.Tracer
+	watchdog  *obs.Watchdog
 	tracePath string
 	server    *export.Server
 }
@@ -86,8 +91,9 @@ func StartTelemetry(f TelemetryFlags) (*Telemetry, error) {
 	if err != nil {
 		return nil, err
 	}
-	if emitter == nil && (f.Serve != "" || f.Trace != "") {
-		// Metrics/trace-only observability: a registry with no event sink.
+	if emitter == nil && (f.Serve != "" || f.Trace != "" || f.Watchdog) {
+		// Metrics/trace/watchdog-only observability: a registry with no
+		// event sink.
 		emitter = obs.NewEmitter(nil)
 	}
 	t.Emitter = emitter
@@ -96,6 +102,10 @@ func StartTelemetry(f TelemetryFlags) (*Telemetry, error) {
 		t.tracer = obs.NewTracer()
 		t.tracePath = f.Trace
 		emitter.SetTracer(t.tracer)
+	}
+	if f.Watchdog {
+		t.watchdog = obs.NewWatchdog(obs.DefaultWatchdogConfig())
+		emitter.SetWatchdog(t.watchdog)
 	}
 
 	pprofOnServe := f.Pprof == "serve"
@@ -111,6 +121,9 @@ func StartTelemetry(f TelemetryFlags) (*Telemetry, error) {
 		var opts []export.Option
 		if t.tracer != nil {
 			opts = append(opts, export.WithTracer(t.tracer))
+		}
+		if t.watchdog != nil {
+			opts = append(opts, export.WithWatchdog(t.watchdog))
 		}
 		if pprofOnServe {
 			opts = append(opts, export.WithPprof())
@@ -136,6 +149,9 @@ func (t *Telemetry) Addr() string {
 
 // Tracer exposes the span tracer (nil without -trace).
 func (t *Telemetry) Tracer() *obs.Tracer { return t.tracer }
+
+// Watchdog exposes the divergence watchdog (nil without -watchdog).
+func (t *Telemetry) Watchdog() *obs.Watchdog { return t.watchdog }
 
 // Close flushes the event log and writes the trace file. The telemetry
 // server keeps serving until process exit so a final scrape after the

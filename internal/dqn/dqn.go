@@ -269,10 +269,22 @@ func (a *Agent) trainStep() {
 			timing.CortexA9NumPy.Seconds(timing.PhaseTrainDQN, 1, a.dims.TrainFlops(k))
 		sp.EndModelled(model)
 		d := time.Since(t0)
+		// Batch-mean TD error and Q value: one histogram observation per
+		// gradient step keeps registry lock traffic off the per-sample path
+		// while still catching a blowup within one step.
+		var tdSum, qSum float64
+		for i := range pred {
+			tdSum += math.Abs(targets[i] - pred[i])
+			qSum += pred[i]
+		}
+		tdMean := tdSum / float64(k)
 		a.obs.AddWall(string(timing.PhaseTrainDQN), d)
 		a.obs.Inc(obs.MetricTrainSteps, 1)
+		a.obs.Observe(obs.HistLearnTDErrorAbs, tdMean)
+		a.obs.Observe(obs.HistLearnQValue, qSum/float64(k))
 		a.obs.Emit(obs.EventTrainStep, 0, map[string]float64{
 			"batch":    float64(k),
+			"td_error": tdMean,
 			"dur_ms":   float64(d) / float64(time.Millisecond),
 			"model_ms": model * 1e3,
 		})
@@ -285,8 +297,12 @@ func (a *Agent) EndEpisode(episode int) {
 	if episode%a.cfg.UpdateEvery == 0 {
 		a.theta2.CopyWeightsFrom(a.theta1)
 		if a.obs != nil {
+			norm := a.theta1.WeightNorm()
 			a.obs.Inc(obs.MetricTheta2Syncs, 1)
-			a.obs.Emit(obs.EventTheta2Sync, episode, nil)
+			a.obs.SetGauge(obs.GaugeLearnBetaNorm, norm)
+			a.obs.Emit(obs.EventTheta2Sync, episode, map[string]float64{
+				"weight_norm": norm,
+			})
 		}
 	}
 }

@@ -1,0 +1,155 @@
+package fixed
+
+import "math"
+
+// Acct accumulates numeric-health counters for the Q20 datapath: how often
+// an operation hit the saturation rails, how many NaN inputs were coerced
+// to zero at conversion, and how much value was lost to rounding. A nil
+// *Acct is the fully disabled state — every method delegates straight to
+// the plain package function at the cost of one pointer comparison, no
+// allocation and no atomics — the same contract as obs.Tracer, pinned by
+// an AllocsPerRun test.
+//
+// An Acct is NOT synchronized: each consumer (one fpga.Core phase, one
+// conversion site) owns its own accumulator, and aggregation happens at
+// snapshot time. That keeps the per-op cost to a handful of integer adds.
+type Acct struct {
+	// Ops counts accounted operations (Add/Sub/Mul/Div/FromFloat calls).
+	Ops int64
+	// Saturations counts results clamped at the int32 rails, including
+	// division by zero (which saturates by convention).
+	Saturations int64
+	// NaNs counts NaN inputs coerced to zero by FromFloat.
+	NaNs int64
+	// QuantErrAbs accumulates the absolute rounding error, in real value
+	// units, of every non-saturating Mul, Div and FromFloat. Saturating
+	// results are excluded — their (unbounded) clamping loss is tracked by
+	// Saturations instead, keeping this series a pure quantization signal.
+	QuantErrAbs float64
+}
+
+// Enabled reports whether the accumulator records anything.
+func (a *Acct) Enabled() bool { return a != nil }
+
+// Reset zeroes the accumulator. Nil-safe.
+func (a *Acct) Reset() {
+	if a == nil {
+		return
+	}
+	*a = Acct{}
+}
+
+// AddTo merges this accumulator into dst (nil-safe on both sides) — how
+// per-phase accumulators roll up into run totals.
+func (a *Acct) AddTo(dst *Acct) {
+	if a == nil || dst == nil {
+		return
+	}
+	dst.Ops += a.Ops
+	dst.Saturations += a.Saturations
+	dst.NaNs += a.NaNs
+	dst.QuantErrAbs += a.QuantErrAbs
+}
+
+// SaturationRate returns Saturations/Ops (0 for an empty or nil Acct).
+func (a *Acct) SaturationRate() float64 {
+	if a == nil || a.Ops == 0 {
+		return 0
+	}
+	return float64(a.Saturations) / float64(a.Ops)
+}
+
+// saturated reports whether v clamps at the rails.
+func saturated(v int64) bool { return v > int64(Max) || v < int64(Min) }
+
+// Add is fixed.Add with accounting.
+func (a *Acct) Add(x, y Fixed) Fixed {
+	if a == nil {
+		return Add(x, y)
+	}
+	a.Ops++
+	v := int64(x) + int64(y)
+	if saturated(v) {
+		a.Saturations++
+	}
+	return sat64(v)
+}
+
+// Sub is fixed.Sub with accounting.
+func (a *Acct) Sub(x, y Fixed) Fixed {
+	if a == nil {
+		return Sub(x, y)
+	}
+	a.Ops++
+	v := int64(x) - int64(y)
+	if saturated(v) {
+		a.Saturations++
+	}
+	return sat64(v)
+}
+
+// Mul is fixed.Mul with accounting: saturation at the rails plus the
+// rounding error of the 2⁻⁴⁰ → 2⁻²⁰ shift.
+func (a *Acct) Mul(x, y Fixed) Fixed {
+	if a == nil {
+		return Mul(x, y)
+	}
+	a.Ops++
+	prod := int64(x) * int64(y)
+	rounded := (prod + 1<<(FracBits-1)) >> FracBits
+	if saturated(rounded) {
+		a.Saturations++
+		return sat64(rounded)
+	}
+	// Rounding error in real units: the exact product lives on the 2⁻⁴⁰
+	// grid, the result on the 2⁻²⁰ grid.
+	a.QuantErrAbs += math.Abs(float64(prod-(rounded<<FracBits))) / float64(int64(One)*int64(One))
+	return Fixed(rounded)
+}
+
+// Div is fixed.Div with accounting: division by zero counts as a
+// saturation (it pins the matching rail), and the rounding error of the
+// quotient is accumulated otherwise.
+func (a *Acct) Div(x, y Fixed) Fixed {
+	if a == nil {
+		return Div(x, y)
+	}
+	a.Ops++
+	if y == 0 {
+		a.Saturations++
+		return Div(x, y)
+	}
+	res := Div(x, y)
+	if res == Fixed(Max) || res == Fixed(Min) {
+		// Distinguishing an exact rail hit from a clamped quotient is not
+		// worth a second wide division; rail results are rare and counting
+		// them as saturations is the conservative reading.
+		a.Saturations++
+		return res
+	}
+	// Exact quotient x/y in real units vs the rounded Q20 result.
+	exact := float64(x) / float64(y)
+	a.QuantErrAbs += math.Abs(exact - float64(res)/float64(One))
+	return res
+}
+
+// FromFloat is fixed.FromFloat with accounting: NaN coercion, saturation
+// at the rails (±Inf always saturates) and conversion rounding error.
+func (a *Acct) FromFloat(f float64) Fixed {
+	if a == nil {
+		return FromFloat(f)
+	}
+	a.Ops++
+	if math.IsNaN(f) {
+		a.NaNs++
+		return 0
+	}
+	scaled := f * float64(One)
+	if scaled >= float64(Max) || scaled <= float64(Min) {
+		a.Saturations++
+		return FromFloat(f)
+	}
+	res := FromFloat(f)
+	a.QuantErrAbs += math.Abs(f - res.Float())
+	return res
+}

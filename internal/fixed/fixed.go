@@ -37,6 +37,12 @@ type Fixed int32
 
 // FromFloat converts a float64 to fixed point with round-to-nearest
 // (ties toward +inf, matching Mul and Div) and saturation.
+//
+// Non-finite inputs follow the hardware AXI-boundary convention: NaN maps
+// to 0 (a NaN observation must not poison the BRAM state; the conversion
+// hardware has no NaN encoding to pass through), +Inf saturates to Max and
+// -Inf to Min. This holds with accounting off as well — Acct.FromFloat
+// additionally *counts* the coercion, it does not change it.
 func FromFloat(f float64) Fixed {
 	if math.IsNaN(f) {
 		return 0
@@ -156,10 +162,15 @@ type QFormat struct {
 	Frac uint
 }
 
-// Quantize rounds f to the format's grid with saturation at the 32-bit rails.
+// Quantize rounds f to the format's grid with saturation at the 32-bit
+// rails. Non-finite inputs follow FromFloat's boundary convention: NaN
+// quantizes to 0, ±Inf to the matching rail.
 func (q QFormat) Quantize(f float64) float64 {
 	if q.Frac < 1 || q.Frac > 30 {
 		panic(fmt.Sprintf("fixed: invalid fraction width %d", q.Frac))
+	}
+	if math.IsNaN(f) {
+		return 0
 	}
 	one := float64(int64(1) << q.Frac)
 	scaled := math.Floor(f*one + 0.5)

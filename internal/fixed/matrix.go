@@ -2,6 +2,7 @@ package fixed
 
 import (
 	"fmt"
+	"math"
 
 	"oselmrl/internal/mat"
 )
@@ -23,11 +24,18 @@ func NewMatrix(rows, cols int) *Matrix {
 
 // FromDense quantizes a float64 matrix into fixed point.
 func FromDense(m *mat.Dense) *Matrix {
+	return FromDenseAcct(m, nil)
+}
+
+// FromDenseAcct is FromDense with per-element conversion accounting (NaN
+// coercions, rail saturations, accumulated quantization error). acct may
+// be nil, which is exactly FromDense.
+func FromDenseAcct(m *mat.Dense, acct *Acct) *Matrix {
 	r, c := m.Dims()
 	out := NewMatrix(r, c)
 	src := m.RawData()
 	for i := range src {
-		out.data[i] = FromFloat(src[i])
+		out.data[i] = acct.FromFloat(src[i])
 	}
 	return out
 }
@@ -64,6 +72,32 @@ func (m *Matrix) Clone() *Matrix {
 // Words returns the number of 32-bit storage words the matrix occupies —
 // the quantity the BRAM resource estimator charges for.
 func (m *Matrix) Words() int { return len(m.data) }
+
+// FrobeniusNorm returns the Frobenius norm of the matrix in real value
+// units — the β-magnitude drift signal the learning-dynamics telemetry
+// tracks for the quantized network.
+func (m *Matrix) FrobeniusNorm() float64 {
+	var sum float64
+	for _, v := range m.data {
+		f := v.Float()
+		sum += f * f
+	}
+	return math.Sqrt(sum)
+}
+
+// Trace returns the sum of diagonal elements in real value units. Panics
+// on a non-square matrix. For the core's P BRAM this is the gain-trace
+// numerator: trace(P)/Ñ tracks how much adaptation capacity remains.
+func (m *Matrix) Trace() float64 {
+	if m.rows != m.cols {
+		panic(fmt.Sprintf("fixed: Trace of non-square %dx%d matrix", m.rows, m.cols))
+	}
+	var sum float64
+	for i := 0; i < m.rows; i++ {
+		sum += m.At(i, i).Float()
+	}
+	return sum
+}
 
 // MaxAbsError returns the largest |fixed - float| discrepancy against a
 // reference float64 matrix, used by the precision tests.

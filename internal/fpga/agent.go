@@ -51,6 +51,12 @@ type Agent struct {
 
 	// obs receives structured events and metrics; nil disables.
 	obs *obs.Emitter
+
+	// flushed* snapshot the core's accounting accumulators at the last
+	// metrics flush, so counter increments are deltas even though the
+	// accumulators themselves are cumulative (and survive across episodes
+	// but not across Reinitialize — the flush snapshots reset with them).
+	flushedPredict, flushedSeq, flushedConv fixed.Acct
 }
 
 // NewAgent builds the FPGA agent. The variant is forced to
@@ -112,6 +118,10 @@ func (a *Agent) initModels() {
 	base := elm.NewModel(a.dims.In, a.cfg.Hidden, 1, a.cfg.Activation, a.rng, opts)
 	a.cpu = oselm.New(base, a.cfg.Delta)
 	a.core = NewCore(a.dims.In, a.cfg.Hidden, 1, a.cycles)
+	if a.obs != nil {
+		a.core.EnableAccounting()
+	}
+	a.flushedPredict, a.flushedSeq, a.flushedConv = fixed.Acct{}, fixed.Acct{}, fixed.Acct{}
 	a.beta2 = fixed.NewMatrix(a.cfg.Hidden, 1)
 	a.buffer.Clear()
 	a.globalStep = 0
@@ -126,8 +136,16 @@ func (a *Agent) Name() string { return "FPGA" }
 // datapath cycles; init_train is in flops (see timing.ModelMixed).
 func (a *Agent) Counters() *timing.Counters { return a.counters }
 
-// SetObserver installs the observability emitter (harness.Observable).
-func (a *Agent) SetObserver(e *obs.Emitter) { a.obs = e }
+// SetObserver installs the observability emitter (harness.Observable) and,
+// when non-nil, turns on the core's per-module numeric-health accounting —
+// accounting is free to the modelled hardware (no cycle or result change)
+// but costs a few integer adds per op, so it follows the emitter's state.
+func (a *Agent) SetObserver(e *obs.Emitter) {
+	a.obs = e
+	if e != nil && !a.core.AccountingEnabled() {
+		a.core.EnableAccounting()
+	}
+}
 
 // Core exposes the datapath for white-box tests.
 func (a *Agent) Core() *Core { return a.core }
@@ -312,6 +330,10 @@ func (a *Agent) initTrain() error {
 			"dur_ms":      float64(d) / float64(time.Millisecond),
 			"model_ms":    model * 1e3,
 		})
+		// Publish the parameter-load conversion accounting immediately —
+		// a NaN or rail hit at the DMA boundary should alert now, not at
+		// the end of the episode.
+		a.flushAccounting()
 	}
 	return nil
 }
@@ -337,6 +359,13 @@ func (a *Agent) sequentialUpdate(t replay.Transition) {
 		clipped = true
 	}
 	in := a.encode(t.State, t.Action)
+	// pred is θ1's Q(s,a) before the update, read through PredictSilent so
+	// the observability probe is invisible to the cycle model and the
+	// accounting (the real core would not execute it).
+	pred := math.NaN()
+	if a.obs != nil {
+		pred = a.core.PredictSilent(in)[0].Float()
+	}
 	a.core.SeqTrain(in, []fixed.Fixed{fixed.FromFloat(y)})
 	cycles := float64(a.core.Cycles() - start)
 	a.counters.Add(timing.PhaseSeqTrain, cycles)
@@ -344,29 +373,68 @@ func (a *Agent) sequentialUpdate(t replay.Transition) {
 		model := timing.FPGA125.Seconds(timing.PhaseSeqTrain, 1, cycles)
 		sp.EndModelled(model)
 		d := time.Since(t0)
+		tdErr := y - pred
 		a.obs.AddWall(string(timing.PhaseSeqTrain), d)
 		a.obs.Inc(obs.MetricSeqUpdates, 1)
 		a.obs.Inc(obs.MetricTargets, 1)
 		if clipped {
 			a.obs.Inc(obs.MetricTargetsClipped, 1)
 		}
+		a.obs.Observe(obs.HistLearnTDErrorAbs, math.Abs(tdErr))
+		a.obs.Observe(obs.HistLearnQValue, pred)
 		a.obs.Emit(obs.EventSeqUpdate, 0, map[string]float64{
 			"step":     float64(a.globalStep),
 			"target":   y,
+			"td_error": tdErr,
 			"dur_ms":   float64(d) / float64(time.Millisecond),
 			"model_ms": model * 1e3,
 		})
 	}
 }
 
-// EndEpisode syncs θ2's β every UpdateEvery episodes (Algorithm 1 line 23-24).
+// flushAccounting publishes the core's numeric-health accounting to the
+// metrics registry: counter increments are deltas since the last flush
+// (the accumulators are cumulative), gauges carry the cumulative
+// quantization error and run-so-far saturation rates the watchdog
+// evaluates.
+func (a *Agent) flushAccounting() {
+	if a.obs == nil || !a.core.AccountingEnabled() {
+		return
+	}
+	pa, sa, ca := *a.core.PredictAcct(), *a.core.SeqTrainAcct(), *a.core.ConvAcct()
+	a.obs.Inc(obs.MetricFixedOpsPredict, pa.Ops-a.flushedPredict.Ops)
+	a.obs.Inc(obs.MetricFixedSaturationsPredict, pa.Saturations-a.flushedPredict.Saturations)
+	a.obs.Inc(obs.MetricFixedOpsSeqTrain, sa.Ops-a.flushedSeq.Ops)
+	a.obs.Inc(obs.MetricFixedSaturationsSeqTrain, sa.Saturations-a.flushedSeq.Saturations)
+	a.obs.Inc(obs.MetricFixedOpsLoad, ca.Ops-a.flushedConv.Ops)
+	a.obs.Inc(obs.MetricFixedSaturationsLoad, ca.Saturations-a.flushedConv.Saturations)
+	if d := (pa.NaNs - a.flushedPredict.NaNs) + (sa.NaNs - a.flushedSeq.NaNs) +
+		(ca.NaNs - a.flushedConv.NaNs); d > 0 {
+		a.obs.Inc(obs.MetricFixedNaNs, d)
+	}
+	a.obs.SetGauge(obs.GaugeFixedQuantErrPredict, pa.QuantErrAbs)
+	a.obs.SetGauge(obs.GaugeFixedQuantErrSeqTrain, sa.QuantErrAbs)
+	a.obs.SetGauge(obs.GaugeFixedQuantErrLoad, ca.QuantErrAbs)
+	a.obs.SetGauge(obs.GaugeFixedSaturationRatePredict, pa.SaturationRate())
+	a.obs.SetGauge(obs.GaugeFixedSaturationRateSeqTrain, sa.SaturationRate())
+	a.flushedPredict, a.flushedSeq, a.flushedConv = pa, sa, ca
+}
+
+// EndEpisode syncs θ2's β every UpdateEvery episodes (Algorithm 1 line 23-24)
+// and flushes the episode's numeric-health accounting.
 func (a *Agent) EndEpisode(episode int) {
 	a.exploreProb *= a.cfg.ExploreDecay
+	a.flushAccounting()
 	if episode%a.cfg.UpdateEvery == 0 && a.loaded {
 		a.beta2 = a.core.Beta.Clone()
 		if a.obs != nil {
+			betaNorm := a.core.Beta.FrobeniusNorm()
 			a.obs.Inc(obs.MetricTheta2Syncs, 1)
-			a.obs.Emit(obs.EventTheta2Sync, episode, nil)
+			a.obs.SetGauge(obs.GaugeLearnBetaNorm, betaNorm)
+			a.obs.SetGauge(obs.GaugeLearnPTrace, a.core.P.Trace()/float64(a.cfg.Hidden))
+			a.obs.Emit(obs.EventTheta2Sync, episode, map[string]float64{
+				"beta_norm": betaNorm,
+			})
 		}
 	}
 }

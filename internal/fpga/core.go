@@ -65,6 +65,16 @@ type Core struct {
 	// scratch vectors model the working BRAMs (h and P·h).
 	h  []fixed.Fixed
 	ph []fixed.Fixed
+
+	// Numeric-health accounting. acct is the active accumulator during a
+	// module invocation (acctPredict inside Predict, acctSeq inside
+	// SeqTrain); acctConv accounts the LoadFloat quantization boundary.
+	// All nil when accounting is off — the datapath then pays one nil
+	// check per op and nothing else (pinned by the disabled-path tests).
+	acct        *fixed.Acct
+	acctPredict *fixed.Acct
+	acctSeq     *fixed.Acct
+	acctConv    *fixed.Acct
 }
 
 // NewCore allocates a core for the given dimensions.
@@ -87,15 +97,43 @@ func NewCore(inputSize, hiddenSize, outputSize int, model CycleModel) *Core {
 }
 
 // LoadFloat quantizes float64 parameters into the core's BRAMs — the DMA
-// transfer after the CPU-side initial training.
+// transfer after the CPU-side initial training. With accounting enabled
+// the conversion accumulator records NaN coercions, rail saturations and
+// quantization error of every loaded parameter.
 func (c *Core) LoadFloat(alpha *mat.Dense, bias []float64, beta, p *mat.Dense) {
-	c.Alpha = fixed.FromDense(alpha)
+	c.Alpha = fixed.FromDenseAcct(alpha, c.acctConv)
 	for i, b := range bias {
-		c.Bias[i] = fixed.FromFloat(b)
+		c.Bias[i] = c.acctConv.FromFloat(b)
 	}
-	c.Beta = fixed.FromDense(beta)
-	c.P = fixed.FromDense(p)
+	c.Beta = fixed.FromDenseAcct(beta, c.acctConv)
+	c.P = fixed.FromDenseAcct(p, c.acctConv)
 }
+
+// EnableAccounting attaches per-module numeric-health accumulators:
+// predict-module ops, seq_train-module ops and LoadFloat conversions are
+// accounted separately so saturation and quantization-error metrics stay
+// attributable to their phase. Accounting changes no datapath result and
+// no cycle count (asserted by the golden-vector test); it only observes.
+func (c *Core) EnableAccounting() {
+	c.acctPredict = &fixed.Acct{}
+	c.acctSeq = &fixed.Acct{}
+	c.acctConv = &fixed.Acct{}
+}
+
+// AccountingEnabled reports whether EnableAccounting has been called.
+func (c *Core) AccountingEnabled() bool { return c.acctPredict != nil }
+
+// PredictAcct returns the predict-module accumulator (nil when accounting
+// is off).
+func (c *Core) PredictAcct() *fixed.Acct { return c.acctPredict }
+
+// SeqTrainAcct returns the seq_train-module accumulator (nil when
+// accounting is off).
+func (c *Core) SeqTrainAcct() *fixed.Acct { return c.acctSeq }
+
+// ConvAcct returns the LoadFloat conversion accumulator (nil when
+// accounting is off).
+func (c *Core) ConvAcct() *fixed.Acct { return c.acctConv }
 
 // Cycles returns the datapath cycles consumed so far.
 func (c *Core) Cycles() int64 { return c.cycles }
@@ -114,22 +152,22 @@ func (c *Core) OutputSize() int { return c.outputSize }
 
 func (c *Core) add(a, b fixed.Fixed) fixed.Fixed {
 	c.cycles += c.model.Add
-	return fixed.Add(a, b)
+	return c.acct.Add(a, b)
 }
 
 func (c *Core) sub(a, b fixed.Fixed) fixed.Fixed {
 	c.cycles += c.model.Add
-	return fixed.Sub(a, b)
+	return c.acct.Sub(a, b)
 }
 
 func (c *Core) mul(a, b fixed.Fixed) fixed.Fixed {
 	c.cycles += c.model.Mul
-	return fixed.Mul(a, b)
+	return c.acct.Mul(a, b)
 }
 
 func (c *Core) div(a, b fixed.Fixed) fixed.Fixed {
 	c.cycles += c.model.Div
-	return fixed.Div(a, b)
+	return c.acct.Div(a, b)
 }
 
 // hidden computes h = ReLU(x·α + b) into c.h.
@@ -148,6 +186,7 @@ func (c *Core) hidden(x []fixed.Fixed) {
 
 // Predict runs the predict module: y = h·β for one input vector.
 func (c *Core) Predict(x []fixed.Fixed) []fixed.Fixed {
+	c.acct = c.acctPredict
 	c.cycles += c.model.InvokeOverhead
 	c.hidden(x)
 	out := make([]fixed.Fixed, c.outputSize)
@@ -187,6 +226,26 @@ func (c *Core) PredictUsing(beta *fixed.Matrix, x []fixed.Fixed) []fixed.Fixed {
 	return out
 }
 
+// PredictSilent evaluates the predict datapath WITHOUT modelling it: the
+// cycle counter and the accounting accumulators are restored afterwards,
+// so the call is invisible to the timing model and the numeric-health
+// metrics. It exists for observability probes (e.g. measuring the
+// post-update TD error) that the real hardware would not execute — an
+// instrumentation-only read must not perturb the modelled device.
+func (c *Core) PredictSilent(x []fixed.Fixed) []fixed.Fixed {
+	savedCycles := c.cycles
+	var savedAcct fixed.Acct
+	if c.acctPredict != nil {
+		savedAcct = *c.acctPredict
+	}
+	out := c.Predict(x)
+	c.cycles = savedCycles
+	if c.acctPredict != nil {
+		*c.acctPredict = savedAcct
+	}
+	return out
+}
+
 // SeqTrain runs the seq_train module: one rank-1 OS-ELM update (Eq. 5 with
 // k = 1, the scalar-reciprocal form) entirely in Q20 fixed point:
 //
@@ -200,6 +259,7 @@ func (c *Core) SeqTrain(x []fixed.Fixed, t []fixed.Fixed) {
 	if len(t) != c.outputSize {
 		panic(fmt.Sprintf("fpga: target length %d, core expects %d", len(t), c.outputSize))
 	}
+	c.acct = c.acctSeq
 	c.cycles += c.model.InvokeOverhead
 	c.hidden(x)
 	n := c.hiddenSize

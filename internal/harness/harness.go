@@ -133,6 +133,12 @@ type Result struct {
 	// Metrics is the final observability snapshot (counters, gauges,
 	// histograms, per-phase wall-clock); nil unless Config.Obs was set.
 	Metrics *obs.Snapshot
+	// Diverged reports whether the divergence watchdog tripped during the
+	// trial; always false without a watchdog attached to Config.Obs.
+	Diverged bool
+	// Alerts holds the watchdog's tripped rules in first-trip order (nil
+	// without a watchdog or for a healthy run).
+	Alerts []obs.Alert
 }
 
 // movingWindow tracks a fixed-size trailing mean.
@@ -262,6 +268,13 @@ func Run(agent Agent, e env.Env, cfg Config) *Result {
 			"total_steps": float64(res.TotalSteps),
 			"resets":      float64(res.Resets),
 			"wall_ms":     float64(res.WallTime) / float64(time.Millisecond),
+		}
+		// Divergence verdict from the watchdog, when one is attached.
+		if w := eobs.Watchdog(); w != nil {
+			res.Diverged = w.Diverged()
+			res.Alerts = w.Alerts()
+			data["diverged"] = boolTo01(res.Diverged)
+			data["numeric_alerts"] = float64(w.AlertCount())
 		}
 		// Per-phase real wall-clock alongside the modelled device seconds.
 		for phase, sec := range snap.WallSeconds {

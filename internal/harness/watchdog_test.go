@@ -1,0 +1,124 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+
+	"oselmrl/internal/env"
+	"oselmrl/internal/obs"
+	"oselmrl/internal/qnet"
+)
+
+// runWatched trains variant on CartPole with a default-threshold watchdog
+// attached and returns the result plus the decoded event stream.
+func runWatched(t *testing.T, variant qnet.Variant, hidden, episodes int) (*Result, []obs.Event) {
+	t.Helper()
+	var buf bytes.Buffer
+	emitter := obs.NewEmitter(obs.NewJSONLSink(&buf))
+	emitter.SetWatchdog(obs.NewWatchdog(obs.DefaultWatchdogConfig()))
+
+	cfg := qnet.DefaultConfig(variant, 4, 2, hidden)
+	cfg.Seed = 1
+	agent := qnet.MustNew(cfg)
+	task := env.NewShaped(env.NewCartPoleV0(101), env.RewardSurvival)
+	rc := Defaults()
+	rc.MaxEpisodes = episodes
+	rc.Obs = emitter
+
+	res := Run(agent, task, rc)
+	if err := emitter.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := obs.ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, events
+}
+
+// TestWatchdogFlagsDestabilizedRun is the divergence half of the
+// watchdog's acceptance criterion: plain OS-ELM (no L2, no spectral
+// normalization — the §3.3 failure mode the paper's design (5) exists to
+// prevent) must trip the watchdog, yielding numeric_alert events, a
+// diverged Result and a diverged run_end verdict.
+func TestWatchdogFlagsDestabilizedRun(t *testing.T) {
+	res, events := runWatched(t, qnet.VariantOSELM, 32, 100)
+
+	if !res.Diverged {
+		t.Fatal("destabilized OS-ELM run did not trip the watchdog")
+	}
+	if len(res.Alerts) == 0 {
+		t.Fatal("Result.Diverged set but Alerts empty")
+	}
+	for _, al := range res.Alerts {
+		if al.Rule == "" || al.Metric == "" || al.Count < 1 {
+			t.Fatalf("malformed alert: %+v", al)
+		}
+	}
+
+	var alerts []obs.Event
+	var end *obs.Event
+	for i, ev := range events {
+		switch ev.Type {
+		case obs.EventNumericAlert:
+			alerts = append(alerts, events[i])
+		case obs.EventRunEnd:
+			end = &events[i]
+		}
+	}
+	if len(alerts) != len(res.Alerts) {
+		t.Fatalf("numeric_alert events = %d, Result.Alerts = %d", len(alerts), len(res.Alerts))
+	}
+	for i, ev := range alerts {
+		if ev.Labels["rule"] != res.Alerts[i].Rule || ev.Labels["metric"] != res.Alerts[i].Metric {
+			t.Fatalf("alert event %d labels %v disagree with %+v", i, ev.Labels, res.Alerts[i])
+		}
+		if ev.Data["value"] != res.Alerts[i].Value || ev.Data["threshold"] != res.Alerts[i].Threshold {
+			t.Fatalf("alert event %d payload %v disagrees with %+v", i, ev.Data, res.Alerts[i])
+		}
+	}
+	if end == nil {
+		t.Fatal("no run_end event")
+	}
+	if end.Data["diverged"] != 1 || int(end.Data["numeric_alerts"]) != len(res.Alerts) {
+		t.Fatalf("run_end verdict %v does not record the divergence", end.Data)
+	}
+
+	// The watchdog_* series must mirror the verdict.
+	if res.Metrics.Counter(obs.MetricWatchdogAlerts) != int64(len(res.Alerts)) {
+		t.Fatalf("watchdog_alerts counter = %d, want %d",
+			res.Metrics.Counter(obs.MetricWatchdogAlerts), len(res.Alerts))
+	}
+	if g, ok := res.Metrics.Gauges[obs.GaugeWatchdogDiverged]; !ok || g != 1 {
+		t.Fatalf("watchdog_diverged gauge = %v,%v, want 1", g, ok)
+	}
+}
+
+// TestWatchdogSilentOnHealthyRun is the zero-false-positive half: the
+// paper's stabilized design (5) under the default thresholds must finish
+// with zero alerts, an un-diverged verdict, and no numeric_alert events.
+func TestWatchdogSilentOnHealthyRun(t *testing.T) {
+	res, events := runWatched(t, qnet.VariantOSELML2Lipschitz, 16, 120)
+
+	if res.Diverged || len(res.Alerts) != 0 {
+		t.Fatalf("healthy run flagged: diverged=%v alerts=%+v", res.Diverged, res.Alerts)
+	}
+	for _, ev := range events {
+		if ev.Type == obs.EventNumericAlert {
+			t.Fatalf("healthy run emitted numeric_alert: %+v", ev)
+		}
+		if ev.Type == obs.EventRunEnd {
+			if ev.Data["diverged"] != 0 || ev.Data["numeric_alerts"] != 0 {
+				t.Fatalf("healthy run_end verdict: %v", ev.Data)
+			}
+		}
+	}
+	if res.Metrics.Counter(obs.MetricWatchdogAlerts) != 0 {
+		t.Fatal("watchdog_alerts counter nonzero on a healthy run")
+	}
+	// diverged=0 (not absent) distinguishes "watched and clean" from
+	// "never watched".
+	if g, ok := res.Metrics.Gauges[obs.GaugeWatchdogDiverged]; !ok || g != 0 {
+		t.Fatalf("watchdog_diverged gauge = %v,%v, want recorded 0", g, ok)
+	}
+}

@@ -65,6 +65,22 @@ func (m *MLP) OutputSize() int { return m.sizes[len(m.sizes)-1] }
 // Sizes returns a copy of the layer sizes.
 func (m *MLP) Sizes() []int { return append([]int(nil), m.sizes...) }
 
+// WeightNorm returns the Frobenius norm over all weight matrices and bias
+// vectors — the DQN baseline's counterpart to ‖β‖F in the learning-
+// dynamics telemetry (learn_beta_norm).
+func (m *MLP) WeightNorm() float64 {
+	var sum float64
+	for _, l := range m.Layers {
+		for _, w := range l.W.RawData() {
+			sum += w * w
+		}
+		for _, b := range l.B {
+			sum += b * b
+		}
+	}
+	return math.Sqrt(sum)
+}
+
 // Cache holds the per-layer pre- and post-activation values of a forward
 // pass, needed by backpropagation.
 type Cache struct {

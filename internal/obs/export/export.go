@@ -111,9 +111,10 @@ func WriteMetricsText(w io.Writer, s obs.Snapshot) error {
 type Option func(*handlerOpts)
 
 type handlerOpts struct {
-	tracer *obs.Tracer
-	pprof  bool
-	routes []route
+	tracer   *obs.Tracer
+	watchdog *obs.Watchdog
+	pprof    bool
+	routes   []route
 }
 
 type route struct {
@@ -140,11 +141,32 @@ func WithPprof() Option {
 	return func(o *handlerOpts) { o.pprof = true }
 }
 
+// WithWatchdog additionally serves the divergence watchdog's state at
+// /health: a JSON verdict with the tripped rules, HTTP 200 while healthy
+// and 503 once any rule has tripped — so a scrape-side alert needs no
+// body parsing.
+func WithWatchdog(w *obs.Watchdog) Option {
+	return func(o *handlerOpts) { o.watchdog = w }
+}
+
+// HealthReport is the /health response body.
+type HealthReport struct {
+	// Healthy is false once any watchdog rule has tripped.
+	Healthy bool `json:"healthy"`
+	// AlertCount is the number of distinct (rule, metric) trips.
+	AlertCount int `json:"alert_count"`
+	// Alerts lists the trips in first-trip order (empty while healthy).
+	Alerts []obs.Alert `json:"alerts,omitempty"`
+	// Config echoes the active thresholds.
+	Config obs.WatchdogConfig `json:"config"`
+}
+
 // NewHandler builds the telemetry mux over reg:
 //
 //	/metrics   Prometheus text exposition of the registry snapshot
 //	/healthz   liveness probe ("ok")
 //	/snapshot  the full obs.Snapshot as JSON
+//	/health    divergence-watchdog verdict, 503 on divergence (WithWatchdog)
 //	/trace     Chrome trace-event JSON of recorded spans (WithTracer)
 //	/debug/pprof/...  live profiling (WithPprof)
 //
@@ -179,6 +201,24 @@ func NewHandler(reg *obs.Registry, opts ...Option) http.Handler {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	if o.watchdog != nil {
+		wd := o.watchdog
+		mux.HandleFunc("/health", func(w http.ResponseWriter, r *http.Request) {
+			report := HealthReport{
+				Healthy:    !wd.Diverged(),
+				AlertCount: wd.AlertCount(),
+				Alerts:     wd.Alerts(),
+				Config:     wd.Config(),
+			}
+			w.Header().Set("Content-Type", "application/json")
+			if !report.Healthy {
+				w.WriteHeader(http.StatusServiceUnavailable)
+			}
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(report)
+		})
+	}
 	if o.tracer != nil {
 		tracer := o.tracer
 		mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,64 @@
+package export
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"oselmrl/internal/obs"
+)
+
+// TestHealthEndpoint covers the /health contract: 200 + healthy JSON while
+// the watchdog is clean, 503 + the tripped rules once it diverges, and 404
+// without WithWatchdog.
+func TestHealthEndpoint(t *testing.T) {
+	wd := obs.NewWatchdog(obs.DefaultWatchdogConfig())
+	srv, err := Serve("127.0.0.1:0", obs.NewRegistry(), WithWatchdog(wd))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	body, resp := get(t, base+"/health")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy /health status = %d", resp.StatusCode)
+	}
+	var report HealthReport
+	if err := json.Unmarshal([]byte(body), &report); err != nil {
+		t.Fatalf("/health not JSON: %v", err)
+	}
+	if !report.Healthy || report.AlertCount != 0 || len(report.Alerts) != 0 {
+		t.Fatalf("healthy report = %+v", report)
+	}
+	if report.Config.MaxBetaSigmaMax != obs.DefaultWatchdogConfig().MaxBetaSigmaMax {
+		t.Fatalf("report config = %+v", report.Config)
+	}
+
+	// Trip a rule; the endpoint must flip to 503 and list it.
+	wd.CheckValue(obs.GaugeBetaSigmaMax, 1e6)
+	body, resp = get(t, base+"/health")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("diverged /health status = %d, want 503", resp.StatusCode)
+	}
+	if err := json.Unmarshal([]byte(body), &report); err != nil {
+		t.Fatalf("/health not JSON after trip: %v", err)
+	}
+	if report.Healthy || report.AlertCount != 1 || len(report.Alerts) != 1 {
+		t.Fatalf("diverged report = %+v", report)
+	}
+	if report.Alerts[0].Rule != obs.RuleSigmaRunaway {
+		t.Fatalf("alert rule = %q", report.Alerts[0].Rule)
+	}
+}
+
+func TestHealthWithoutWatchdog(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", obs.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if _, resp := get(t, "http://"+srv.Addr()+"/health"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/health must 404 without WithWatchdog, got %d", resp.StatusCode)
+	}
+}

@@ -64,6 +64,13 @@ type Outcome struct {
 	WallSeconds float64 `json:"wall_seconds,omitempty"`
 	// Err records an agent failure, if any.
 	Err string `json:"err,omitempty"`
+	// Diverged reports whether the divergence watchdog tripped. Absent
+	// (false) for a healthy run and for runs without a watchdog — the
+	// watchdog_diverged gauge in Metrics distinguishes the two.
+	Diverged bool `json:"diverged,omitempty"`
+	// NumericAlerts holds the watchdog's tripped rules in first-trip
+	// order; omitted when the run was healthy or unwatched.
+	NumericAlerts []Alert `json:"numeric_alerts,omitempty"`
 }
 
 // HostInfo identifies the runtime environment of a run.

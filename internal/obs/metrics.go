@@ -32,6 +32,65 @@ const (
 	GaugeBetaSigmaMax = "beta_sigma_max"
 )
 
+// Numeric-health metrics: the fixed_* family reports the Q20 datapath's
+// arithmetic accounting (internal/fixed.Acct, attributed per FPGA module),
+// the learn_* family reports learning dynamics from the agents, and the
+// watchdog_* family reports divergence-watchdog state. Naming is
+// documented in README.md §Numeric health and results/README.md.
+const (
+	// MetricFixedNaNs counts NaN inputs coerced to 0 at the float→Q20
+	// boundary (any NaN here is a numeric emergency — the Q20 datapath
+	// itself cannot produce one).
+	MetricFixedNaNs = "fixed_nan_inputs"
+	// MetricFixedSaturationsPredict / SeqTrain count arithmetic results
+	// clamped at the int32 rails inside the predict / seq_train modules.
+	MetricFixedSaturationsPredict  = "fixed_saturations_predict"
+	MetricFixedSaturationsSeqTrain = "fixed_saturations_seq_train"
+	// MetricFixedOpsPredict / SeqTrain count accounted fixed-point ops per
+	// module — the denominator of the saturation rate.
+	MetricFixedOpsPredict  = "fixed_ops_predict"
+	MetricFixedOpsSeqTrain = "fixed_ops_seq_train"
+	// GaugeFixedQuantErrPredict / SeqTrain accumulate the absolute rounding
+	// error (real value units) of the module's non-saturating ops.
+	GaugeFixedQuantErrPredict  = "fixed_quant_error_abs_predict"
+	GaugeFixedQuantErrSeqTrain = "fixed_quant_error_abs_seq_train"
+	// GaugeFixedSaturationRatePredict / SeqTrain are saturations/ops over
+	// the whole run so far — the series the watchdog's saturation rule
+	// watches.
+	GaugeFixedSaturationRatePredict  = "fixed_saturation_rate_predict"
+	GaugeFixedSaturationRateSeqTrain = "fixed_saturation_rate_seq_train"
+	// MetricFixedSaturationsLoad / MetricFixedOpsLoad /
+	// GaugeFixedQuantErrLoad account the float→Q20 parameter load (the
+	// LoadFloat DMA boundary after CPU-side initial training).
+	MetricFixedSaturationsLoad = "fixed_saturations_load"
+	MetricFixedOpsLoad         = "fixed_ops_load"
+	GaugeFixedQuantErrLoad     = "fixed_quant_error_abs_load"
+
+	// HistLearnTDErrorAbs is the per-update |target − Q(s,a)| (qnet/fpga:
+	// per sequential update; dqn: batch mean per gradient step).
+	HistLearnTDErrorAbs = "learn_td_error_abs"
+	// HistLearnQValue is the predicted Q(s,a) at update time — outliers
+	// here are what §3.1's clipping defends against.
+	HistLearnQValue = "learn_q_value"
+	// GaugeLearnBetaNorm is ‖β‖_F (or the DQN θ1 weight norm), the
+	// quantity L2 regularization suppresses.
+	GaugeLearnBetaNorm = "learn_beta_norm"
+	// GaugeLearnPTrace is trace(P)/Ñ, the effective learning rate.
+	GaugeLearnPTrace = "learn_p_trace"
+	// GaugeLearnPCond is max|diag(P)| / min|diag(P)| — a cheap condition
+	// proxy for P. It explodes when the initial Gram matrix was
+	// near-singular, and reports MaxFloat64 when a diagonal entry goes
+	// non-positive (P losing positive-definiteness).
+	GaugeLearnPCond = "learn_p_cond_proxy"
+	// GaugeLearnClipRate is targets_clipped/targets so far.
+	GaugeLearnClipRate = "learn_clip_rate"
+
+	// MetricWatchdogAlerts counts divergence-watchdog rule trips.
+	MetricWatchdogAlerts = "watchdog_alerts"
+	// GaugeWatchdogDiverged is 1 once any watchdog rule has tripped.
+	GaugeWatchdogDiverged = "watchdog_diverged"
+)
+
 // DefaultBuckets are the upper bounds used when Observe creates a
 // histogram implicitly: a coarse log scale covering the magnitudes the
 // stack records (σmax estimates, wall milliseconds, target values).

@@ -46,8 +46,14 @@ const (
 	EventTrainStep = "train_step"
 	// EventRunEnd closes a run with the solve/impossible verdict: solved
 	// (0/1), episodes, total_steps, resets, wall_ms, plus one
-	// wall_ms_<phase> entry per timed phase.
+	// wall_ms_<phase> entry per timed phase, and — with a watchdog
+	// attached — diverged (0/1) and numeric_alerts.
 	EventRunEnd = "run_end"
+	// EventNumericAlert is the first trip of one divergence-watchdog rule:
+	// data carries value and threshold; labels carry rule and metric (see
+	// the Rule* constants in watchdog.go). Emitted at most once per
+	// (rule, metric) pair, so a runaway series cannot flood the log.
+	EventNumericAlert = "numeric_alert"
 )
 
 // Event is one line of a JSONL run log.
@@ -129,11 +135,12 @@ func (s *jsonlSink) Close() error {
 // value of *Emitter (nil) is the disabled state: every method no-ops, so
 // callers thread a possibly-nil *Emitter without guards.
 type Emitter struct {
-	sink   Sink
-	reg    *Registry
-	tracer *Tracer
-	labels map[string]string
-	start  time.Time
+	sink     Sink
+	reg      *Registry
+	tracer   *Tracer
+	watchdog *Watchdog
+	labels   map[string]string
+	start    time.Time
 }
 
 // NewEmitter builds an emitter over sink with a fresh metrics registry.
@@ -156,7 +163,48 @@ func (e *Emitter) With(labels map[string]string) *Emitter {
 	for k, v := range labels {
 		merged[k] = v
 	}
-	return &Emitter{sink: e.sink, reg: e.reg, tracer: e.tracer, labels: merged, start: e.start}
+	return &Emitter{sink: e.sink, reg: e.reg, tracer: e.tracer, watchdog: e.watchdog, labels: merged, start: e.start}
+}
+
+// SetWatchdog attaches a divergence watchdog: every Inc/SetGauge/Observe
+// is additionally evaluated against its threshold rules, and a first trip
+// emits one numeric_alert event plus the watchdog_* metrics. Attaching
+// records watchdog_diverged = 0 immediately, so a metrics snapshot
+// distinguishes "watched and clean" (0) from "never watched" (absent).
+// Derived emitters created later via With share it. A nil watchdog (the
+// default) disables the checks at the cost of one pointer comparison.
+// Nil-safe.
+func (e *Emitter) SetWatchdog(w *Watchdog) {
+	if e == nil {
+		return
+	}
+	e.watchdog = w
+	if w != nil {
+		e.reg.SetGauge(GaugeWatchdogDiverged, 0)
+	}
+}
+
+// Watchdog returns the attached watchdog (nil when absent or for a nil
+// emitter).
+func (e *Emitter) Watchdog() *Watchdog {
+	if e == nil {
+		return nil
+	}
+	return e.watchdog
+}
+
+// alert records a first-trip watchdog alert: the watchdog_* metrics plus
+// one numeric_alert event carrying the rule and offending metric as
+// labels. Alerts are rare by construction (one event per (rule, metric)
+// pair), so the label-merging allocation here is off the hot path.
+func (e *Emitter) alert(al Alert) {
+	e.reg.Inc(MetricWatchdogAlerts, 1)
+	e.reg.SetGauge(GaugeWatchdogDiverged, 1)
+	e.With(map[string]string{"rule": al.Rule, "metric": al.Metric}).
+		Emit(EventNumericAlert, 0, map[string]float64{
+			"value":     al.Value,
+			"threshold": al.Threshold,
+		})
 }
 
 // SetTracer attaches a span tracer; derived emitters created later via
@@ -219,6 +267,11 @@ func (e *Emitter) Inc(name string, delta int64) {
 		return
 	}
 	e.reg.Inc(name, delta)
+	if e.watchdog != nil {
+		if al, first := e.watchdog.CheckCounter(name, delta); first {
+			e.alert(al)
+		}
+	}
 }
 
 // SetGauge records the latest value of the named gauge.
@@ -227,6 +280,11 @@ func (e *Emitter) SetGauge(name string, v float64) {
 		return
 	}
 	e.reg.SetGauge(name, v)
+	if e.watchdog != nil {
+		if al, first := e.watchdog.CheckValue(name, v); first {
+			e.alert(al)
+		}
+	}
 }
 
 // Observe adds v to the named histogram (created with DefaultBuckets on
@@ -236,6 +294,11 @@ func (e *Emitter) Observe(name string, v float64) {
 		return
 	}
 	e.reg.Observe(name, v)
+	if e.watchdog != nil {
+		if al, first := e.watchdog.CheckValue(name, v); first {
+			e.alert(al)
+		}
+	}
 }
 
 // AddWall accumulates real wall-clock time for a phase (the companion to

@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+)
+
+// Watchdog rule names, stamped on alerts and the numeric_alert event's
+// "rule" label.
+const (
+	// RuleNonFinite trips on any NaN or ±Inf observed value, or on a
+	// nonzero fixed_nan_inputs counter (a NaN crossed the Q20 boundary).
+	RuleNonFinite = "non_finite"
+	// RuleSaturationRate trips when a fixed_saturation_rate_* gauge
+	// exceeds the configured rate — the Q20 datapath is clamping at the
+	// rails often enough to distort learning.
+	RuleSaturationRate = "saturation_rate"
+	// RuleSigmaRunaway trips when σmax(β) exceeds its bound — the §3.3
+	// Lipschitz runaway the spectral/L2 regularization exists to prevent.
+	RuleSigmaRunaway = "beta_sigma_runaway"
+	// RuleTDBlowup trips when a per-update TD error exceeds its bound —
+	// targets are clipped to [-1,1], so a huge TD error means the network's
+	// own predictions have blown up.
+	RuleTDBlowup = "td_error_blowup"
+)
+
+// WatchdogConfig holds the divergence thresholds. The defaults are an
+// order of magnitude beyond anything a healthy run produces (healthy
+// σmax(β) stays O(1), TD errors stay O(1) against [-1,1]-clipped targets,
+// and the Q20 datapath essentially never saturates on CartPole), so a
+// healthy run must report zero alerts.
+type WatchdogConfig struct {
+	// MaxBetaSigmaMax bounds the beta_sigma_max gauge (0 disables).
+	MaxBetaSigmaMax float64
+	// MaxTDErrorAbs bounds learn_td_error_abs observations (0 disables).
+	MaxTDErrorAbs float64
+	// MaxSaturationRate bounds the fixed_saturation_rate_* gauges
+	// (0 disables).
+	MaxSaturationRate float64
+	// DisableNonFinite turns off the NaN/Inf rule (on by default).
+	DisableNonFinite bool
+}
+
+// DefaultWatchdogConfig returns the standard thresholds.
+func DefaultWatchdogConfig() WatchdogConfig {
+	return WatchdogConfig{
+		MaxBetaSigmaMax:   100,
+		MaxTDErrorAbs:     25,
+		MaxSaturationRate: 0.01,
+	}
+}
+
+// Alert records the first trip of one (rule, metric) pair. Count tracks
+// how many subsequent observations also violated it — the event stream
+// carries only the first trip, so a single alert cannot flood a JSONL log
+// from a hot loop.
+type Alert struct {
+	// Rule is one of the Rule* constants.
+	Rule string `json:"rule"`
+	// Metric is the registry series that tripped the rule.
+	Metric string `json:"metric"`
+	// Value is the first offending value; Threshold the configured bound.
+	Value     float64 `json:"value"`
+	Threshold float64 `json:"threshold"`
+	// Count is the total number of violating observations so far.
+	Count int64 `json:"count"`
+}
+
+// Watchdog evaluates threshold rules over the metric stream an Emitter
+// records. Like *Tracer, a nil *Watchdog is the disabled state: every
+// method no-ops, so the hot path pays one pointer comparison when the
+// watchdog is off. A non-nil Watchdog is safe for concurrent use (the
+// parallel trial runner shares one across trials).
+type Watchdog struct {
+	cfg WatchdogConfig
+
+	mu     sync.Mutex
+	alerts []Alert
+	index  map[string]int // rule+metric → alerts index
+}
+
+// NewWatchdog returns an enabled watchdog with the given thresholds.
+func NewWatchdog(cfg WatchdogConfig) *Watchdog {
+	return &Watchdog{cfg: cfg, index: make(map[string]int)}
+}
+
+// Config returns the thresholds (zero value for a nil watchdog).
+func (w *Watchdog) Config() WatchdogConfig {
+	if w == nil {
+		return WatchdogConfig{}
+	}
+	return w.cfg
+}
+
+// Diverged reports whether any rule has tripped. Nil-safe.
+func (w *Watchdog) Diverged() bool {
+	if w == nil {
+		return false
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.alerts) > 0
+}
+
+// Alerts returns a copy of the tripped rules in first-trip order.
+// Nil-safe.
+func (w *Watchdog) Alerts() []Alert {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]Alert(nil), w.alerts...)
+}
+
+// AlertCount returns the number of distinct (rule, metric) trips.
+// Nil-safe.
+func (w *Watchdog) AlertCount() int {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.alerts)
+}
+
+// record registers a violation and reports whether it is the first trip of
+// its (rule, metric) pair.
+func (w *Watchdog) record(rule, metric string, v, threshold float64) (Alert, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	key := rule + "\x00" + metric
+	if i, ok := w.index[key]; ok {
+		w.alerts[i].Count++
+		return Alert{}, false
+	}
+	al := Alert{Rule: rule, Metric: metric, Value: v, Threshold: threshold, Count: 1}
+	w.index[key] = len(w.alerts)
+	w.alerts = append(w.alerts, al)
+	return al, true
+}
+
+// CheckValue evaluates the rules against one observed gauge/histogram
+// value and returns the alert if this observation is a new first trip.
+// Nil-safe; the disabled path is a single pointer comparison.
+func (w *Watchdog) CheckValue(name string, v float64) (Alert, bool) {
+	if w == nil {
+		return Alert{}, false
+	}
+	if !w.cfg.DisableNonFinite && (math.IsNaN(v) || math.IsInf(v, 0)) {
+		return w.record(RuleNonFinite, name, v, 0)
+	}
+	switch {
+	case name == GaugeBetaSigmaMax:
+		if w.cfg.MaxBetaSigmaMax > 0 && v > w.cfg.MaxBetaSigmaMax {
+			return w.record(RuleSigmaRunaway, name, v, w.cfg.MaxBetaSigmaMax)
+		}
+	case name == HistLearnTDErrorAbs:
+		if w.cfg.MaxTDErrorAbs > 0 && v > w.cfg.MaxTDErrorAbs {
+			return w.record(RuleTDBlowup, name, v, w.cfg.MaxTDErrorAbs)
+		}
+	case strings.HasPrefix(name, "fixed_saturation_rate"):
+		if w.cfg.MaxSaturationRate > 0 && v > w.cfg.MaxSaturationRate {
+			return w.record(RuleSaturationRate, name, v, w.cfg.MaxSaturationRate)
+		}
+	}
+	return Alert{}, false
+}
+
+// CheckCounter evaluates counter increments: a positive fixed_nan_inputs
+// delta means a NaN crossed the fixed-point boundary. Nil-safe.
+func (w *Watchdog) CheckCounter(name string, delta int64) (Alert, bool) {
+	if w == nil {
+		return Alert{}, false
+	}
+	if !w.cfg.DisableNonFinite && name == MetricFixedNaNs && delta > 0 {
+		return w.record(RuleNonFinite, name, float64(delta), 0)
+	}
+	return Alert{}, false
+}

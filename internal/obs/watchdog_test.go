@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestWatchdogRules(t *testing.T) {
+	cfg := DefaultWatchdogConfig()
+	w := NewWatchdog(cfg)
+
+	// Healthy values trip nothing.
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{
+		{GaugeBetaSigmaMax, 3.2},
+		{HistLearnTDErrorAbs, 1.5},
+		{GaugeFixedSaturationRateSeqTrain, 0.0001},
+		{"unrelated_gauge", 1e12},
+	} {
+		if _, first := w.CheckValue(c.name, c.v); first {
+			t.Errorf("healthy value %s=%g tripped the watchdog", c.name, c.v)
+		}
+	}
+	if w.Diverged() || w.AlertCount() != 0 {
+		t.Fatalf("healthy series must not diverge: %+v", w.Alerts())
+	}
+
+	// σmax(β) runaway.
+	al, first := w.CheckValue(GaugeBetaSigmaMax, 250)
+	if !first || al.Rule != RuleSigmaRunaway || al.Threshold != cfg.MaxBetaSigmaMax {
+		t.Fatalf("sigma runaway not tripped: %+v first=%v", al, first)
+	}
+	// Second violation of the same pair is counted, not re-alerted.
+	if _, again := w.CheckValue(GaugeBetaSigmaMax, 300); again {
+		t.Fatal("duplicate (rule, metric) trip must not re-alert")
+	}
+	if got := w.Alerts()[0].Count; got != 2 {
+		t.Fatalf("violation count = %d, want 2", got)
+	}
+
+	// TD-error blowup, saturation rate, NaN gauge, NaN counter.
+	if _, first := w.CheckValue(HistLearnTDErrorAbs, 1e4); !first {
+		t.Fatal("td blowup not tripped")
+	}
+	if _, first := w.CheckValue(GaugeFixedSaturationRatePredict, 0.5); !first {
+		t.Fatal("saturation rate not tripped")
+	}
+	if al, first := w.CheckValue(GaugeLearnBetaNorm, math.NaN()); !first || al.Rule != RuleNonFinite {
+		t.Fatal("NaN value not tripped as non_finite")
+	}
+	if al, first := w.CheckCounter(MetricFixedNaNs, 3); !first || al.Rule != RuleNonFinite {
+		t.Fatal("fixed_nan_inputs counter not tripped")
+	}
+	if _, first := w.CheckCounter(MetricSeqUpdates, 100); first {
+		t.Fatal("unrelated counter must not trip")
+	}
+
+	if !w.Diverged() || w.AlertCount() != 5 {
+		t.Fatalf("expected 5 distinct alerts, got %d (%+v)", w.AlertCount(), w.Alerts())
+	}
+}
+
+func TestWatchdogZeroThresholdsDisableRules(t *testing.T) {
+	w := NewWatchdog(WatchdogConfig{DisableNonFinite: true})
+	w.CheckValue(GaugeBetaSigmaMax, 1e9)
+	w.CheckValue(HistLearnTDErrorAbs, 1e9)
+	w.CheckValue(GaugeFixedSaturationRateSeqTrain, 1)
+	w.CheckValue("x", math.Inf(1))
+	w.CheckCounter(MetricFixedNaNs, 5)
+	if w.Diverged() {
+		t.Fatalf("all-disabled watchdog tripped: %+v", w.Alerts())
+	}
+}
+
+func TestNilWatchdogIsInert(t *testing.T) {
+	var w *Watchdog
+	if _, first := w.CheckValue(GaugeBetaSigmaMax, 1e9); first {
+		t.Fatal("nil watchdog tripped")
+	}
+	if _, first := w.CheckCounter(MetricFixedNaNs, 1); first {
+		t.Fatal("nil watchdog counter tripped")
+	}
+	if w.Diverged() || w.Alerts() != nil || w.AlertCount() != 0 {
+		t.Fatal("nil watchdog must report clean state")
+	}
+	if w.Config() != (WatchdogConfig{}) {
+		t.Fatal("nil watchdog config must be zero")
+	}
+}
+
+// TestEmitterWatchdogWiring covers the full pipeline: a metric write that
+// violates a rule must produce exactly one numeric_alert event, the
+// watchdog_alerts counter and the watchdog_diverged gauge — and derived
+// emitters must share the watchdog like they share the registry.
+func TestEmitterWatchdogWiring(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewEmitter(NewJSONLSink(&buf))
+	w := NewWatchdog(DefaultWatchdogConfig())
+	e.SetWatchdog(w)
+	if e.Watchdog() != w {
+		t.Fatal("SetWatchdog not stored")
+	}
+
+	child := e.With(map[string]string{"trial": "1"})
+	child.SetGauge(GaugeBetaSigmaMax, 5) // healthy
+	child.SetGauge(GaugeBetaSigmaMax, 500)
+	child.SetGauge(GaugeBetaSigmaMax, 900) // duplicate: counted, no event
+	child.Observe(HistLearnTDErrorAbs, 1e3)
+	child.Inc(MetricFixedNaNs, 1)
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if !w.Diverged() || w.AlertCount() != 3 {
+		t.Fatalf("want 3 alerts, got %d: %+v", w.AlertCount(), w.Alerts())
+	}
+	snap := e.Metrics().Snapshot()
+	if got := snap.Counter(MetricWatchdogAlerts); got != 3 {
+		t.Fatalf("watchdog_alerts = %d, want 3", got)
+	}
+	if snap.Gauges[GaugeWatchdogDiverged] != 1 {
+		t.Fatal("watchdog_diverged gauge not set")
+	}
+
+	events, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var alerts []Event
+	for _, ev := range events {
+		if ev.Type == EventNumericAlert {
+			alerts = append(alerts, ev)
+		}
+	}
+	if len(alerts) != 3 {
+		t.Fatalf("want 3 numeric_alert events, got %d", len(alerts))
+	}
+	first := alerts[0]
+	if first.Labels["rule"] != RuleSigmaRunaway || first.Labels["metric"] != GaugeBetaSigmaMax {
+		t.Fatalf("alert labels wrong: %+v", first.Labels)
+	}
+	if first.Labels["trial"] != "1" {
+		t.Fatal("alert must keep the emitter's own labels")
+	}
+	if first.Data["value"] != 500 || first.Data["threshold"] != DefaultWatchdogConfig().MaxBetaSigmaMax {
+		t.Fatalf("alert payload wrong: %+v", first.Data)
+	}
+
+	// Nil emitter stays inert.
+	var nilE *Emitter
+	nilE.SetWatchdog(w)
+	if nilE.Watchdog() != nil {
+		t.Fatal("nil emitter must report nil watchdog")
+	}
+}
+
+// TestDisabledWatchdogPathDoesNotAllocate pins the disabled-path cost:
+// metric writes through an emitter with no watchdog attached allocate
+// nothing extra, and a nil watchdog's checks are a pointer comparison.
+func TestDisabledWatchdogPathDoesNotAllocate(t *testing.T) {
+	var w *Watchdog
+	if allocs := testing.AllocsPerRun(1000, func() {
+		w.CheckValue(GaugeBetaSigmaMax, 1e9)
+		w.CheckCounter(MetricFixedNaNs, 1)
+	}); allocs != 0 {
+		t.Fatalf("nil watchdog check allocates %g per run", allocs)
+	}
+}
+
+func BenchmarkWatchdogDisabledCheck(b *testing.B) {
+	var w *Watchdog
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.CheckValue(GaugeBetaSigmaMax, 3)
+	}
+}
+
+func BenchmarkWatchdogEnabledHealthyCheck(b *testing.B) {
+	w := NewWatchdog(DefaultWatchdogConfig())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.CheckValue(GaugeBetaSigmaMax, 3)
+	}
+}

@@ -1,0 +1,53 @@
+package oselm
+
+import (
+	"math"
+	"testing"
+
+	"oselmrl/internal/activation"
+	"oselmrl/internal/elm"
+	"oselmrl/internal/mat"
+	"oselmrl/internal/rng"
+)
+
+func TestHealthSnapshot(t *testing.T) {
+	r := rng.New(7)
+	base := elm.NewModel(3, 8, 1, activation.ReLU, r, elm.Options{InitLow: -1, InitHigh: 1})
+	m := New(base, 0.5)
+
+	// Before initial training: β is zero, P absent.
+	h := m.Health()
+	if h.BetaNorm != 0 || h.PTrace != 0 || h.PCondProxy != 0 {
+		t.Fatalf("untrained health = %+v, want zeros", h)
+	}
+
+	x := mat.Zeros(12, 3)
+	y := mat.Zeros(12, 1)
+	r.FillUniform(x.RawData(), -1, 1)
+	r.FillUniform(y.RawData(), -1, 1)
+	if err := m.InitTrain(x, y); err != nil {
+		t.Fatal(err)
+	}
+	h = m.Health()
+	if h.BetaNorm <= 0 || math.IsNaN(h.BetaNorm) {
+		t.Errorf("BetaNorm = %g", h.BetaNorm)
+	}
+	if got, want := h.BetaNorm, m.Beta.FrobeniusNorm(); got != want {
+		t.Errorf("BetaNorm = %g, want %g", got, want)
+	}
+	if h.BetaSigmaMax <= 0 || h.BetaSigmaMax > h.BetaNorm+1e-9 {
+		t.Errorf("BetaSigmaMax = %g outside (0, ‖β‖F]", h.BetaSigmaMax)
+	}
+	if got, want := h.PTrace, m.GainTrace(); got != want {
+		t.Errorf("PTrace = %g, want %g", got, want)
+	}
+	if h.PCondProxy < 1 || math.IsInf(h.PCondProxy, 0) {
+		t.Errorf("PCondProxy = %g, want finite >= 1", h.PCondProxy)
+	}
+
+	// A non-positive diagonal entry must report the finite sentinel, not Inf.
+	m.P.Set(0, 0, -1e-6)
+	if got := m.Health().PCondProxy; got != math.MaxFloat64 {
+		t.Errorf("degenerate PCondProxy = %g, want MaxFloat64", got)
+	}
+}

@@ -210,6 +210,9 @@ type Agent struct {
 	buffer      *replay.InitStore
 	globalStep  int
 	exploreProb float64
+	// targetsN / targetsClipped track the Bellman-target clip rate since
+	// (re)initialization, published as the learn_clip_rate gauge at sync.
+	targetsN, targetsClipped int64
 	// batchTrained marks that the batch-ELM variant has completed at least
 	// one training (its oselm initialized flag never sets).
 	batchTrained bool
@@ -284,6 +287,7 @@ func (a *Agent) initModels() {
 	a.globalStep = 0
 	a.exploreProb = 1 - a.cfg.Epsilon1
 	a.batchTrained = false
+	a.targetsN, a.targetsClipped = 0, 0
 }
 
 // Name returns the paper's design name.
@@ -435,6 +439,10 @@ func (a *Agent) target(t replay.Transition) float64 {
 		y = a.cfg.ClipHigh
 		clipped = true
 	}
+	a.targetsN++
+	if clipped {
+		a.targetsClipped++
+	}
 	if a.obs != nil {
 		a.obs.Inc(obs.MetricTargets, 1)
 		if clipped {
@@ -559,13 +567,22 @@ func (a *Agent) sequentialUpdate(t replay.Transition) error {
 	t0 := a.obs.Now()
 	y := a.target(t)
 	var err error
+	// pred is Qθ1(s, a) before the update; y − pred is the TD error the
+	// update corrects. The extra prediction is an observability probe, run
+	// only when an emitter is attached, and excluded from the work counters
+	// (the real device would not execute it).
+	pred := math.NaN()
 	if a.cfg.StandardOutputModel {
 		cur := a.theta1.PredictOne(t.State)
+		pred = cur[t.Action]
 		cur[t.Action] = y
 		err = a.theta1.SeqTrainOne(t.State, cur)
 	} else {
 		in := make([]float64, a.dims.In)
 		a.encode(in, t.State, t.Action)
+		if a.obs != nil {
+			pred = a.theta1.PredictOne(in)[0]
+		}
 		err = a.theta1.SeqTrainOne(in, []float64{y})
 	}
 	// Work: the target's θ2 evaluations plus the rank-1 update itself.
@@ -575,11 +592,15 @@ func (a *Agent) sequentialUpdate(t replay.Transition) error {
 		model := modelSeconds(timing.PhaseSeqTrain, work)
 		sp.EndModelled(model)
 		d := time.Since(t0)
+		tdErr := y - pred
 		a.obs.AddWall(string(timing.PhaseSeqTrain), d)
 		a.obs.Inc(obs.MetricSeqUpdates, 1)
+		a.obs.Observe(obs.HistLearnTDErrorAbs, math.Abs(tdErr))
+		a.obs.Observe(obs.HistLearnQValue, pred)
 		a.obs.Emit(obs.EventSeqUpdate, 0, map[string]float64{
 			"step":     float64(a.globalStep),
 			"target":   y,
+			"td_error": tdErr,
 			"dur_ms":   float64(d) / float64(time.Millisecond),
 			"model_ms": model * 1e3,
 		})
@@ -598,13 +619,24 @@ func (a *Agent) EndEpisode(episode int) {
 		a.theta2.CopyStateFrom(a.theta1)
 		if a.obs != nil {
 			// σmax(β) is the Lipschitz bound the §3.3 regularization caps;
-			// tracked at sync points so its drift over a run is inspectable.
-			sigma := a.theta1.BetaSigmaMax()
+			// tracked at sync points so its drift over a run is inspectable,
+			// together with the learn_* numeric-health gauges.
+			h := a.theta1.Health()
 			a.obs.Inc(obs.MetricTheta2Syncs, 1)
-			a.obs.SetGauge(obs.GaugeBetaSigmaMax, sigma)
-			a.obs.Observe(obs.GaugeBetaSigmaMax, sigma)
+			a.obs.SetGauge(obs.GaugeBetaSigmaMax, h.BetaSigmaMax)
+			a.obs.Observe(obs.GaugeBetaSigmaMax, h.BetaSigmaMax)
+			a.obs.SetGauge(obs.GaugeLearnBetaNorm, h.BetaNorm)
+			if a.theta1.Initialized() {
+				a.obs.SetGauge(obs.GaugeLearnPTrace, h.PTrace)
+				a.obs.SetGauge(obs.GaugeLearnPCond, h.PCondProxy)
+			}
+			if a.targetsN > 0 {
+				a.obs.SetGauge(obs.GaugeLearnClipRate,
+					float64(a.targetsClipped)/float64(a.targetsN))
+			}
 			a.obs.Emit(obs.EventTheta2Sync, episode, map[string]float64{
-				"beta_sigma_max": sigma,
+				"beta_sigma_max": h.BetaSigmaMax,
+				"beta_norm":      h.BetaNorm,
 			})
 		}
 	}
