@@ -5,11 +5,19 @@
 // trained for a fixed episode budget over several seeds and summarized by
 // its best 100-episode moving average and solve count.
 //
+// The wordlength sweep (W1) is the fixed-point precision ablation: it
+// trains the FPGA design at each -qformat fraction width (Q16/Q20/Q24 by
+// default) next to the float64 OS-ELM-L2-Lipschitz reference, and reports
+// solve counts, episodes-to-solve, best moving average and the quantized
+// datapath's numeric-health accounting (quantization error per op,
+// saturation rate, denominator-guard trips).
+//
 // Usage:
 //
 //	go run ./cmd/ablation -sweep delta -trials 3 -episodes 2000
 //	go run ./cmd/ablation -sweep eps2
 //	go run ./cmd/ablation -sweep doubleq -events sweep.jsonl -manifest sweep.json
+//	go run ./cmd/ablation -sweep wordlength -qformat Q16,Q20,Q24
 //
 // With -events every configuration's trials stream structured run events
 // into one labeled JSONL log (see cmd/runlog); -manifest records the sweep
@@ -28,6 +36,8 @@ import (
 
 	"oselmrl/internal/cli"
 	"oselmrl/internal/env"
+	"oselmrl/internal/fixed"
+	"oselmrl/internal/fpga"
 	"oselmrl/internal/harness"
 	"oselmrl/internal/obs"
 	"oselmrl/internal/qnet"
@@ -35,7 +45,8 @@ import (
 )
 
 func main() {
-	sweep := flag.String("sweep", "delta", "sweep to run: delta | eps2 | doubleq | encoding")
+	sweep := flag.String("sweep", "delta", "sweep to run: delta | eps2 | doubleq | encoding | wordlength")
+	qformatsFlag := flag.String("qformat", "Q16,Q20,Q24", "comma-separated fixed-point formats for the wordlength sweep")
 	hidden := flag.Int("hidden", 32, "hidden width")
 	trials := flag.Int("trials", 3, "seeds per configuration")
 	episodes := flag.Int("episodes", 2000, "episode budget per trial")
@@ -57,6 +68,46 @@ func main() {
 	}
 	emitter := tel.Emitter
 	start := time.Now()
+
+	if *sweep == "wordlength" {
+		formats, err := cli.ParseQFormatList(*qformatsFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ablation:", err)
+			os.Exit(2)
+		}
+		labels := runWordlength(formats, *hidden, *trials, *episodes, emitter)
+		if err := tel.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "ablation: closing telemetry:", err)
+		}
+		if wd := tel.Watchdog(); wd.Diverged() {
+			fmt.Fprintf(os.Stderr, "ablation: watchdog: %d numeric alerts across the sweep\n", wd.AlertCount())
+		}
+		if *manifestPath != "" {
+			m := obs.NewManifest()
+			m.Start = start
+			m.End = time.Now()
+			m.Hidden = *hidden
+			m.Trials = *trials
+			m.Config = map[string]any{
+				"sweep":    "wordlength",
+				"configs":  labels,
+				"episodes": *episodes,
+				"design":   string(harness.DesignFPGA),
+			}
+			m.EventsPath = *eventsPath
+			m.Extra = map[string]string{"tool": "ablation"}
+			if emitter.Enabled() {
+				snap := emitter.Metrics().Snapshot()
+				m.Metrics = &snap
+			}
+			if err := cli.WriteManifestFile(*manifestPath, m); err != nil {
+				fmt.Fprintln(os.Stderr, "ablation:", err)
+				os.Exit(1)
+			}
+			fmt.Println("Sweep manifest written to", *manifestPath)
+		}
+		return
+	}
 
 	type variant struct {
 		label  string
@@ -166,4 +217,105 @@ func main() {
 		}
 		fmt.Println("Sweep manifest written to", *manifestPath)
 	}
+}
+
+// runWordlength is the fixed-point precision ablation: the FPGA design at
+// each format, plus the float64 OS-ELM-L2-Lipschitz reference (the same
+// algorithm the FPGA core quantizes). Returns the config labels for the
+// manifest. The FPGA rows report the datapath's own accounting —
+// quantization error per op, saturation rate and Eq. 5 denominator-guard
+// trips — averaged over trials; accounting is free to the modelled
+// hardware, so the learning results are unchanged by measuring them.
+func runWordlength(formats []fixed.QFormat, hidden, trials, episodes int, emitter *obs.Emitter) []string {
+	fmt.Printf("Ablation sweep \"wordlength\" — FPGA design vs float64 reference, %d hidden units, %d trials x %d episodes\n\n",
+		hidden, trials, episodes)
+	fmt.Printf("%-14s %-8s %-10s %-12s %-12s %-10s %-6s\n",
+		"config", "solved", "mean-eps", "bestMA mean", "qerr/op", "sat_rate", "guard")
+
+	type rowCfg struct {
+		label  string
+		format fixed.QFormat // zero Frac + fpga=false means float64 reference
+		fpga   bool
+	}
+	rows := make([]rowCfg, 0, len(formats)+1)
+	for _, q := range formats {
+		rows = append(rows, rowCfg{label: q.String(), format: q, fpga: true})
+	}
+	rows = append(rows, rowCfg{label: "float64 (ref)"})
+
+	labels := make([]string, 0, len(rows))
+	for _, rc := range rows {
+		labels = append(labels, rc.label)
+		bests := make([]float64, 0, trials)
+		solved, solvedEps := 0, 0
+		var qerrPerOp, satRate float64
+		var guardTrips int64
+		accounted := 0
+		for i := 0; i < trials; i++ {
+			var (
+				agent harness.Agent
+				err   error
+			)
+			if rc.fpga {
+				agent, err = harness.NewAgentQ(harness.DesignFPGA, 4, 2, hidden, uint64(i)+1, rc.format)
+			} else {
+				agent, err = harness.NewAgent(harness.DesignOSELML2Lipschitz, 4, 2, hidden, uint64(i)+1)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ablation:", err)
+				os.Exit(1)
+			}
+			if fa, ok := agent.(*fpga.Agent); ok && !emitter.Enabled() {
+				// Telemetry is off, but the numeric-health columns need the
+				// core's accounting: a sink-less emitter turns it on at the
+				// cost of a few integer adds per op and nothing else.
+				fa.SetObserver(obs.NewEmitter(nil))
+			}
+			task := env.NewShaped(env.NewCartPoleV0(uint64(i)+101), env.RewardSurvival)
+			runCfg := harness.RunConfigFor(harness.DesignFPGA, harness.Defaults())
+			runCfg.MaxEpisodes = episodes
+			runCfg.Obs = emitter.With(map[string]string{
+				"config": rc.label,
+				"trial":  strconv.Itoa(i),
+			})
+			res := harness.Run(agent, task, runCfg)
+			best := 0.0
+			for _, p := range res.Curve {
+				if p.MovingAvg > best {
+					best = p.MovingAvg
+				}
+			}
+			bests = append(bests, best)
+			if res.Solved {
+				solved++
+				solvedEps += res.Episodes
+			}
+			if fa, ok := agent.(*fpga.Agent); ok && fa.Core().AccountingEnabled() {
+				core := fa.Core()
+				var total fixed.Acct
+				core.PredictAcct().AddTo(&total)
+				core.SeqTrainAcct().AddTo(&total)
+				if total.Ops > 0 {
+					qerrPerOp += total.QuantErrAbs / float64(total.Ops)
+					satRate += total.SaturationRate()
+					accounted++
+				}
+				guardTrips += core.DenomGuardTrips()
+			}
+		}
+		s := stats.Summarize(bests)
+		meanEps := "-"
+		if solved > 0 {
+			meanEps = strconv.Itoa(solvedEps / solved)
+		}
+		if accounted > 0 {
+			fmt.Printf("%-14s %d/%-6d %-10s %-12.1f %-12.3e %-10.2e %-6d\n",
+				rc.label, solved, trials, meanEps, s.Mean,
+				qerrPerOp/float64(accounted), satRate/float64(accounted), guardTrips)
+		} else {
+			fmt.Printf("%-14s %d/%-6d %-10s %-12.1f %-12s %-10s %-6s\n",
+				rc.label, solved, trials, meanEps, s.Mean, "-", "-", "-")
+		}
+	}
+	return labels
 }

@@ -33,6 +33,7 @@ import (
 
 	"oselmrl/internal/cli"
 	"oselmrl/internal/env"
+	"oselmrl/internal/fixed"
 	"oselmrl/internal/harness"
 	"oselmrl/internal/obs"
 	"oselmrl/internal/timing"
@@ -55,7 +56,13 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON timeline to this file at exit")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060), or 'serve' to mount it on the -serve address")
 	watchdog := flag.Bool("watchdog", false, "enable the divergence watchdog (numeric_alert events, /health on -serve)")
+	qformatName := flag.String("qformat", "Q20", "fixed-point format for the FPGA design's datapath (Q16..Q24; FPGA rows only)")
 	flag.Parse()
+
+	qformat, err := cli.ParseQFormat(*qformatName)
+	if err != nil {
+		fail(err)
+	}
 
 	tel, err := cli.StartTelemetry(cli.TelemetryFlags{
 		Events: *eventsPath, Serve: *serveAddr, Trace: *tracePath, Pprof: *pprofAddr,
@@ -86,7 +93,7 @@ func main() {
 	var rows []trace.BreakdownRow
 	for _, hidden := range sizes {
 		for _, d := range designs {
-			row := runDesign(d, hidden, *trials, *maxEpisodes, *dqnEpisodes, *seed, *report, emitter)
+			row := runDesign(d, hidden, *trials, *maxEpisodes, *dqnEpisodes, *seed, *report, qformat, emitter)
 			rows = append(rows, row)
 		}
 	}
@@ -103,12 +110,14 @@ func main() {
 		m.End = time.Now()
 		m.BaseSeed = *seed
 		m.Trials = *trials
+		m.QFormat = qformat.String()
 		m.Config = map[string]any{
 			"hidden":       sizes,
 			"designs":      designs,
 			"episodes":     *maxEpisodes,
 			"dqn_episodes": *dqnEpisodes,
 			"report":       *report,
+			"qformat":      qformat.String(),
 		}
 		m.EventsPath = *eventsPath
 		m.Extra = map[string]string{"tool": "timetocomplete"}
@@ -147,15 +156,20 @@ func main() {
 // report=best it returns the fastest solved trial's breakdown (stabler at
 // small trial counts); with report=mean it averages the breakdowns of all
 // solved trials, matching the paper's 100-trial (20 for FPGA) means. If no
-// trial solved, the first trial is reported as NOT SOLVED.
-func runDesign(d harness.Design, hidden, trials, maxEpisodes, dqnEpisodes int, seed uint64, report string, emitter *obs.Emitter) trace.BreakdownRow {
+// trial solved, the first trial is reported as NOT SOLVED. qformat applies
+// to FPGA rows only (the software designs run in float64).
+func runDesign(d harness.Design, hidden, trials, maxEpisodes, dqnEpisodes int, seed uint64, report string, qformat fixed.QFormat, emitter *obs.Emitter) trace.BreakdownRow {
 	budget := maxEpisodes
 	if d == harness.DesignDQN {
 		budget = dqnEpisodes
 	}
+	rowFormat := fixed.QFormat{}
+	if d == harness.DesignFPGA {
+		rowFormat = qformat
+	}
 	spec := harness.TrialSpec{
 		MakeAgent: func(s uint64) (harness.Agent, error) {
-			return harness.NewAgent(d, 4, 2, hidden, s)
+			return harness.NewAgentQ(d, 4, 2, hidden, s, rowFormat)
 		},
 		MakeEnv: func(s uint64) env.Env {
 			return env.NewShaped(env.NewCartPoleV0(s+1000), env.RewardSurvival)

@@ -93,7 +93,13 @@ func run() int {
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060), or 'serve' to mount it on the -serve address")
 	watchdog := flag.Bool("watchdog", false, "enable the divergence watchdog (numeric_alert events, diverged verdict, /health on -serve)")
 	linger := flag.Duration("linger", 0, "keep the -serve telemetry server up this long after the run so a final scrape sees the end state (e.g. 10s)")
+	qformatName := flag.String("qformat", "Q20", "fixed-point format of the FPGA design's datapath (Q16..Q24; FPGA design only)")
 	flag.Parse()
+
+	qformat, err := cli.ParseQFormat(*qformatName)
+	if err != nil {
+		return fail(err)
+	}
 
 	tel, err := cli.StartTelemetry(cli.TelemetryFlags{
 		Events: *eventsPath, Serve: *serveAddr, Trace: *tracePath, Pprof: *pprofAddr,
@@ -130,7 +136,7 @@ func run() int {
 	if err != nil {
 		return fail(err)
 	}
-	agent, err := harness.NewAgent(d, task.ObservationSize(), task.ActionCount(), *hidden, *seed)
+	agent, err := harness.NewAgentQ(d, task.ObservationSize(), task.ActionCount(), *hidden, *seed, qformat)
 	if err != nil {
 		return fail(err)
 	}
@@ -138,16 +144,23 @@ func run() int {
 	cfg.MaxEpisodes = *episodes
 	solveFor(*envName, &cfg)
 
-	cfg.Obs = tel.Emitter.With(map[string]string{
+	labels := map[string]string{
 		"hidden": fmt.Sprint(*hidden),
 		"seed":   fmt.Sprint(*seed),
-	})
+	}
+	if d == harness.DesignFPGA {
+		labels["qformat"] = qformat.String()
+	}
+	cfg.Obs = tel.Emitter.With(labels)
 
 	manifest := obs.NewManifest()
 	manifest.Design = string(d)
 	manifest.Env = task.Name()
 	manifest.Hidden = *hidden
 	manifest.Seed = *seed
+	if d == harness.DesignFPGA {
+		manifest.QFormat = qformat.String()
+	}
 	manifest.Config = cfg
 	manifest.EventsPath = *eventsPath
 	manifest.Extra = map[string]string{"tool": "train"}

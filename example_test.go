@@ -98,6 +98,27 @@ func ExampleCore() {
 	// at 125 MHz: 140.2 us
 }
 
+// ExampleNewAgentQ selects the FPGA datapath's Qm.f precision through
+// the facade. Moving the binary point changes the quantization grid —
+// and nothing else: the 32-bit word keeps storage, cycle counts and the
+// Table 3 resources identical across formats.
+func ExampleNewAgentQ() {
+	for _, q := range []oselmrl.QFormat{oselmrl.Q16, oselmrl.Q20, oselmrl.Q24} {
+		agent, err := oselmrl.NewAgentQ(oselmrl.DesignFPGA, 4, 2, 64, 1, q)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		core := agent.(*fpga.Agent).Core()
+		fmt.Printf("%s: resolution %.1e, max %.6g, seq_train cycles %d\n",
+			q, q.Resolution(), q.MaxValue(), core.SeqTrainCycles())
+	}
+	// Output:
+	// Q16: resolution 1.5e-05, max 32768, seq_train cycles 17521
+	// Q20: resolution 9.5e-07, max 2048, seq_train cycles 17521
+	// Q24: resolution 6.0e-08, max 128, seq_train cycles 17521
+}
+
 // ExampleEstimateResources reproduces a row of the paper's Table 3.
 func ExampleEstimateResources() {
 	u := fpga.EstimateResources(5, 64)

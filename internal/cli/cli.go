@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"oselmrl/internal/fixed"
 )
 
 // ParseIntList parses a comma-separated list of positive integers, as used
@@ -18,6 +20,31 @@ func ParseIntList(s string) ([]int, error) {
 			return nil, fmt.Errorf("invalid positive integer %q", p)
 		}
 		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ParseQFormat parses a -qformat flag value ("Q20", "q20" or "20") into a
+// normalized fixed-point format.
+func ParseQFormat(s string) (fixed.QFormat, error) {
+	q, err := fixed.ParseQFormat(s)
+	if err != nil {
+		return fixed.QFormat{}, err
+	}
+	return q.Normalized(), nil
+}
+
+// ParseQFormatList parses a comma-separated list of formats
+// ("Q16,Q20,Q24"), as used by the wordlength-sweep -qformat flag.
+func ParseQFormatList(s string) ([]fixed.QFormat, error) {
+	parts := strings.Split(s, ",")
+	out := make([]fixed.QFormat, 0, len(parts))
+	for _, p := range parts {
+		q, err := ParseQFormat(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, q)
 	}
 	return out, nil
 }

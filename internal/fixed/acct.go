@@ -2,7 +2,9 @@ package fixed
 
 import "math"
 
-// Acct accumulates numeric-health counters for the Q20 datapath: how often
+// Acct accumulates numeric-health counters for the fixed-point datapath
+// (any Qm.f format — the format-dependent ops take the format via the *Q
+// method variants; the plain methods are the Q20-default shorthand): how often
 // an operation hit the saturation rails, how many NaN inputs were coerced
 // to zero at conversion, and how much value was lost to rounding. A nil
 // *Acct is the fully disabled state — every method delegates straight to
@@ -88,8 +90,9 @@ func (a *Acct) Sub(x, y Fixed) Fixed {
 	return sat64(v)
 }
 
-// Mul is fixed.Mul with accounting: saturation at the rails plus the
-// rounding error of the 2⁻⁴⁰ → 2⁻²⁰ shift.
+// Mul is fixed.Mul with accounting under the default Q20 format — the
+// same accounting MulQ does at Frac = 20, with the shifts constant (the
+// datapath's enabled-accounting ops stay one call deep).
 func (a *Acct) Mul(x, y Fixed) Fixed {
 	if a == nil {
 		return Mul(x, y)
@@ -101,15 +104,37 @@ func (a *Acct) Mul(x, y Fixed) Fixed {
 		a.Saturations++
 		return sat64(rounded)
 	}
-	// Rounding error in real units: the exact product lives on the 2⁻⁴⁰
-	// grid, the result on the 2⁻²⁰ grid.
-	a.QuantErrAbs += math.Abs(float64(prod-(rounded<<FracBits))) / float64(int64(One)*int64(One))
+	a.QuantErrAbs += math.Abs(float64(prod-(rounded<<FracBits))) * invPow2[2*FracBits]
 	return Fixed(rounded)
 }
 
-// Div is fixed.Div with accounting: division by zero counts as a
-// saturation (it pins the matching rail), and the rounding error of the
-// quotient is accumulated otherwise.
+// MulQ is QFormat.Mul with accounting: saturation at the rails plus the
+// rounding error of the 2⁻²ᶠ → 2⁻ᶠ shift. Nil-safe. The disabled path is
+// the datapath's hot loop: the default format takes the package Mul's
+// constant-shift body (bit-identical to q.Mul at f = 20; this is what
+// keeps the Q20 kernels at their pre-parameterization speed).
+func (a *Acct) MulQ(q QFormat, x, y Fixed) Fixed {
+	if a == nil {
+		if q.Frac == FracBits || q.Frac == 0 {
+			return Mul(x, y)
+		}
+		return q.Mul(x, y)
+	}
+	f := q.frac()
+	a.Ops++
+	prod := int64(x) * int64(y)
+	rounded := (prod + 1<<(f-1)) >> f
+	if saturated(rounded) {
+		a.Saturations++
+		return sat64(rounded)
+	}
+	// Rounding error in real units: the exact product lives on the 2⁻²ᶠ
+	// grid, the result on the 2⁻ᶠ grid.
+	a.QuantErrAbs += math.Abs(float64(prod-(rounded<<f))) * invPow2[(2*f)&63]
+	return Fixed(rounded)
+}
+
+// Div is fixed.Div with accounting under the default Q20 format.
 func (a *Acct) Div(x, y Fixed) Fixed {
 	if a == nil {
 		return Div(x, y)
@@ -121,20 +146,45 @@ func (a *Acct) Div(x, y Fixed) Fixed {
 	}
 	res := Div(x, y)
 	if res == Fixed(Max) || res == Fixed(Min) {
+		a.Saturations++
+		return res
+	}
+	exact := float64(x) / float64(y)
+	a.QuantErrAbs += math.Abs(exact - float64(res)*invPow2[FracBits])
+	return res
+}
+
+// DivQ is QFormat.Div with accounting: division by zero counts as a
+// saturation (it pins the matching rail), and the rounding error of the
+// quotient is accumulated otherwise. Nil-safe.
+func (a *Acct) DivQ(q QFormat, x, y Fixed) Fixed {
+	if a == nil {
+		if q.Frac == FracBits || q.Frac == 0 {
+			return Div(x, y)
+		}
+		return q.Div(x, y)
+	}
+	a.Ops++
+	if y == 0 {
+		a.Saturations++
+		return q.Div(x, y)
+	}
+	res := q.Div(x, y)
+	if res == Fixed(Max) || res == Fixed(Min) {
 		// Distinguishing an exact rail hit from a clamped quotient is not
 		// worth a second wide division; rail results are rare and counting
 		// them as saturations is the conservative reading.
 		a.Saturations++
 		return res
 	}
-	// Exact quotient x/y in real units vs the rounded Q20 result.
+	// Exact quotient x/y in real units vs the rounded fixed-point result.
 	exact := float64(x) / float64(y)
-	a.QuantErrAbs += math.Abs(exact - float64(res)/float64(One))
+	a.QuantErrAbs += math.Abs(exact - float64(res)*invPow2[q.frac()&63])
 	return res
 }
 
-// FromFloat is fixed.FromFloat with accounting: NaN coercion, saturation
-// at the rails (±Inf always saturates) and conversion rounding error.
+// FromFloat is fixed.FromFloat with accounting under the default Q20
+// format.
 func (a *Acct) FromFloat(f float64) Fixed {
 	if a == nil {
 		return FromFloat(f)
@@ -150,6 +200,29 @@ func (a *Acct) FromFloat(f float64) Fixed {
 		return FromFloat(f)
 	}
 	res := FromFloat(f)
-	a.QuantErrAbs += math.Abs(f - res.Float())
+	a.QuantErrAbs += math.Abs(f - float64(res)*invPow2[FracBits])
+	return res
+}
+
+// FromFloatQ is QFormat.FromFloat with accounting: NaN coercion,
+// saturation at the rails (±Inf always saturates) and conversion rounding
+// error. Nil-safe.
+func (a *Acct) FromFloatQ(q QFormat, f float64) Fixed {
+	if a == nil {
+		return q.FromFloat(f)
+	}
+	a.Ops++
+	if math.IsNaN(f) {
+		a.NaNs++
+		return 0
+	}
+	w := q.frac() & 63
+	scaled := f * pow2[w]
+	if scaled >= float64(Max) || scaled <= float64(Min) {
+		a.Saturations++
+		return q.FromFloat(f)
+	}
+	res := q.FromFloat(f)
+	a.QuantErrAbs += math.Abs(f - float64(res)*invPow2[w])
 	return res
 }

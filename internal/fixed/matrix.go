@@ -7,22 +7,35 @@ import (
 	"oselmrl/internal/mat"
 )
 
-// Matrix is a dense row-major matrix of Q20 fixed-point values — the
-// on-chip BRAM contents of the FPGA core.
+// Matrix is a dense row-major matrix of Qm.f fixed-point values — the
+// on-chip BRAM contents of the FPGA core. The matrix carries its format so
+// float-boundary methods (ToDense, FrobeniusNorm, Trace, MaxAbsError)
+// interpret the words correctly; storage is 32-bit per element in every
+// format. The zero format is the Q20 default.
 type Matrix struct {
 	rows, cols int
+	q          QFormat
 	data       []Fixed
 }
 
-// NewMatrix allocates a rows×cols zero matrix.
+// NewMatrix allocates a rows×cols zero matrix in the default Q20 format.
 func NewMatrix(rows, cols int) *Matrix {
+	return NewMatrixQ(rows, cols, QFormat{})
+}
+
+// NewMatrixQ allocates a rows×cols zero matrix in the given format.
+func NewMatrixQ(rows, cols int, q QFormat) *Matrix {
 	if rows < 0 || cols < 0 {
 		panic(fmt.Sprintf("fixed: negative dimension %dx%d", rows, cols))
 	}
-	return &Matrix{rows: rows, cols: cols, data: make([]Fixed, rows*cols)}
+	return &Matrix{rows: rows, cols: cols, q: q.Normalized(), data: make([]Fixed, rows*cols)}
 }
 
-// FromDense quantizes a float64 matrix into fixed point.
+// Format returns the matrix's Qm.f format (normalized, so the zero-format
+// default reports Q20).
+func (m *Matrix) Format() QFormat { return m.q.Normalized() }
+
+// FromDense quantizes a float64 matrix into fixed point (Q20 default).
 func FromDense(m *mat.Dense) *Matrix {
 	return FromDenseAcct(m, nil)
 }
@@ -31,21 +44,27 @@ func FromDense(m *mat.Dense) *Matrix {
 // coercions, rail saturations, accumulated quantization error). acct may
 // be nil, which is exactly FromDense.
 func FromDenseAcct(m *mat.Dense, acct *Acct) *Matrix {
+	return FromDenseQ(m, QFormat{}, acct)
+}
+
+// FromDenseQ quantizes a float64 matrix into the given format, with
+// optional per-element conversion accounting (acct may be nil).
+func FromDenseQ(m *mat.Dense, q QFormat, acct *Acct) *Matrix {
 	r, c := m.Dims()
-	out := NewMatrix(r, c)
+	out := NewMatrixQ(r, c, q)
 	src := m.RawData()
 	for i := range src {
-		out.data[i] = acct.FromFloat(src[i])
+		out.data[i] = acct.FromFloatQ(q, src[i])
 	}
 	return out
 }
 
-// ToDense converts back to float64.
+// ToDense converts back to float64 under the matrix's format.
 func (m *Matrix) ToDense() *mat.Dense {
 	out := mat.Zeros(m.rows, m.cols)
 	dst := out.RawData()
 	for i := range m.data {
-		dst[i] = m.data[i].Float()
+		dst[i] = m.q.Float(m.data[i])
 	}
 	return out
 }
@@ -62,15 +81,16 @@ func (m *Matrix) At(i, j int) Fixed { return m.data[i*m.cols+j] }
 // Set assigns the element at (i, j).
 func (m *Matrix) Set(i, j int, v Fixed) { m.data[i*m.cols+j] = v }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy preserving the format.
 func (m *Matrix) Clone() *Matrix {
-	out := NewMatrix(m.rows, m.cols)
+	out := NewMatrixQ(m.rows, m.cols, m.q)
 	copy(out.data, m.data)
 	return out
 }
 
 // Words returns the number of 32-bit storage words the matrix occupies —
-// the quantity the BRAM resource estimator charges for.
+// the quantity the BRAM resource estimator charges for, identical in
+// every Qm.f format.
 func (m *Matrix) Words() int { return len(m.data) }
 
 // FrobeniusNorm returns the Frobenius norm of the matrix in real value
@@ -79,7 +99,7 @@ func (m *Matrix) Words() int { return len(m.data) }
 func (m *Matrix) FrobeniusNorm() float64 {
 	var sum float64
 	for _, v := range m.data {
-		f := v.Float()
+		f := m.q.Float(v)
 		sum += f * f
 	}
 	return math.Sqrt(sum)
@@ -94,7 +114,7 @@ func (m *Matrix) Trace() float64 {
 	}
 	var sum float64
 	for i := 0; i < m.rows; i++ {
-		sum += m.At(i, i).Float()
+		sum += m.q.Float(m.At(i, i))
 	}
 	return sum
 }
@@ -109,7 +129,7 @@ func (m *Matrix) MaxAbsError(ref *mat.Dense) float64 {
 	var worst float64
 	rd := ref.RawData()
 	for i := range m.data {
-		d := m.data[i].Float() - rd[i]
+		d := m.q.Float(m.data[i]) - rd[i]
 		if d < 0 {
 			d = -d
 		}

@@ -22,7 +22,8 @@ import (
 //
 // The control flow is Algorithm 1 exactly as internal/qnet implements it
 // in floating point; here the Determine/Update hot paths run on the
-// cycle-counted Q20 datapath, and work is recorded in datapath cycles
+// cycle-counted fixed-point datapath (Q20 by default; NewAgentQ selects
+// any Qm.f format), and work is recorded in datapath cycles
 // (timing.FPGA125 converts them) for the PL phases and in flops
 // (timing.CortexA9Init) for the CPU-side init_train.
 type Agent struct {
@@ -46,6 +47,7 @@ type Agent struct {
 	dims        timing.OSELMDims
 	counters    *timing.Counters
 	cycles      CycleModel
+	q           fixed.QFormat
 	scratch     []fixed.Fixed
 	exploreProb float64
 
@@ -57,12 +59,22 @@ type Agent struct {
 	// accumulators themselves are cumulative (and survive across episodes
 	// but not across Reinitialize — the flush snapshots reset with them).
 	flushedPredict, flushedSeq, flushedConv fixed.Acct
+	// flushedGuard mirrors the same delta scheme for the seq_train
+	// denominator guard trip counter.
+	flushedGuard int64
 }
 
-// NewAgent builds the FPGA agent. The variant is forced to
-// OS-ELM-L2-Lipschitz (the design the paper synthesized); cfg's dimensions
-// and hyperparameters are honored.
+// NewAgent builds the FPGA agent with the default Q20 datapath. The
+// variant is forced to OS-ELM-L2-Lipschitz (the design the paper
+// synthesized); cfg's dimensions and hyperparameters are honored.
 func NewAgent(cfg qnet.Config, cycles CycleModel) (*Agent, error) {
+	return NewAgentQ(cfg, cycles, fixed.QFormat{})
+}
+
+// NewAgentQ is NewAgent with the datapath's Qm.f format selectable. The
+// zero format is the Q20 default, bit-identical to NewAgent; resources
+// and cycle counts do not depend on the format.
+func NewAgentQ(cfg qnet.Config, cycles CycleModel, q fixed.QFormat) (*Agent, error) {
 	cfg.Variant = qnet.VariantOSELML2Lipschitz
 	if cfg.Delta == 0 {
 		cfg.Delta = 0.5 // paper §4.1: δ = 0.5 for OS-ELM-L2-Lipschitz
@@ -85,6 +97,7 @@ func NewAgent(cfg qnet.Config, cycles CycleModel) (*Agent, error) {
 		buffer:   replay.NewInitStore(cfg.Hidden),
 		counters: timing.NewCounters(),
 		cycles:   cycles,
+		q:        q.Normalized(),
 		dims: timing.OSELMDims{
 			In:     cfg.ObservationSize + 1,
 			Hidden: cfg.Hidden,
@@ -117,12 +130,13 @@ func (a *Agent) initModels() {
 	}
 	base := elm.NewModel(a.dims.In, a.cfg.Hidden, 1, a.cfg.Activation, a.rng, opts)
 	a.cpu = oselm.New(base, a.cfg.Delta)
-	a.core = NewCore(a.dims.In, a.cfg.Hidden, 1, a.cycles)
+	a.core = NewCoreQ(a.dims.In, a.cfg.Hidden, 1, a.cycles, a.q)
 	if a.obs != nil {
 		a.core.EnableAccounting()
 	}
 	a.flushedPredict, a.flushedSeq, a.flushedConv = fixed.Acct{}, fixed.Acct{}, fixed.Acct{}
-	a.beta2 = fixed.NewMatrix(a.cfg.Hidden, 1)
+	a.flushedGuard = 0
+	a.beta2 = fixed.NewMatrixQ(a.cfg.Hidden, 1, a.q)
 	a.buffer.Clear()
 	a.globalStep = 0
 	a.loaded = false
@@ -131,6 +145,9 @@ func (a *Agent) initModels() {
 
 // Name returns the paper's design name.
 func (a *Agent) Name() string { return "FPGA" }
+
+// Format returns the datapath's Qm.f format.
+func (a *Agent) Format() fixed.QFormat { return a.q }
 
 // Counters exposes the accumulated timing counters. PL phases are in
 // datapath cycles; init_train is in flops (see timing.ModelMixed).
@@ -155,9 +172,9 @@ func (a *Agent) Trained() bool { return a.loaded }
 
 func (a *Agent) encode(state []float64, action int) []fixed.Fixed {
 	for i, v := range state {
-		a.scratch[i] = fixed.FromFloat(v)
+		a.scratch[i] = a.q.FromFloat(v)
 	}
-	a.scratch[len(state)] = fixed.FromFloat(float64(action))
+	a.scratch[len(state)] = a.q.FromFloat(float64(action))
 	return a.scratch
 }
 
@@ -168,9 +185,9 @@ func (a *Agent) maxQCore(beta *fixed.Matrix, state []float64) (float64, int) {
 		in := a.encode(state, act)
 		var q float64
 		if beta == nil {
-			q = a.core.Predict(in)[0].Float()
+			q = a.q.Float(a.core.Predict(in)[0])
 		} else {
-			q = a.core.PredictUsing(beta, in)[0].Float()
+			q = a.q.Float(a.core.PredictUsing(beta, in)[0])
 		}
 		switch {
 		case q > best:
@@ -306,7 +323,7 @@ func (a *Agent) initTrain() error {
 	a.counters.Add(timing.PhaseInitTrain, work)
 
 	a.core.LoadFloat(a.cpu.Alpha, a.cpu.Bias, a.cpu.Beta, a.cpu.P)
-	a.beta2 = fixed.FromDense(a.cpu.Beta)
+	a.beta2 = fixed.FromDenseQ(a.cpu.Beta, a.q, nil)
 	// The AXI bulk load of the quantized parameters rides on the CPU side
 	// of the init_train phase; its duration converts to that profile's
 	// work units so the breakdown stays single-unit per phase.
@@ -364,9 +381,9 @@ func (a *Agent) sequentialUpdate(t replay.Transition) {
 	// accounting (the real core would not execute it).
 	pred := math.NaN()
 	if a.obs != nil {
-		pred = a.core.PredictSilent(in)[0].Float()
+		pred = a.q.Float(a.core.PredictSilent(in)[0])
 	}
-	a.core.SeqTrain(in, []fixed.Fixed{fixed.FromFloat(y)})
+	a.core.SeqTrain(in, []fixed.Fixed{a.q.FromFloat(y)})
 	cycles := float64(a.core.Cycles() - start)
 	a.counters.Add(timing.PhaseSeqTrain, cycles)
 	if a.obs != nil {
@@ -417,6 +434,22 @@ func (a *Agent) flushAccounting() {
 	a.obs.SetGauge(obs.GaugeFixedQuantErrLoad, ca.QuantErrAbs)
 	a.obs.SetGauge(obs.GaugeFixedSaturationRatePredict, pa.SaturationRate())
 	a.obs.SetGauge(obs.GaugeFixedSaturationRateSeqTrain, sa.SaturationRate())
+	if trips := a.core.DenomGuardTrips(); trips > a.flushedGuard {
+		a.obs.Inc(obs.MetricFixedDenomGuard, trips-a.flushedGuard)
+		if a.flushedGuard == 0 {
+			// First trip of the run: a rejected Eq. 5 update means P was
+			// saturated or poisoned — surface it as a numeric alert, once,
+			// the same shape the divergence watchdog emits.
+			a.obs.With(map[string]string{
+				"rule":   "seq_train_denom_guard",
+				"metric": obs.MetricFixedDenomGuard,
+			}).Emit(obs.EventNumericAlert, 0, map[string]float64{
+				"value":     float64(trips),
+				"threshold": a.q.Float(a.core.denomFloor),
+			})
+		}
+		a.flushedGuard = trips
+	}
 	a.flushedPredict, a.flushedSeq, a.flushedConv = pa, sa, ca
 }
 

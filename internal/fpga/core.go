@@ -1,11 +1,15 @@
 // Package fpga simulates the paper's PYNQ-Z1 implementation (§4.2): the
-// OS-ELM Q-Network's predict and seq_train modules realized in 32-bit Q20
+// OS-ELM Q-Network's predict and seq_train modules realized in 32-bit
 // fixed point on the programmable logic at 125 MHz, with initial training
-// on the Cortex-A9 CPU. The simulator is bit-accurate — every add, mul and
-// div goes through internal/fixed's saturating Q20 arithmetic — and
+// on the Cortex-A9 CPU. The paper fixes the format to Q20; the simulator
+// parameterizes it (NewCoreQ/NewAgentQ take any Qm.f format) with Q20 as
+// the default. The simulator is bit-accurate — every add, mul and div
+// goes through internal/fixed's saturating Qm.f arithmetic — and
 // cycle-counted: the paper's core has "only a single add, mult, and div
 // unit", so datapath cycles are the sequential operation count (divides
-// take an iterative divider's latency).
+// take an iterative divider's latency). Cycle counts and BRAM/DSP/FF/LUT
+// resources are format-invariant: only the binary point moves, the 32-bit
+// word and the operation schedule do not.
 //
 // The package also models the core's FPGA resource utilization
 // (BRAM/DSP/FF/LUT of an xc7z020, paper Table 3), including the result
@@ -62,6 +66,21 @@ type Core struct {
 	model  CycleModel
 	cycles int64
 
+	// q is the Qm.f arithmetic context (normalized; Q20 by default); one
+	// is 1.0 in that format, cached because the seq_train inner loop and
+	// the denominator guard compare against it every update.
+	q   fixed.QFormat
+	one fixed.Fixed
+
+	// denomFloor is the seq_train denominator guard threshold (one half,
+	// i.e. 0.5 in the core's format). The Eq. 5 scalar 1 + h·P·hᵀ stays
+	// ≥ 1 while P is positive semi-definite; quantization jitter can
+	// nibble a few LSBs below 1, but a drop past 0.5 means P has been
+	// saturated or poisoned and the reciprocal would amplify garbage.
+	denomFloor fixed.Fixed
+	// denomGuardTrips counts seq_train updates rejected by the guard.
+	denomGuardTrips int64
+
 	// scratch vectors model the working BRAMs (h and P·h).
 	h  []fixed.Fixed
 	ph []fixed.Fixed
@@ -77,36 +96,55 @@ type Core struct {
 	acctConv    *fixed.Acct
 }
 
-// NewCore allocates a core for the given dimensions.
+// NewCore allocates a core for the given dimensions in the default Q20
+// format.
 func NewCore(inputSize, hiddenSize, outputSize int, model CycleModel) *Core {
+	return NewCoreQ(inputSize, hiddenSize, outputSize, model, fixed.QFormat{})
+}
+
+// NewCoreQ allocates a core whose datapath runs in the given Qm.f format.
+// The zero format is the Q20 default, bit-identical to NewCore.
+func NewCoreQ(inputSize, hiddenSize, outputSize int, model CycleModel, q fixed.QFormat) *Core {
 	if inputSize <= 0 || hiddenSize <= 0 || outputSize <= 0 {
 		panic(fmt.Sprintf("fpga: invalid core dimensions %d/%d/%d", inputSize, hiddenSize, outputSize))
 	}
+	q = q.Normalized()
+	one := q.One()
 	return &Core{
-		Alpha:      fixed.NewMatrix(inputSize, hiddenSize),
+		Alpha:      fixed.NewMatrixQ(inputSize, hiddenSize, q),
 		Bias:       make([]fixed.Fixed, hiddenSize),
-		Beta:       fixed.NewMatrix(hiddenSize, outputSize),
-		P:          fixed.NewMatrix(hiddenSize, hiddenSize),
+		Beta:       fixed.NewMatrixQ(hiddenSize, outputSize, q),
+		P:          fixed.NewMatrixQ(hiddenSize, hiddenSize, q),
 		inputSize:  inputSize,
 		hiddenSize: hiddenSize,
 		outputSize: outputSize,
+		q:          q,
+		one:        one,
+		denomFloor: one / 2,
 		model:      model,
 		h:          make([]fixed.Fixed, hiddenSize),
 		ph:         make([]fixed.Fixed, hiddenSize),
 	}
 }
 
+// Format returns the core's Qm.f arithmetic format.
+func (c *Core) Format() fixed.QFormat { return c.q }
+
+// DenomGuardTrips returns how many seq_train updates the denominator
+// guard rejected (see SeqTrain).
+func (c *Core) DenomGuardTrips() int64 { return c.denomGuardTrips }
+
 // LoadFloat quantizes float64 parameters into the core's BRAMs — the DMA
 // transfer after the CPU-side initial training. With accounting enabled
 // the conversion accumulator records NaN coercions, rail saturations and
 // quantization error of every loaded parameter.
 func (c *Core) LoadFloat(alpha *mat.Dense, bias []float64, beta, p *mat.Dense) {
-	c.Alpha = fixed.FromDenseAcct(alpha, c.acctConv)
+	c.Alpha = fixed.FromDenseQ(alpha, c.q, c.acctConv)
 	for i, b := range bias {
-		c.Bias[i] = c.acctConv.FromFloat(b)
+		c.Bias[i] = c.acctConv.FromFloatQ(c.q, b)
 	}
-	c.Beta = fixed.FromDenseAcct(beta, c.acctConv)
-	c.P = fixed.FromDenseAcct(p, c.acctConv)
+	c.Beta = fixed.FromDenseQ(beta, c.q, c.acctConv)
+	c.P = fixed.FromDenseQ(p, c.q, c.acctConv)
 }
 
 // EnableAccounting attaches per-module numeric-health accumulators:
@@ -162,12 +200,12 @@ func (c *Core) sub(a, b fixed.Fixed) fixed.Fixed {
 
 func (c *Core) mul(a, b fixed.Fixed) fixed.Fixed {
 	c.cycles += c.model.Mul
-	return c.acct.Mul(a, b)
+	return c.acct.MulQ(c.q, a, b)
 }
 
 func (c *Core) div(a, b fixed.Fixed) fixed.Fixed {
 	c.cycles += c.model.Div
-	return c.acct.Div(a, b)
+	return c.acct.DivQ(c.q, a, b)
 }
 
 // hidden computes h = ReLU(x·α + b) into c.h.
@@ -205,12 +243,12 @@ func (c *Core) Predict(x []fixed.Fixed) []fixed.Fixed {
 func (c *Core) PredictFloat(x []float64) []float64 {
 	in := make([]fixed.Fixed, len(x))
 	for i, v := range x {
-		in[i] = fixed.FromFloat(v)
+		in[i] = c.q.FromFloat(v)
 	}
 	out := c.Predict(in)
 	res := make([]float64, len(out))
 	for i, v := range out {
-		res[i] = v.Float()
+		res[i] = c.q.Float(v)
 	}
 	return res
 }
@@ -255,6 +293,15 @@ func (c *Core) PredictSilent(x []fixed.Fixed) []fixed.Fixed {
 //	P  -= (s·ph)·phᵀ
 //	e   = t − h·β
 //	β  += (s·ph)·e
+//
+// Denominator guard: with P positive semi-definite the scalar 1 + h·P·hᵀ
+// is ≥ 1, but a saturated/poisoned P can drive it toward 0, where the
+// reciprocal silently saturates to the rail and the rank-1 downdate
+// shreds P and β. If the denominator falls below 0.5 (quantization jitter
+// alone cannot take it that low) the update is rejected: state is left
+// untouched, DenomGuardTrips increments, and the agent surfaces the trip
+// as a numeric_alert-style event. A rejected update stops counting cycles
+// at the point of rejection — the hardware FSM would bail the same way.
 func (c *Core) SeqTrain(x []fixed.Fixed, t []fixed.Fixed) {
 	if len(t) != c.outputSize {
 		panic(fmt.Sprintf("fpga: target length %d, core expects %d", len(t), c.outputSize))
@@ -273,11 +320,15 @@ func (c *Core) SeqTrain(x []fixed.Fixed, t []fixed.Fixed) {
 		c.ph[i] = acc
 	}
 	// denom = 1 + h·ph ; s = 1/denom
-	denom := fixed.Fixed(fixed.One)
+	denom := c.one
 	for j := 0; j < n; j++ {
 		denom = c.add(denom, c.mul(c.h[j], c.ph[j]))
 	}
-	s := c.div(fixed.Fixed(fixed.One), denom)
+	if denom < c.denomFloor {
+		c.denomGuardTrips++
+		return
+	}
+	s := c.div(c.one, denom)
 
 	// g = s·ph (the Kalman-style gain, reused for both P and β updates)
 	g := make([]fixed.Fixed, n)
@@ -307,11 +358,11 @@ func (c *Core) SeqTrain(x []fixed.Fixed, t []fixed.Fixed) {
 func (c *Core) SeqTrainFloat(x []float64, t []float64) {
 	in := make([]fixed.Fixed, len(x))
 	for i, v := range x {
-		in[i] = fixed.FromFloat(v)
+		in[i] = c.q.FromFloat(v)
 	}
 	tt := make([]fixed.Fixed, len(t))
 	for i, v := range t {
-		tt[i] = fixed.FromFloat(v)
+		tt[i] = c.q.FromFloat(v)
 	}
 	c.SeqTrain(in, tt)
 }

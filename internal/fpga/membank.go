@@ -21,7 +21,10 @@ type ArraySpec struct {
 	Name string
 	// Words is the number of elements.
 	Words int
-	// WordBits is the element width (32 for Q20 values).
+	// WordBits is the element width in storage bits — 32 for every Qm.f
+	// fixed-point word (the format only moves the binary point, never
+	// the word width), which is why Table 3's resource model is
+	// format-invariant.
 	WordBits int
 	// Partitions is the cyclic partition factor (HLS array_partition):
 	// the array is split across this many independently-addressed banks

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"oselmrl/internal/dqn"
+	"oselmrl/internal/fixed"
 	"oselmrl/internal/fpga"
 	"oselmrl/internal/qnet"
 	"oselmrl/internal/timing"
@@ -71,6 +72,17 @@ func ParseDesign(name string) (Design, error) {
 // NewAgent constructs the named design with the paper's §4.1 defaults for
 // the given environment dimensions, hidden width and seed.
 func NewAgent(d Design, obsSize, actions, hidden int, seed uint64) (Agent, error) {
+	return NewAgentQ(d, obsSize, actions, hidden, seed, fixed.QFormat{})
+}
+
+// NewAgentQ is NewAgent with a selectable fixed-point format for the FPGA
+// design's datapath. The zero format is the Q20 default; requesting a
+// non-default format for a float-only design is an error (precision is a
+// property of the fixed-point datapath, not of the software designs).
+func NewAgentQ(d Design, obsSize, actions, hidden int, seed uint64, q fixed.QFormat) (Agent, error) {
+	if d != DesignFPGA && q != (fixed.QFormat{}) && q.Normalized() != fixed.DefaultFormat {
+		return nil, fmt.Errorf("harness: design %s runs in float64; -qformat %s only applies to the FPGA design", d, q)
+	}
 	if v, ok := qnetVariant(d); ok {
 		cfg := qnet.DefaultConfig(v, obsSize, actions, hidden)
 		cfg.Seed = seed
@@ -84,7 +96,7 @@ func NewAgent(d Design, obsSize, actions, hidden int, seed uint64) (Agent, error
 	case DesignFPGA:
 		cfg := qnet.DefaultConfig(qnet.VariantOSELML2Lipschitz, obsSize, actions, hidden)
 		cfg.Seed = seed
-		return fpga.NewAgent(cfg, fpga.DefaultCycleModel())
+		return fpga.NewAgentQ(cfg, fpga.DefaultCycleModel(), q)
 	}
 	return nil, fmt.Errorf("harness: unknown design %q", d)
 }

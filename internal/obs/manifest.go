@@ -30,6 +30,9 @@ type Manifest struct {
 	Seed     uint64 `json:"seed,omitempty"`
 	BaseSeed uint64 `json:"base_seed,omitempty"`
 	Trials   int    `json:"trials,omitempty"`
+	// QFormat is the fixed-point format of the FPGA datapath ("Q20");
+	// empty for float-only designs. Additive field, schema unchanged.
+	QFormat string `json:"qformat,omitempty"`
 	// Config is the full run configuration (harness.Config for training
 	// runs; tool-specific sweep parameters otherwise). Stored verbatim so
 	// ReadManifest round-trips it without this package importing the

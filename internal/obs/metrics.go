@@ -32,15 +32,16 @@ const (
 	GaugeBetaSigmaMax = "beta_sigma_max"
 )
 
-// Numeric-health metrics: the fixed_* family reports the Q20 datapath's
-// arithmetic accounting (internal/fixed.Acct, attributed per FPGA module),
-// the learn_* family reports learning dynamics from the agents, and the
-// watchdog_* family reports divergence-watchdog state. Naming is
-// documented in README.md §Numeric health and results/README.md.
+// Numeric-health metrics: the fixed_* family reports the fixed-point
+// (Qm.f, Q20 by default) datapath's arithmetic accounting
+// (internal/fixed.Acct, attributed per FPGA module), the learn_* family
+// reports learning dynamics from the agents, and the watchdog_* family
+// reports divergence-watchdog state. Naming is documented in README.md
+// §Numeric health and results/README.md.
 const (
-	// MetricFixedNaNs counts NaN inputs coerced to 0 at the float→Q20
-	// boundary (any NaN here is a numeric emergency — the Q20 datapath
-	// itself cannot produce one).
+	// MetricFixedNaNs counts NaN inputs coerced to 0 at the float→fixed
+	// boundary (any NaN here is a numeric emergency — the fixed-point
+	// datapath itself cannot produce one).
 	MetricFixedNaNs = "fixed_nan_inputs"
 	// MetricFixedSaturationsPredict / SeqTrain count arithmetic results
 	// clamped at the int32 rails inside the predict / seq_train modules.
@@ -60,11 +61,16 @@ const (
 	GaugeFixedSaturationRatePredict  = "fixed_saturation_rate_predict"
 	GaugeFixedSaturationRateSeqTrain = "fixed_saturation_rate_seq_train"
 	// MetricFixedSaturationsLoad / MetricFixedOpsLoad /
-	// GaugeFixedQuantErrLoad account the float→Q20 parameter load (the
+	// GaugeFixedQuantErrLoad account the float→fixed parameter load (the
 	// LoadFloat DMA boundary after CPU-side initial training).
 	MetricFixedSaturationsLoad = "fixed_saturations_load"
 	MetricFixedOpsLoad         = "fixed_ops_load"
 	GaugeFixedQuantErrLoad     = "fixed_quant_error_abs_load"
+	// MetricFixedDenomGuard counts seq_train updates rejected by the
+	// Eq. 5 denominator guard (1 + h·P·hᵀ fell below 0.5 — a saturated
+	// or poisoned P). Zero in a healthy run; the first trip also emits a
+	// numeric_alert event.
+	MetricFixedDenomGuard = "fixed_denom_guard_trips"
 
 	// HistLearnTDErrorAbs is the per-update |target − Q(s,a)| (qnet/fpga:
 	// per sequential update; dqn: batch mean per gradient step).

@@ -10,11 +10,12 @@ import (
 // "rule" label.
 const (
 	// RuleNonFinite trips on any NaN or ±Inf observed value, or on a
-	// nonzero fixed_nan_inputs counter (a NaN crossed the Q20 boundary).
+	// nonzero fixed_nan_inputs counter (a NaN crossed the float→fixed
+	// boundary).
 	RuleNonFinite = "non_finite"
 	// RuleSaturationRate trips when a fixed_saturation_rate_* gauge
-	// exceeds the configured rate — the Q20 datapath is clamping at the
-	// rails often enough to distort learning.
+	// exceeds the configured rate — the fixed-point datapath is clamping
+	// at the rails often enough to distort learning.
 	RuleSaturationRate = "saturation_rate"
 	// RuleSigmaRunaway trips when σmax(β) exceeds its bound — the §3.3
 	// Lipschitz runaway the spectral/L2 regularization exists to prevent.
@@ -28,8 +29,8 @@ const (
 // WatchdogConfig holds the divergence thresholds. The defaults are an
 // order of magnitude beyond anything a healthy run produces (healthy
 // σmax(β) stays O(1), TD errors stay O(1) against [-1,1]-clipped targets,
-// and the Q20 datapath essentially never saturates on CartPole), so a
-// healthy run must report zero alerts.
+// and the fixed-point datapath essentially never saturates on CartPole),
+// so a healthy run must report zero alerts.
 type WatchdogConfig struct {
 	// MaxBetaSigmaMax bounds the beta_sigma_max gauge (0 disables).
 	MaxBetaSigmaMax float64

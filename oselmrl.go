@@ -2,9 +2,9 @@
 // Reinforcement Learning Approach using Online Sequential Learning"
 // (Watanabe, Tsukada, Matsutani): backpropagation-free Q-learning built on
 // OS-ELM with spectral normalization and L2 regularization, a conventional
-// DQN baseline, a bit-accurate Q20 fixed-point simulator of the paper's
-// PYNQ-Z1 core, and the experiment harness that regenerates the paper's
-// tables and figures.
+// DQN baseline, a bit-accurate fixed-point simulator of the paper's
+// PYNQ-Z1 core (Q20 by default, any Qm.f format via NewAgentQ), and the
+// experiment harness that regenerates the paper's tables and figures.
 //
 // This package is the public facade over the internal implementation:
 //
@@ -22,6 +22,7 @@ package oselmrl
 
 import (
 	"oselmrl/internal/env"
+	"oselmrl/internal/fixed"
 	"oselmrl/internal/harness"
 	"oselmrl/internal/timing"
 )
@@ -58,11 +59,35 @@ type Result = harness.Result
 // Breakdown maps execution phases to modelled device seconds.
 type Breakdown = timing.Breakdown
 
+// QFormat selects the fixed-point format of the FPGA design's datapath: a
+// signed 32-bit word with Frac fractional bits (Qm.f with m = 31−Frac).
+// The zero value is the paper's Q20 default.
+type QFormat = fixed.QFormat
+
+// Predeclared formats: the paper's Q20 default plus the wordlength-sweep
+// neighbours.
+var (
+	Q16 = fixed.Q16
+	Q20 = fixed.Q20
+	Q24 = fixed.Q24
+)
+
+// ParseQFormat parses a format name ("Q20", "q20" or "20").
+func ParseQFormat(s string) (QFormat, error) { return fixed.ParseQFormat(s) }
+
 // NewAgent constructs the named design with the paper's hyperparameters
 // for an environment with obsSize observations and actions actions, Ñ =
 // hidden, seeded deterministically.
 func NewAgent(d Design, obsSize, actions, hidden int, seed uint64) (Agent, error) {
 	return harness.NewAgent(d, obsSize, actions, hidden, seed)
+}
+
+// NewAgentQ is NewAgent with a selectable fixed-point format for the FPGA
+// design. Only DesignFPGA accepts a non-default format — the software
+// designs run in float64. Storage, cycle counts and the Table 3 resource
+// model are format-invariant: only the binary point moves.
+func NewAgentQ(d Design, obsSize, actions, hidden int, seed uint64, q QFormat) (Agent, error) {
+	return harness.NewAgentQ(d, obsSize, actions, hidden, seed, q)
 }
 
 // NewCartPole returns the paper's evaluation task: CartPole-v0 with the
