@@ -13,6 +13,13 @@
 //	go run ./cmd/bench                            # full suite, next BENCH_<n>.json
 //	go run ./cmd/bench -bench 'Kernel' -benchtime 100x
 //	go run ./cmd/bench -pkg ./... -benchtime 1x -o smoke/bench.json
+//
+// Comparison mode renders a benchstat-style delta table between two
+// snapshots and optionally enforces a regression budget (flags before
+// the positional files — flag parsing stops at the first filename):
+//
+//	go run ./cmd/bench -compare BENCH_2.json BENCH_3.json
+//	go run ./cmd/bench -compare -threshold 25 BENCH_2.json new.json   # fail >25% slower
 package main
 
 import (
@@ -68,7 +75,17 @@ func run() int {
 	pkgs := flag.String("pkg", ".", "comma-separated package patterns to benchmark")
 	outPath := flag.String("o", "", "output file (default: next BENCH_<n>.json in -dir)")
 	dir := flag.String("dir", ".", "directory for auto-numbered snapshots")
+	compare := flag.Bool("compare", false, "compare two snapshots (old.json new.json as positional args) instead of running benchmarks")
+	threshold := flag.Float64("threshold", 0, "with -compare: max tolerated ns/op regression in percent; exceeding it exits nonzero (0 = report only)")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "bench: -compare needs exactly two snapshot files: old.json new.json")
+			return 2
+		}
+		return runCompare(flag.Arg(0), flag.Arg(1), *threshold)
+	}
 
 	pkgList := strings.Split(*pkgs, ",")
 	args := append([]string{"test", "-run", "^$", "-bench", *benchPat,
@@ -127,6 +144,128 @@ func run() int {
 		return 1
 	}
 	fmt.Printf("bench: %d benchmarks @ %s written to %s\n", len(results), snap.GitSHA, path)
+	return 0
+}
+
+// benchDelta is one benchmark's old-vs-new comparison.
+type benchDelta struct {
+	Name         string
+	OldNs, NewNs float64
+	// Pct is the ns/op change in percent (positive = slower). NaN when
+	// the benchmark is present on only one side.
+	Pct float64
+	// AllocDelta is the allocs/op change (absolute).
+	AllocDelta float64
+	// OnlyOld / OnlyNew mark benchmarks without a counterpart.
+	OnlyOld, OnlyNew bool
+}
+
+// compareSnapshots matches results by full benchmark name. Matched pairs
+// come first in old-snapshot order, then benchmarks present on only one
+// side.
+func compareSnapshots(oldSnap, newSnap Snapshot) []benchDelta {
+	newByName := make(map[string]BenchResult, len(newSnap.Results))
+	for _, r := range newSnap.Results {
+		newByName[r.Name] = r
+	}
+	var deltas, unmatched []benchDelta
+	seen := make(map[string]bool, len(oldSnap.Results))
+	for _, o := range oldSnap.Results {
+		seen[o.Name] = true
+		n, ok := newByName[o.Name]
+		if !ok {
+			unmatched = append(unmatched, benchDelta{Name: o.Name, OldNs: o.NsPerOp, OnlyOld: true})
+			continue
+		}
+		d := benchDelta{Name: o.Name, OldNs: o.NsPerOp, NewNs: n.NsPerOp,
+			AllocDelta: n.AllocsPerOp - o.AllocsPerOp}
+		if o.NsPerOp > 0 {
+			d.Pct = (n.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+		}
+		deltas = append(deltas, d)
+	}
+	for _, n := range newSnap.Results {
+		if !seen[n.Name] {
+			unmatched = append(unmatched, benchDelta{Name: n.Name, NewNs: n.NsPerOp, OnlyNew: true})
+		}
+	}
+	return append(deltas, unmatched...)
+}
+
+// regressions returns the matched deltas whose slowdown exceeds
+// threshold percent (threshold > 0).
+func regressions(deltas []benchDelta, threshold float64) []benchDelta {
+	if threshold <= 0 {
+		return nil
+	}
+	var out []benchDelta
+	for _, d := range deltas {
+		if !d.OnlyOld && !d.OnlyNew && d.Pct > threshold {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// formatDeltas renders the benchstat-style table.
+func formatDeltas(deltas []benchDelta) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-44s %14s %14s %9s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta", "Δallocs")
+	for _, d := range deltas {
+		switch {
+		case d.OnlyOld:
+			fmt.Fprintf(&b, "%-44s %14.1f %14s %9s %9s\n", d.Name, d.OldNs, "-", "removed", "")
+		case d.OnlyNew:
+			fmt.Fprintf(&b, "%-44s %14s %14.1f %9s %9s\n", d.Name, "-", d.NewNs, "new", "")
+		default:
+			fmt.Fprintf(&b, "%-44s %14.1f %14.1f %+8.1f%% %+9.0f\n", d.Name, d.OldNs, d.NewNs, d.Pct, d.AllocDelta)
+		}
+	}
+	return b.String()
+}
+
+// readSnapshot loads one BENCH_<n>.json document.
+func readSnapshot(path string) (Snapshot, error) {
+	var s Snapshot
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(data, &s); err != nil {
+		return s, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// runCompare implements -compare [-threshold pct] old.json new.json.
+func runCompare(oldPath, newPath string, threshold float64) int {
+	oldSnap, err := readSnapshot(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		return 1
+	}
+	newSnap, err := readSnapshot(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		return 1
+	}
+	deltas := compareSnapshots(oldSnap, newSnap)
+	if len(deltas) == 0 {
+		fmt.Fprintln(os.Stderr, "bench: no benchmarks in either snapshot")
+		return 1
+	}
+	fmt.Printf("bench: %s (%s) vs %s (%s)\n", oldPath, oldSnap.GitSHA, newPath, newSnap.GitSHA)
+	fmt.Print(formatDeltas(deltas))
+	if reg := regressions(deltas, threshold); len(reg) > 0 {
+		fmt.Fprintf(os.Stderr, "bench: FAILED: %d benchmark(s) regressed more than %.1f%%:\n", len(reg), threshold)
+		for _, d := range reg {
+			fmt.Fprintf(os.Stderr, "  %s: %.1f -> %.1f ns/op (%+.1f%%)\n", d.Name, d.OldNs, d.NewNs, d.Pct)
+		}
+		return 1
+	}
+	if threshold > 0 {
+		fmt.Printf("bench: OK, no regression beyond %.1f%%\n", threshold)
+	}
 	return 0
 }
 

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -60,5 +62,83 @@ func TestNextSnapshotPath(t *testing.T) {
 	}
 	if filepath.Base(p) != "BENCH_8.json" {
 		t.Fatalf("continuation → %s, want BENCH_8.json", p)
+	}
+}
+
+func TestCompareSnapshots(t *testing.T) {
+	oldSnap := Snapshot{Results: []BenchResult{
+		{Name: "BenchmarkA-8", NsPerOp: 100, AllocsPerOp: 2},
+		{Name: "BenchmarkB-8", NsPerOp: 200},
+		{Name: "BenchmarkGone-8", NsPerOp: 50},
+	}}
+	newSnap := Snapshot{Results: []BenchResult{
+		{Name: "BenchmarkA-8", NsPerOp: 150, AllocsPerOp: 3}, // +50%, +1 alloc
+		{Name: "BenchmarkB-8", NsPerOp: 100},                 // -50%
+		{Name: "BenchmarkFresh-8", NsPerOp: 10},
+	}}
+	deltas := compareSnapshots(oldSnap, newSnap)
+	if len(deltas) != 4 {
+		t.Fatalf("deltas = %+v", deltas)
+	}
+	a := deltas[0]
+	if a.Name != "BenchmarkA-8" || a.Pct != 50 || a.AllocDelta != 1 {
+		t.Errorf("A delta %+v", a)
+	}
+	if b := deltas[1]; b.Pct != -50 {
+		t.Errorf("B delta %+v", b)
+	}
+	if g := deltas[2]; !g.OnlyOld || g.Name != "BenchmarkGone-8" {
+		t.Errorf("removed %+v", g)
+	}
+	if f := deltas[3]; !f.OnlyNew || f.Name != "BenchmarkFresh-8" {
+		t.Errorf("new %+v", f)
+	}
+
+	// The regression gate only fires on matched slowdowns past threshold.
+	if reg := regressions(deltas, 60); len(reg) != 0 {
+		t.Errorf("no regression past 60%%, got %+v", reg)
+	}
+	reg := regressions(deltas, 25)
+	if len(reg) != 1 || reg[0].Name != "BenchmarkA-8" {
+		t.Errorf("regressions(25) = %+v", reg)
+	}
+	if reg := regressions(deltas, 0); reg != nil {
+		t.Errorf("threshold 0 is report-only, got %+v", reg)
+	}
+
+	table := formatDeltas(deltas)
+	for _, want := range []string{"BenchmarkA-8", "+50.0%", "-50.0%", "removed", "new"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestRunCompareThresholdExit(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, s Snapshot) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		data, _ := json.Marshal(s)
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	oldP := write("old.json", Snapshot{GitSHA: "aaa",
+		Results: []BenchResult{{Name: "BenchmarkX-8", NsPerOp: 100}}})
+	newP := write("new.json", Snapshot{GitSHA: "bbb",
+		Results: []BenchResult{{Name: "BenchmarkX-8", NsPerOp: 400}}})
+	if code := runCompare(oldP, newP, 100); code != 1 {
+		t.Errorf("300%% regression past a 100%% threshold must exit 1, got %d", code)
+	}
+	if code := runCompare(oldP, newP, 0); code != 0 {
+		t.Errorf("report-only compare must exit 0, got %d", code)
+	}
+	if code := runCompare(oldP, newP, 500); code != 0 {
+		t.Errorf("regression inside the budget must exit 0, got %d", code)
+	}
+	if code := runCompare(filepath.Join(dir, "missing.json"), newP, 0); code != 1 {
+		t.Errorf("missing snapshot must exit 1, got %d", code)
 	}
 }

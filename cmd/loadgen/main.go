@@ -14,6 +14,19 @@
 // separated floats. Any non-2xx response or transport error counts as an
 // error, and the exit code is non-zero if any occurred (or if nothing
 // succeeded), so CI can assert a healthy server with one command.
+//
+// With -slo the tool additionally replays the traffic through a
+// client-side burn-rate engine (internal/obs/slo): every response is
+// classified (200 OK, 400 client error, 429 shed, transport error
+// timeout), the server's Server-Timing header splits each latency into
+// queue-wait and evaluator components, and the report carries the full
+// SLO evaluation — quantiles per component, 5m/1h burn rates, and the
+// overall budget verdict. The exit code then gates on the objectives: a
+// run that as a whole burned more than its error budget exits nonzero,
+// making `loadgen -slo` a one-command serving-SLO check for CI:
+//
+//	go run ./cmd/loadgen -slo -duration 5s -slo-out slo-report.json
+//	go run ./cmd/loadgen -slo -slo-p99 0.0001 ...   # forced breach demo
 package main
 
 import (
@@ -29,11 +42,14 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"oselmrl/internal/obs/slo"
 )
 
 type report struct {
 	Requests   int     `json:"requests"`
 	Errors     int     `json:"errors"`
+	Shed       int     `json:"shed,omitempty"`
 	Seconds    float64 `json:"seconds"`
 	QPS        float64 `json:"qps"`
 	P50MS      float64 `json:"p50_ms"`
@@ -42,6 +58,10 @@ type report struct {
 	MaxMS      float64 `json:"max_ms"`
 	Endpoint   string  `json:"endpoint"`
 	Concurrent int     `json:"concurrency"`
+	// SLO and SLOBreaches are present with -slo: the client-side burn-rate
+	// evaluation and the objectives whose overall burn reached 1.
+	SLO         *slo.Report `json:"slo,omitempty"`
+	SLOBreaches []string    `json:"slo_breaches,omitempty"`
 }
 
 func main() { os.Exit(run()) }
@@ -53,7 +73,16 @@ func run() int {
 	concurrency := flag.Int("concurrency", 16, "closed-loop workers")
 	stateFlag := flag.String("state", "", "comma-separated probe state (default: zeros sized via /v1/info)")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON")
+	sloOn := flag.Bool("slo", false, "evaluate serving SLOs client-side and gate the exit code on them")
+	sloP99 := flag.Float64("slo-p99", 100, "latency objective: p99 total latency in ms (with -slo; 0 disables)")
+	sloAvail := flag.Float64("slo-availability", 0.999, "availability objective (with -slo; 0 disables)")
+	sloOut := flag.String("slo-out", "", "with -slo: also write the full JSON report to this file (the CI artifact)")
 	flag.Parse()
+
+	var eng *slo.Engine
+	if *sloOn {
+		eng = slo.NewEngine(slo.Objectives{LatencyP99MS: *sloP99, Availability: *sloAvail})
+	}
 
 	state, err := probeState(*base, *stateFlag)
 	if err != nil {
@@ -74,6 +103,7 @@ func run() int {
 	type workerResult struct {
 		lat  []float64 // milliseconds
 		errs int
+		shed int
 	}
 	results := make([]workerResult, *concurrency)
 	deadline := time.Now().Add(*duration)
@@ -87,17 +117,37 @@ func run() int {
 			for time.Now().Before(deadline) {
 				t0 := time.Now()
 				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				totalMS := float64(time.Since(t0)) / float64(time.Millisecond)
 				if err != nil {
+					// Transport errors are unavailability from the caller's
+					// seat — the SLO engine books them as timeouts.
 					res.errs++
+					eng.Record(slo.Timeout, 0, 0, totalMS)
 					continue
 				}
 				io.Copy(io.Discard, resp.Body)
+				queueMS, evalMS := parseServerTiming(resp.Header.Get("Server-Timing"))
 				resp.Body.Close()
-				if resp.StatusCode != http.StatusOK {
+				switch {
+				case resp.StatusCode == http.StatusOK:
+					eng.Record(slo.OK, queueMS, evalMS, totalMS)
+					res.lat = append(res.lat, totalMS)
+				case resp.StatusCode == http.StatusTooManyRequests:
+					// Shedding is backpressure, not breakage: with -slo it
+					// consumes availability budget instead of failing the run
+					// outright.
+					res.shed++
+					eng.Record(slo.Shed, queueMS, 0, totalMS)
+					if eng == nil {
+						res.errs++
+					}
+				case resp.StatusCode == http.StatusBadRequest:
 					res.errs++
-					continue
+					eng.Record(slo.ClientError, queueMS, evalMS, totalMS)
+				default:
+					res.errs++
+					eng.Record(slo.Timeout, queueMS, 0, totalMS)
 				}
-				res.lat = append(res.lat, float64(time.Since(t0))/float64(time.Millisecond))
 			}
 		}(w)
 	}
@@ -105,15 +155,17 @@ func run() int {
 	elapsed := time.Since(start).Seconds()
 
 	var lats []float64
-	errs := 0
+	errs, shed := 0, 0
 	for _, r := range results {
 		lats = append(lats, r.lat...)
 		errs += r.errs
+		shed += r.shed
 	}
 	sort.Float64s(lats)
 	rep := report{
 		Requests:   len(lats),
 		Errors:     errs,
+		Shed:       shed,
 		Seconds:    elapsed,
 		Endpoint:   *endpoint,
 		Concurrent: *concurrency,
@@ -127,20 +179,119 @@ func run() int {
 		rep.P99MS = quantile(lats, 0.99)
 		rep.MaxMS = lats[len(lats)-1]
 	}
+	if eng != nil {
+		sloRep := eng.Report()
+		rep.SLO = &sloRep
+		rep.SLOBreaches = slo.GateBreaches(sloRep)
+	}
 
 	if *jsonOut {
 		json.NewEncoder(os.Stdout).Encode(rep)
 	} else {
-		fmt.Printf("loadgen: %d requests in %.2fs (%d errors), %.0f req/s\n",
-			rep.Requests, rep.Seconds, rep.Errors, rep.QPS)
+		fmt.Printf("loadgen: %d requests in %.2fs (%d errors, %d shed), %.0f req/s\n",
+			rep.Requests, rep.Seconds, rep.Errors, rep.Shed, rep.QPS)
 		fmt.Printf("latency ms: p50=%.3f p95=%.3f p99=%.3f max=%.3f\n",
 			rep.P50MS, rep.P95MS, rep.P99MS, rep.MaxMS)
+		if rep.SLO != nil {
+			printSLO(rep.SLO)
+		}
+	}
+	if *sloOut != "" && rep.SLO != nil {
+		if err := writeJSONFile(*sloOut, rep); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: slo report written to %s\n", *sloOut)
+	}
+
+	if eng != nil {
+		// SLO mode gates on the objectives, not on raw error counts:
+		// the run fails when some objective's overall burn reached 1 or
+		// nothing succeeded at all.
+		if len(rep.SLOBreaches) > 0 {
+			fmt.Fprintf(os.Stderr, "loadgen: SLO FAILED (breached: %s)\n", strings.Join(rep.SLOBreaches, ", "))
+			return 1
+		}
+		if len(lats) == 0 {
+			fmt.Fprintln(os.Stderr, "loadgen: FAILED (no successful requests)")
+			return 1
+		}
+		fmt.Fprintln(os.Stderr, "loadgen: SLO OK")
+		return 0
 	}
 	if errs > 0 || len(lats) == 0 {
 		fmt.Fprintln(os.Stderr, "loadgen: FAILED (errors or no successful requests)")
 		return 1
 	}
 	return 0
+}
+
+// printSLO renders the burn-rate evaluation for humans: the latency
+// split quantiles (the Server-Timing decomposition) and each objective's
+// burn on the 5m window and over the whole run.
+func printSLO(r *slo.Report) {
+	fmt.Printf("slo: %d ok, %d client errors, %d shed, %d timeouts, %d slow\n",
+		r.OK, r.ClientErrors, r.Shed, r.Timeouts, r.SlowRequests)
+	for _, d := range []struct {
+		name string
+		dist slo.Dist
+	}{{"total", r.TotalMS}, {"queue", r.QueueMS}, {"eval", r.EvalMS}} {
+		fmt.Printf("slo: %-5s ms p50=%.4f p95=%.4f p99=%.4f max=%.4f\n",
+			d.name, d.dist.P50MS, d.dist.P95MS, d.dist.P99MS, d.dist.MaxMS)
+	}
+	printBurn := func(name string, w5, all *slo.Burn) {
+		if w5 == nil || all == nil {
+			return
+		}
+		fmt.Printf("slo: %-12s burn 5m=%.3f overall=%.3f (bad %d/%d)\n",
+			name, w5.Rate, all.Rate, all.Bad, all.Requests)
+	}
+	printBurn("latency", r.Window5m.Latency, r.Overall.Latency)
+	printBurn("availability", r.Window5m.Availability, r.Overall.Availability)
+}
+
+// parseServerTiming extracts the queue and eval components from the
+// serving path's Server-Timing header ("queue;dur=0.0123, eval;dur=0.4").
+// Absent or malformed metrics yield zeros.
+func parseServerTiming(h string) (queueMS, evalMS float64) {
+	for _, part := range strings.Split(h, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ";")
+		if len(fields) < 2 {
+			continue
+		}
+		name := strings.TrimSpace(fields[0])
+		for _, attr := range fields[1:] {
+			attr = strings.TrimSpace(attr)
+			if !strings.HasPrefix(attr, "dur=") {
+				continue
+			}
+			v, err := strconv.ParseFloat(strings.TrimPrefix(attr, "dur="), 64)
+			if err != nil {
+				continue
+			}
+			switch name {
+			case "queue":
+				queueMS = v
+			case "eval":
+				evalMS = v
+			}
+		}
+	}
+	return queueMS, evalMS
+}
+
+// writeJSONFile writes v as indented JSON to path.
+func writeJSONFile(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // probeState parses -state, or asks /v1/info for the model's input size

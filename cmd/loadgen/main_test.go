@@ -1,0 +1,38 @@
+package main
+
+import "testing"
+
+func TestParseServerTiming(t *testing.T) {
+	cases := []struct {
+		in           string
+		queue, eval1 float64
+	}{
+		{"queue;dur=0.0123, eval;dur=0.4567", 0.0123, 0.4567},
+		{"queue;dur=1.5", 1.5, 0},
+		{"eval;dur=2", 0, 2},
+		{"", 0, 0},
+		{"db;dur=9, queue;dur=0.25, eval;dur=0.5", 0.25, 0.5},
+		{"queue; dur=0.25 , eval;desc=\"x\";dur=0.5", 0.25, 0.5},
+		{"queue;dur=bogus", 0, 0},
+		{"garbage", 0, 0},
+	}
+	for _, c := range cases {
+		q, e := parseServerTiming(c.in)
+		if q != c.queue || e != c.eval1 {
+			t.Errorf("parseServerTiming(%q) = (%g, %g), want (%g, %g)", c.in, q, e, c.queue, c.eval1)
+		}
+	}
+}
+
+func TestQuantileNearestRank(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if q := quantile(sorted, 0.5); q != 5 {
+		t.Errorf("p50 = %g", q)
+	}
+	if q := quantile(sorted, 0.99); q != 10 {
+		t.Errorf("p99 = %g", q)
+	}
+	if q := quantile(sorted[:1], 0.5); q != 1 {
+		t.Errorf("single-element p50 = %g", q)
+	}
+}

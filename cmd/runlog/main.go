@@ -19,6 +19,12 @@
 // and an offline re-evaluation of the watchdog thresholds for logs
 // recorded without one (see README.md §Numeric health).
 //
+// The access and slo subcommands consume the serving path's structured
+// access log (cmd/serve -access -events …): access summarizes requests
+// per route with the queue/eval latency split, and slo replays the log
+// through the burn-rate engine on the log's own clock (see README.md
+// §Serving SLOs & request tracing).
+//
 // Usage:
 //
 //	go run ./cmd/train -events run.jsonl ... && go run ./cmd/runlog run.jsonl
@@ -26,6 +32,8 @@
 //	go run ./cmd/runlog -f run.jsonl                 # follow a run in progress
 //	go run ./cmd/runlog export -o run-trace.json run.jsonl
 //	go run ./cmd/runlog learn run.jsonl              # TD/σmax(β)/alert report
+//	go run ./cmd/runlog access serve.jsonl           # access-log summary
+//	go run ./cmd/runlog slo -p99 1 serve.jsonl       # offline burn-rate replay
 package main
 
 import (
@@ -64,6 +72,20 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "learn" {
 		if err := runLearn(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "runlog learn:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "access" {
+		if err := runAccess(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "runlog access:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "slo" {
+		if err := runSLO(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "runlog slo:", err)
 			os.Exit(1)
 		}
 		return

@@ -30,6 +30,7 @@ import (
 	"oselmrl/internal/cli"
 	"oselmrl/internal/obs"
 	"oselmrl/internal/obs/export"
+	"oselmrl/internal/obs/slo"
 	"oselmrl/internal/serve"
 )
 
@@ -44,9 +45,18 @@ func run() int {
 	watch := flag.Duration("watch", 0, "poll the checkpoint mtime at this interval and hot-reload on change (0 = off; SIGHUP always reloads)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown budget for in-flight requests")
 	events := flag.String("events", "", "JSONL event log path (\"-\" for stderr); reload events land here")
+	access := flag.Bool("access", false, "emit one serve_access event per request to -events (requires -events)")
+	sloOn := flag.Bool("slo", false, "evaluate serving SLOs: burn-rate report at /slo, /healthz degrades on fast burn")
+	sloP99 := flag.Float64("slo-p99", 100, "latency objective: p99 total latency in ms (with -slo; 0 disables)")
+	sloAvail := flag.Float64("slo-availability", 0.999, "availability objective: max fraction shed/timed out is 1 minus this (with -slo; 0 disables)")
+	tracePath := flag.String("trace", "", "record request spans and write a Chrome trace-event timeline here at shutdown (also live at /trace)")
 	flag.Parse()
 	if *checkpoint == "" {
 		fmt.Fprintln(os.Stderr, "serve: -checkpoint is required")
+		return 2
+	}
+	if *access && *events == "" {
+		fmt.Fprintln(os.Stderr, "serve: -access needs -events to write the access log to")
 		return 2
 	}
 
@@ -58,12 +68,24 @@ func run() int {
 		emitter = obs.NewEmitter(nil) // metrics-only: /metrics always serves
 	}
 
+	var eng *slo.Engine
+	if *sloOn {
+		eng = slo.NewEngine(slo.Objectives{LatencyP99MS: *sloP99, Availability: *sloAvail})
+	}
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		tracer = obs.NewTracer()
+		emitter.SetTracer(tracer)
+	}
+
 	svc, err := serve.New(serve.Config{
 		Checkpoint: *checkpoint,
 		Pool:       *pool,
 		Queue:      *queue,
 		Timeout:    *timeout,
 		Obs:        emitter,
+		AccessLog:  *access,
+		SLO:        eng,
 	})
 	if err != nil {
 		return fail(err)
@@ -72,7 +94,14 @@ func run() int {
 	fmt.Fprintf(os.Stderr, "serve: loaded %s (%s, %d->%d, hidden %d, %d updates)\n",
 		info.Source, info.Design, info.ObservationSize, info.ActionCount, info.Hidden, info.Updates)
 
-	srv, err := export.Serve(*addr, emitter.Metrics(), export.WithRoute("/v1/", svc.Handler()))
+	exportOpts := []export.Option{export.WithRoute("/v1/", svc.Handler())}
+	if eng != nil {
+		exportOpts = append(exportOpts, export.WithSLO(eng))
+	}
+	if tracer != nil {
+		exportOpts = append(exportOpts, export.WithTracer(tracer))
+	}
+	srv, err := export.Serve(*addr, emitter.Metrics(), exportOpts...)
 	if err != nil {
 		return fail(err)
 	}
@@ -105,11 +134,36 @@ func run() int {
 	if err := srv.Shutdown(ctx); err != nil {
 		return fail(fmt.Errorf("shutdown: %w", err))
 	}
+	if tracer != nil {
+		if err := writeTrace(*tracePath, tracer); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "serve: %d request spans written to %s\n", tracer.Len(), *tracePath)
+	}
+	if eng != nil {
+		rep := eng.Report()
+		fmt.Fprintf(os.Stderr, "serve: slo: %d requests, %d slow, %d shed, %d timed out\n",
+			rep.Requests, rep.SlowRequests, rep.Shed, rep.Timeouts)
+	}
 	if err := emitter.Close(); err != nil {
 		return fail(err)
 	}
 	fmt.Fprintln(os.Stderr, "serve: drained, bye")
 	return 0
+}
+
+// writeTrace dumps the recorded request spans as a Chrome trace-event
+// timeline (the offline counterpart of the live /trace endpoint).
+func writeTrace(path string, tracer *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := export.WriteTrace(f, tracer.Spans(), export.TraceMeta{Tool: "serve", Dropped: tracer.Dropped()}); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fail(err error) int {

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"oselmrl/internal/obs"
+	"oselmrl/internal/obs/slo"
 )
 
 // MetricPrefix namespaces every exposed metric, per the Prometheus
@@ -113,6 +114,7 @@ type Option func(*handlerOpts)
 type handlerOpts struct {
 	tracer   *obs.Tracer
 	watchdog *obs.Watchdog
+	slo      *slo.Engine
 	pprof    bool
 	routes   []route
 }
@@ -141,6 +143,19 @@ func WithPprof() Option {
 	return func(o *handlerOpts) { o.pprof = true }
 }
 
+// WithSLO additionally serves the burn-rate engine's evaluation at /slo
+// (the full slo.Report as JSON, HTTP 503 while some objective fast-burns)
+// and folds the verdict into /healthz: the liveness probe answers
+// "degraded" with 503 during a fast burn, so a plain HTTP check pages on
+// SLO breach without parsing anything. A nil engine is ignored.
+func WithSLO(e *slo.Engine) Option {
+	return func(o *handlerOpts) {
+		if e.Enabled() {
+			o.slo = e
+		}
+	}
+}
+
 // WithWatchdog additionally serves the divergence watchdog's state at
 // /health: a JSON verdict with the tripped rules, HTTP 200 while healthy
 // and 503 once any rule has tripped — so a scrape-side alert needs no
@@ -164,8 +179,9 @@ type HealthReport struct {
 // NewHandler builds the telemetry mux over reg:
 //
 //	/metrics   Prometheus text exposition of the registry snapshot
-//	/healthz   liveness probe ("ok")
+//	/healthz   liveness probe: "ok", or "degraded" + 503 on SLO fast burn (WithSLO)
 //	/snapshot  the full obs.Snapshot as JSON
+//	/slo       burn-rate engine report, 503 during a fast burn (WithSLO)
 //	/health    divergence-watchdog verdict, 503 on divergence (WithWatchdog)
 //	/trace     Chrome trace-event JSON of recorded spans (WithTracer)
 //	/debug/pprof/...  live profiling (WithPprof)
@@ -189,8 +205,14 @@ func NewHandler(reg *obs.Registry, opts ...Option) http.Handler {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	sloEngine := o.slo // nil when no WithSLO: FastBurn is nil-safe
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if sloEngine.FastBurn() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			io.WriteString(w, "degraded\n")
+			return
+		}
 		io.WriteString(w, "ok\n")
 	})
 	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, r *http.Request) {
@@ -201,6 +223,19 @@ func NewHandler(reg *obs.Registry, opts ...Option) http.Handler {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	if o.slo != nil {
+		eng := o.slo
+		mux.HandleFunc("/slo", func(w http.ResponseWriter, r *http.Request) {
+			report := eng.Report()
+			w.Header().Set("Content-Type", "application/json")
+			if report.FastBurn {
+				w.WriteHeader(http.StatusServiceUnavailable)
+			}
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(report)
+		})
+	}
 	if o.watchdog != nil {
 		wd := o.watchdog
 		mux.HandleFunc("/health", func(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,76 @@
+package export
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"oselmrl/internal/obs/slo"
+)
+
+// WithSLO serves the burn-rate report at /slo and degrades /healthz to
+// 503 during a fast burn.
+func TestServeSLO(t *testing.T) {
+	eng := slo.NewEngine(slo.DefaultObjectives())
+	srv, err := Serve("127.0.0.1:0", nil, WithSLO(eng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	// Healthy traffic: /slo reports it, /healthz stays ok.
+	for i := 0; i < 50; i++ {
+		eng.Record(slo.OK, 0.01, 0.02, 0.05)
+	}
+	body, resp := get(t, base+"/slo")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/slo status %d", resp.StatusCode)
+	}
+	var rep slo.Report
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatalf("/slo not JSON: %v", err)
+	}
+	if rep.Requests != 50 || rep.OK != 50 || rep.FastBurn {
+		t.Fatalf("/slo report %+v", rep)
+	}
+	if body, resp := get(t, base+"/healthz"); resp.StatusCode != http.StatusOK || body != "ok\n" {
+		t.Fatalf("healthy /healthz = %d %q", resp.StatusCode, body)
+	}
+
+	// Burn the availability budget fast: everything shed.
+	for i := 0; i < 100; i++ {
+		eng.Record(slo.Shed, 0.5, 0, 0.5)
+	}
+	body, resp = get(t, base+"/slo")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/slo during fast burn = %d", resp.StatusCode)
+	}
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.FastBurn || len(rep.Breached) == 0 {
+		t.Fatalf("fast-burn report %+v", rep)
+	}
+	body, resp = get(t, base+"/healthz")
+	if resp.StatusCode != http.StatusServiceUnavailable || body != "degraded\n" {
+		t.Fatalf("degraded /healthz = %d %q", resp.StatusCode, body)
+	}
+}
+
+// Without WithSLO (or with a nil engine) /slo stays unmounted and
+// /healthz keeps its unconditional ok.
+func TestServeSLOAbsent(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", nil, WithSLO(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+	if _, resp := get(t, base+"/slo"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/slo must 404 without an engine, got %d", resp.StatusCode)
+	}
+	if body, resp := get(t, base+"/healthz"); resp.StatusCode != http.StatusOK || body != "ok\n" {
+		t.Fatalf("/healthz = %d %q", resp.StatusCode, body)
+	}
+}

@@ -261,6 +261,34 @@ func (e *Emitter) Emit(typ string, episode int, data map[string]float64) {
 	})
 }
 
+// EmitLabeled writes one event carrying extra per-event labels on top of
+// the emitter's own label set — the per-request path behind serve_access
+// events, where the trace ID and route differ on every line and deriving
+// a whole emitter via With would be wasteful. data and labels are owned
+// by the emitter after the call. Like Emit, a nil emitter or sink-less
+// emitter returns immediately.
+func (e *Emitter) EmitLabeled(typ string, labels map[string]string, data map[string]float64) {
+	if e == nil || e.sink == nil {
+		return
+	}
+	if len(e.labels) > 0 {
+		merged := make(map[string]string, len(e.labels)+len(labels))
+		for k, v := range e.labels {
+			merged[k] = v
+		}
+		for k, v := range labels {
+			merged[k] = v
+		}
+		labels = merged
+	}
+	e.sink.Write(&Event{
+		Type:   typ,
+		WallMS: float64(time.Since(e.start)) / float64(time.Millisecond),
+		Data:   data,
+		Labels: labels,
+	})
+}
+
 // Inc adds delta to the named counter.
 func (e *Emitter) Inc(name string, delta int64) {
 	if e == nil {

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"oselmrl/internal/obs"
+	"oselmrl/internal/obs/slo"
 	"oselmrl/internal/persist"
 )
 
@@ -38,19 +39,48 @@ const (
 	MetricOK = "serve_ok"
 	// MetricErrors counts requests rejected for client or decode errors.
 	MetricErrors = "serve_errors"
-	// MetricShed counts requests shed with 429 by backpressure (queue
-	// full, or the request timeout expired while waiting for a worker).
+	// MetricShed counts requests shed with 429 because the worker pool
+	// and its bounded queue were full on arrival.
 	MetricShed = "serve_shed"
+	// MetricTimeout counts requests admitted to the queue but shed with
+	// 429 because their request budget expired before a worker freed up
+	// — the distinct outcome that separates "overloaded now" (shed) from
+	// "overloaded for longer than callers will wait" (timeout).
+	MetricTimeout = "serve_timeouts"
 	// MetricReloads and MetricReloadErrors count checkpoint hot-reloads.
 	MetricReloads      = "serve_reloads"
 	MetricReloadErrors = "serve_reload_errors"
-	// HistLatencyMS is the request latency histogram (milliseconds,
-	// admission wait included).
+	// HistLatencyMS is the total request latency histogram (milliseconds,
+	// admission wait and response encode included).
 	HistLatencyMS = "serve_latency_ms"
+	// HistQueueMS is the admission-wait component: time from request
+	// arrival to a worker slot (observed for every counted request,
+	// including shed and timed-out ones — their whole life is queue
+	// wait).
+	HistQueueMS = "serve_queue_ms"
+	// HistEvalMS is the evaluator component: acquiring an evaluator and
+	// running the forward pass (observed only for requests that reached
+	// evaluation).
+	HistEvalMS = "serve_eval_ms"
 	// GaugeGeneration is the current policy generation.
 	GaugeGeneration = "serve_generation"
 	// EventReload is emitted once per successful hot-reload.
 	EventReload = "serve_reload"
+	// EventAccess is the structured access log: one event per request
+	// when Config.AccessLog is on. Labels: trace (32-hex W3C trace ID),
+	// route. Data: status, queue_ms, eval_ms, total_ms, generation,
+	// shed (0/1), timeout (0/1).
+	EventAccess = "serve_access"
+)
+
+// Span names of the per-request trace tree (group "req:<trace-id-low>"):
+// SpanRequest covers the whole request, with the queue-wait, evaluator
+// and response-encode phases as child spans on the same track.
+const (
+	SpanRequest = "serve_predict"
+	SpanQueue   = "serve_queue"
+	SpanEval    = "serve_eval"
+	SpanEncode  = "serve_encode"
 )
 
 // LatencyBuckets are the HistLatencyMS upper bounds in milliseconds,
@@ -76,6 +106,14 @@ type Config struct {
 	// Obs receives metrics, events and tracer spans; nil disables
 	// observability (every obs call is nil-safe).
 	Obs *obs.Emitter
+	// AccessLog emits one EventAccess per request through Obs's event
+	// sink. Off (the default) the access path allocates nothing.
+	AccessLog bool
+	// SLO, when non-nil, receives every request's outcome and latency
+	// split for burn-rate evaluation (internal/obs/slo); expose its
+	// report via export.WithSLO. A nil engine costs one pointer
+	// comparison per request.
+	SLO *slo.Engine
 }
 
 func (c *Config) fill() {
@@ -96,6 +134,7 @@ func (c *Config) fill() {
 type Service struct {
 	cfg    Config
 	obs    *obs.Emitter
+	slo    *slo.Engine
 	policy atomic.Pointer[Policy]
 	sem    chan struct{} // worker slots
 	queue  chan struct{} // bounded wait slots beyond the pool
@@ -118,12 +157,15 @@ func New(cfg Config) (*Service, error) {
 	s := &Service{
 		cfg:       cfg,
 		obs:       cfg.Obs,
+		slo:       cfg.SLO,
 		sem:       make(chan struct{}, cfg.Pool),
 		queue:     make(chan struct{}, cfg.Queue),
 		reloading: make(chan struct{}, 1),
 	}
 	if reg := s.obs.Metrics(); reg != nil {
 		reg.NewHistogram(HistLatencyMS, LatencyBuckets)
+		reg.NewHistogram(HistQueueMS, LatencyBuckets)
+		reg.NewHistogram(HistEvalMS, LatencyBuckets)
 	}
 	s.policy.Store(newPolicy(agent, cfg.Checkpoint, 1))
 	s.obs.SetGauge(GaugeGeneration, 1)
@@ -190,12 +232,13 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // admit implements the bounded-pool backpressure: a free worker slot
 // admits immediately; otherwise the request takes a bounded queue slot
 // and waits for a worker until ctx expires; a full queue sheds at once.
-// On ok the caller must invoke release exactly once.
-func (s *Service) admit(ctx context.Context) (release func(), ok bool) {
+// On ok the caller must invoke release exactly once; timedOut
+// distinguishes a queue-wait expiry from an immediate full-queue shed.
+func (s *Service) admit(ctx context.Context) (release func(), ok, timedOut bool) {
 	release = func() { <-s.sem }
 	select {
 	case s.sem <- struct{}{}:
-		return release, true
+		return release, true, false
 	default:
 	}
 	select {
@@ -203,12 +246,117 @@ func (s *Service) admit(ctx context.Context) (release func(), ok bool) {
 		defer func() { <-s.queue }()
 		select {
 		case s.sem <- struct{}{}:
-			return release, true
+			return release, true, false
 		case <-ctx.Done():
-			return nil, false
+			return nil, false, true
 		}
 	default:
-		return nil, false
+		return nil, false, false
+	}
+}
+
+// request is the per-request observability state threaded from admission
+// to the final access-log record. Held by value on the handler stack so
+// the fully disabled path allocates nothing.
+type request struct {
+	route      string
+	tc         traceContext
+	traced     bool
+	start      time.Time
+	queueMS    float64
+	evalMS     float64
+	evaluated  bool
+	status     int
+	outcome    slo.Outcome
+	generation int
+	root       obs.Span
+}
+
+// msSince is the elapsed milliseconds since t.
+func msSince(t time.Time) float64 {
+	return float64(time.Since(t)) / float64(time.Millisecond)
+}
+
+// beginRequest establishes the trace context: an incoming W3C
+// traceparent header continues the caller's trace; otherwise a fresh
+// trace ID is generated whenever request observability (span tracing or
+// access logging) will use one. With everything off and no incoming
+// header, the request stays untraced at the cost of one header lookup.
+func (s *Service) beginRequest(r *http.Request, rq *request) {
+	if h := r.Header.Get("traceparent"); h != "" {
+		if tc, ok := parseTraceparent(h); ok {
+			rq.tc, rq.traced = tc, true
+		}
+	}
+	if !rq.traced && (s.obs.Tracer() != nil || s.cfg.AccessLog) {
+		rq.tc, rq.traced = newTraceContext(), true
+	}
+	if rq.traced {
+		if tr := s.obs.Tracer(); tr != nil {
+			rq.root = tr.StartSpanGroup(SpanRequest, rq.tc.spanGroup())
+		}
+	}
+}
+
+// span opens a child span of the request's trace tree (inactive when
+// the request is untraced or no tracer is attached).
+func (s *Service) span(rq *request, name string) obs.Span {
+	if !rq.root.Active() {
+		return obs.Span{}
+	}
+	return s.obs.Tracer().StartSpanGroup(name, rq.tc.spanGroup())
+}
+
+// finishRequest records the request's outcome everywhere it is
+// observable: the latency histograms (total always, queue always, eval
+// when an evaluator ran), the SLO engine, the request root span, and —
+// with access logging on — one serve_access event. Every disabled
+// consumer is skipped without allocating.
+func (s *Service) finishRequest(rq *request) {
+	totalMS := msSince(rq.start)
+	s.obs.Observe(HistLatencyMS, totalMS)
+	s.obs.Observe(HistQueueMS, rq.queueMS)
+	if rq.evaluated {
+		s.obs.Observe(HistEvalMS, rq.evalMS)
+	}
+	s.slo.Record(rq.outcome, rq.queueMS, rq.evalMS, totalMS)
+	rq.root.End()
+	if s.cfg.AccessLog {
+		s.obs.EmitLabeled(EventAccess,
+			map[string]string{"trace": rq.tc.traceIDHex(), "route": rq.route},
+			map[string]float64{
+				"status":     float64(rq.status),
+				"queue_ms":   rq.queueMS,
+				"eval_ms":    rq.evalMS,
+				"total_ms":   totalMS,
+				"generation": float64(rq.generation),
+				"shed":       boolToFloat(rq.outcome == slo.Shed),
+				"timeout":    boolToFloat(rq.outcome == slo.Timeout),
+			})
+	}
+}
+
+func boolToFloat(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// setTimingHeaders annotates the response with the request's identity
+// and latency split: X-Trace-Id (when traced) and a standard
+// Server-Timing header carrying the queue and eval components, which is
+// how cmd/loadgen -slo splits client-observed latency without a
+// server-side log.
+func setTimingHeaders(w http.ResponseWriter, rq *request) {
+	h := w.Header()
+	if rq.traced {
+		h.Set("X-Trace-Id", rq.tc.traceIDHex())
+	}
+	if rq.evaluated {
+		h.Set("Server-Timing", fmt.Sprintf("queue;dur=%.4f, eval;dur=%.4f", rq.queueMS, rq.evalMS))
+	} else {
+		h.Set("Server-Timing", fmt.Sprintf("queue;dur=%.4f", rq.queueMS))
 	}
 }
 
@@ -217,21 +365,29 @@ func (s *Service) handleEval(w http.ResponseWriter, r *http.Request, includeQ bo
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST only"})
 		return
 	}
-	start := time.Now()
+	rq := request{route: r.URL.Path, start: time.Now()}
 	s.obs.Inc(MetricRequests, 1)
-	sp := s.obs.StartSpan("serve_predict")
-	defer func() {
-		sp.End()
-		s.obs.Observe(HistLatencyMS, float64(time.Since(start))/float64(time.Millisecond))
-	}()
+	s.beginRequest(r, &rq)
+	rq.generation = s.policy.Load().Generation()
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 	defer cancel()
-	release, ok := s.admit(ctx)
+	qSpan := s.span(&rq, SpanQueue)
+	release, ok, timedOut := s.admit(ctx)
+	qSpan.End()
+	rq.queueMS = msSince(rq.start)
 	if !ok {
-		s.obs.Inc(MetricShed, 1)
+		rq.status, rq.outcome = http.StatusTooManyRequests, slo.Shed
+		if timedOut {
+			rq.outcome = slo.Timeout
+			s.obs.Inc(MetricTimeout, 1)
+		} else {
+			s.obs.Inc(MetricShed, 1)
+		}
+		setTimingHeaders(w, &rq)
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusTooManyRequests, errorResponse{"overloaded, retry later"})
+		s.finishRequest(&rq)
 		return
 	}
 	defer release()
@@ -239,7 +395,10 @@ func (s *Service) handleEval(w http.ResponseWriter, r *http.Request, includeQ bo
 	var req evalRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
 		s.obs.Inc(MetricErrors, 1)
+		rq.status, rq.outcome = http.StatusBadRequest, slo.ClientError
+		setTimingHeaders(w, &rq)
 		writeJSON(w, http.StatusBadRequest, errorResponse{"bad request body: " + err.Error()})
+		s.finishRequest(&rq)
 		return
 	}
 	if s.testHookEval != nil {
@@ -249,13 +408,21 @@ func (s *Service) handleEval(w http.ResponseWriter, r *http.Request, includeQ bo
 	// The policy pointer read and the evaluation both happen against one
 	// consistent snapshot: a concurrent Reload swaps the pointer for
 	// future requests without touching this one.
+	evalStart := time.Now()
+	eSpan := s.span(&rq, SpanEval)
 	p := s.policy.Load()
+	rq.generation = p.generation
 	ev := p.acquire()
 	qs, err := ev.QValues(req.State)
+	eSpan.End()
+	rq.evalMS, rq.evaluated = msSince(evalStart), true
 	if err != nil {
 		p.release(ev)
 		s.obs.Inc(MetricErrors, 1)
+		rq.status, rq.outcome = http.StatusBadRequest, slo.ClientError
+		setTimingHeaders(w, &rq)
 		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+		s.finishRequest(&rq)
 		return
 	}
 	resp := evalResponse{Generation: p.generation}
@@ -267,9 +434,14 @@ func (s *Service) handleEval(w http.ResponseWriter, r *http.Request, includeQ bo
 	if includeQ {
 		resp.Q = qs // evaluator-owned; marshalled before release below
 	}
+	encSpan := s.span(&rq, SpanEncode)
+	setTimingHeaders(w, &rq)
 	writeJSON(w, http.StatusOK, resp)
+	encSpan.End()
 	p.release(ev)
 	s.obs.Inc(MetricOK, 1)
+	rq.status, rq.outcome = http.StatusOK, slo.OK
+	s.finishRequest(&rq)
 }
 
 func (s *Service) handleInfo(w http.ResponseWriter, r *http.Request) {

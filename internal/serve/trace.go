@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"sync/atomic"
+)
+
+// W3C Trace Context (https://www.w3.org/TR/trace-context/) support for
+// the serving path: an incoming `traceparent` header is honored so a
+// caller's distributed trace continues through the policy service, and
+// requests arriving without one get a fresh trace ID whenever request
+// observability (access logging or span tracing) needs one. The ID is
+// returned on every traced response as `X-Trace-Id`, keyed into the
+// serve_access event, and names the request's span group in the
+// Perfetto timeline — one identifier to follow a single slow request
+// across the access log, the trace view, and the client.
+
+// traceContext is one request's W3C trace context.
+type traceContext struct {
+	// traceID is the 16-byte trace-id; all-zero is invalid per spec.
+	traceID [16]byte
+	// parent is the incoming parent-id (the caller's span), zero when
+	// the request opened a new trace.
+	parent [8]byte
+	// sampled is the trace-flags sampled bit (set on generated
+	// contexts).
+	sampled bool
+}
+
+// valid reports whether the context carries a usable trace ID.
+func (tc traceContext) valid() bool { return tc.traceID != [16]byte{} }
+
+// traceIDHex is the 32-hex-digit trace ID (the X-Trace-Id value and the
+// serve_access `trace` label).
+func (tc traceContext) traceIDHex() string {
+	return hex.EncodeToString(tc.traceID[:])
+}
+
+// spanGroup names the request's span group in the trace timeline: the
+// trace ID's low 8 bytes, enough to match against the access log while
+// keeping Perfetto process names short.
+func (tc traceContext) spanGroup() string {
+	return "req:" + hex.EncodeToString(tc.traceID[8:])
+}
+
+// traceSeed is the process-unique generator state: an 8-byte random
+// prefix drawn once at init plus an atomic counter. A generated trace ID
+// is prefix ⊕ counter-high in the top half and the counter in the low
+// half — unique within the process without locks, unique across
+// processes with 2⁻⁶⁴ collision odds, and allocation-free to generate.
+var traceSeed struct {
+	prefix  [8]byte
+	counter atomic.Uint64
+}
+
+func init() {
+	if _, err := rand.Read(traceSeed.prefix[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; fall back
+		// to a fixed prefix rather than panic — uniqueness within the
+		// process still holds via the counter.
+		copy(traceSeed.prefix[:], "oselmrl!")
+	}
+	// Start the counter at a random offset so two processes sharing a
+	// rare prefix collision still diverge.
+	var off [8]byte
+	rand.Read(off[:])
+	traceSeed.counter.Store(binary.BigEndian.Uint64(off[:]))
+}
+
+// newTraceContext generates a fresh sampled context. Safe for concurrent
+// use from any number of request goroutines.
+func newTraceContext() traceContext {
+	n := traceSeed.counter.Add(1)
+	var tc traceContext
+	copy(tc.traceID[:8], traceSeed.prefix[:])
+	binary.BigEndian.PutUint64(tc.traceID[8:], n)
+	// Fold the counter into the prefix half too, so the full 128 bits
+	// differ between consecutive IDs, not just the tail.
+	for i := 0; i < 8; i++ {
+		tc.traceID[i] ^= tc.traceID[8+i]
+	}
+	if tc.traceID == [16]byte{} {
+		tc.traceID[15] = 1 // all-zero is invalid per spec
+	}
+	tc.sampled = true
+	return tc
+}
+
+// parseTraceparent parses a W3C traceparent header
+// ("00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>"). Unknown
+// versions are accepted if the fixed-length prefix still parses
+// (version ff and malformed or all-zero fields are not).
+func parseTraceparent(h string) (traceContext, bool) {
+	var tc traceContext
+	if len(h) < 55 {
+		return tc, false
+	}
+	if h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return tc, false
+	}
+	if len(h) > 55 && h[55] != '-' {
+		// A future version may append fields, but only after a dash.
+		return tc, false
+	}
+	version := h[0:2]
+	if !isHex(version) || version == "ff" {
+		return tc, false
+	}
+	if !isHex(h[3:35]) || !isHex(h[36:52]) || !isHex(h[53:55]) {
+		return tc, false
+	}
+	hex.Decode(tc.traceID[:], []byte(h[3:35]))
+	hex.Decode(tc.parent[:], []byte(h[36:52]))
+	if tc.traceID == [16]byte{} || tc.parent == [8]byte{} {
+		return tc, false
+	}
+	var flags [1]byte
+	hex.Decode(flags[:], []byte(h[53:55]))
+	tc.sampled = flags[0]&0x01 != 0
+	return tc, true
+}
+
+// isHex reports whether s is entirely lowercase hex (the traceparent
+// grammar forbids uppercase).
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestParseTraceparent(t *testing.T) {
+	valid := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	tc, ok := parseTraceparent(valid)
+	if !ok {
+		t.Fatal("valid traceparent rejected")
+	}
+	if tc.traceIDHex() != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Errorf("trace ID = %s", tc.traceIDHex())
+	}
+	if !tc.sampled {
+		t.Error("sampled flag lost")
+	}
+	if tc.spanGroup() != "req:a3ce929d0e0e4736" {
+		t.Errorf("span group = %s", tc.spanGroup())
+	}
+
+	// Unsampled flag parses with sampled=false.
+	tc, ok = parseTraceparent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00")
+	if !ok || tc.sampled {
+		t.Errorf("unsampled parse: ok=%v sampled=%v", ok, tc.sampled)
+	}
+
+	// A future version with appended fields is accepted.
+	if _, ok := parseTraceparent(valid[:55] + "-extrastate"); !ok {
+		t.Error("future-version suffix after a dash must parse")
+	}
+
+	invalid := []string{
+		"",
+		"00",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",      // missing flags
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",   // version ff forbidden
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01",   // zero trace-id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",   // zero parent-id
+		"00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01",   // uppercase hex
+		"00-4bf92f3577b34da6a3ce929d0e0e47zz-00f067aa0ba902b7-01",   // non-hex
+		"00x4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",   // bad separator
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01xx", // junk after flags
+	}
+	for _, h := range invalid {
+		if _, ok := parseTraceparent(h); ok {
+			t.Errorf("accepted invalid traceparent %q", h)
+		}
+	}
+}
+
+func TestNewTraceContext(t *testing.T) {
+	tc := newTraceContext()
+	if !tc.valid() || !tc.sampled {
+		t.Fatalf("generated context invalid: %+v", tc)
+	}
+	id := tc.traceIDHex()
+	if len(id) != 32 || id == strings.Repeat("0", 32) {
+		t.Errorf("trace ID %q", id)
+	}
+	if !strings.HasPrefix(tc.spanGroup(), "req:") || len(tc.spanGroup()) != 4+16 {
+		t.Errorf("span group %q", tc.spanGroup())
+	}
+}
+
+// Concurrent trace-ID generation must never collide or race: 64
+// goroutines generate 512 IDs each; all 32768 must be distinct. Run
+// under -race this is also the generator's data-race proof.
+func TestConcurrentTraceIDsUnique(t *testing.T) {
+	const workers = 64
+	const perWorker = 512
+	ids := make([][]string, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out := make([]string, perWorker)
+			for i := range out {
+				out[i] = newTraceContext().traceIDHex()
+			}
+			ids[w] = out
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[string]struct{}, workers*perWorker)
+	for _, batch := range ids {
+		for _, id := range batch {
+			if _, dup := seen[id]; dup {
+				t.Fatalf("duplicate trace ID %s", id)
+			}
+			seen[id] = struct{}{}
+		}
+	}
+	if len(seen) != workers*perWorker {
+		t.Fatalf("generated %d unique IDs, want %d", len(seen), workers*perWorker)
+	}
+}
+
+func TestTraceIDGenerationDoesNotAllocate(t *testing.T) {
+	if allocs := testing.AllocsPerRun(1000, func() {
+		newTraceContext()
+	}); allocs != 0 {
+		t.Errorf("newTraceContext allocates %v/op", allocs)
+	}
+}
