@@ -461,6 +461,35 @@ func BenchmarkFPGACoreKernels(b *testing.B) {
 	}
 }
 
+// ---------------------------------------------------------------------------
+// Device profiler overhead: the off row must track the plain seq_train
+// kernel (the nil-check disabled path is the zero-cost guarantee); the on
+// row bounds the full (phase × kernel × unit) attribution cost. Same
+// kernel and hidden width, so the pair reads as a direct A/B in the
+// BENCH_<n>.json trajectory.
+
+func BenchmarkFPGAProfiler(b *testing.B) {
+	for _, profile := range []bool{false, true} {
+		name := "off"
+		if profile {
+			name = "on"
+		}
+		b.Run(fmt.Sprintf("%s/32units", name), func(b *testing.B) {
+			core := fpga.NewCore(5, 32, 1, fpga.DefaultCycleModel())
+			if profile {
+				core.EnableProfiling()
+			}
+			x := make([]fixed.Fixed, 5)
+			t := []fixed.Fixed{fixed.FromFloat(0.3)}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.SeqTrain(x, t)
+			}
+		})
+	}
+}
+
 func BenchmarkDQNTrainStep(b *testing.B) {
 	for _, hidden := range paperHiddenSizes {
 		hidden := hidden

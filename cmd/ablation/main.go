@@ -56,11 +56,12 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON timeline to this file at exit")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060), or 'serve' to mount it on the -serve address")
 	watchdog := flag.Bool("watchdog", false, "enable the divergence watchdog (numeric_alert events, /health on -serve)")
+	profile := flag.Bool("profile", false, "enable the FPGA device-level cycle profiler (fpga_cycles/fpga_bram_access metrics, device_profile events; FPGA rows of the wordlength sweep only)")
 	flag.Parse()
 
 	tel, err := cli.StartTelemetry(cli.TelemetryFlags{
 		Events: *eventsPath, Serve: *serveAddr, Trace: *tracePath, Pprof: *pprofAddr,
-		Watchdog: *watchdog,
+		Watchdog: *watchdog, Profile: *profile,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ablation:", err)
@@ -75,7 +76,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "ablation:", err)
 			os.Exit(2)
 		}
-		labels := runWordlength(formats, *hidden, *trials, *episodes, emitter)
+		labels := runWordlength(formats, *hidden, *trials, *episodes, emitter, tel.Profile)
 		if err := tel.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, "ablation: closing telemetry:", err)
 		}
@@ -226,7 +227,7 @@ func main() {
 // quantization error per op, saturation rate and Eq. 5 denominator-guard
 // trips — averaged over trials; accounting is free to the modelled
 // hardware, so the learning results are unchanged by measuring them.
-func runWordlength(formats []fixed.QFormat, hidden, trials, episodes int, emitter *obs.Emitter) []string {
+func runWordlength(formats []fixed.QFormat, hidden, trials, episodes int, emitter *obs.Emitter, profile bool) []string {
 	fmt.Printf("Ablation sweep \"wordlength\" — FPGA design vs float64 reference, %d hidden units, %d trials x %d episodes\n\n",
 		hidden, trials, episodes)
 	fmt.Printf("%-14s %-8s %-10s %-12s %-12s %-10s %-6s\n",
@@ -274,6 +275,7 @@ func runWordlength(formats []fixed.QFormat, hidden, trials, episodes int, emitte
 			task := env.NewShaped(env.NewCartPoleV0(uint64(i)+101), env.RewardSurvival)
 			runCfg := harness.RunConfigFor(harness.DesignFPGA, harness.Defaults())
 			runCfg.MaxEpisodes = episodes
+			runCfg.DeviceProfile = profile
 			runCfg.Obs = emitter.With(map[string]string{
 				"config": rc.label,
 				"trial":  strconv.Itoa(i),

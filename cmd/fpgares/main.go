@@ -1,7 +1,12 @@
 // Command fpgares regenerates paper Table 3: FPGA resource utilization of
 // the OS-ELM Q-Network core on the PYNQ-Z1's xc7z020 device for hidden
-// widths 32..256. It is the regeneration target for experiment E2 in
-// DESIGN.md.
+// widths 32..256, extended with the datapath's modelled throughput
+// (cycles per predict / per seq_train update and updates/s at 125 MHz)
+// next to each row, and a fleet-headroom projection: how many replicated
+// cores the device's binding resource admits, what occupancy a short
+// profiled workload measures on the single-unit datapath, and the
+// resulting aggregate updates/s per device. It is the regeneration target
+// for experiment E2 in DESIGN.md.
 //
 // Usage:
 //
@@ -14,8 +19,13 @@ import (
 	"os"
 
 	"oselmrl/internal/cli"
+	"oselmrl/internal/fixed"
 	"oselmrl/internal/fpga"
+	"oselmrl/internal/mat"
 )
+
+// clockHz is the programmable-logic clock the paper's core runs at.
+const clockHz = 125e6
 
 func main() {
 	hiddenFlag := flag.String("hidden", "32,64,128,192,256", "comma-separated hidden widths")
@@ -32,7 +42,8 @@ func main() {
 	fmt.Printf("Device: %s (BRAM36 %d, DSP48 %d, FF %d, LUT %d)\n\n",
 		fpga.XC7Z020.Name, fpga.XC7Z020.BRAM36, fpga.XC7Z020.DSP48,
 		fpga.XC7Z020.FF, fpga.XC7Z020.LUT)
-	fmt.Printf("%-6s %-10s %-10s %-10s %-10s\n", "Units", "BRAM [%]", "DSP [%]", "FF [%]", "LUT [%]")
+	fmt.Printf("%-6s %-10s %-10s %-10s %-10s %-12s %-12s %-10s\n",
+		"Units", "BRAM [%]", "DSP [%]", "FF [%]", "LUT [%]", "cyc/predict", "cyc/update", "updates/s")
 	for _, n := range sizes {
 		u := fpga.EstimateResources(*inputs, n)
 		if !u.Feasible {
@@ -41,8 +52,12 @@ func main() {
 			continue
 		}
 		b, d, f, l := u.Percent(fpga.XC7Z020)
-		fmt.Printf("%-6d %-10.2f %-10.2f %-10.2f %-10.2f\n", n, b, d, f, l)
+		core := fpga.NewCore(*inputs, n, 1, fpga.DefaultCycleModel())
+		p, s := core.PredictCycles(), core.SeqTrainCycles()
+		fmt.Printf("%-6d %-10.2f %-10.2f %-10.2f %-10.2f %-12d %-12d %-10.0f\n",
+			n, b, d, f, l, p, s, clockHz/float64(s))
 	}
+	fmt.Println("(cyc/update is one seq_train invocation; updates/s is the pure-PL rate at 125 MHz)")
 
 	fmt.Println("\nFirst-principles memory map (P + transposed copy, cyclic x4, double-buffered):")
 	for _, n := range sizes {
@@ -70,4 +85,89 @@ func main() {
 		fmt.Printf("  %4d units: predict %7d cycles (%.1f us)   seq_train %9d cycles (%.1f us)\n",
 			n, p, float64(p)/125.0, s, float64(s)/125.0)
 	}
+
+	fmt.Println("\nFleet headroom — replicated cores per xc7z020 (one agent per core):")
+	for _, n := range sizes {
+		u := fpga.EstimateResources(*inputs, n)
+		if !u.Feasible {
+			fmt.Printf("  %4d units: 0 cores (a single core does not fit)\n", n)
+			continue
+		}
+		cores, binding := coresPerDevice(u, fpga.XC7Z020)
+		occ, opc, updPerSec := measureOccupancy(*inputs, n)
+		fmt.Printf("  %4d units: %3d cores (bound by %s)  arith occupancy %.3f  %.3f ops/cycle  %7.0f upd/s/core  => %9.0f upd/s/device\n",
+			n, cores, binding, occ, opc, updPerSec, float64(cores)*updPerSec)
+	}
+	fmt.Println("(occupancy and ops/cycle from a profiled synthetic workload on the cycle model;")
+	fmt.Println(" the remainder of each core's cycles is control overhead and divider latency)")
+}
+
+// coresPerDevice is the static replication headroom: how many copies of
+// one core's resource demand fit in the device, and which resource binds.
+func coresPerDevice(u fpga.Utilization, d fpga.Device) (cores int, binding string) {
+	cores = -1
+	for _, r := range []struct {
+		name      string
+		need, cap int
+	}{
+		{"BRAM", u.BRAM36, d.BRAM36},
+		{"DSP", u.DSP48, d.DSP48},
+		{"FF", u.FF, d.FF},
+		{"LUT", u.LUT, d.LUT},
+	} {
+		if r.need <= 0 {
+			continue
+		}
+		if fit := r.cap / r.need; cores < 0 || fit < cores {
+			cores, binding = fit, r.name
+		}
+	}
+	if cores < 0 {
+		cores = 0
+	}
+	return cores, binding
+}
+
+// measureOccupancy runs a short profiled synthetic workload — the RL
+// inner loop's device pattern of two predicts (action selection + Bellman
+// target) and one seq_train per transition — and reads the datapath's
+// arithmetic occupancy (add+mul+div busy fraction), the ops/cycle
+// roofline position, and the resulting updates/s of one core at 125 MHz.
+func measureOccupancy(inputs, hidden int) (occupancy, opsPerCycle, updatesPerSec float64) {
+	core := fpga.NewCore(inputs, hidden, 1, fpga.DefaultCycleModel())
+	core.EnableProfiling()
+
+	// Small deterministic parameters: P = I keeps the Eq. 5 denominator
+	// guard quiet, the rest just exercises every kernel.
+	alpha := mat.Zeros(inputs, hidden)
+	for i := 0; i < inputs; i++ {
+		for j := 0; j < hidden; j++ {
+			alpha.Set(i, j, float64((i*hidden+j)%7-3)/8)
+		}
+	}
+	beta := mat.Zeros(hidden, 1)
+	for i := 0; i < hidden; i++ {
+		beta.Set(i, 0, float64(i%5-2)/16)
+	}
+	core.LoadFloat(alpha, make([]float64, hidden), beta, mat.Eye(hidden))
+
+	q := core.Format()
+	x := make([]fixed.Fixed, inputs)
+	t := []fixed.Fixed{q.FromFloat(0.125)}
+	const steps = 8
+	for s := 0; s < steps; s++ {
+		for i := range x {
+			x[i] = q.FromFloat(float64((s+i)%9-4) / 16)
+		}
+		core.Predict(x)
+		core.Predict(x)
+		core.SeqTrain(x, t)
+	}
+
+	prof := core.Prof()
+	occupancy = prof.UnitBusyFraction(fpga.UnitAdd) +
+		prof.UnitBusyFraction(fpga.UnitMul) +
+		prof.UnitBusyFraction(fpga.UnitDiv)
+	opsPerCycle = prof.OpsPerCycle()
+	return occupancy, opsPerCycle, clockHz * float64(steps) / float64(core.Cycles())
 }

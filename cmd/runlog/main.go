@@ -19,6 +19,14 @@
 // and an offline re-evaluation of the watchdog thresholds for logs
 // recorded without one (see README.md §Numeric health).
 //
+// The profile subcommand renders the device-level cycle profile a
+// -profile run recorded (device_profile events): the paper-style cycle
+// breakdown per kernel and datapath unit, the hottest kernels, unit
+// occupancy with the ops/cycle roofline, and per-bank BRAM traffic. It
+// re-verifies that the attributed cycles sum exactly to the device's
+// cycle counter and exits non-zero on a mismatch (see README.md §Device
+// profiling).
+//
 // The access and slo subcommands consume the serving path's structured
 // access log (cmd/serve -access -events …): access summarizes requests
 // per route with the queue/eval latency split, and slo replays the log
@@ -32,6 +40,7 @@
 //	go run ./cmd/runlog -f run.jsonl                 # follow a run in progress
 //	go run ./cmd/runlog export -o run-trace.json run.jsonl
 //	go run ./cmd/runlog learn run.jsonl              # TD/σmax(β)/alert report
+//	go run ./cmd/runlog profile -top 5 run.jsonl     # device cycle profile
 //	go run ./cmd/runlog access serve.jsonl           # access-log summary
 //	go run ./cmd/runlog slo -p99 1 serve.jsonl       # offline burn-rate replay
 package main
@@ -79,6 +88,13 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "access" {
 		if err := runAccess(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "runlog access:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "profile" {
+		if err := runProfile(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "runlog profile:", err)
 			os.Exit(1)
 		}
 		return

@@ -1,0 +1,200 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"oselmrl/internal/fpga"
+	"oselmrl/internal/obs"
+)
+
+// runProfile implements "runlog profile [-top k] [run.jsonl]": the offline
+// device-profile report over the device_profile events a -profile run
+// emitted. The events are cumulative snapshots, so the last one per label
+// group is that run's whole profile; the report renders the paper-style
+// cycle breakdown (phase/kernel rows with per-unit splits), the top-k
+// hottest kernels, unit occupancy with the ops/cycle roofline position,
+// and the per-bank BRAM access table. It re-verifies the profiler's
+// load-bearing invariant — the attributed cycles_* keys must sum exactly
+// to total_cycles — and fails (exit 1) on any mismatch.
+func runProfile(args []string) error {
+	fs := flag.NewFlagSet("runlog profile", flag.ContinueOnError)
+	topK := fs.Int("top", 3, "number of hottest kernels to highlight per run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 1 {
+		return errors.New("at most one input file")
+	}
+
+	in, closeIn, err := openInput(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer closeIn()
+
+	// Last cumulative device_profile event per label group, in first-seen
+	// order. Only this event type is retained; the log itself streams.
+	last := map[string]*obs.Event{}
+	var order []string
+	count := 0
+	scanErr := obs.ScanEvents(in, func(ev *obs.Event) error {
+		if ev.Type != obs.EventDeviceProfile {
+			return nil
+		}
+		count++
+		key := labelKey(ev.Labels)
+		if _, ok := last[key]; !ok {
+			order = append(order, key)
+		}
+		cp := *ev
+		last[key] = &cp
+		return nil
+	})
+	if scanErr != nil {
+		if !errors.Is(scanErr, io.ErrUnexpectedEOF) || count == 0 {
+			return scanErr
+		}
+		fmt.Fprintln(os.Stderr, "runlog profile: warning: log ends mid-event (run killed?); reporting the complete events")
+	}
+	if count == 0 {
+		return errors.New("no device_profile events in the log (run the producer with -profile and -events)")
+	}
+
+	fmt.Printf("%d device_profile events, %d runs\n", count, len(order))
+	ok := true
+	for _, key := range order {
+		if !printProfile(os.Stdout, key, last[key].Data, *topK) {
+			ok = false
+		}
+	}
+	if !ok {
+		return errors.New("attribution check FAILED: attributed cycles do not sum to total_cycles")
+	}
+	return nil
+}
+
+// kernelRow is one (phase, kernel) line of the breakdown table.
+type kernelRow struct {
+	phase  fpga.ProfPhase
+	kernel fpga.ProfKernel
+	units  [fpga.NumProfUnits]int64
+	total  int64
+}
+
+// printProfile renders one run's profile and returns whether its
+// attribution check passed.
+func printProfile(w io.Writer, key string, data map[string]float64, topK int) bool {
+	total := int64(data["total_cycles"])
+	fmt.Fprintf(w, "\n%s\n", key)
+	fmt.Fprintf(w, "  total attributed cycles: %d\n", total)
+
+	// Reassemble the (phase × kernel × unit) grid from the event's data
+	// keys. Phase and kernel names contain underscores, so the keys are
+	// reconstructed from the fpga enums rather than parsed by splitting.
+	var rows []kernelRow
+	var attributed int64
+	var unitCycles [fpga.NumProfUnits]int64
+	for ph := fpga.ProfPhase(0); ph < fpga.NumProfPhases; ph++ {
+		for k := fpga.ProfKernel(0); k < fpga.NumProfKernels; k++ {
+			row := kernelRow{phase: ph, kernel: k}
+			for u := fpga.ProfUnit(0); u < fpga.NumProfUnits; u++ {
+				c := int64(data["cycles_"+ph.String()+"_"+k.String()+"_"+u.String()])
+				row.units[u] = c
+				row.total += c
+				unitCycles[u] += c
+			}
+			if row.total != 0 {
+				rows = append(rows, row)
+				attributed += row.total
+			}
+		}
+	}
+
+	// Phase totals first — the coarse split the timing model also reports.
+	fmt.Fprintf(w, "  cycles by phase:")
+	for ph := fpga.ProfPhase(0); ph < fpga.NumProfPhases; ph++ {
+		var pc int64
+		for _, r := range rows {
+			if r.phase == ph {
+				pc += r.total
+			}
+		}
+		if pc != 0 {
+			fmt.Fprintf(w, " %s=%d (%s)", ph, pc, pct(pc, total))
+		}
+	}
+	fmt.Fprintln(w)
+
+	// The paper-style breakdown: every active kernel with its unit split.
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].total > rows[j].total })
+	fmt.Fprintf(w, "  %-11s %-12s %12s %7s %12s %12s %12s %12s\n",
+		"phase", "kernel", "cycles", "%", "add", "mul", "div", "invoke")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-11s %-12s %12d %7s %12d %12d %12d %12d\n",
+			r.phase, r.kernel, r.total, pct(r.total, total),
+			r.units[fpga.UnitAdd], r.units[fpga.UnitMul], r.units[fpga.UnitDiv], r.units[fpga.UnitInvoke])
+	}
+
+	if topK > len(rows) {
+		topK = len(rows)
+	}
+	if topK > 0 {
+		fmt.Fprintf(w, "  hottest kernels:")
+		for i := 0; i < topK; i++ {
+			fmt.Fprintf(w, " %d. %s/%s %s", i+1, rows[i].phase, rows[i].kernel, pct(rows[i].total, total))
+		}
+		fmt.Fprintln(w)
+	}
+
+	// Unit occupancy and the roofline position. Ops come from the event's
+	// ops_<unit> keys; cycles from the reassembled grid above.
+	var arithOps int64
+	fmt.Fprintf(w, "  unit occupancy:")
+	for u := fpga.ProfUnit(0); u < fpga.NumProfUnits; u++ {
+		ops := int64(data["ops_"+u.String()])
+		if u != fpga.UnitInvoke {
+			arithOps += ops
+		}
+		if unitCycles[u] == 0 && ops == 0 {
+			continue
+		}
+		fmt.Fprintf(w, " %s=%s (%d ops)", u, pct(unitCycles[u], total), ops)
+	}
+	fmt.Fprintln(w)
+	if total > 0 {
+		fmt.Fprintf(w, "  roofline: %.3f arith ops/cycle (peak 1.0 per sequential unit)\n",
+			float64(arithOps)/float64(total))
+	}
+
+	// BRAM traffic per bank port.
+	fmt.Fprintf(w, "  %-8s %14s %14s\n", "bank", "reads", "writes")
+	for b := fpga.Bank(0); b < fpga.NumBanks; b++ {
+		r := int64(data["bram_"+b.String()+"_"+fpga.BankRead.String()])
+		wr := int64(data["bram_"+b.String()+"_"+fpga.BankWrite.String()])
+		if r == 0 && wr == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  %-8s %14d %14d\n", b, r, wr)
+	}
+
+	if attributed == total {
+		fmt.Fprintf(w, "  attribution check: OK (%d cycles fully attributed)\n", total)
+		return true
+	}
+	fmt.Fprintf(w, "  attribution check: FAILED (attributed %d != total %d, delta %d)\n",
+		attributed, total, total-attributed)
+	return false
+}
+
+// pct formats part/total as a percentage; "-" for an empty profile.
+func pct(part, total int64) string {
+	if total <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(part)/float64(total))
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"oselmrl/internal/fixed"
+	"oselmrl/internal/fpga"
+)
+
+// profileData runs a real profiled core and renders its attribution the
+// way the fpga agent's device_profile event does — the report must agree
+// with the simulator, not with a hand-made fixture.
+func profileData(t *testing.T) map[string]float64 {
+	t.Helper()
+	core := fpga.NewCore(5, 8, 1, fpga.DefaultCycleModel())
+	core.EnableProfiling()
+	x := make([]fixed.Fixed, 5)
+	for i := range x {
+		x[i] = fixed.FromFloat(float64(i-2) / 8)
+	}
+	core.Predict(x)
+	core.SeqTrain(x, []fixed.Fixed{fixed.FromFloat(0.25)})
+	if core.DenomGuardTrips() != 0 {
+		t.Fatal("probe update tripped the guard")
+	}
+	p := core.Prof()
+	data := map[string]float64{"total_cycles": float64(p.TotalCycles())}
+	for ph := fpga.ProfPhase(0); ph < fpga.NumProfPhases; ph++ {
+		for k := fpga.ProfKernel(0); k < fpga.NumProfKernels; k++ {
+			for u := fpga.ProfUnit(0); u < fpga.NumProfUnits; u++ {
+				if v := p.Cycles(ph, k, u); v != 0 {
+					data["cycles_"+ph.String()+"_"+k.String()+"_"+u.String()] = float64(v)
+				}
+			}
+		}
+	}
+	for b := fpga.Bank(0); b < fpga.NumBanks; b++ {
+		for op := fpga.BankOp(0); op < fpga.NumBankOps; op++ {
+			if v := p.BRAM(b, op); v != 0 {
+				data["bram_"+b.String()+"_"+op.String()] = float64(v)
+			}
+		}
+	}
+	for u := fpga.UnitAdd; u <= fpga.UnitInvoke; u++ {
+		if n := p.UnitOps(u); n > 0 {
+			data["ops_"+u.String()] = float64(n)
+		}
+	}
+	return data
+}
+
+func TestPrintProfileReport(t *testing.T) {
+	data := profileData(t)
+	var b strings.Builder
+	if !printProfile(&b, "design=FPGA trial=0", data, 3) {
+		t.Fatalf("attribution check failed on a consistent profile:\n%s", b.String())
+	}
+	out := b.String()
+	for _, want := range []string{
+		"design=FPGA trial=0",
+		"cycles by phase: predict=",
+		"seq_train   p_h",
+		"hottest kernels: 1. ",
+		"unit occupancy:",
+		"roofline: ",
+		"attribution check: OK",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// Every bank a predict+seq_train touches shows up in the BRAM table.
+	for _, bank := range []string{"P", "Pt", "alpha", "beta", "bias", "h", "ph", "x"} {
+		if !strings.Contains(out, "\n  "+bank+" ") {
+			t.Errorf("BRAM table missing bank %q:\n%s", bank, out)
+		}
+	}
+}
+
+// TestPrintProfileDetectsMismatch: the report must fail (and say so) when
+// the attributed cycles do not sum to the device counter — the offline
+// re-check of the profiler's invariant.
+func TestPrintProfileDetectsMismatch(t *testing.T) {
+	data := profileData(t)
+	data["total_cycles"] += 7
+	var b strings.Builder
+	if printProfile(&b, "broken", data, 3) {
+		t.Fatal("attribution check passed on an inconsistent profile")
+	}
+	if !strings.Contains(b.String(), "attribution check: FAILED") {
+		t.Errorf("failure not reported:\n%s", b.String())
+	}
+}
+
+// TestRunProfileNoEvents: a log without device_profile events is an
+// error, not an empty report.
+func TestRunProfileNoEvents(t *testing.T) {
+	tmp := t.TempDir() + "/empty.jsonl"
+	line := `{"type":"episode_end","seq":1,"data":{"steps":3}}` + "\n"
+	if err := os.WriteFile(tmp, []byte(line), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runProfile([]string{tmp}); err == nil {
+		t.Fatal("runProfile succeeded on a log with no device_profile events")
+	}
+}

@@ -56,6 +56,7 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON timeline to this file at exit")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060), or 'serve' to mount it on the -serve address")
 	watchdog := flag.Bool("watchdog", false, "enable the divergence watchdog (numeric_alert events, /health on -serve)")
+	profile := flag.Bool("profile", false, "enable the FPGA device-level cycle profiler (fpga_cycles/fpga_bram_access metrics, device_profile events; FPGA rows only)")
 	qformatName := flag.String("qformat", "Q20", "fixed-point format for the FPGA design's datapath (Q16..Q24; FPGA rows only)")
 	flag.Parse()
 
@@ -66,7 +67,7 @@ func main() {
 
 	tel, err := cli.StartTelemetry(cli.TelemetryFlags{
 		Events: *eventsPath, Serve: *serveAddr, Trace: *tracePath, Pprof: *pprofAddr,
-		Watchdog: *watchdog,
+		Watchdog: *watchdog, Profile: *profile,
 	})
 	if err != nil {
 		fail(err)
@@ -93,7 +94,7 @@ func main() {
 	var rows []trace.BreakdownRow
 	for _, hidden := range sizes {
 		for _, d := range designs {
-			row := runDesign(d, hidden, *trials, *maxEpisodes, *dqnEpisodes, *seed, *report, qformat, emitter)
+			row := runDesign(d, hidden, *trials, *maxEpisodes, *dqnEpisodes, *seed, *report, qformat, emitter, tel.Profile)
 			rows = append(rows, row)
 		}
 	}
@@ -158,7 +159,7 @@ func main() {
 // solved trials, matching the paper's 100-trial (20 for FPGA) means. If no
 // trial solved, the first trial is reported as NOT SOLVED. qformat applies
 // to FPGA rows only (the software designs run in float64).
-func runDesign(d harness.Design, hidden, trials, maxEpisodes, dqnEpisodes int, seed uint64, report string, qformat fixed.QFormat, emitter *obs.Emitter) trace.BreakdownRow {
+func runDesign(d harness.Design, hidden, trials, maxEpisodes, dqnEpisodes int, seed uint64, report string, qformat fixed.QFormat, emitter *obs.Emitter, profile bool) trace.BreakdownRow {
 	budget := maxEpisodes
 	if d == harness.DesignDQN {
 		budget = dqnEpisodes
@@ -179,6 +180,7 @@ func runDesign(d harness.Design, hidden, trials, maxEpisodes, dqnEpisodes int, s
 			c.MaxEpisodes = budget
 			c.RecordCurve = false
 			c.Obs = emitter.With(map[string]string{"hidden": fmt.Sprint(hidden)})
+			c.DeviceProfile = profile
 			return c
 		}(),
 		Trials:   trials,

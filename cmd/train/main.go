@@ -92,6 +92,7 @@ func run() int {
 	tracePath := flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON timeline to this file at exit")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060), or 'serve' to mount it on the -serve address")
 	watchdog := flag.Bool("watchdog", false, "enable the divergence watchdog (numeric_alert events, diverged verdict, /health on -serve)")
+	profile := flag.Bool("profile", false, "enable the FPGA device-level cycle profiler (fpga_cycles/fpga_bram_access metrics, occupancy gauges, device_profile events; FPGA design only)")
 	linger := flag.Duration("linger", 0, "keep the -serve telemetry server up this long after the run so a final scrape sees the end state (e.g. 10s)")
 	qformatName := flag.String("qformat", "Q20", "fixed-point format of the FPGA design's datapath (Q16..Q24; FPGA design only)")
 	flag.Parse()
@@ -103,7 +104,7 @@ func run() int {
 
 	tel, err := cli.StartTelemetry(cli.TelemetryFlags{
 		Events: *eventsPath, Serve: *serveAddr, Trace: *tracePath, Pprof: *pprofAddr,
-		Watchdog: *watchdog,
+		Watchdog: *watchdog, Profile: *profile,
 	})
 	if err != nil {
 		return fail(err)
@@ -152,6 +153,7 @@ func run() int {
 		labels["qformat"] = qformat.String()
 	}
 	cfg.Obs = tel.Emitter.With(labels)
+	cfg.DeviceProfile = tel.Profile
 
 	manifest := obs.NewManifest()
 	manifest.Design = string(d)

@@ -62,6 +62,12 @@ type TelemetryFlags struct {
 	// rules over the metric stream, numeric_alert events, the diverged
 	// verdict on run_end/manifest, and /health on the -serve mux.
 	Watchdog bool
+	// Profile enables the FPGA device-level cycle profiler (-profile):
+	// per-kernel/per-unit cycle attribution (fpga_cycles), BRAM access
+	// counters (fpga_bram_access), occupancy/roofline gauges and
+	// device_profile events. Wired to harness.Config.DeviceProfile by the
+	// CLIs; non-FPGA designs ignore it.
+	Profile bool
 }
 
 // Telemetry is the live observability runtime a training CLI holds for
@@ -74,6 +80,9 @@ type Telemetry struct {
 	// the metrics registry, the event sink (with -events) and the span
 	// tracer (with -trace).
 	Emitter *obs.Emitter
+	// Profile mirrors TelemetryFlags.Profile — the CLIs copy it onto
+	// harness.Config.DeviceProfile next to the emitter.
+	Profile bool
 
 	tracer    *obs.Tracer
 	watchdog  *obs.Watchdog
@@ -91,12 +100,13 @@ func StartTelemetry(f TelemetryFlags) (*Telemetry, error) {
 	if err != nil {
 		return nil, err
 	}
-	if emitter == nil && (f.Serve != "" || f.Trace != "" || f.Watchdog) {
-		// Metrics/trace/watchdog-only observability: a registry with no
-		// event sink.
+	if emitter == nil && (f.Serve != "" || f.Trace != "" || f.Watchdog || f.Profile) {
+		// Metrics/trace/watchdog/profile-only observability: a registry
+		// with no event sink.
 		emitter = obs.NewEmitter(nil)
 	}
 	t.Emitter = emitter
+	t.Profile = f.Profile
 
 	if f.Trace != "" {
 		t.tracer = obs.NewTracer()

@@ -62,6 +62,14 @@ type Agent struct {
 	// flushedGuard mirrors the same delta scheme for the seq_train
 	// denominator guard trip counter.
 	flushedGuard int64
+
+	// profile records that device-level cycle profiling was requested
+	// (EnableDeviceProfile / harness.Config.DeviceProfile); it survives
+	// Reinitialize — initModels re-arms the fresh core. flushedProf is
+	// the delta-flush snapshot for the fpga_cycles/fpga_bram_access
+	// counters, mirroring the flushed* accounting scheme above.
+	profile     bool
+	flushedProf Prof
 }
 
 // NewAgent builds the FPGA agent with the default Q20 datapath. The
@@ -134,8 +142,12 @@ func (a *Agent) initModels() {
 	if a.obs != nil {
 		a.core.EnableAccounting()
 	}
+	if a.profile {
+		a.core.EnableProfiling()
+	}
 	a.flushedPredict, a.flushedSeq, a.flushedConv = fixed.Acct{}, fixed.Acct{}, fixed.Acct{}
 	a.flushedGuard = 0
+	a.flushedProf = Prof{}
 	a.beta2 = fixed.NewMatrixQ(a.cfg.Hidden, 1, a.q)
 	a.buffer.Clear()
 	a.globalStep = 0
@@ -163,6 +175,25 @@ func (a *Agent) SetObserver(e *obs.Emitter) {
 		a.core.EnableAccounting()
 	}
 }
+
+// EnableDeviceProfile arms the core's device-level cycle profiler (the
+// -profile flag, via harness.Config.DeviceProfile): every datapath cycle
+// is attributed along (phase × kernel × unit) and BRAM bank accesses are
+// counted, surfaced as delta-flushed fpga_cycles/fpga_bram_access
+// counters, occupancy/roofline gauges and cumulative device_profile
+// events. Profiling changes no datapath result and no cycle count. The
+// metrics only flow once an observer is attached (SetObserver), but
+// arming is independent so callers can wire either first; it survives
+// Reinitialize.
+func (a *Agent) EnableDeviceProfile() {
+	a.profile = true
+	a.core.EnableProfiling()
+	a.flushedProf = Prof{}
+}
+
+// DeviceProfileEnabled reports whether EnableDeviceProfile has been
+// called.
+func (a *Agent) DeviceProfileEnabled() bool { return a.profile }
 
 // Core exposes the datapath for white-box tests.
 func (a *Agent) Core() *Core { return a.core }
@@ -349,8 +380,10 @@ func (a *Agent) initTrain() error {
 		})
 		// Publish the parameter-load conversion accounting immediately —
 		// a NaN or rail hit at the DMA boundary should alert now, not at
-		// the end of the episode.
+		// the end of the episode. The device profile flushes with it so
+		// the load phase's BRAM writes surface right away too.
 		a.flushAccounting()
+		a.flushProfile()
 	}
 	return nil
 }
@@ -383,9 +416,20 @@ func (a *Agent) sequentialUpdate(t replay.Transition) {
 	if a.obs != nil {
 		pred = a.q.Float(a.core.PredictSilent(in)[0])
 	}
+	// With both tracing and profiling on, snapshot the profile around
+	// SeqTrain so the update's per-kernel breakdown can be replayed as
+	// spans on a dedicated modelled-device track.
+	kernelSpans := sp.Active() && a.core.ProfilingEnabled()
+	var profBefore Prof
+	if kernelSpans {
+		profBefore = *a.core.Prof()
+	}
 	a.core.SeqTrain(in, []fixed.Fixed{a.q.FromFloat(y)})
 	cycles := float64(a.core.Cycles() - start)
 	a.counters.Add(timing.PhaseSeqTrain, cycles)
+	if kernelSpans {
+		a.emitKernelSpans(profBefore)
+	}
 	if a.obs != nil {
 		model := timing.FPGA125.Seconds(timing.PhaseSeqTrain, 1, cycles)
 		sp.EndModelled(model)
@@ -406,6 +450,30 @@ func (a *Agent) sequentialUpdate(t replay.Transition) {
 			"dur_ms":   float64(d) / float64(time.Millisecond),
 			"model_ms": model * 1e3,
 		})
+	}
+}
+
+// emitKernelSpans records one span per seq_train kernel that charged
+// cycles since the profile snapshot, on the dedicated "device-kernels"
+// trace group: the exporter lays modelled spans end-to-end per group, so
+// the track reads as the paper-style cycle breakdown of each update.
+// Kernel spans carry pure datapath time (cycles at 125 MHz, no AXI
+// overhead — the parent seq_train span already models the handshake).
+func (a *Agent) emitKernelSpans(before Prof) {
+	tr := a.obs.Tracer()
+	if tr == nil {
+		return
+	}
+	cur := a.core.Prof()
+	for k := ProfKernel(0); k < NumProfKernels; k++ {
+		var cyc int64
+		for u := ProfUnit(0); u < NumProfUnits; u++ {
+			cyc += cur.Cycles(ProfSeqTrain, k, u) - before.Cycles(ProfSeqTrain, k, u)
+		}
+		if cyc > 0 {
+			ks := tr.StartSpanGroup("kern:"+k.String(), "device-kernels")
+			ks.EndModelled(timing.FPGA125.WorkSeconds(float64(cyc)))
+		}
 	}
 }
 
@@ -453,13 +521,69 @@ func (a *Agent) flushAccounting() {
 	a.flushedPredict, a.flushedSeq, a.flushedConv = pa, sa, ca
 }
 
+// flushProfile publishes the device profiler's attribution to the
+// metrics registry (counter increments are deltas since the last flush,
+// built with obs.Labeled keys the export layer renders as Prometheus
+// labels), refreshes the cumulative occupancy/roofline gauges, and emits
+// one cumulative device_profile event — the record cmd/runlog's profile
+// report is built from. No-op when nothing changed since the last flush.
+func (a *Agent) flushProfile() {
+	if a.obs == nil || !a.core.ProfilingEnabled() {
+		return
+	}
+	cur := *a.core.Prof()
+	if cur == a.flushedProf {
+		return
+	}
+	data := map[string]float64{"total_cycles": float64(cur.TotalCycles())}
+	for ph := ProfPhase(0); ph < NumProfPhases; ph++ {
+		for k := ProfKernel(0); k < NumProfKernels; k++ {
+			for u := ProfUnit(0); u < NumProfUnits; u++ {
+				v := cur.Cycles(ph, k, u)
+				if v != 0 {
+					data["cycles_"+ph.String()+"_"+k.String()+"_"+u.String()] = float64(v)
+				}
+				if d := v - a.flushedProf.Cycles(ph, k, u); d != 0 {
+					a.obs.Inc(obs.Labeled(obs.MetricFPGACycles,
+						"phase", ph.String(), "kernel", k.String(), "unit", u.String()), d)
+				}
+			}
+		}
+	}
+	for bank := Bank(0); bank < NumBanks; bank++ {
+		for op := BankOp(0); op < NumBankOps; op++ {
+			v := cur.BRAM(bank, op)
+			if v != 0 {
+				data["bram_"+bank.String()+"_"+op.String()] = float64(v)
+			}
+			if d := v - a.flushedProf.BRAM(bank, op); d != 0 {
+				a.obs.Inc(obs.Labeled(obs.MetricFPGABRAMAccess,
+					"bank", bank.String(), "op", op.String()), d)
+			}
+		}
+	}
+	if cur.TotalCycles() > 0 {
+		for u := UnitAdd; u <= UnitInvoke; u++ {
+			a.obs.SetGauge(obs.Labeled(obs.GaugeFPGAUnitBusy, "unit", u.String()),
+				cur.UnitBusyFraction(u))
+			if n := cur.UnitOps(u); n > 0 {
+				data["ops_"+u.String()] = float64(n)
+			}
+		}
+		a.obs.SetGauge(obs.GaugeFPGAOpsPerCycle, cur.OpsPerCycle())
+	}
+	a.obs.Emit(obs.EventDeviceProfile, 0, data)
+	a.flushedProf = cur
+}
+
 // EndEpisode syncs θ2's β every UpdateEvery episodes (Algorithm 1 line 23-24)
-// and flushes the episode's numeric-health accounting.
+// and flushes the episode's numeric-health accounting and device profile.
 func (a *Agent) EndEpisode(episode int) {
 	a.exploreProb *= a.cfg.ExploreDecay
 	a.flushAccounting()
 	if episode%a.cfg.UpdateEvery == 0 && a.loaded {
 		a.beta2 = a.core.Beta.Clone()
+		a.core.NoteTheta2Sync()
 		if a.obs != nil {
 			betaNorm := a.core.Beta.FrobeniusNorm()
 			a.obs.Inc(obs.MetricTheta2Syncs, 1)
@@ -470,6 +594,7 @@ func (a *Agent) EndEpisode(episode int) {
 			})
 		}
 	}
+	a.flushProfile()
 }
 
 // Reinitialize draws fresh weights (the 300-episode reset rule), keeping

@@ -94,6 +94,15 @@ type Core struct {
 	acctPredict *fixed.Acct
 	acctSeq     *fixed.Acct
 	acctConv    *fixed.Acct
+
+	// Device-level cycle profiler (prof.go); nil when profiling is off.
+	// Kernels bulk-charge their deterministic loop totals at kernel
+	// boundaries (Prof.charge is nil-safe), so the per-op hot path —
+	// add/mul/div below — carries no profiler code at all and stays
+	// inlinable. profPhase is the module being executed, set by
+	// enterModule and read by the shared hidden() pass.
+	prof      *Prof
+	profPhase ProfPhase
 }
 
 // NewCore allocates a core for the given dimensions in the default Q20
@@ -137,7 +146,11 @@ func (c *Core) DenomGuardTrips() int64 { return c.denomGuardTrips }
 // LoadFloat quantizes float64 parameters into the core's BRAMs — the DMA
 // transfer after the CPU-side initial training. With accounting enabled
 // the conversion accumulator records NaN coercions, rail saturations and
-// quantization error of every loaded parameter.
+// quantization error of every loaded parameter. The load charges no
+// datapath cycles (the bulk transfer rides the CPU-side timing profile),
+// but with profiling enabled its BRAM writes are recorded under the load
+// phase — including the transposed P copy (the Pt bank) the real design
+// fills alongside P.
 func (c *Core) LoadFloat(alpha *mat.Dense, bias []float64, beta, p *mat.Dense) {
 	c.Alpha = fixed.FromDenseQ(alpha, c.q, c.acctConv)
 	for i, b := range bias {
@@ -145,6 +158,12 @@ func (c *Core) LoadFloat(alpha *mat.Dense, bias []float64, beta, p *mat.Dense) {
 	}
 	c.Beta = fixed.FromDenseQ(beta, c.q, c.acctConv)
 	c.P = fixed.FromDenseQ(p, c.q, c.acctConv)
+	n, h, m := int64(c.inputSize), int64(c.hiddenSize), int64(c.outputSize)
+	c.prof.access(BankAlpha, BankWrite, n*h)
+	c.prof.access(BankBias, BankWrite, h)
+	c.prof.access(BankBeta, BankWrite, h*m)
+	c.prof.access(BankP, BankWrite, h*h)
+	c.prof.access(BankPt, BankWrite, h*h)
 }
 
 // EnableAccounting attaches per-module numeric-health accumulators:
@@ -173,11 +192,42 @@ func (c *Core) SeqTrainAcct() *fixed.Acct { return c.acctSeq }
 // accounting is off).
 func (c *Core) ConvAcct() *fixed.Acct { return c.acctConv }
 
+// EnableProfiling attaches the device-level cycle profiler: every cycle
+// charged from here on is attributed along (phase × kernel × unit) and
+// BRAM bank accesses are counted. Like accounting, profiling changes no
+// datapath result and no cycle count — it only observes (asserted by
+// TestProfilingDoesNotPerturbDatapath).
+func (c *Core) EnableProfiling() {
+	if c.prof == nil {
+		c.prof = &Prof{}
+	}
+}
+
+// ProfilingEnabled reports whether EnableProfiling has been called.
+func (c *Core) ProfilingEnabled() bool { return c.prof != nil }
+
+// Prof returns the attribution profile (nil when profiling is off). The
+// returned profile is live — snapshot it with a struct copy.
+func (c *Core) Prof() *Prof { return c.prof }
+
+// NoteTheta2Sync records the BRAM traffic of the θ2 ← θ1 target sync
+// (the agent cloning the β bank): one read per β word under the
+// theta2_sync phase. The sync costs no datapath cycles in this model —
+// the copy rides the double-buffered β bank's second port.
+func (c *Core) NoteTheta2Sync() {
+	c.prof.access(BankBeta, BankRead, int64(c.hiddenSize)*int64(c.outputSize))
+}
+
 // Cycles returns the datapath cycles consumed so far.
 func (c *Core) Cycles() int64 { return c.cycles }
 
-// ResetCycles zeroes the cycle counter.
-func (c *Core) ResetCycles() { c.cycles = 0 }
+// ResetCycles zeroes the cycle counter and, when profiling is enabled,
+// the attribution profile — the two must stay in lockstep for the
+// attribution invariant (ΣProf == Cycles) to hold.
+func (c *Core) ResetCycles() {
+	c.cycles = 0
+	c.prof.Reset()
+}
 
 // InputSize returns n.
 func (c *Core) InputSize() int { return c.inputSize }
@@ -187,6 +237,24 @@ func (c *Core) HiddenSize() int { return c.hiddenSize }
 
 // OutputSize returns m.
 func (c *Core) OutputSize() int { return c.outputSize }
+
+// enterModule marks a module invocation for the profiler: sets the phase
+// and charges the FSM invocation overhead to (phase, overhead, invoke).
+func (c *Core) enterModule(ph ProfPhase) {
+	c.profPhase = ph
+	c.cycles += c.model.InvokeOverhead
+	c.prof.charge(ph, KernOverhead, UnitInvoke, c.model.InvokeOverhead, 1)
+}
+
+// chargeMACs attributes one kernel's n multiply-accumulates (n adds + n
+// muls through the shared units) to the profiler. The MAC count of every
+// kernel loop is fixed by the core's dimensions, so charging the bulk
+// total at the kernel boundary is exact — and keeps add/mul below free of
+// profiler code.
+func (c *Core) chargeMACs(k ProfKernel, n int64) {
+	c.prof.charge(c.profPhase, k, UnitAdd, n*c.model.Add, n)
+	c.prof.charge(c.profPhase, k, UnitMul, n*c.model.Mul, n)
+}
 
 func (c *Core) add(a, b fixed.Fixed) fixed.Fixed {
 	c.cycles += c.model.Add
@@ -208,7 +276,10 @@ func (c *Core) div(a, b fixed.Fixed) fixed.Fixed {
 	return c.acct.DivQ(c.q, a, b)
 }
 
-// hidden computes h = ReLU(x·α + b) into c.h.
+// hidden computes h = ReLU(x·α + b) into c.h. The caller has set the
+// profiler phase (enterModule) — the hidden pass itself charges the
+// hidden_pass kernel and the x/α/bias/h bank traffic: the input DMA'd
+// into the x bank once, then x and α streamed once per MAC.
 func (c *Core) hidden(x []fixed.Fixed) {
 	if len(x) != c.inputSize {
 		panic(fmt.Sprintf("fpga: input length %d, core expects %d", len(x), c.inputSize))
@@ -220,12 +291,21 @@ func (c *Core) hidden(x []fixed.Fixed) {
 		}
 		c.h[j] = fixed.ReLU(acc) // comparator, no arithmetic-unit cycle
 	}
+	n, h := int64(c.inputSize), int64(c.hiddenSize)
+	c.chargeMACs(KernHiddenPass, n*h)
+	c.prof.access(BankX, BankWrite, n)
+	c.prof.access(BankX, BankRead, n*h)
+	c.prof.access(BankAlpha, BankRead, n*h)
+	c.prof.access(BankBias, BankRead, h)
+	c.prof.access(BankH, BankWrite, h)
 }
 
-// Predict runs the predict module: y = h·β for one input vector.
+// Predict runs the predict module: y = h·β for one input vector. The
+// output pass is attributed to the residual kernel — it is the same h·β
+// dot product the seq_train residual evaluates.
 func (c *Core) Predict(x []fixed.Fixed) []fixed.Fixed {
 	c.acct = c.acctPredict
-	c.cycles += c.model.InvokeOverhead
+	c.enterModule(ProfPredict)
 	c.hidden(x)
 	out := make([]fixed.Fixed, c.outputSize)
 	for o := 0; o < c.outputSize; o++ {
@@ -235,6 +315,10 @@ func (c *Core) Predict(x []fixed.Fixed) []fixed.Fixed {
 		}
 		out[o] = acc
 	}
+	hn, m := int64(c.hiddenSize), int64(c.outputSize)
+	c.chargeMACs(KernResidual, m*hn)
+	c.prof.access(BankH, BankRead, m*hn)
+	c.prof.access(BankBeta, BankRead, m*hn)
 	return out
 }
 
@@ -265,19 +349,26 @@ func (c *Core) PredictUsing(beta *fixed.Matrix, x []fixed.Fixed) []fixed.Fixed {
 }
 
 // PredictSilent evaluates the predict datapath WITHOUT modelling it: the
-// cycle counter and the accounting accumulators are restored afterwards,
-// so the call is invisible to the timing model and the numeric-health
-// metrics. It exists for observability probes (e.g. measuring the
-// post-update TD error) that the real hardware would not execute — an
-// instrumentation-only read must not perturb the modelled device.
+// cycle counter is saved and restored around the call, the accounting
+// accumulator is snapshotted and rolled back, and the profiler is
+// detached for the duration (cheaper than copying its attribution grid),
+// so the call is invisible to the timing model, the numeric-health
+// metrics AND the cycle-attribution profile — keeping the ΣProf ==
+// Cycles invariant intact. It exists for observability probes (e.g.
+// measuring the post-update TD error) that the real hardware would not
+// execute — an instrumentation-only read must not perturb the modelled
+// device (asserted by TestPredictSilent / TestPredictSilentProfile).
 func (c *Core) PredictSilent(x []fixed.Fixed) []fixed.Fixed {
 	savedCycles := c.cycles
+	savedProf := c.prof
+	c.prof = nil
 	var savedAcct fixed.Acct
 	if c.acctPredict != nil {
 		savedAcct = *c.acctPredict
 	}
 	out := c.Predict(x)
 	c.cycles = savedCycles
+	c.prof = savedProf
 	if c.acctPredict != nil {
 		*c.acctPredict = savedAcct
 	}
@@ -307,9 +398,10 @@ func (c *Core) SeqTrain(x []fixed.Fixed, t []fixed.Fixed) {
 		panic(fmt.Sprintf("fpga: target length %d, core expects %d", len(t), c.outputSize))
 	}
 	c.acct = c.acctSeq
-	c.cycles += c.model.InvokeOverhead
+	c.enterModule(ProfSeqTrain)
 	c.hidden(x)
 	n := c.hiddenSize
+	nn := int64(n) * int64(n)
 
 	// ph = P·hᵀ
 	for i := 0; i < n; i++ {
@@ -319,28 +411,55 @@ func (c *Core) SeqTrain(x []fixed.Fixed, t []fixed.Fixed) {
 		}
 		c.ph[i] = acc
 	}
-	// denom = 1 + h·ph ; s = 1/denom
+	c.chargeMACs(KernPH, nn)
+	c.prof.access(BankP, BankRead, nn)
+	c.prof.access(BankH, BankRead, nn)
+	c.prof.access(BankPH, BankWrite, int64(n))
+
+	// denom = 1 + h·ph ; s = 1/denom (the gain kernel's scalar path).
+	// The denominator MACs are charged before the guard check so a
+	// rejected update's attribution still covers exactly the work that ran.
 	denom := c.one
 	for j := 0; j < n; j++ {
 		denom = c.add(denom, c.mul(c.h[j], c.ph[j]))
 	}
+	c.chargeMACs(KernGain, int64(n))
+	c.prof.access(BankH, BankRead, int64(n))
+	c.prof.access(BankPH, BankRead, int64(n))
 	if denom < c.denomFloor {
+		// Guard bail: the FSM stops here, so only the work that actually
+		// ran is charged — the attribution invariant holds for rejected
+		// updates too (the analytic SeqTrainKernelCycles describes the
+		// full, accepted update).
 		c.denomGuardTrips++
 		return
 	}
 	s := c.div(c.one, denom)
+	c.prof.charge(ProfSeqTrain, KernGain, UnitDiv, c.model.Div, 1)
 
-	// g = s·ph (the Kalman-style gain, reused for both P and β updates)
+	// g = s·ph (the Kalman-style gain, reused for both P and β updates;
+	// g lives in register/LUTRAM scratch, not a modelled BRAM bank)
 	g := make([]fixed.Fixed, n)
 	for i := 0; i < n; i++ {
 		g[i] = c.mul(s, c.ph[i])
 	}
-	// P ← P − g·phᵀ
+	c.prof.charge(ProfSeqTrain, KernGain, UnitMul, int64(n)*c.model.Mul, int64(n))
+	c.prof.access(BankPH, BankRead, int64(n))
+
+	// P ← P − g·phᵀ. The transposed copy (Pt bank) is written alongside
+	// P to keep the ping-pong pair coherent for the next iteration's
+	// column sweep.
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			c.P.Set(i, j, c.sub(c.P.At(i, j), c.mul(g[i], c.ph[j])))
 		}
 	}
+	c.chargeMACs(KernDowndate, nn)
+	c.prof.access(BankP, BankRead, nn)
+	c.prof.access(BankPH, BankRead, nn)
+	c.prof.access(BankP, BankWrite, nn)
+	c.prof.access(BankPt, BankWrite, nn)
+
 	// e = t − h·β ; β ← β + g·e
 	for o := 0; o < c.outputSize; o++ {
 		var pred fixed.Fixed
@@ -352,6 +471,14 @@ func (c *Core) SeqTrain(x []fixed.Fixed, t []fixed.Fixed) {
 			c.Beta.Set(j, o, c.add(c.Beta.At(j, o), c.mul(g[j], e)))
 		}
 	}
+	mn := int64(c.outputSize) * int64(n)
+	c.chargeMACs(KernResidual, mn)
+	// The residual's e = t − pred subtract: one extra add-unit op per output.
+	c.prof.charge(ProfSeqTrain, KernResidual, UnitAdd, int64(c.outputSize)*c.model.Add, int64(c.outputSize))
+	c.chargeMACs(KernBetaUpdate, mn)
+	c.prof.access(BankH, BankRead, mn)
+	c.prof.access(BankBeta, BankRead, 2*mn) // residual read + update read-modify-write
+	c.prof.access(BankBeta, BankWrite, mn)
 }
 
 // SeqTrainFloat is SeqTrain with float64 conversion at the boundary.
@@ -388,6 +515,37 @@ func (c *Core) SeqTrainCycles() int64 {
 	pOps := h * h * am
 	betaOps := m * (h*am + c.model.Add + h*am)
 	return c.model.InvokeOverhead + hiddenOps + phOps + denomOps + divOps + gainOps + pOps + betaOps
+}
+
+// PredictKernelCycles returns the analytic per-kernel breakdown of one
+// predict call, indexed by ProfKernel. The entries sum to
+// PredictCycles() and match what the profiler measures (prof_test.go
+// asserts both, for every QFormat and hidden size).
+func (c *Core) PredictKernelCycles() [NumProfKernels]int64 {
+	var out [NumProfKernels]int64
+	n, h, m := int64(c.inputSize), int64(c.hiddenSize), int64(c.outputSize)
+	am := c.model.Add + c.model.Mul
+	out[KernOverhead] = c.model.InvokeOverhead
+	out[KernHiddenPass] = h * n * am
+	out[KernResidual] = m * h * am // the y = h·β output pass
+	return out
+}
+
+// SeqTrainKernelCycles returns the analytic per-kernel breakdown of one
+// complete (not guard-rejected) seq_train call, indexed by ProfKernel.
+// The entries sum to SeqTrainCycles().
+func (c *Core) SeqTrainKernelCycles() [NumProfKernels]int64 {
+	var out [NumProfKernels]int64
+	n, h, m := int64(c.inputSize), int64(c.hiddenSize), int64(c.outputSize)
+	am := c.model.Add + c.model.Mul
+	out[KernOverhead] = c.model.InvokeOverhead
+	out[KernHiddenPass] = h * n * am
+	out[KernPH] = h * h * am
+	out[KernGain] = h*am + c.model.Div + h*c.model.Mul // denom + divide + g = s·ph
+	out[KernDowndate] = h * h * am
+	out[KernResidual] = m * (h*am + c.model.Add) // h·β dot + the e = t − pred subtract
+	out[KernBetaUpdate] = m * h * am
+	return out
 }
 
 // BRAMWords returns the number of 32-bit words of on-chip state the core

@@ -24,6 +24,13 @@ type Observable interface {
 	SetObserver(*obs.Emitter)
 }
 
+// DeviceProfilable is implemented by agents with a device-level cycle
+// profiler (fpga.Agent). Run arms it before the first episode when
+// Config.DeviceProfile is set; agents without one ignore the flag.
+type DeviceProfilable interface {
+	EnableDeviceProfile()
+}
+
 // Agent is the contract every design implements (qnet.Agent, dqn.Agent,
 // fpga.Agent).
 type Agent interface {
@@ -67,6 +74,11 @@ type Config struct {
 	// nil check. Excluded from manifests (it is runtime plumbing, not
 	// configuration).
 	Obs *obs.Emitter `json:"-"`
+	// DeviceProfile arms the agent's device-level cycle profiler (the
+	// -profile flag): per-kernel/per-unit cycle attribution and BRAM
+	// access counters on the fpga datapath. Requires Obs for the metrics
+	// to flow; agents that are not DeviceProfilable ignore it.
+	DeviceProfile bool `json:"device_profile,omitempty"`
 }
 
 // Defaults returns the paper's CartPole-v0 run configuration.
@@ -179,6 +191,11 @@ func Run(agent Agent, e env.Env, cfg Config) *Result {
 	if eobs.Enabled() {
 		if o, ok := agent.(Observable); ok {
 			o.SetObserver(eobs)
+		}
+		if cfg.DeviceProfile {
+			if p, ok := agent.(DeviceProfilable); ok {
+				p.EnableDeviceProfile()
+			}
 		}
 		eobs.Emit(obs.EventRunStart, 0, map[string]float64{
 			"max_episodes": float64(cfg.MaxEpisodes),

@@ -1,0 +1,170 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"oselmrl/internal/env"
+	"oselmrl/internal/fixed"
+	"oselmrl/internal/fpga"
+	"oselmrl/internal/obs"
+)
+
+// runProfiled trains a small FPGA agent through the harness with the
+// device profiler armed and returns the result, the event stream and the
+// agent.
+func runProfiled(t *testing.T, deviceProfile bool) (*Result, []obs.Event, *fpga.Agent) {
+	t.Helper()
+	var buf bytes.Buffer
+	emitter := obs.NewEmitter(obs.NewJSONLSink(&buf))
+	agent, err := NewAgentQ(DesignFPGA, 4, 2, 16, 7, fixed.QFormat{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := env.NewShaped(env.NewCartPoleV0(107), env.RewardSurvival)
+	rc := RunConfigFor(DesignFPGA, Defaults())
+	rc.MaxEpisodes = 25
+	rc.RecordCurve = false
+	rc.Obs = emitter
+	rc.DeviceProfile = deviceProfile
+	res := Run(agent, task, rc)
+	if err := emitter.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := obs.ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, events, agent.(*fpga.Agent)
+}
+
+// TestRunDeviceProfileEndToEnd is the tentpole's acceptance test at the
+// harness level: Config.DeviceProfile arms the agent's profiler, the
+// labeled fpga_cycles counters in the final metrics snapshot sum EXACTLY
+// to the core's cycle counter, and the last device_profile event carries
+// a self-consistent cumulative attribution.
+func TestRunDeviceProfileEndToEnd(t *testing.T) {
+	res, events, agent := runProfiled(t, true)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if !agent.DeviceProfileEnabled() {
+		t.Fatal("Run did not arm the device profiler")
+	}
+	core := agent.Core()
+	if core.Cycles() == 0 {
+		t.Fatal("no device cycles consumed — test is vacuous")
+	}
+
+	// Σ over every fpga_cycles{phase,kernel,unit} series == Cycles().
+	if res.Metrics == nil {
+		t.Fatal("Result.Metrics not filled")
+	}
+	var attributed int64
+	series := 0
+	for key, v := range res.Metrics.Counters {
+		base, pairs := obs.SplitLabeled(key)
+		if base != obs.MetricFPGACycles {
+			continue
+		}
+		series++
+		if len(pairs) != 3 {
+			t.Errorf("fpga_cycles key %q has %d labels, want 3", key, len(pairs))
+		}
+		attributed += v
+	}
+	if series == 0 {
+		t.Fatal("no fpga_cycles series in the metrics snapshot")
+	}
+	if attributed != core.Cycles() {
+		t.Errorf("Σ fpga_cycles = %d, core.Cycles() = %d", attributed, core.Cycles())
+	}
+
+	// BRAM counters exist and the occupancy gauges are in range.
+	bram := false
+	for key := range res.Metrics.Counters {
+		if base, _ := obs.SplitLabeled(key); base == obs.MetricFPGABRAMAccess {
+			bram = true
+			break
+		}
+	}
+	if !bram {
+		t.Error("no fpga_bram_access series in the metrics snapshot")
+	}
+	var busy float64
+	for key, v := range res.Metrics.Gauges {
+		base, _ := obs.SplitLabeled(key)
+		if base == obs.GaugeFPGAUnitBusy {
+			if v < 0 || v > 1 {
+				t.Errorf("unit busy fraction %q = %v out of [0,1]", key, v)
+			}
+			busy += v
+		}
+	}
+	if busy < 0.999 || busy > 1.001 {
+		t.Errorf("unit busy fractions sum to %v, want 1 (every cycle belongs to a unit)", busy)
+	}
+	if v := res.Metrics.Gauges[obs.GaugeFPGAOpsPerCycle]; v <= 0 || v > 2 {
+		t.Errorf("ops/cycle gauge = %v, implausible", v)
+	}
+
+	// The last device_profile event is cumulative and self-consistent.
+	var last *obs.Event
+	for i := range events {
+		if events[i].Type == obs.EventDeviceProfile {
+			last = &events[i]
+		}
+	}
+	if last == nil {
+		t.Fatal("no device_profile events emitted")
+	}
+	if got := int64(last.Data["total_cycles"]); got != core.Cycles() {
+		t.Errorf("last device_profile total_cycles = %d, core.Cycles() = %d", got, core.Cycles())
+	}
+	var eventSum int64
+	for k, v := range last.Data {
+		if strings.HasPrefix(k, "cycles_") {
+			eventSum += int64(v)
+		}
+	}
+	if eventSum != int64(last.Data["total_cycles"]) {
+		t.Errorf("device_profile cycles_* sum = %d, total_cycles = %v", eventSum, last.Data["total_cycles"])
+	}
+}
+
+// TestRunDeviceProfileOff: without Config.DeviceProfile the profiler
+// stays disarmed and no fpga_cycles series appear, even with full
+// observability on.
+func TestRunDeviceProfileOff(t *testing.T) {
+	res, events, agent := runProfiled(t, false)
+	if agent.DeviceProfileEnabled() {
+		t.Fatal("profiler armed without DeviceProfile")
+	}
+	for key := range res.Metrics.Counters {
+		if base, _ := obs.SplitLabeled(key); base == obs.MetricFPGACycles || base == obs.MetricFPGABRAMAccess {
+			t.Errorf("unexpected profiler series %q with DeviceProfile off", key)
+		}
+	}
+	for _, ev := range events {
+		if ev.Type == obs.EventDeviceProfile {
+			t.Error("device_profile event emitted with DeviceProfile off")
+			break
+		}
+	}
+}
+
+// TestRunDeviceProfileDeterministic: arming the profiler must not change
+// the learning outcome — it observes the datapath, never steers it.
+func TestRunDeviceProfileDeterministic(t *testing.T) {
+	plain, _, plainAgent := runProfiled(t, false)
+	profiled, _, profAgent := runProfiled(t, true)
+	if plain.Episodes != profiled.Episodes || plain.TotalSteps != profiled.TotalSteps ||
+		plain.Solved != profiled.Solved {
+		t.Fatalf("profiling changed the run: %+v vs %+v", plain, profiled)
+	}
+	if plainAgent.Core().Cycles() != profAgent.Core().Cycles() {
+		t.Fatalf("profiling changed the cycle count: %d vs %d",
+			plainAgent.Core().Cycles(), profAgent.Core().Cycles())
+	}
+}

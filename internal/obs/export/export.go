@@ -45,6 +45,28 @@ func sanitizeMetricName(name string) string {
 
 func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
+// splitSeries resolves a registry key that may carry obs.Labeled labels
+// into the sanitized Prometheus metric name (without prefix/suffix) and
+// the rendered label block ("" for a plain key).
+func splitSeries(key string) (name, labelBlock string) {
+	base, pairs := obs.SplitLabeled(key)
+	if len(pairs) == 0 {
+		return sanitizeMetricName(base), ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, kv := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(sanitizeMetricName(kv[0]))
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(kv[1]))
+	}
+	b.WriteByte('}')
+	return sanitizeMetricName(base), b.String()
+}
+
 func sortedKeys[V any](m map[string]V) []string {
 	keys := make([]string, 0, len(m))
 	for k := range m {
@@ -62,17 +84,29 @@ func sortedKeys[V any](m map[string]V) []string {
 // gauges.
 func WriteMetricsText(w io.Writer, s obs.Snapshot) error {
 	var b strings.Builder
+	// Labeled series (obs.Labeled keys) of one family sort contiguously,
+	// so HELP/TYPE headers are emitted once per family, not per series.
+	lastFamily := ""
 	for _, name := range sortedKeys(s.Counters) {
-		n := MetricPrefix + sanitizeMetricName(name) + "_total"
-		fmt.Fprintf(&b, "# HELP %s Cumulative count of %q events.\n", n, name)
-		fmt.Fprintf(&b, "# TYPE %s counter\n", n)
-		fmt.Fprintf(&b, "%s %d\n", n, s.Counters[name])
+		mn, labels := splitSeries(name)
+		n := MetricPrefix + mn + "_total"
+		if n != lastFamily {
+			fmt.Fprintf(&b, "# HELP %s Cumulative count of %q events.\n", n, mn)
+			fmt.Fprintf(&b, "# TYPE %s counter\n", n)
+			lastFamily = n
+		}
+		fmt.Fprintf(&b, "%s%s %d\n", n, labels, s.Counters[name])
 	}
+	lastFamily = ""
 	for _, name := range sortedKeys(s.Gauges) {
-		n := MetricPrefix + sanitizeMetricName(name)
-		fmt.Fprintf(&b, "# HELP %s Latest value of %q.\n", n, name)
-		fmt.Fprintf(&b, "# TYPE %s gauge\n", n)
-		fmt.Fprintf(&b, "%s %s\n", n, formatFloat(s.Gauges[name]))
+		mn, labels := splitSeries(name)
+		n := MetricPrefix + mn
+		if n != lastFamily {
+			fmt.Fprintf(&b, "# HELP %s Latest value of %q.\n", n, mn)
+			fmt.Fprintf(&b, "# TYPE %s gauge\n", n)
+			lastFamily = n
+		}
+		fmt.Fprintf(&b, "%s%s %s\n", n, labels, formatFloat(s.Gauges[name]))
 	}
 	if len(s.WallSeconds) > 0 {
 		n := MetricPrefix + "phase_wall_seconds_total"

@@ -332,3 +332,53 @@ func TestConcurrentScrapeWhileEmitting(t *testing.T) {
 		t.Fatalf("final counter missing: %+v", s)
 	}
 }
+
+// TestWriteMetricsTextLabeledSeries: obs.Labeled registry keys must
+// render as real Prometheus labels, with one HELP/TYPE header per family
+// even when the family has many series — the shape the device profiler's
+// fpga_cycles/fpga_bram_access counters and occupancy gauges rely on.
+func TestWriteMetricsTextLabeledSeries(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Inc(obs.Labeled(obs.MetricFPGACycles, "phase", "predict", "kernel", "hidden_pass", "unit", "add"), 320)
+	r.Inc(obs.Labeled(obs.MetricFPGACycles, "phase", "seq_train", "kernel", "p_h", "unit", "mul"), 1024)
+	r.Inc(obs.Labeled(obs.MetricFPGABRAMAccess, "bank", "P", "op", "read"), 2048)
+	r.SetGauge(obs.Labeled(obs.GaugeFPGAUnitBusy, "unit", "div"), 0.05)
+
+	var b strings.Builder
+	if err := WriteMetricsText(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	samples := parsePromText(t, text)
+
+	cyc := find(samples, "oselmrl_fpga_cycles_total")
+	if len(cyc) != 2 {
+		t.Fatalf("fpga_cycles series = %d, want 2\n%s", len(cyc), text)
+	}
+	for _, s := range cyc {
+		switch s.labels["phase"] {
+		case "predict":
+			if s.labels["kernel"] != "hidden_pass" || s.labels["unit"] != "add" || s.value != 320 {
+				t.Errorf("predict series wrong: %+v", s)
+			}
+		case "seq_train":
+			if s.labels["kernel"] != "p_h" || s.labels["unit"] != "mul" || s.value != 1024 {
+				t.Errorf("seq_train series wrong: %+v", s)
+			}
+		default:
+			t.Errorf("unexpected phase %q", s.labels["phase"])
+		}
+	}
+	if got := find(samples, "oselmrl_fpga_bram_access_total"); len(got) != 1 ||
+		got[0].labels["bank"] != "P" || got[0].labels["op"] != "read" || got[0].value != 2048 {
+		t.Errorf("bram series wrong: %+v", got)
+	}
+	if got := find(samples, "oselmrl_fpga_unit_busy_fraction"); len(got) != 1 ||
+		got[0].labels["unit"] != "div" || got[0].value != 0.05 {
+		t.Errorf("occupancy gauge wrong: %+v", got)
+	}
+	// One header per family: the two fpga_cycles series share one TYPE line.
+	if n := strings.Count(text, "# TYPE oselmrl_fpga_cycles_total counter"); n != 1 {
+		t.Errorf("fpga_cycles TYPE lines = %d, want 1", n)
+	}
+}

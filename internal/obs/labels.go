@@ -1,0 +1,61 @@
+package obs
+
+import "strings"
+
+// Labeled series on the flat registry. The Registry keys metrics by
+// plain strings; a labeled series is a key of the form
+//
+//	name{k1=v1,k2=v2}
+//
+// built with Labeled. Consumers reading snapshots directly (manifests,
+// /snapshot) see the flat key verbatim; the export layer's Prometheus
+// renderer recognizes the shape and emits real labels
+// (oselmrl_name_total{k1="v1",k2="v2"}). Label keys and values must be
+// bare tokens — no commas, braces, '=' or quotes; the producers (the
+// fpga device profiler) use fixed enum names, so nothing escapes.
+
+// Labeled builds a labeled registry key from alternating key/value
+// pairs: Labeled("fpga_cycles", "phase", "predict", "unit", "add") is
+// "fpga_cycles{phase=predict,unit=add}". With no pairs (or an odd
+// count, which is a programming error) the bare name is returned.
+func Labeled(name string, kv ...string) string {
+	if len(kv) == 0 || len(kv)%2 != 0 {
+		return name
+	}
+	var b strings.Builder
+	b.Grow(len(name) + 2 + len(kv)*8)
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteByte('=')
+		b.WriteString(kv[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// SplitLabeled parses a Labeled key back into its base name and label
+// pairs, in key order. A key without a well-formed label block returns
+// the key unchanged with nil pairs.
+func SplitLabeled(key string) (base string, pairs [][2]string) {
+	i := strings.IndexByte(key, '{')
+	if i < 0 || !strings.HasSuffix(key, "}") {
+		return key, nil
+	}
+	spec := key[i+1 : len(key)-1]
+	if spec == "" {
+		return key, nil
+	}
+	for _, part := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(part, "=")
+		if !ok || k == "" {
+			return key, nil // malformed: treat the whole key as the name
+		}
+		pairs = append(pairs, [2]string{k, v})
+	}
+	return key[:i], pairs
+}

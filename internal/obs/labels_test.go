@@ -1,0 +1,69 @@
+package obs
+
+import "testing"
+
+func TestLabeledRoundTrip(t *testing.T) {
+	key := Labeled(MetricFPGACycles, "phase", "seq_train", "kernel", "p_h", "unit", "mul")
+	if want := "fpga_cycles{phase=seq_train,kernel=p_h,unit=mul}"; key != want {
+		t.Fatalf("Labeled = %q, want %q", key, want)
+	}
+	base, pairs := SplitLabeled(key)
+	if base != MetricFPGACycles {
+		t.Errorf("base = %q", base)
+	}
+	want := [][2]string{{"phase", "seq_train"}, {"kernel", "p_h"}, {"unit", "mul"}}
+	if len(pairs) != len(want) {
+		t.Fatalf("pairs = %v", pairs)
+	}
+	for i := range want {
+		if pairs[i] != want[i] {
+			t.Errorf("pair %d = %v, want %v", i, pairs[i], want[i])
+		}
+	}
+}
+
+func TestLabeledDegenerate(t *testing.T) {
+	if got := Labeled("name"); got != "name" {
+		t.Errorf("no pairs: %q", got)
+	}
+	if got := Labeled("name", "odd"); got != "name" {
+		t.Errorf("odd pairs: %q", got)
+	}
+}
+
+// TestSplitLabeledMalformed: anything that is not a well-formed label
+// block comes back as a plain name — a flat key with braces in it must
+// not be half-parsed.
+func TestSplitLabeledMalformed(t *testing.T) {
+	for _, key := range []string{
+		"plain_name",
+		"name{}",          // empty block
+		"name{a}",         // no '='
+		"name{=v}",        // empty key
+		"name{a=1",        // unterminated
+		"name{a=1}suffix", // trailing text
+	} {
+		base, pairs := SplitLabeled(key)
+		if pairs != nil {
+			t.Errorf("%q: pairs = %v, want nil", key, pairs)
+		}
+		if base != key {
+			t.Errorf("%q: base = %q, want the key unchanged", key, base)
+		}
+	}
+}
+
+// TestLabeledSeriesOnRegistry: labeled keys are ordinary flat registry
+// keys — increments accumulate per distinct label set.
+func TestLabeledSeriesOnRegistry(t *testing.T) {
+	r := NewRegistry()
+	k1 := Labeled(MetricFPGACycles, "phase", "predict", "kernel", "hidden_pass", "unit", "add")
+	k2 := Labeled(MetricFPGACycles, "phase", "predict", "kernel", "hidden_pass", "unit", "mul")
+	r.Inc(k1, 10)
+	r.Inc(k1, 5)
+	r.Inc(k2, 7)
+	snap := r.Snapshot()
+	if snap.Counters[k1] != 15 || snap.Counters[k2] != 7 {
+		t.Errorf("labeled counters = %v / %v", snap.Counters[k1], snap.Counters[k2])
+	}
+}

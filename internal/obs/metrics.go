@@ -97,6 +97,28 @@ const (
 	GaugeWatchdogDiverged = "watchdog_diverged"
 )
 
+// Device-profiler metrics (the fpga_* family): the FPGA agent's
+// device-level cycle profiler publishes these when armed with -profile.
+// The counters are labeled series — registry keys built with Labeled,
+// which the export layer renders as real Prometheus labels. Naming is
+// documented in README.md §Device profiling and results/README.md.
+const (
+	// MetricFPGACycles counts datapath cycles attributed per
+	// {phase, kernel, unit} cell; the sum over all cells equals the
+	// core's total cycle count exactly (the attribution invariant).
+	MetricFPGACycles = "fpga_cycles"
+	// MetricFPGABRAMAccess counts per-BRAM-bank word accesses, labeled
+	// {bank, op} with the membank.go bank names and read/write.
+	MetricFPGABRAMAccess = "fpga_bram_access"
+	// GaugeFPGAUnitBusy is the run-so-far fraction of attributed cycles
+	// spent on one datapath unit, labeled {unit} — the occupancy of the
+	// add/mul/div units and the invocation FSM.
+	GaugeFPGAUnitBusy = "fpga_unit_busy_fraction"
+	// GaugeFPGAOpsPerCycle is the achieved arithmetic ops per datapath
+	// cycle — the roofline position against the single-unit peak of 1.
+	GaugeFPGAOpsPerCycle = "fpga_ops_per_cycle"
+)
+
 // DefaultBuckets are the upper bounds used when Observe creates a
 // histogram implicitly: a coarse log scale covering the magnitudes the
 // stack records (σmax estimates, wall milliseconds, target values).

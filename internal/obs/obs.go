@@ -49,6 +49,13 @@ const (
 	// wall_ms_<phase> entry per timed phase, and — with a watchdog
 	// attached — diverged (0/1) and numeric_alerts.
 	EventRunEnd = "run_end"
+	// EventDeviceProfile is a cumulative device-profiler snapshot (FPGA
+	// agents armed with -profile), flushed with the episode-end metrics:
+	// data carries total_cycles, one cycles_<phase>_<kernel>_<unit> entry
+	// per nonzero attribution cell, ops_<unit> operation counts and
+	// bram_<bank>_<op> access counts — all cumulative, so the last event
+	// per label group is the run's profile (what `runlog profile` reads).
+	EventDeviceProfile = "device_profile"
 	// EventNumericAlert is the first trip of one divergence-watchdog rule:
 	// data carries value and threshold; labels carry rule and metric (see
 	// the Rule* constants in watchdog.go). Emitted at most once per

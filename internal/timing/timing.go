@@ -126,6 +126,15 @@ func (p Profile) Seconds(phase Phase, calls int64, work float64) float64 {
 	return work/p.WorkUnitsPerSec + float64(calls)*ops*p.CallOverheadSec
 }
 
+// WorkSeconds converts raw work units (datapath cycles for PL profiles,
+// flops for software ones) to device seconds with no per-call overhead —
+// the duration of a kernel inside an already-dispatched invocation,
+// where the handshake is accounted to the enclosing module. Used by the
+// device profiler's per-kernel spans and reports.
+func (p Profile) WorkSeconds(work float64) float64 {
+	return work / p.WorkUnitsPerSec
+}
+
 // Calibrated device profiles. The throughput and overhead constants were
 // chosen once so that the modelled per-phase times land in the regime the
 // paper reports for a 650 MHz Cortex-A9 running NumPy 1.17 / PyTorch 1.3
