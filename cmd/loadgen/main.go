@@ -15,6 +15,18 @@
 // error, and the exit code is non-zero if any occurred (or if nothing
 // succeeded), so CI can assert a healthy server with one command.
 //
+// Multi-tenant runs: -tenants alpha,beta round-robins requests across
+// /v1/t/{name}/ routes (each tenant's state probed via its own /v1/info)
+// and the report carries per-tenant request counts.
+//
+// A/B runs: -ab URL2 measures the same workload twice — first against
+// -url (label "unbatched"), then against URL2 (label "batched") — and
+// prints the throughput and p99 deltas. -ab-out writes the pair as a
+// cmd/bench-compatible BENCH snapshot (rows ServeAB/<label>/throughput
+// and ServeAB/<label>/p99), so `cmd/bench -compare` and CI thresholds
+// work on serving A/Bs exactly as on Go benchmarks. This is how the
+// micro-batching acceptance numbers (BENCH_4.json) were produced.
+//
 // With -slo the tool additionally replays the traffic through a
 // client-side burn-rate engine (internal/obs/slo): every response is
 // classified (200 OK, 400 client error, 429 shed, transport error
@@ -37,6 +49,8 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"os/exec"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -58,10 +72,20 @@ type report struct {
 	MaxMS      float64 `json:"max_ms"`
 	Endpoint   string  `json:"endpoint"`
 	Concurrent int     `json:"concurrency"`
+	// Tenants is the per-tenant successful-request split with -tenants.
+	Tenants map[string]int `json:"tenants,omitempty"`
 	// SLO and SLOBreaches are present with -slo: the client-side burn-rate
 	// evaluation and the objectives whose overall burn reached 1.
 	SLO         *slo.Report `json:"slo,omitempty"`
 	SLOBreaches []string    `json:"slo_breaches,omitempty"`
+}
+
+// target is one (URL, body) pair the workers cycle through — one per
+// tenant, or a single bare-route target without -tenants.
+type target struct {
+	tenant string
+	url    string
+	body   []byte
 }
 
 func main() { os.Exit(run()) }
@@ -69,54 +93,189 @@ func main() { os.Exit(run()) }
 func run() int {
 	base := flag.String("url", "http://localhost:8080", "base URL of cmd/serve")
 	endpoint := flag.String("endpoint", "/v1/predict", "endpoint to hammer (/v1/predict or /v1/act)")
+	tenantsFlag := flag.String("tenants", "", "comma-separated tenant names to round-robin via /v1/t/{name}/ routes")
 	duration := flag.Duration("duration", 5*time.Second, "measurement window")
 	concurrency := flag.Int("concurrency", 16, "closed-loop workers")
 	stateFlag := flag.String("state", "", "comma-separated probe state (default: zeros sized via /v1/info)")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON")
+	abURL := flag.String("ab", "", "second base URL: run the workload against -url then this, report the deltas")
+	abOut := flag.String("ab-out", "", "with -ab: write both passes as a cmd/bench-compatible snapshot to this file")
+	abLabels := flag.String("ab-labels", "unbatched,batched", "with -ab: labels for the -url and -ab passes")
 	sloOn := flag.Bool("slo", false, "evaluate serving SLOs client-side and gate the exit code on them")
 	sloP99 := flag.Float64("slo-p99", 100, "latency objective: p99 total latency in ms (with -slo; 0 disables)")
 	sloAvail := flag.Float64("slo-availability", 0.999, "availability objective (with -slo; 0 disables)")
 	sloOut := flag.String("slo-out", "", "with -slo: also write the full JSON report to this file (the CI artifact)")
 	flag.Parse()
 
+	if *abURL != "" && *sloOn {
+		fmt.Fprintln(os.Stderr, "loadgen: -ab and -slo are mutually exclusive (A/B is a throughput measurement)")
+		return 2
+	}
+	labelA, labelB, ok := strings.Cut(*abLabels, ",")
+	if *abURL != "" && (!ok || labelA == "" || labelB == "") {
+		fmt.Fprintln(os.Stderr, "loadgen: -ab-labels wants two comma-separated names")
+		return 2
+	}
+
+	var tenants []string
+	if *tenantsFlag != "" {
+		for _, name := range strings.Split(*tenantsFlag, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				fmt.Fprintln(os.Stderr, "loadgen: -tenants has an empty name")
+				return 2
+			}
+			tenants = append(tenants, name)
+		}
+	}
+
 	var eng *slo.Engine
 	if *sloOn {
 		eng = slo.NewEngine(slo.Objectives{LatencyP99MS: *sloP99, Availability: *sloAvail})
 	}
 
-	state, err := probeState(*base, *stateFlag)
+	client := newClient(*concurrency)
+	targets, err := buildTargets(client, *base, *endpoint, tenants, *stateFlag)
 	if err != nil {
 		return fail(err)
 	}
-	body, err := json.Marshal(map[string][]float64{"state": state})
-	if err != nil {
-		return fail(err)
-	}
-	url := strings.TrimRight(*base, "/") + *endpoint
+	rep := runPass(client, targets, *duration, *concurrency, eng)
+	rep.Endpoint = *endpoint
 
+	if *abURL != "" {
+		// Re-probe against the B server: it may serve a different model.
+		targetsB, err := buildTargets(client, *abURL, *endpoint, tenants, *stateFlag)
+		if err != nil {
+			return fail(err)
+		}
+		repB := runPass(client, targetsB, *duration, *concurrency, eng)
+		repB.Endpoint = *endpoint
+		printReport(labelA+": ", rep)
+		printReport(labelB+": ", repB)
+		printABDelta(labelA, labelB, rep, repB)
+		if *abOut != "" {
+			snap := abSnapshot(labelA, labelB, rep, repB, *duration)
+			if err := writeJSONFile(*abOut, snap); err != nil {
+				return fail(err)
+			}
+			fmt.Fprintf(os.Stderr, "loadgen: A/B snapshot written to %s\n", *abOut)
+		}
+		if rep.Errors > 0 || repB.Errors > 0 || rep.Requests == 0 || repB.Requests == 0 {
+			fmt.Fprintln(os.Stderr, "loadgen: FAILED (errors or no successful requests in a pass)")
+			return 1
+		}
+		return 0
+	}
+
+	if eng != nil {
+		sloRep := eng.Report()
+		rep.SLO = &sloRep
+		rep.SLOBreaches = slo.GateBreaches(sloRep)
+	}
+
+	if *jsonOut {
+		json.NewEncoder(os.Stdout).Encode(rep)
+	} else {
+		printReport("", rep)
+		if rep.SLO != nil {
+			printSLO(rep.SLO)
+		}
+	}
+	if *sloOut != "" && rep.SLO != nil {
+		if err := writeJSONFile(*sloOut, rep); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: slo report written to %s\n", *sloOut)
+	}
+
+	if eng != nil {
+		// SLO mode gates on the objectives, not on raw error counts:
+		// the run fails when some objective's overall burn reached 1 or
+		// nothing succeeded at all.
+		if len(rep.SLOBreaches) > 0 {
+			fmt.Fprintf(os.Stderr, "loadgen: SLO FAILED (breached: %s)\n", strings.Join(rep.SLOBreaches, ", "))
+			return 1
+		}
+		if rep.Requests == 0 {
+			fmt.Fprintln(os.Stderr, "loadgen: FAILED (no successful requests)")
+			return 1
+		}
+		fmt.Fprintln(os.Stderr, "loadgen: SLO OK")
+		return 0
+	}
+	if rep.Errors > 0 || rep.Requests == 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: FAILED (errors or no successful requests)")
+		return 1
+	}
+	return 0
+}
+
+func newClient(concurrency int) *http.Client {
 	tr := &http.Transport{
-		MaxIdleConns:        *concurrency,
-		MaxIdleConnsPerHost: *concurrency,
+		MaxIdleConns:        concurrency,
+		MaxIdleConnsPerHost: concurrency,
 	}
-	client := &http.Client{Transport: tr, Timeout: 10 * time.Second}
+	return &http.Client{Transport: tr, Timeout: 10 * time.Second}
+}
 
-	type workerResult struct {
-		lat  []float64 // milliseconds
-		errs int
-		shed int
+// buildTargets resolves the (URL, body) pair per tenant: the probe state
+// comes from -state or each tenant's own /v1/info (tenants may serve
+// models of different input sizes).
+func buildTargets(client *http.Client, base, endpoint string, tenants []string, stateFlag string) ([]target, error) {
+	prefixes := []string{""}
+	names := []string{""}
+	if len(tenants) > 0 {
+		prefixes = prefixes[:0]
+		names = tenants
+		for _, name := range tenants {
+			prefixes = append(prefixes, "/t/"+name)
+		}
 	}
-	results := make([]workerResult, *concurrency)
-	deadline := time.Now().Add(*duration)
+	targets := make([]target, 0, len(prefixes))
+	for i, prefix := range prefixes {
+		infoURL := strings.TrimRight(base, "/") + "/v1" + prefix + "/info"
+		state, err := probeState(client, infoURL, stateFlag)
+		if err != nil {
+			return nil, err
+		}
+		body, err := json.Marshal(map[string][]float64{"state": state})
+		if err != nil {
+			return nil, err
+		}
+		targets = append(targets, target{
+			tenant: names[i],
+			url:    strings.TrimRight(base, "/") + "/v1" + prefix + strings.TrimPrefix(endpoint, "/v1"),
+			body:   body,
+		})
+	}
+	return targets, nil
+}
+
+// runPass drives the closed loop for one measurement window: every
+// worker cycles through the targets round-robin (offset by worker index,
+// so tenants are hit evenly even with few workers) and classifies each
+// response.
+func runPass(client *http.Client, targets []target, duration time.Duration, concurrency int, eng *slo.Engine) report {
+	type workerResult struct {
+		lat      []float64 // milliseconds
+		errs     int
+		shed     int
+		byTarget []int // successful requests per target index
+	}
+	results := make([]workerResult, concurrency)
+	deadline := time.Now().Add(duration)
 	start := time.Now()
 	var wg sync.WaitGroup
-	for w := 0; w < *concurrency; w++ {
+	for w := 0; w < concurrency; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			res := &results[w]
-			for time.Now().Before(deadline) {
+			res.byTarget = make([]int, len(targets))
+			for i := w; time.Now().Before(deadline); i++ {
+				tgt := targets[i%len(targets)]
 				t0 := time.Now()
-				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				resp, err := client.Post(tgt.url, "application/json", bytes.NewReader(tgt.body))
 				totalMS := float64(time.Since(t0)) / float64(time.Millisecond)
 				if err != nil {
 					// Transport errors are unavailability from the caller's
@@ -132,6 +291,7 @@ func run() int {
 				case resp.StatusCode == http.StatusOK:
 					eng.Record(slo.OK, queueMS, evalMS, totalMS)
 					res.lat = append(res.lat, totalMS)
+					res.byTarget[i%len(targets)]++
 				case resp.StatusCode == http.StatusTooManyRequests:
 					// Shedding is backpressure, not breakage: with -slo it
 					// consumes availability budget instead of failing the run
@@ -156,10 +316,14 @@ func run() int {
 
 	var lats []float64
 	errs, shed := 0, 0
+	perTarget := make([]int, len(targets))
 	for _, r := range results {
 		lats = append(lats, r.lat...)
 		errs += r.errs
 		shed += r.shed
+		for i, n := range r.byTarget {
+			perTarget[i] += n
+		}
 	}
 	sort.Float64s(lats)
 	rep := report{
@@ -167,8 +331,13 @@ func run() int {
 		Errors:     errs,
 		Shed:       shed,
 		Seconds:    elapsed,
-		Endpoint:   *endpoint,
-		Concurrent: *concurrency,
+		Concurrent: concurrency,
+	}
+	if len(targets) > 1 || targets[0].tenant != "" {
+		rep.Tenants = make(map[string]int, len(targets))
+		for i, tgt := range targets {
+			rep.Tenants[tgt.tenant] = perTarget[i]
+		}
 	}
 	if elapsed > 0 {
 		rep.QPS = float64(len(lats)) / elapsed
@@ -179,50 +348,97 @@ func run() int {
 		rep.P99MS = quantile(lats, 0.99)
 		rep.MaxMS = lats[len(lats)-1]
 	}
-	if eng != nil {
-		sloRep := eng.Report()
-		rep.SLO = &sloRep
-		rep.SLOBreaches = slo.GateBreaches(sloRep)
-	}
+	return rep
+}
 
-	if *jsonOut {
-		json.NewEncoder(os.Stdout).Encode(rep)
-	} else {
-		fmt.Printf("loadgen: %d requests in %.2fs (%d errors, %d shed), %.0f req/s\n",
-			rep.Requests, rep.Seconds, rep.Errors, rep.Shed, rep.QPS)
-		fmt.Printf("latency ms: p50=%.3f p95=%.3f p99=%.3f max=%.3f\n",
-			rep.P50MS, rep.P95MS, rep.P99MS, rep.MaxMS)
-		if rep.SLO != nil {
-			printSLO(rep.SLO)
+func printReport(prefix string, rep report) {
+	fmt.Printf("%sloadgen: %d requests in %.2fs (%d errors, %d shed), %.0f req/s\n",
+		prefix, rep.Requests, rep.Seconds, rep.Errors, rep.Shed, rep.QPS)
+	fmt.Printf("%slatency ms: p50=%.3f p95=%.3f p99=%.3f max=%.3f\n",
+		prefix, rep.P50MS, rep.P95MS, rep.P99MS, rep.MaxMS)
+	if len(rep.Tenants) > 0 {
+		names := make([]string, 0, len(rep.Tenants))
+		for name := range rep.Tenants {
+			names = append(names, name)
 		}
-	}
-	if *sloOut != "" && rep.SLO != nil {
-		if err := writeJSONFile(*sloOut, rep); err != nil {
-			return fail(err)
+		sort.Strings(names)
+		parts := make([]string, 0, len(names))
+		for _, name := range names {
+			parts = append(parts, fmt.Sprintf("%s=%d", name, rep.Tenants[name]))
 		}
-		fmt.Fprintf(os.Stderr, "loadgen: slo report written to %s\n", *sloOut)
+		fmt.Printf("%sper tenant: %s\n", prefix, strings.Join(parts, " "))
 	}
+}
 
-	if eng != nil {
-		// SLO mode gates on the objectives, not on raw error counts:
-		// the run fails when some objective's overall burn reached 1 or
-		// nothing succeeded at all.
-		if len(rep.SLOBreaches) > 0 {
-			fmt.Fprintf(os.Stderr, "loadgen: SLO FAILED (breached: %s)\n", strings.Join(rep.SLOBreaches, ", "))
-			return 1
+// printABDelta summarizes pass B relative to pass A: positive throughput
+// delta and non-positive p99 delta is the micro-batching win condition.
+func printABDelta(labelA, labelB string, a, b report) {
+	pct := func(oldV, newV float64) float64 {
+		if oldV == 0 {
+			return 0
 		}
-		if len(lats) == 0 {
-			fmt.Fprintln(os.Stderr, "loadgen: FAILED (no successful requests)")
-			return 1
+		return (newV - oldV) / oldV * 100
+	}
+	fmt.Printf("A/B (%s -> %s): throughput %+0.1f%% (%.0f -> %.0f req/s), p99 %+0.1f%% (%.3f -> %.3f ms)\n",
+		labelA, labelB, pct(a.QPS, b.QPS), a.QPS, b.QPS, pct(a.P99MS, b.P99MS), a.P99MS, b.P99MS)
+}
+
+// benchResult and benchSnapshot mirror cmd/bench's BENCH_<n>.json schema
+// so A/B snapshots compare with `cmd/bench -compare` and live next to the
+// Go-benchmark history at the repo root.
+type benchResult struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+}
+
+type benchSnapshot struct {
+	GitSHA    string        `json:"git_sha"`
+	GoVersion string        `json:"go_version"`
+	Platform  string        `json:"platform"`
+	Time      string        `json:"time"`
+	Benchtime string        `json:"benchtime"`
+	Packages  []string      `json:"packages"`
+	Results   []benchResult `json:"results"`
+}
+
+// abSnapshot converts an A/B pair into bench rows: throughput rows carry
+// the mean inter-completion time (1e9/QPS ns — lower is faster, matching
+// bench semantics), p99 rows carry the tail latency in ns.
+func abSnapshot(labelA, labelB string, a, b report, duration time.Duration) benchSnapshot {
+	rows := func(label string, r report) []benchResult {
+		out := []benchResult{}
+		if r.QPS > 0 {
+			out = append(out, benchResult{
+				Name:       "ServeAB/" + label + "/throughput",
+				Iterations: int64(r.Requests),
+				NsPerOp:    1e9 / r.QPS,
+			})
 		}
-		fmt.Fprintln(os.Stderr, "loadgen: SLO OK")
-		return 0
+		out = append(out,
+			benchResult{Name: "ServeAB/" + label + "/p50", Iterations: int64(r.Requests), NsPerOp: r.P50MS * 1e6},
+			benchResult{Name: "ServeAB/" + label + "/p99", Iterations: int64(r.Requests), NsPerOp: r.P99MS * 1e6},
+		)
+		return out
 	}
-	if errs > 0 || len(lats) == 0 {
-		fmt.Fprintln(os.Stderr, "loadgen: FAILED (errors or no successful requests)")
-		return 1
+	return benchSnapshot{
+		GitSHA:    gitSHA(),
+		GoVersion: runtime.Version(),
+		Platform:  runtime.GOOS + "/" + runtime.GOARCH,
+		Time:      time.Now().UTC().Format(time.RFC3339),
+		Benchtime: duration.String(),
+		Packages:  []string{"cmd/loadgen A/B"},
+		Results:   append(rows(labelA, a), rows(labelB, b)...),
 	}
-	return 0
+}
+
+// gitSHA returns the current HEAD commit, or "unknown" outside a checkout.
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
 }
 
 // printSLO renders the burn-rate evaluation for humans: the latency
@@ -294,9 +510,9 @@ func writeJSONFile(path string, v any) error {
 	return f.Close()
 }
 
-// probeState parses -state, or asks /v1/info for the model's input size
-// and returns a zero vector.
-func probeState(base, flagVal string) ([]float64, error) {
+// probeState parses -state, or asks the given /v1/info route for the
+// model's input size and returns a zero vector.
+func probeState(client *http.Client, infoURL, flagVal string) ([]float64, error) {
 	if flagVal != "" {
 		parts := strings.Split(flagVal, ",")
 		state := make([]float64, len(parts))
@@ -309,19 +525,22 @@ func probeState(base, flagVal string) ([]float64, error) {
 		}
 		return state, nil
 	}
-	resp, err := http.Get(strings.TrimRight(base, "/") + "/v1/info")
+	resp, err := client.Get(infoURL)
 	if err != nil {
-		return nil, fmt.Errorf("loadgen: querying /v1/info: %w", err)
+		return nil, fmt.Errorf("loadgen: querying %s: %w", infoURL, err)
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: %s: HTTP %d", infoURL, resp.StatusCode)
+	}
 	var info struct {
 		ObservationSize int `json:"observation_size"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
-		return nil, fmt.Errorf("loadgen: decoding /v1/info: %w", err)
+		return nil, fmt.Errorf("loadgen: decoding %s: %w", infoURL, err)
 	}
 	if info.ObservationSize <= 0 {
-		return nil, fmt.Errorf("loadgen: /v1/info reports observation_size %d", info.ObservationSize)
+		return nil, fmt.Errorf("loadgen: %s reports observation_size %d", infoURL, info.ObservationSize)
 	}
 	return make([]float64, info.ObservationSize), nil
 }

@@ -135,6 +135,28 @@ func (m *Model) HiddenBatch(x *mat.Dense) *mat.Dense {
 	return h
 }
 
+// HiddenBatchInto computes H = G(x·α + b) into dst (k×Ñ) without
+// allocating, where k = x.Rows(). Unlike HiddenBatch it uses the serial
+// deterministic GEMM, so every row of dst is bit-identical to
+// HiddenOneInto on the same input row — the invariant that lets the
+// serving tier batch inference without changing any answer.
+func (m *Model) HiddenBatchInto(dst, x *mat.Dense) {
+	if x.Cols() != m.inputSize {
+		panic(fmt.Sprintf("elm: input has %d features, model expects %d", x.Cols(), m.inputSize))
+	}
+	if dst.Rows() != x.Rows() || dst.Cols() != m.hiddenSize {
+		panic(fmt.Sprintf("elm: hidden dst is %dx%d, want %dx%d", dst.Rows(), dst.Cols(), x.Rows(), m.hiddenSize))
+	}
+	mat.MulSerialInto(dst, x, m.Alpha)
+	d := dst.RawData()
+	for i := 0; i < dst.Rows(); i++ {
+		row := d[i*m.hiddenSize : (i+1)*m.hiddenSize]
+		for j := range row {
+			row[j] = m.Act.F(row[j] + m.Bias[j])
+		}
+	}
+}
+
 // HiddenOne computes the hidden activation row for a single input vector.
 // This is the k=1 fast path the FPGA's predict module implements.
 func (m *Model) HiddenOne(x []float64) []float64 {

@@ -141,3 +141,33 @@ func TestDotLengthPanics(t *testing.T) {
 	}()
 	Dot([]float64{1}, []float64{1, 2})
 }
+
+// MulSerialInto row i must be BIT-identical to VecMulInto of row i — the
+// accumulation order and zero-skip are shared, and the serving tier's
+// batched-vs-unbatched golden tests depend on it.
+func TestMulSerialIntoRowsBitIdenticalToVecMul(t *testing.T) {
+	r := rng.New(82)
+	a := randomMatrix(r, 9, 130, -2, 2) // inner dim > gemmBlock to cross a tile edge
+	a.Set(3, 17, 0)                     // exercise the zero-operand skip
+	b := randomMatrix(r, 130, 7, -2, 2)
+	dst := Zeros(9, 7)
+	for i := range dst.data {
+		dst.data[i] = 42 // stale values must be overwritten
+	}
+	MulSerialInto(dst, a, b)
+	row := make([]float64, 7)
+	for i := 0; i < 9; i++ {
+		VecMulInto(row, a.Row(i), b)
+		for j := range row {
+			if dst.At(i, j) != row[j] {
+				t.Fatalf("dst[%d,%d] = %v, VecMulInto gives %v", i, j, dst.At(i, j), row[j])
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("shape mismatch must panic")
+		}
+	}()
+	MulSerialInto(Zeros(2, 2), a, b)
+}

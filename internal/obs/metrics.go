@@ -71,6 +71,13 @@ const (
 	// or poisoned P). Zero in a healthy run; the first trip also emits a
 	// numeric_alert event.
 	MetricFixedDenomGuard = "fixed_denom_guard_trips"
+	// MetricBatchGuard counts rank-k SeqTrainBatch updates rejected by
+	// the Eq. 5 conditioning guard (a Cholesky pivot of K = I + H·P·Hᵀ
+	// fell below 0.5 — K is at least I in exact arithmetic, so a
+	// collapsed pivot means P lost positive-definiteness). The float-path
+	// sibling of MetricFixedDenomGuard; the first trip also emits a
+	// numeric_alert event with rule seq_train_batch_guard.
+	MetricBatchGuard = "learn_batch_guard_trips"
 
 	// HistLearnTDErrorAbs is the per-update |target − Q(s,a)| (qnet/fpga:
 	// per sequential update; dqn: batch mean per gradient step).

@@ -26,6 +26,7 @@ import (
 
 	"oselmrl/internal/elm"
 	"oselmrl/internal/mat"
+	"oselmrl/internal/obs"
 )
 
 // Model is an OS-ELM: an ELM plus the running inverse-covariance matrix P.
@@ -39,6 +40,8 @@ type Model struct {
 
 	initialized bool
 	updates     int
+	guardTrips  int64
+	emitter     *obs.Emitter
 
 	// scratch buffers for the allocation-free rank-1 hot path; lazily
 	// sized, never shared between clones.
@@ -49,6 +52,19 @@ type Model struct {
 
 // ErrNotInitialized is returned by sequential training before InitTrain.
 var ErrNotInitialized = errors.New("oselm: sequential training before initial training")
+
+// ErrIllConditioned is returned (wrapped) when a sequential update is
+// rejected by the Eq. 5 conditioning guard: the gain system
+// K = I + H·P·Hᵀ, which in exact arithmetic is at least I, has lost that
+// floor to accumulated rounding in P. The model keeps its previous P and β.
+var ErrIllConditioned = errors.New("oselm: ill-conditioned Eq. 5 gain (numerical drift)")
+
+// batchGuardFloor is the minimum Cholesky pivot of K = I + H·P·Hᵀ accepted
+// by SeqTrainBatch. Exact arithmetic guarantees every pivot ≥ 1 (each pivot
+// bounds the smallest eigenvalue of a Schur complement of K ⪰ I from
+// below), so 0.5 only trips on genuine loss of positive-definiteness —
+// the same floor the fixed-point core applies to its rank-1 denominator.
+const batchGuardFloor = 0.5
 
 // New wraps an ELM model into an OS-ELM with regularization delta.
 func New(base *elm.Model, delta float64) *Model {
@@ -74,6 +90,36 @@ func Restore(base *elm.Model, p *mat.Dense, delta float64, updates int) (*Model,
 
 // Initialized reports whether initial training has completed.
 func (m *Model) Initialized() bool { return m.initialized }
+
+// GuardTrips returns how many sequential updates the Eq. 5 conditioning
+// guard has rejected since the last initial training.
+func (m *Model) GuardTrips() int64 { return m.guardTrips }
+
+// SetObserver attaches an emitter so guard trips surface as the same
+// numeric_alert family the fixed-point core emits (first trip only) plus a
+// learn_batch_guard_trips counter. A nil emitter (the default) is silent.
+func (m *Model) SetObserver(e *obs.Emitter) { m.emitter = e }
+
+// tripGuard records one rejected update: P is re-symmetrized (the cheap
+// repair available without refactoring), the trip counter bumps, and the
+// first trip of the run emits a numeric_alert mirroring the rank-1
+// seq_train_denom_guard alert of the fixed-point core.
+func (m *Model) tripGuard(k int, minPivot float64) error {
+	m.P.Symmetrize()
+	m.guardTrips++
+	m.emitter.Inc(obs.MetricBatchGuard, 1)
+	if m.guardTrips == 1 {
+		m.emitter.With(map[string]string{
+			"rule":   "seq_train_batch_guard",
+			"metric": obs.MetricBatchGuard,
+		}).Emit(obs.EventNumericAlert, 0, map[string]float64{
+			"value":     minPivot,
+			"threshold": batchGuardFloor,
+		})
+	}
+	return fmt.Errorf("%w: rank-%d update rejected, min Cholesky pivot %g < %g",
+		ErrIllConditioned, k, minPivot, batchGuardFloor)
+}
 
 // Updates returns the number of sequential updates performed since the last
 // initial training.
@@ -202,6 +248,26 @@ func (m *Model) SeqTrainBatch(x, t *mat.Dense) error {
 	// K = I + H·P·Hᵀ  (k×k)
 	php := mat.MulT3(h, m.P, ht)
 	kMat := mat.AddScaledIdentity(php, 1)
+
+	// Eq. 5 conditioning guard, rank-k form of the scalar denominator
+	// floor in SeqTrainOne and the fixed-point core: in exact arithmetic
+	// K ⪰ I, so every Cholesky pivot is ≥ 1. A failed factorization or a
+	// pivot under batchGuardFloor means P has silently lost
+	// positive-definiteness and applying the update would corrupt it
+	// further — reject, keep the old P/β, and surface the trip.
+	l, err := mat.Cholesky(kMat)
+	if err != nil {
+		return m.tripGuard(k, 0)
+	}
+	minPivot := l.At(0, 0) * l.At(0, 0)
+	for i := 1; i < k; i++ {
+		if p := l.At(i, i) * l.At(i, i); p < minPivot {
+			minPivot = p
+		}
+	}
+	if minPivot < batchGuardFloor {
+		return m.tripGuard(k, minPivot)
+	}
 	kInv, err := mat.Inverse(kMat)
 	if err != nil {
 		return fmt.Errorf("oselm: rank-%d gain inverse: %w", k, err)
@@ -242,6 +308,7 @@ func (m *Model) Clone() *Model {
 		Delta:       m.Delta,
 		initialized: m.initialized,
 		updates:     m.updates,
+		guardTrips:  m.guardTrips,
 	}
 	if m.P != nil {
 		c.P = m.P.Clone()

@@ -3,12 +3,14 @@ package oselm
 import (
 	"errors"
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 
 	"oselmrl/internal/activation"
 	"oselmrl/internal/elm"
 	"oselmrl/internal/mat"
+	"oselmrl/internal/obs"
 	"oselmrl/internal/rng"
 )
 
@@ -413,5 +415,130 @@ func TestSeqTrainOneDoesNotAllocate(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("SeqTrainOne allocates %v objects per call; the hot path must be allocation-free", allocs)
+	}
+}
+
+// Property: for any healthy data, a rank-k SeqTrainBatch agrees with k
+// sequential rank-1 updates to tolerance, and the conditioning guard never
+// fires. Runs the equivalence across many random draws and batch sizes
+// (the guard sits in front of the update, so this also proves the guard
+// does not reject well-conditioned updates).
+func TestPropertyBatchEqualsRank1Stream(t *testing.T) {
+	for seed := uint64(0); seed < 12; seed++ {
+		k := int(seed%10) + 1
+		base1 := newBase(40+seed, 3, 12, 2)
+		m1 := New(base1, 0.3)
+		m2 := New(base1.Clone(), 0.3)
+		xi, ti := randomData(60+seed, 18, 3, 2)
+		if err := m1.InitTrain(xi, ti); err != nil {
+			t.Fatal(err)
+		}
+		if err := m2.InitTrain(xi, ti); err != nil {
+			t.Fatal(err)
+		}
+		x, tt := randomData(80+seed, k, 3, 2)
+		for i := 0; i < k; i++ {
+			if err := m1.SeqTrainOne(x.Row(i), tt.Row(i)); err != nil {
+				t.Fatalf("seed %d rank-1 %d: %v", seed, i, err)
+			}
+		}
+		if err := m2.SeqTrainBatch(x, tt); err != nil {
+			t.Fatalf("seed %d rank-%d: %v", seed, k, err)
+		}
+		if !mat.Equal(m1.Beta, m2.Beta, 1e-6) {
+			t.Errorf("seed %d k=%d: beta diff %v", seed, k,
+				mat.Sub(m1.Beta, m2.Beta).MaxAbs())
+		}
+		if !mat.Equal(m1.P, m2.P, 1e-6) {
+			t.Errorf("seed %d k=%d: P diff %v", seed, k,
+				mat.Sub(m1.P, m2.P).MaxAbs())
+		}
+		if m2.GuardTrips() != 0 {
+			t.Errorf("seed %d: guard tripped on healthy data", seed)
+		}
+	}
+}
+
+// guardSink captures emitted events for the guard regression test.
+type guardSink struct {
+	mu     sync.Mutex
+	events []obs.Event
+}
+
+func (s *guardSink) Write(ev *obs.Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events = append(s.events, *ev)
+	return nil
+}
+func (s *guardSink) Close() error { return nil }
+
+// Regression for the PR 8 bugfix: a corrupted (non-positive-definite) P
+// must make SeqTrainBatch REJECT the rank-k update — old P/β preserved,
+// ErrIllConditioned returned, guard counter bumped, one numeric_alert
+// emitted — instead of silently pushing the corruption through Eq. 5.
+// Mirrors the PR 5 rank-1 corrupt-P test for the fixed-point core.
+func TestSeqTrainBatchGuardRejectsCorruptP(t *testing.T) {
+	base := newBase(90, 2, 8, 1)
+	m := New(base, 0.5)
+	xi, ti := randomData(91, 12, 2, 1)
+	if err := m.InitTrain(xi, ti); err != nil {
+		t.Fatal(err)
+	}
+	sink := &guardSink{}
+	m.SetObserver(obs.NewEmitter(sink))
+
+	// Poison P: a large negative diagonal destroys positive-definiteness,
+	// so K = I + H·P·Hᵀ collapses below the exact-arithmetic floor of I.
+	for i := 0; i < m.P.Rows(); i++ {
+		m.P.Set(i, i, m.P.At(i, i)-100)
+	}
+	pBefore := m.P.Clone()
+	betaBefore := m.Beta.Clone()
+	updatesBefore := m.Updates()
+
+	x, tt := randomData(92, 4, 2, 1)
+	err := m.SeqTrainBatch(x, tt)
+	if !errors.Is(err, ErrIllConditioned) {
+		t.Fatalf("expected ErrIllConditioned, got %v", err)
+	}
+	if !mat.Equal(m.P, pBefore, 0) {
+		t.Error("rejected update must leave P untouched")
+	}
+	if !mat.Equal(m.Beta, betaBefore, 0) {
+		t.Error("rejected update must leave beta untouched")
+	}
+	if m.Updates() != updatesBefore {
+		t.Error("rejected update must not count as an update")
+	}
+	if m.GuardTrips() != 1 {
+		t.Errorf("GuardTrips = %d, want 1", m.GuardTrips())
+	}
+
+	// Second trip: counter advances, but the numeric_alert is emitted only
+	// on the first trip of the run (same contract as the fixed-point core).
+	if err := m.SeqTrainBatch(x, tt); !errors.Is(err, ErrIllConditioned) {
+		t.Fatalf("second update: expected ErrIllConditioned, got %v", err)
+	}
+	if m.GuardTrips() != 2 {
+		t.Errorf("GuardTrips = %d, want 2", m.GuardTrips())
+	}
+	var alerts []obs.Event
+	for _, ev := range sink.events {
+		if ev.Type == obs.EventNumericAlert {
+			alerts = append(alerts, ev)
+		}
+	}
+	if len(alerts) != 1 {
+		t.Fatalf("numeric_alert count = %d, want 1", len(alerts))
+	}
+	if alerts[0].Labels["rule"] != "seq_train_batch_guard" {
+		t.Errorf("alert rule = %q", alerts[0].Labels["rule"])
+	}
+	if alerts[0].Labels["metric"] != obs.MetricBatchGuard {
+		t.Errorf("alert metric = %q", alerts[0].Labels["metric"])
+	}
+	if alerts[0].Data["threshold"] != 0.5 {
+		t.Errorf("alert threshold = %v", alerts[0].Data["threshold"])
 	}
 }

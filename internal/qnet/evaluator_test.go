@@ -117,3 +117,82 @@ func TestEvaluatorsConcurrent(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// Batched evaluation must be BIT-identical to the per-request path — this
+// is the golden contract the serving tier's micro-batcher relies on: a
+// request's answer may never depend on who it shared a batch with.
+func TestQValuesBatchBitIdentical(t *testing.T) {
+	configs := map[string]func(*Config){
+		"simplified": func(c *Config) {},
+		"onehot":     func(c *Config) { c.OneHotActions = true },
+		"standard":   func(c *Config) { c.StandardOutputModel = true },
+	}
+	for name, mod := range configs {
+		t.Run(name, func(t *testing.T) {
+			cfg := DefaultConfig(VariantOSELML2Lipschitz, 4, 3, 16)
+			mod(&cfg)
+			a := trainSmallAgent(t, cfg)
+			ev := a.NewEvaluator()
+			evRef := a.NewEvaluator()
+			r := rng.New(31)
+			// Vary batch sizes, including shrink-then-regrow to exercise
+			// the scratch re-viewing.
+			for _, k := range []int{1, 7, 3, 16, 2, 16} {
+				states := make([][]float64, k)
+				for i := range states {
+					s := make([]float64, 4)
+					for j := range s {
+						s[j] = r.Uniform(-1, 1)
+					}
+					states[i] = s
+				}
+				qm, err := ev.QValuesBatch(states)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if qm.Rows() != k || qm.Cols() != cfg.ActionCount {
+					t.Fatalf("batch result %dx%d, want %dx%d", qm.Rows(), qm.Cols(), k, cfg.ActionCount)
+				}
+				acts, qs, err := ev.BestBatch(states)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, st := range states {
+					want, err := evRef.QValues(st)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for act := range want {
+						if got := qm.At(i, act); got != want[act] {
+							t.Fatalf("k=%d row %d act %d: batch %v, single %v", k, i, act, got, want[act])
+						}
+					}
+					wantAct, wantQ, err := evRef.Best(st)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if acts[i] != wantAct || qs[i] != wantQ {
+						t.Fatalf("k=%d row %d: BestBatch (%d,%v), Best (%d,%v)",
+							k, i, acts[i], qs[i], wantAct, wantQ)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestQValuesBatchRejectsBadRow(t *testing.T) {
+	a := trainSmallAgent(t, DefaultConfig(VariantOSELML2, 4, 2, 8))
+	ev := a.NewEvaluator()
+	states := [][]float64{make([]float64, 4), make([]float64, 3), make([]float64, 4)}
+	if _, err := ev.QValuesBatch(states); err == nil {
+		t.Error("bad row must error")
+	}
+	if _, _, err := ev.BestBatch(states); err == nil {
+		t.Error("BestBatch must propagate the error")
+	}
+	// Empty batch is legal and returns an empty view.
+	if qm, err := ev.QValuesBatch(nil); err != nil || qm.Rows() != 0 {
+		t.Errorf("empty batch: %v rows=%d", err, qm.Rows())
+	}
+}

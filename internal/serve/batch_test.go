@@ -1,0 +1,474 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"oselmrl/internal/obs"
+	"oselmrl/internal/rng"
+)
+
+// tenantItem submits one hand-built item to a tenant's collector and
+// returns its reply — the deterministic way to exercise batch boundaries.
+func tenantItem(state []float64, includeQ bool) *batchItem {
+	return &batchItem{state: state, includeQ: includeQ, out: make(chan batchOut, 1)}
+}
+
+// Reaching BatchMax must flush immediately, long before the window.
+func TestBatchMaxSizeFlush(t *testing.T) {
+	s, _ := newTestService(t, Config{BatchWindow: 5 * time.Second, BatchMax: 4, Obs: obs.NewEmitter(nil)})
+	defer s.Close()
+	b := s.def.batch
+	start := time.Now()
+	items := make([]*batchItem, 4)
+	for i := range items {
+		items[i] = tenantItem([]float64{float64(i), 0, 0, 0}, true)
+		if !b.submit(items[i]) {
+			t.Fatal("submit refused")
+		}
+	}
+	for i, it := range items {
+		bo := <-it.out
+		if bo.err != nil {
+			t.Fatalf("item %d: %v", i, bo.err)
+		}
+		if bo.size != 4 {
+			t.Errorf("item %d evaluated in batch of %d, want 4", i, bo.size)
+		}
+	}
+	if time.Since(start) > time.Second {
+		t.Error("max-size batch waited for the window instead of flushing")
+	}
+}
+
+// A lone request is flushed by window expiry and takes the per-request
+// fallthrough (batch size 1) with the exact per-request Q values.
+func TestBatchWindowExpiryAndSingleFallthrough(t *testing.T) {
+	s, _ := newTestService(t, Config{BatchWindow: 20 * time.Millisecond, BatchMax: 64, Obs: obs.NewEmitter(nil)})
+	defer s.Close()
+	state := []float64{0.3, -0.1, 0.8, 0.2}
+	it := tenantItem(state, true)
+	start := time.Now()
+	if !s.def.batch.submit(it) {
+		t.Fatal("submit refused")
+	}
+	bo := <-it.out
+	if bo.err != nil {
+		t.Fatal(bo.err)
+	}
+	if bo.size != 1 {
+		t.Errorf("batch size %d, want 1", bo.size)
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond || elapsed > 2*time.Second {
+		t.Errorf("flush after %v, want ≈ the 20ms window", elapsed)
+	}
+	// Bit-identical to the per-request evaluator path.
+	p := s.def.Policy()
+	ev := p.acquire()
+	defer p.release(ev)
+	want, err := ev.QValues(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if bo.q[i] != want[i] {
+			t.Fatalf("q[%d] = %v, per-request path %v", i, bo.q[i], want[i])
+		}
+	}
+}
+
+// An item whose state is stale for the current policy (the reload-
+// mid-batch case: the checkpoint swapped to a different observation size
+// between submit and flush) is answered with the per-request error text
+// and must not poison the valid items sharing its batch.
+func TestBatchMixedValidityItems(t *testing.T) {
+	s, _ := newTestService(t, Config{BatchWindow: 5 * time.Second, BatchMax: 3, Obs: obs.NewEmitter(nil)})
+	defer s.Close()
+	good1 := tenantItem([]float64{0.1, 0.2, 0.3, 0.4}, true)
+	bad := tenantItem([]float64{1, 2}, true) // wrong length for the 4-dim policy
+	good2 := tenantItem([]float64{-0.4, 0.3, -0.2, 0.1}, true)
+	for _, it := range []*batchItem{good1, bad, good2} {
+		if !s.def.batch.submit(it) {
+			t.Fatal("submit refused")
+		}
+	}
+	if bo := <-bad.out; bo.err == nil {
+		t.Error("stale-shape item must error")
+	} else if bo.err.Error() != "qnet: state has 2 features, model expects 4" {
+		t.Errorf("error text %q must match the per-request path", bo.err)
+	}
+	for i, it := range []*batchItem{good1, good2} {
+		if bo := <-it.out; bo.err != nil {
+			t.Errorf("valid item %d rejected: %v", i, bo.err)
+		} else if bo.size != 3 {
+			t.Errorf("valid item %d batch size %d, want 3", i, bo.size)
+		}
+	}
+}
+
+// The golden batching contract over HTTP: answers from a batched service
+// are byte-identical to the unbatched service over the same checkpoint —
+// same actions, same Q bytes, request by request — even while real
+// multi-request batches form (run with -race).
+func TestBatchedByteIdenticalToUnbatched(t *testing.T) {
+	em := obs.NewEmitter(nil)
+	batched, ckpt := newTestService(t, Config{BatchWindow: 2 * time.Millisecond, BatchMax: 8, Pool: 8, Queue: 128, Obs: em})
+	defer batched.Close()
+	plain, err := New(Config{Checkpoint: ckpt, Obs: obs.NewEmitter(nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hBatched, hPlain := batched.Handler(), plain.Handler()
+
+	r := rng.New(5)
+	states := make([][]float64, 64)
+	for i := range states {
+		states[i] = []float64{r.Uniform(-1, 1), r.Uniform(-1, 1), r.Uniform(-1, 1), r.Uniform(-1, 1)}
+	}
+	want := make([]string, len(states))
+	for i, st := range states {
+		w := postPredict(hPlain, "/v1/predict", st)
+		if w.Code != http.StatusOK {
+			t.Fatalf("unbatched status %d", w.Code)
+		}
+		want[i] = w.Body.String()
+	}
+
+	got := make([]string, len(states))
+	var wg sync.WaitGroup
+	for i, st := range states {
+		wg.Add(1)
+		go func(i int, st []float64) {
+			defer wg.Done()
+			w := postPredict(hBatched, "/v1/predict", st)
+			if w.Code != http.StatusOK {
+				got[i] = fmt.Sprintf("status %d: %s", w.Code, w.Body)
+				return
+			}
+			got[i] = w.Body.String()
+		}(i, st)
+	}
+	wg.Wait()
+	for i := range states {
+		if got[i] != want[i] {
+			t.Fatalf("state %d: batched %q != unbatched %q", i, got[i], want[i])
+		}
+	}
+	// The concurrent burst must have produced at least one real batch.
+	snap := em.Metrics().Snapshot()
+	h := snap.Histograms[HistBatchSize]
+	if h == nil || h.N == 0 {
+		t.Fatal("no batch-size observations recorded")
+	}
+	if h.Max < 2 {
+		t.Logf("warning: no multi-request batch formed (max %v); identity still holds", h.Max)
+	}
+}
+
+// Close drains the collector: requests in flight when the drain begins
+// and requests arriving afterwards are all answered — none dropped.
+func TestBatchedDrainDropsNothing(t *testing.T) {
+	s, _ := newTestService(t, Config{BatchWindow: 2 * time.Millisecond, BatchMax: 8, Pool: 8, Queue: 128, Obs: obs.NewEmitter(nil)})
+	h := s.Handler()
+	const n = 48
+	codes := make(chan int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := postPredict(h, "/v1/predict", []float64{float64(i) / n, 0, 0, 0})
+			codes <- w.Code
+		}(i)
+		if i == n/2 {
+			s.Close() // drain mid-traffic
+		}
+	}
+	wg.Wait()
+	close(codes)
+	for code := range codes {
+		if code != http.StatusOK {
+			t.Fatalf("request dropped across drain: status %d", code)
+		}
+	}
+	// Post-drain traffic still works (inline fallback) and Close is
+	// idempotent.
+	s.Close()
+	if w := postPredict(h, "/v1/predict", []float64{0, 0, 0, 0}); w.Code != http.StatusOK {
+		t.Fatalf("post-drain status %d", w.Code)
+	}
+}
+
+// Hot reload under concurrent batched traffic: zero failed requests,
+// monotonic generations (run with -race).
+func TestBatchedPredictDuringHotReload(t *testing.T) {
+	s, ckpt := newTestService(t, Config{BatchWindow: time.Millisecond, BatchMax: 8, Pool: 8, Obs: obs.NewEmitter(nil)})
+	defer s.Close()
+	h := s.Handler()
+
+	const workers = 8
+	stop := make(chan struct{})
+	errs := make(chan string, workers)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rng.New(uint64(g + 1))
+			lastGen := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				w := postPredict(h, "/v1/predict", []float64{r.Uniform(-1, 1), r.Uniform(-1, 1), r.Uniform(-1, 1), r.Uniform(-1, 1)})
+				if w.Code != http.StatusOK {
+					errs <- w.Body.String()
+					return
+				}
+				var resp evalResponse
+				if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+					errs <- err.Error()
+					return
+				}
+				if resp.Generation < lastGen {
+					errs <- "generation went backwards"
+					return
+				}
+				lastGen = resp.Generation
+			}
+		}(g)
+	}
+	for i := 0; i < 10; i++ {
+		hidden := 8
+		if i%2 == 1 {
+			hidden = 16
+		}
+		writeCheckpoint(t, ckpt, makeAgent(t, hidden, uint64(i+2)))
+		if err := s.Reload(); err != nil {
+			t.Fatalf("reload %d: %v", i, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case e := <-errs:
+		t.Fatalf("request failed during batched reload: %s", e)
+	default:
+	}
+}
+
+// Multi-tenant routing: named policies resolve at /v1/t/{tenant}/*, each
+// with its own network and generation; unknown tenants 404; with several
+// tenants and no default, the bare routes refuse.
+func TestTenantRouting(t *testing.T) {
+	dir := t.TempDir()
+	ckptA := filepath.Join(dir, "a.json")
+	ckptB := filepath.Join(dir, "b.json")
+	writeCheckpoint(t, ckptA, makeAgent(t, 8, 1))
+	writeCheckpoint(t, ckptB, makeAgent(t, 16, 2))
+	em := obs.NewEmitter(nil)
+	s, err := New(Config{Policies: map[string]string{"alpha": ckptA, "beta": ckptB}, Obs: em})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+
+	for name, hidden := range map[string]int{"alpha": 8, "beta": 16} {
+		req := httptest.NewRequest(http.MethodGet, "/v1/t/"+name+"/info", nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s info status %d", name, rec.Code)
+		}
+		var info struct {
+			Info
+			Tenant  string   `json:"tenant"`
+			Tenants []string `json:"tenants"`
+		}
+		json.Unmarshal(rec.Body.Bytes(), &info)
+		if info.Tenant != name || info.Hidden != hidden {
+			t.Errorf("%s info %+v", name, info)
+		}
+		if len(info.Tenants) != 2 {
+			t.Errorf("tenants list %v", info.Tenants)
+		}
+		if w := postPredict(h, "/v1/t/"+name+"/predict", []float64{0.1, 0.2, 0.3, 0.4}); w.Code != http.StatusOK {
+			t.Errorf("%s predict status %d", name, w.Code)
+		}
+	}
+	if w := postPredict(h, "/v1/t/nosuch/predict", []float64{0, 0, 0, 0}); w.Code != http.StatusNotFound {
+		t.Errorf("unknown tenant status %d", w.Code)
+	}
+	if w := postPredict(h, "/v1/predict", []float64{0, 0, 0, 0}); w.Code != http.StatusNotFound {
+		t.Errorf("bare route with no default tenant: status %d", w.Code)
+	}
+	// Tenant-labeled counters and generation gauges exist.
+	snap := em.Metrics().Snapshot()
+	if n := snap.Counter(obs.Labeled(MetricRequests, "tenant", "alpha")); n != 1 {
+		t.Errorf("alpha labeled requests = %d, want 1", n)
+	}
+	if g := snap.Gauges[obs.Labeled(GaugeGeneration, "tenant", "beta")]; g != 1 {
+		t.Errorf("beta labeled generation = %v", g)
+	}
+
+	// A single named policy also serves the bare routes.
+	s2, err := New(Config{Policies: map[string]string{"only": ckptA}, Obs: obs.NewEmitter(nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := postPredict(s2.Handler(), "/v1/predict", []float64{0, 0, 0, 0}); w.Code != http.StatusOK {
+		t.Errorf("single-tenant bare route status %d", w.Code)
+	}
+}
+
+// Tenants hot-reload independently: reloading one leaves the other's
+// generation untouched; ReloadAll bumps every tenant.
+func TestTenantIndependentReload(t *testing.T) {
+	dir := t.TempDir()
+	ckptA := filepath.Join(dir, "a.json")
+	ckptB := filepath.Join(dir, "b.json")
+	writeCheckpoint(t, ckptA, makeAgent(t, 8, 1))
+	writeCheckpoint(t, ckptB, makeAgent(t, 8, 2))
+	em := obs.NewEmitter(nil)
+	s, err := New(Config{Policies: map[string]string{"alpha": ckptA, "beta": ckptB}, Obs: em})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha, _ := s.Tenant("alpha")
+	beta, _ := s.Tenant("beta")
+	writeCheckpoint(t, ckptA, makeAgent(t, 16, 3))
+	if err := s.reloadTenant(alpha); err != nil {
+		t.Fatal(err)
+	}
+	if g := alpha.Policy().Generation(); g != 2 {
+		t.Errorf("alpha generation %d, want 2", g)
+	}
+	if g := beta.Policy().Generation(); g != 1 {
+		t.Errorf("beta generation %d, want 1 after alpha-only reload", g)
+	}
+	if err := s.ReloadAll(); err != nil {
+		t.Fatal(err)
+	}
+	if alpha.Policy().Generation() != 3 || beta.Policy().Generation() != 2 {
+		t.Errorf("generations after ReloadAll: alpha %d beta %d",
+			alpha.Policy().Generation(), beta.Policy().Generation())
+	}
+	snap := em.Metrics().Snapshot()
+	if g := snap.Gauges[obs.Labeled(GaugeGeneration, "tenant", "alpha")]; g != 3 {
+		t.Errorf("alpha labeled gauge %v", g)
+	}
+}
+
+// A tenant over quota answers 429 with a refill-derived Retry-After while
+// other tenants keep serving.
+func TestTenantQuota(t *testing.T) {
+	dir := t.TempDir()
+	ckptA := filepath.Join(dir, "a.json")
+	ckptB := filepath.Join(dir, "b.json")
+	writeCheckpoint(t, ckptA, makeAgent(t, 8, 1))
+	writeCheckpoint(t, ckptB, makeAgent(t, 8, 2))
+	em := obs.NewEmitter(nil)
+	s, err := New(Config{
+		Policies: map[string]string{"alpha": ckptA, "beta": ckptB},
+		Quotas:   map[string]float64{"alpha": 0.001}, // burst 1, ~no refill
+		Obs:      em,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+	if w := postPredict(h, "/v1/t/alpha/predict", []float64{0, 0, 0, 0}); w.Code != http.StatusOK {
+		t.Fatalf("first alpha request status %d", w.Code)
+	}
+	w := postPredict(h, "/v1/t/alpha/predict", []float64{0, 0, 0, 0})
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-quota status %d", w.Code)
+	}
+	ra, err := strconv.Atoi(w.Header().Get("Retry-After"))
+	if err != nil || ra < 1 || ra > maxRetryAfterSeconds {
+		t.Errorf("quota Retry-After %q", w.Header().Get("Retry-After"))
+	}
+	// The unquota'd tenant is unaffected.
+	for i := 0; i < 5; i++ {
+		if w := postPredict(h, "/v1/t/beta/predict", []float64{0, 0, 0, 0}); w.Code != http.StatusOK {
+			t.Fatalf("beta request %d status %d", i, w.Code)
+		}
+	}
+	snap := em.Metrics().Snapshot()
+	if n := snap.Counter(MetricQuotaDenied); n != 1 {
+		t.Errorf("serve_quota_denied = %d", n)
+	}
+	if n := snap.Counter(obs.Labeled(MetricQuotaDenied, "tenant", "alpha")); n != 1 {
+		t.Errorf("labeled quota denials = %d", n)
+	}
+}
+
+// The overload Retry-After hint scales with queue depth and the measured
+// evaluation time, clamped to [1, 30].
+func TestRetryAfterDerivation(t *testing.T) {
+	s, _ := newTestService(t, Config{Pool: 1, Queue: -1, Obs: obs.NewEmitter(nil)})
+	if ra := s.retryAfterSeconds(); ra != 1 {
+		t.Errorf("cold Retry-After = %d, want 1", ra)
+	}
+	s.noteEvalMS(2500) // 2.5s per request, depth 0, pool 1 → ceil(2.5) = 3
+	if ra := s.retryAfterSeconds(); ra != 3 {
+		t.Errorf("Retry-After = %d, want 3", ra)
+	}
+	s.noteEvalMS(1e9) // absurd: clamps at the max
+	if ra := s.retryAfterSeconds(); ra != maxRetryAfterSeconds {
+		t.Errorf("Retry-After = %d, want %d", ra, maxRetryAfterSeconds)
+	}
+
+	// End to end: a shed response carries the derived header.
+	em := obs.NewEmitter(nil)
+	s2, _ := newTestService(t, Config{Pool: 1, Queue: -1, Timeout: 50 * time.Millisecond, Obs: em})
+	entered := make(chan struct{}, 1)
+	release := make(chan struct{})
+	s2.testHookEval = func() {
+		entered <- struct{}{}
+		<-release
+	}
+	h := s2.Handler()
+	go postPredict(h, "/v1/predict", []float64{0, 0, 0, 0})
+	<-entered
+	w := postPredict(h, "/v1/predict", []float64{0, 0, 0, 0})
+	close(release)
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d", w.Code)
+	}
+	if ra, err := strconv.Atoi(w.Header().Get("Retry-After")); err != nil || ra < 1 || ra > maxRetryAfterSeconds {
+		t.Errorf("shed Retry-After %q", w.Header().Get("Retry-After"))
+	}
+}
+
+// Access events carry the tenant label and the batch size the request was
+// evaluated in.
+func TestAccessEventTenantAndBatchFields(t *testing.T) {
+	sink := &memSink{}
+	em := obs.NewEmitter(sink)
+	s, _ := newTestService(t, Config{BatchWindow: time.Millisecond, BatchMax: 8, Obs: em, AccessLog: true})
+	defer s.Close()
+	if w := postPredict(s.Handler(), "/v1/predict", []float64{0, 0, 0, 0}); w.Code != http.StatusOK {
+		t.Fatalf("status %d", w.Code)
+	}
+	evs := sink.byType(EventAccess)
+	if len(evs) != 1 {
+		t.Fatalf("access events = %d", len(evs))
+	}
+	if evs[0].Labels["tenant"] != DefaultTenant {
+		t.Errorf("tenant label %q", evs[0].Labels["tenant"])
+	}
+	if evs[0].Data["batch"] < 1 {
+		t.Errorf("batch field %v", evs[0].Data["batch"])
+	}
+}

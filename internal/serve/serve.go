@@ -1,6 +1,6 @@
 // Package serve is the deployment layer the paper's cheap-inference story
-// points at: a concurrent policy-inference service over a checkpointed
-// OS-ELM Q-network (internal/persist), answering predict/act requests as
+// points at: a concurrent policy-inference service over checkpointed
+// OS-ELM Q-networks (internal/persist), answering predict/act requests as
 // HTTP JSON with bounded worker-pool backpressure, request timeouts, and
 // atomic checkpoint hot-reload — the current *Policy swaps through an
 // atomic pointer, so reloads drop zero requests. Observability rides the
@@ -9,19 +9,40 @@
 // export.WithRoute), optional per-request tracer spans, and a structured
 // event per reload.
 //
+// The service is multi-tenant: Config.Policies maps tenant names to
+// independently hot-reloadable checkpoints, routed at /v1/t/{tenant}/*
+// with per-tenant generation gauges, tenant-labeled serve_* metrics and
+// optional per-tenant request quotas (429 on breach). The unprefixed
+// /v1/* routes serve the "default" tenant (Config.Checkpoint).
+//
+// With Config.BatchWindow > 0 each tenant micro-batches its in-flight
+// evaluations: requests arriving within the window (up to BatchMax)
+// evaluate as one GEMM through qnet.Evaluator.QValuesBatch, amortizing
+// per-request overhead while staying bit-identical to the per-request
+// path — the host-side analogue of the batch inference hardware
+// accelerators use to reach "millions of users" throughput.
+//
 // Endpoints (all JSON):
 //
-//	POST /v1/predict  {"state":[...]} → {"action":n,"q":[...],"generation":g}
-//	POST /v1/act      {"state":[...]} → {"action":n,"generation":g}
-//	GET  /v1/info     checkpoint provenance, network dims, pool config
+//	POST /v1/predict             {"state":[...]} → {"action":n,"q":[...],"generation":g}
+//	POST /v1/act                 {"state":[...]} → {"action":n,"generation":g}
+//	GET  /v1/info                checkpoint provenance, network dims, pool config
+//	POST /v1/t/{tenant}/predict  per-tenant predict
+//	POST /v1/t/{tenant}/act      per-tenant act
+//	GET  /v1/t/{tenant}/info     per-tenant info
 package serve
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"runtime"
+	"sort"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -31,7 +52,9 @@ import (
 )
 
 // Metric and event names the service records (results/README.md documents
-// the exported forms under the oselmrl_ prefix).
+// the exported forms under the oselmrl_ prefix). Each counter and the
+// generation gauge also exist tenant-labeled (obs.Labeled, rendered as
+// Prometheus labels); the unlabeled series aggregate across tenants.
 const (
 	// MetricRequests counts every /v1/predict and /v1/act request.
 	MetricRequests = "serve_requests"
@@ -47,6 +70,9 @@ const (
 	// — the distinct outcome that separates "overloaded now" (shed) from
 	// "overloaded for longer than callers will wait" (timeout).
 	MetricTimeout = "serve_timeouts"
+	// MetricQuotaDenied counts requests rejected with 429 because the
+	// tenant's request quota (Config.Quotas) was exhausted.
+	MetricQuotaDenied = "serve_quota_denied"
 	// MetricReloads and MetricReloadErrors count checkpoint hot-reloads.
 	MetricReloads      = "serve_reloads"
 	MetricReloadErrors = "serve_reload_errors"
@@ -62,13 +88,20 @@ const (
 	// running the forward pass (observed only for requests that reached
 	// evaluation).
 	HistEvalMS = "serve_eval_ms"
-	// GaugeGeneration is the current policy generation.
+	// HistBatchSize is the micro-batch size distribution, observed once
+	// per flush (only with batching on; also tenant-labeled).
+	HistBatchSize = "serve_batch_size"
+	// GaugeGeneration is the current policy generation (tenant-labeled
+	// per tenant; the unlabeled gauge tracks the default tenant).
 	GaugeGeneration = "serve_generation"
-	// EventReload is emitted once per successful hot-reload.
+	// EventReload is emitted once per successful hot-reload, labeled with
+	// the tenant.
 	EventReload = "serve_reload"
 	// EventAccess is the structured access log: one event per request
 	// when Config.AccessLog is on. Labels: trace (32-hex W3C trace ID),
-	// route. Data: status, queue_ms, eval_ms, total_ms, generation,
+	// route, tenant. Data: status, queue_ms, eval_ms, total_ms,
+	// generation, batch (micro-batch size the request was evaluated in;
+	// 1 on the per-request path, 0 when it never reached evaluation),
 	// shed (0/1), timeout (0/1).
 	EventAccess = "serve_access"
 )
@@ -87,14 +120,30 @@ const (
 // sized for an in-process predict path that answers in microseconds.
 var LatencyBuckets = []float64{0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250}
 
+// BatchBuckets are the HistBatchSize upper bounds (requests per flush).
+var BatchBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128}
+
 // maxBodyBytes bounds a request body; states are tiny.
 const maxBodyBytes = 1 << 20
 
+// maxRetryAfterSeconds caps the queue-depth-derived Retry-After hint.
+const maxRetryAfterSeconds = 30
+
 // Config configures a Service.
 type Config struct {
-	// Checkpoint is the agent snapshot path, loaded at New and re-read by
-	// every Reload.
+	// Checkpoint is the default tenant's agent snapshot path, loaded at
+	// New and re-read by every Reload. Optional when Policies names at
+	// least one tenant.
 	Checkpoint string
+	// Policies maps tenant names to checkpoint paths (cmd/serve's
+	// repeatable -policy name=path). Each tenant hot-reloads
+	// independently. A "default" entry conflicts with Checkpoint.
+	Policies map[string]string
+	// Quotas maps tenant names to a sustained request rate limit in
+	// requests/second (token bucket, burst = max(rate, 1)). Tenants
+	// absent from the map are unlimited. Breaches answer 429 with a
+	// Retry-After derived from the bucket's refill time.
+	Quotas map[string]float64
 	// Pool caps concurrently evaluating requests (default GOMAXPROCS).
 	Pool int
 	// Queue caps requests waiting for a worker beyond the pool; arrivals
@@ -103,6 +152,13 @@ type Config struct {
 	// Timeout bounds one request including its wait for a worker
 	// (default 1s). A request still queued at the deadline is shed.
 	Timeout time.Duration
+	// BatchWindow, when > 0, micro-batches evaluations per tenant:
+	// requests arriving within the window coalesce into one GEMM. 0 (the
+	// default) keeps the per-request path.
+	BatchWindow time.Duration
+	// BatchMax caps a micro-batch (default 16). Reaching it flushes the
+	// batch before the window expires.
+	BatchMax int
 	// Obs receives metrics, events and tracer spans; nil disables
 	// observability (every obs call is nil-safe).
 	Obs *obs.Emitter
@@ -128,16 +184,26 @@ func (c *Config) fill() {
 	if c.Timeout <= 0 {
 		c.Timeout = time.Second
 	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 16
+	}
 }
 
-// Service serves a checkpointed policy concurrently with hot-reload.
+// Service serves checkpointed policies concurrently with hot-reload.
 type Service struct {
-	cfg    Config
-	obs    *obs.Emitter
-	slo    *slo.Engine
-	policy atomic.Pointer[Policy]
-	sem    chan struct{} // worker slots
-	queue  chan struct{} // bounded wait slots beyond the pool
+	cfg     Config
+	obs     *obs.Emitter
+	slo     *slo.Engine
+	tenants map[string]*Tenant // immutable after New
+	names   []string           // sorted tenant names
+	def     *Tenant            // tenant behind the unprefixed routes (may be nil)
+	sem     chan struct{}      // worker slots
+	queue   chan struct{}      // bounded wait slots beyond the pool
+
+	// evalEWMA is the exponentially weighted per-request evaluation time
+	// in milliseconds (float64 bits), fed by every eval and read by the
+	// 429 Retry-After estimate.
+	evalEWMA atomic.Uint64
 
 	// reloading serializes Reload calls so generations stay monotonic.
 	reloading chan struct{}
@@ -147,17 +213,33 @@ type Service struct {
 	testHookEval func()
 }
 
-// New loads the initial checkpoint and returns a ready service.
+// New loads every configured checkpoint and returns a ready service.
 func New(cfg Config) (*Service, error) {
 	cfg.fill()
-	agent, err := persist.LoadAgentFile(cfg.Checkpoint)
-	if err != nil {
-		return nil, fmt.Errorf("serve: %w", err)
+	specs := make(map[string]string, len(cfg.Policies)+1)
+	for name, path := range cfg.Policies {
+		if name == "" || path == "" {
+			return nil, fmt.Errorf("serve: empty tenant name or path in Policies")
+		}
+		if strings.ContainsAny(name, "/{}=,") {
+			return nil, fmt.Errorf("serve: tenant name %q contains reserved characters", name)
+		}
+		specs[name] = path
+	}
+	if cfg.Checkpoint != "" {
+		if other, dup := specs[DefaultTenant]; dup && other != cfg.Checkpoint {
+			return nil, fmt.Errorf("serve: both Checkpoint and Policies[%q] set", DefaultTenant)
+		}
+		specs[DefaultTenant] = cfg.Checkpoint
+	}
+	if len(specs) == 0 {
+		return nil, errors.New("serve: no checkpoint configured")
 	}
 	s := &Service{
 		cfg:       cfg,
 		obs:       cfg.Obs,
 		slo:       cfg.SLO,
+		tenants:   make(map[string]*Tenant, len(specs)),
 		sem:       make(chan struct{}, cfg.Pool),
 		queue:     make(chan struct{}, cfg.Queue),
 		reloading: make(chan struct{}, 1),
@@ -166,31 +248,116 @@ func New(cfg Config) (*Service, error) {
 		reg.NewHistogram(HistLatencyMS, LatencyBuckets)
 		reg.NewHistogram(HistQueueMS, LatencyBuckets)
 		reg.NewHistogram(HistEvalMS, LatencyBuckets)
+		if cfg.BatchWindow > 0 {
+			reg.NewHistogram(HistBatchSize, BatchBuckets)
+		}
 	}
-	s.policy.Store(newPolicy(agent, cfg.Checkpoint, 1))
-	s.obs.SetGauge(GaugeGeneration, 1)
+	for name, path := range specs {
+		agent, err := persist.LoadAgentFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("serve: tenant %q: %w", name, err)
+		}
+		t := newTenant(name, path)
+		t.policy.Store(newPolicy(agent, path, 1))
+		if rps := cfg.Quotas[name]; rps > 0 {
+			t.quota = newTokenBucket(rps)
+		}
+		if cfg.BatchWindow > 0 {
+			t.batch = newBatcher(s, t, cfg.BatchWindow, cfg.BatchMax)
+			if reg := s.obs.Metrics(); reg != nil {
+				reg.NewHistogram(t.hBatch, BatchBuckets)
+			}
+			go t.batch.run()
+		}
+		s.obs.SetGauge(t.gGen, 1)
+		s.tenants[name] = t
+		s.names = append(s.names, name)
+	}
+	sort.Strings(s.names)
+	s.def = s.tenants[DefaultTenant]
+	if s.def == nil && len(s.tenants) == 1 {
+		s.def = s.tenants[s.names[0]]
+	}
+	if s.def != nil {
+		s.obs.SetGauge(GaugeGeneration, 1)
+	}
 	return s, nil
 }
 
-// Policy returns the currently served policy.
-func (s *Service) Policy() *Policy { return s.policy.Load() }
+// Close stops the per-tenant batch collectors, flushing anything already
+// parked; requests arriving afterwards evaluate inline, so a drain never
+// drops a request. Safe without batching and safe to call more than once.
+func (s *Service) Close() {
+	for _, name := range s.names {
+		if b := s.tenants[name].batch; b != nil {
+			b.close()
+		}
+	}
+}
 
-// Reload re-reads the checkpoint and atomically swaps it in. In-flight
-// requests keep the policy they started with; new requests see the new
-// generation. On error the old policy keeps serving.
+// Policy returns the default tenant's currently served policy (nil when
+// no default tenant is configured).
+func (s *Service) Policy() *Policy {
+	if s.def == nil {
+		return nil
+	}
+	return s.def.policy.Load()
+}
+
+// Tenant looks up a tenant by name.
+func (s *Service) Tenant(name string) (*Tenant, bool) {
+	t, ok := s.tenants[name]
+	return t, ok
+}
+
+// Tenants returns the tenant names in sorted order.
+func (s *Service) Tenants() []string {
+	out := make([]string, len(s.names))
+	copy(out, s.names)
+	return out
+}
+
+// Reload re-reads the default tenant's checkpoint and atomically swaps it
+// in. In-flight requests keep the policy they started with; new requests
+// see the new generation. On error the old policy keeps serving.
 func (s *Service) Reload() error {
+	if s.def == nil {
+		return errors.New("serve: no default tenant")
+	}
+	return s.reloadTenant(s.def)
+}
+
+// ReloadAll reloads every tenant, joining the per-tenant errors; tenants
+// that reload cleanly swap in even when others fail.
+func (s *Service) ReloadAll() error {
+	var errs []error
+	for _, name := range s.names {
+		if err := s.reloadTenant(s.tenants[name]); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+func (s *Service) reloadTenant(t *Tenant) error {
 	s.reloading <- struct{}{}
 	defer func() { <-s.reloading }()
-	agent, err := persist.LoadAgentFile(s.cfg.Checkpoint)
+	agent, err := persist.LoadAgentFile(t.source)
 	if err != nil {
 		s.obs.Inc(MetricReloadErrors, 1)
-		return fmt.Errorf("serve: reload: %w", err)
+		s.obs.Inc(t.mReloadErr, 1)
+		return fmt.Errorf("serve: reload tenant %q: %w", t.name, err)
 	}
-	gen := s.policy.Load().Generation() + 1
-	s.policy.Store(newPolicy(agent, s.cfg.Checkpoint, gen))
-	s.obs.SetGauge(GaugeGeneration, float64(gen))
+	gen := t.policy.Load().Generation() + 1
+	t.policy.Store(newPolicy(agent, t.source, gen))
+	s.obs.SetGauge(t.gGen, float64(gen))
+	if t == s.def {
+		s.obs.SetGauge(GaugeGeneration, float64(gen))
+	}
 	s.obs.Inc(MetricReloads, 1)
-	s.obs.Emit(EventReload, 0, map[string]float64{"generation": float64(gen)})
+	s.obs.Inc(t.mReloads, 1)
+	s.obs.EmitLabeled(EventReload, map[string]string{"tenant": t.name},
+		map[string]float64{"generation": float64(gen)})
 	return nil
 }
 
@@ -199,13 +366,41 @@ func (s *Service) Reload() error {
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/predict", func(w http.ResponseWriter, r *http.Request) {
-		s.handleEval(w, r, true)
+		s.handleEval(w, r, s.def, true)
 	})
 	mux.HandleFunc("/v1/act", func(w http.ResponseWriter, r *http.Request) {
-		s.handleEval(w, r, false)
+		s.handleEval(w, r, s.def, false)
 	})
-	mux.HandleFunc("/v1/info", s.handleInfo)
+	mux.HandleFunc("/v1/info", func(w http.ResponseWriter, r *http.Request) {
+		s.handleInfo(w, r, s.def)
+	})
+	mux.HandleFunc("/v1/t/", s.handleTenantRoute)
 	return mux
+}
+
+// handleTenantRoute dispatches /v1/t/{tenant}/{predict|act|info}.
+func (s *Service) handleTenantRoute(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/t/")
+	name, op, ok := strings.Cut(rest, "/")
+	if !ok || name == "" {
+		writeJSON(w, http.StatusNotFound, errorResponse{"want /v1/t/{tenant}/{predict|act|info}"})
+		return
+	}
+	t := s.tenants[name]
+	if t == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{"unknown tenant " + strconv.Quote(name)})
+		return
+	}
+	switch op {
+	case "predict":
+		s.handleEval(w, r, t, true)
+	case "act":
+		s.handleEval(w, r, t, false)
+	case "info":
+		s.handleInfo(w, r, t)
+	default:
+		writeJSON(w, http.StatusNotFound, errorResponse{"unknown endpoint " + strconv.Quote(op)})
+	}
 }
 
 // evalRequest and evalResponse are the /v1/predict / /v1/act wire types.
@@ -255,11 +450,63 @@ func (s *Service) admit(ctx context.Context) (release func(), ok, timedOut bool)
 	}
 }
 
+// noteEvalMS folds one per-request evaluation time into the EWMA the
+// Retry-After estimate reads (lock-free; last CAS winner is fine).
+func (s *Service) noteEvalMS(ms float64) {
+	const alpha = 0.2
+	for {
+		old := s.evalEWMA.Load()
+		next := ms
+		if old != 0 {
+			cur := math.Float64frombits(old)
+			next = cur + alpha*(ms-cur)
+		}
+		if s.evalEWMA.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// retryAfterSeconds estimates when a shed caller should come back: the
+// current backlog (busy workers plus queued waiters) times the EWMA
+// per-request evaluation time, spread over the pool, rounded up and
+// clamped to [1, maxRetryAfterSeconds]. A cold EWMA assumes 1ms.
+func (s *Service) retryAfterSeconds() int {
+	depth := len(s.sem) + len(s.queue)
+	ms := math.Float64frombits(s.evalEWMA.Load())
+	if ms <= 0 {
+		ms = 1
+	}
+	secs := float64(depth+1) * ms / (float64(s.cfg.Pool) * 1000)
+	ra := int(math.Ceil(secs))
+	if ra < 1 {
+		ra = 1
+	}
+	if ra > maxRetryAfterSeconds {
+		ra = maxRetryAfterSeconds
+	}
+	return ra
+}
+
+// retryAfterHeader formats a duration as a whole-second Retry-After
+// value, rounding up and clamping like retryAfterSeconds.
+func retryAfterHeader(d time.Duration) string {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > maxRetryAfterSeconds {
+		secs = maxRetryAfterSeconds
+	}
+	return strconv.Itoa(secs)
+}
+
 // request is the per-request observability state threaded from admission
 // to the final access-log record. Held by value on the handler stack so
 // the fully disabled path allocates nothing.
 type request struct {
 	route      string
+	tenant     string
 	tc         traceContext
 	traced     bool
 	start      time.Time
@@ -269,6 +516,7 @@ type request struct {
 	status     int
 	outcome    slo.Outcome
 	generation int
+	batch      int
 	root       obs.Span
 }
 
@@ -323,13 +571,14 @@ func (s *Service) finishRequest(rq *request) {
 	rq.root.End()
 	if s.cfg.AccessLog {
 		s.obs.EmitLabeled(EventAccess,
-			map[string]string{"trace": rq.tc.traceIDHex(), "route": rq.route},
+			map[string]string{"trace": rq.tc.traceIDHex(), "route": rq.route, "tenant": rq.tenant},
 			map[string]float64{
 				"status":     float64(rq.status),
 				"queue_ms":   rq.queueMS,
 				"eval_ms":    rq.evalMS,
 				"total_ms":   totalMS,
 				"generation": float64(rq.generation),
+				"batch":      float64(rq.batch),
 				"shed":       boolToFloat(rq.outcome == slo.Shed),
 				"timeout":    boolToFloat(rq.outcome == slo.Timeout),
 			})
@@ -360,15 +609,34 @@ func setTimingHeaders(w http.ResponseWriter, rq *request) {
 	}
 }
 
-func (s *Service) handleEval(w http.ResponseWriter, r *http.Request, includeQ bool) {
+func (s *Service) handleEval(w http.ResponseWriter, r *http.Request, t *Tenant, includeQ bool) {
 	if r.Method != http.MethodPost {
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"POST only"})
 		return
 	}
-	rq := request{route: r.URL.Path, start: time.Now()}
+	if t == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{"no default tenant; use /v1/t/{tenant}/"})
+		return
+	}
+	rq := request{route: r.URL.Path, tenant: t.name, start: time.Now()}
 	s.obs.Inc(MetricRequests, 1)
+	s.obs.Inc(t.mReq, 1)
 	s.beginRequest(r, &rq)
-	rq.generation = s.policy.Load().Generation()
+	rq.generation = t.policy.Load().Generation()
+
+	if t.quota != nil {
+		if ok, retryIn := t.quota.allow(rq.start); !ok {
+			s.obs.Inc(MetricQuotaDenied, 1)
+			s.obs.Inc(t.mQuota, 1)
+			rq.status, rq.outcome = http.StatusTooManyRequests, slo.Shed
+			rq.queueMS = msSince(rq.start)
+			setTimingHeaders(w, &rq)
+			w.Header().Set("Retry-After", retryAfterHeader(retryIn))
+			writeJSON(w, http.StatusTooManyRequests, errorResponse{"tenant quota exceeded, retry later"})
+			s.finishRequest(&rq)
+			return
+		}
+	}
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 	defer cancel()
@@ -381,20 +649,30 @@ func (s *Service) handleEval(w http.ResponseWriter, r *http.Request, includeQ bo
 		if timedOut {
 			rq.outcome = slo.Timeout
 			s.obs.Inc(MetricTimeout, 1)
+			s.obs.Inc(t.mTimeout, 1)
 		} else {
 			s.obs.Inc(MetricShed, 1)
+			s.obs.Inc(t.mShed, 1)
 		}
 		setTimingHeaders(w, &rq)
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		writeJSON(w, http.StatusTooManyRequests, errorResponse{"overloaded, retry later"})
 		s.finishRequest(&rq)
 		return
 	}
-	defer release()
+	released := false
+	releaseOnce := func() {
+		if !released {
+			released = true
+			release()
+		}
+	}
+	defer releaseOnce()
 
 	var req evalRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
 		s.obs.Inc(MetricErrors, 1)
+		s.obs.Inc(t.mErr, 1)
 		rq.status, rq.outcome = http.StatusBadRequest, slo.ClientError
 		setTimingHeaders(w, &rq)
 		writeJSON(w, http.StatusBadRequest, errorResponse{"bad request body: " + err.Error()})
@@ -405,55 +683,116 @@ func (s *Service) handleEval(w http.ResponseWriter, r *http.Request, includeQ bo
 		s.testHookEval()
 	}
 
-	// The policy pointer read and the evaluation both happen against one
-	// consistent snapshot: a concurrent Reload swaps the pointer for
-	// future requests without touching this one.
+	var resp evalResponse
+	var evalErr error
 	evalStart := time.Now()
 	eSpan := s.span(&rq, SpanEval)
-	p := s.policy.Load()
-	rq.generation = p.generation
-	ev := p.acquire()
-	qs, err := ev.QValues(req.State)
-	eSpan.End()
-	rq.evalMS, rq.evaluated = msSince(evalStart), true
-	if err != nil {
-		p.release(ev)
-		s.obs.Inc(MetricErrors, 1)
-		rq.status, rq.outcome = http.StatusBadRequest, slo.ClientError
-		setTimingHeaders(w, &rq)
-		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
-		s.finishRequest(&rq)
-		return
-	}
-	resp := evalResponse{Generation: p.generation}
-	for a := 1; a < len(qs); a++ {
-		if qs[a] > qs[resp.Action] {
-			resp.Action = a
+	if t.batch != nil {
+		// Micro-batched path: park with the tenant's collector; the reply
+		// carries the batch size and a Q copy. A closed collector (drain)
+		// falls back to inline evaluation so the request is never dropped.
+		it := &batchItem{state: req.State, includeQ: includeQ, out: make(chan batchOut, 1)}
+		var bo batchOut
+		answered := false
+		if t.batch.submit(it) {
+			// The worker slot only gates admission: free it while parked so
+			// peer requests can join the same batch (otherwise a small -pool
+			// would cap every batch at the pool size). Eval concurrency is
+			// bounded by the per-tenant collector and the evaluator pool.
+			releaseOnce()
+			bo, answered = t.batch.await(it)
 		}
+		if !answered {
+			bo = t.evalInline(req.State, includeQ)
+		}
+		rq.generation, rq.batch = bo.generation, bo.size
+		resp = evalResponse{Action: bo.action, Q: bo.q, Generation: bo.generation}
+		evalErr = bo.err
+		eSpan.End()
+		rq.evalMS, rq.evaluated = msSince(evalStart), true
+		if evalErr == nil {
+			s.writeEvalOK(w, &rq, t, resp)
+			return
+		}
+	} else {
+		// Per-request path: the policy pointer read and the evaluation
+		// both happen against one consistent snapshot — a concurrent
+		// Reload swaps the pointer for future requests without touching
+		// this one.
+		p := t.policy.Load()
+		rq.generation, rq.batch = p.generation, 1
+		ev := p.acquire()
+		qs, err := ev.QValues(req.State)
+		eSpan.End()
+		rq.evalMS, rq.evaluated = msSince(evalStart), true
+		s.noteEvalMS(rq.evalMS)
+		if err == nil {
+			resp = evalResponse{Generation: p.generation}
+			for a := 1; a < len(qs); a++ {
+				if qs[a] > qs[resp.Action] {
+					resp.Action = a
+				}
+			}
+			if includeQ {
+				resp.Q = qs // evaluator-owned; marshalled before release below
+			}
+			s.writeEvalOK(w, &rq, t, resp)
+			p.release(ev)
+			return
+		}
+		p.release(ev)
+		evalErr = err
 	}
-	if includeQ {
-		resp.Q = qs // evaluator-owned; marshalled before release below
-	}
-	encSpan := s.span(&rq, SpanEncode)
+	s.obs.Inc(MetricErrors, 1)
+	s.obs.Inc(t.mErr, 1)
+	rq.status, rq.outcome = http.StatusBadRequest, slo.ClientError
 	setTimingHeaders(w, &rq)
-	writeJSON(w, http.StatusOK, resp)
-	encSpan.End()
-	p.release(ev)
-	s.obs.Inc(MetricOK, 1)
-	rq.status, rq.outcome = http.StatusOK, slo.OK
+	writeJSON(w, http.StatusBadRequest, errorResponse{evalErr.Error()})
 	s.finishRequest(&rq)
 }
 
-func (s *Service) handleInfo(w http.ResponseWriter, r *http.Request) {
+// writeEvalOK encodes the 200 response and closes out the request
+// bookkeeping shared by the batched and per-request paths.
+func (s *Service) writeEvalOK(w http.ResponseWriter, rq *request, t *Tenant, resp evalResponse) {
+	encSpan := s.span(rq, SpanEncode)
+	setTimingHeaders(w, rq)
+	writeJSON(w, http.StatusOK, resp)
+	encSpan.End()
+	s.obs.Inc(MetricOK, 1)
+	s.obs.Inc(t.mOK, 1)
+	rq.status, rq.outcome = http.StatusOK, slo.OK
+	s.finishRequest(rq)
+}
+
+// evalInline answers one request on the per-request path — the fallback
+// when the batch collector has been closed for drain.
+func (t *Tenant) evalInline(state []float64, includeQ bool) batchOut {
+	p := t.policy.Load()
+	ev := p.acquire()
+	defer p.release(ev)
+	qs, err := ev.QValues(state)
+	return answer(qs, err, includeQ, p.generation, 1)
+}
+
+func (s *Service) handleInfo(w http.ResponseWriter, r *http.Request, t *Tenant) {
 	if r.Method != http.MethodGet {
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{"GET only"})
 		return
 	}
-	info := s.policy.Load().Info()
+	if t == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{"no default tenant; use /v1/t/{tenant}/"})
+		return
+	}
+	info := t.policy.Load().Info()
 	writeJSON(w, http.StatusOK, struct {
 		Info
-		Pool    int     `json:"pool"`
-		Queue   int     `json:"queue"`
-		Timeout float64 `json:"timeout_seconds"`
-	}{info, s.cfg.Pool, s.cfg.Queue, s.cfg.Timeout.Seconds()})
+		Tenant       string   `json:"tenant"`
+		Tenants      []string `json:"tenants"`
+		Pool         int      `json:"pool"`
+		Queue        int      `json:"queue"`
+		Timeout      float64  `json:"timeout_seconds"`
+		BatchWindowS float64  `json:"batch_window_seconds"`
+		BatchMax     int      `json:"batch_max"`
+	}{info, t.name, s.Tenants(), s.cfg.Pool, s.cfg.Queue, s.cfg.Timeout.Seconds(),
+		s.cfg.BatchWindow.Seconds(), s.cfg.BatchMax})
 }

@@ -1,22 +1,87 @@
 package serve
 
 import (
+	"hash/fnv"
+	"io"
 	"os"
 	"sync"
 	"time"
 )
 
-// WatchCheckpoint polls the checkpoint file's mtime and size every
-// interval and hot-reloads when either changes — the -watch flag of
-// cmd/serve, for deployments where sending SIGHUP is inconvenient
+// fingerprint identifies checkpoint content cheaply: size, mtime, and an
+// FNV-1a hash of the first 64 KiB. Size+mtime alone (what the watcher
+// compared before PR 8) miss a writer that rewrites the file at the same
+// length within the filesystem's mtime granularity; the head hash catches
+// those, because a retrained checkpoint changes bytes early in the JSON
+// document (β values serialize near the front).
+type fingerprint struct {
+	size  int64
+	mtime time.Time
+	hash  uint64
+}
+
+// fingerprintHead bounds how much of the file the hash reads.
+const fingerprintHead = 64 << 10
+
+func fingerprintFile(path string) (fingerprint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return fingerprint{}, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return fingerprint{}, err
+	}
+	h := fnv.New64a()
+	if _, err := io.Copy(h, io.LimitReader(f, fingerprintHead)); err != nil {
+		return fingerprint{}, err
+	}
+	return fingerprint{size: st.Size(), mtime: st.ModTime(), hash: h.Sum64()}, nil
+}
+
+func (fp fingerprint) equal(other fingerprint) bool {
+	return fp.size == other.size && fp.hash == other.hash && fp.mtime.Equal(other.mtime)
+}
+
+// WatchCheckpoint polls the default tenant's checkpoint every interval
+// and hot-reloads when its content fingerprint changes — the -watch flag
+// of cmd/serve, for deployments where sending SIGHUP is inconvenient
 // (training jobs overwriting the snapshot on a schedule). The returned
 // stop function terminates the watcher; calling it more than once is
 // safe. onErr (may be nil) receives reload and stat errors; serving
-// continues on the old policy either way.
+// continues on the old policy either way. The reload baseline advances
+// only on a successful reload, so a failed reload (e.g. a partially
+// written snapshot) retries on every subsequent tick until it succeeds.
 func (s *Service) WatchCheckpoint(interval time.Duration, onErr func(error)) (stop func()) {
+	if s.def == nil {
+		return func() {}
+	}
+	return s.watch(interval, onErr, []*Tenant{s.def})
+}
+
+// WatchAll watches every tenant's checkpoint with one poller, reloading
+// each tenant independently as its file changes. Same semantics as
+// WatchCheckpoint otherwise.
+func (s *Service) WatchAll(interval time.Duration, onErr func(error)) (stop func()) {
+	tenants := make([]*Tenant, 0, len(s.names))
+	for _, name := range s.names {
+		tenants = append(tenants, s.tenants[name])
+	}
+	return s.watch(interval, onErr, tenants)
+}
+
+func (s *Service) watch(interval time.Duration, onErr func(error), tenants []*Tenant) (stop func()) {
 	done := make(chan struct{})
 	var once sync.Once
-	lastMod, lastSize := statCheckpoint(s.cfg.Checkpoint)
+	last := make(map[*Tenant]fingerprint, len(tenants))
+	for _, t := range tenants {
+		if fp, err := fingerprintFile(t.source); err == nil {
+			last[t] = fp
+		}
+		// On error the zero fingerprint stays: the first successful stat
+		// will differ and trigger a (re)load.
+	}
 	go func() {
 		tick := time.NewTicker(interval)
 		defer tick.Stop()
@@ -26,32 +91,27 @@ func (s *Service) WatchCheckpoint(interval time.Duration, onErr func(error)) (st
 				return
 			case <-tick.C:
 			}
-			st, err := os.Stat(s.cfg.Checkpoint)
-			if err != nil {
-				if onErr != nil {
-					onErr(err)
+			for _, t := range tenants {
+				fp, err := fingerprintFile(t.source)
+				if err != nil {
+					if onErr != nil {
+						onErr(err)
+					}
+					continue
 				}
-				continue
-			}
-			if st.ModTime().Equal(lastMod) && st.Size() == lastSize {
-				continue
-			}
-			// Record the observed state before reloading: a failed reload
-			// (e.g. a partially written snapshot) retries only after the
-			// writer touches the file again, not every tick.
-			lastMod, lastSize = st.ModTime(), st.Size()
-			if err := s.Reload(); err != nil && onErr != nil {
-				onErr(err)
+				if fp.equal(last[t]) {
+					continue
+				}
+				if err := s.reloadTenant(t); err != nil {
+					if onErr != nil {
+						onErr(err)
+					}
+					// Baseline unchanged: retry next tick.
+					continue
+				}
+				last[t] = fp
 			}
 		}
 	}()
 	return func() { once.Do(func() { close(done) }) }
-}
-
-func statCheckpoint(path string) (time.Time, int64) {
-	st, err := os.Stat(path)
-	if err != nil {
-		return time.Time{}, -1
-	}
-	return st.ModTime(), st.Size()
 }

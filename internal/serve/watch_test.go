@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"oselmrl/internal/obs"
+	"oselmrl/internal/persist"
+	"oselmrl/internal/qnet"
+)
+
+// checkpointBytes serializes an agent the way writeCheckpoint does,
+// without touching disk.
+func checkpointBytes(t *testing.T, a *qnet.Agent) []byte {
+	t.Helper()
+	tmp := filepath.Join(t.TempDir(), "tmp.json")
+	if err := persist.SaveAgentFile(tmp, a); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// Regression (PR 8): a writer that rewrites the checkpoint with the SAME
+// byte length and the SAME mtime must still trigger a reload — the
+// pre-fix watcher compared only size+mtime and missed it. The test crafts
+// two different same-hidden checkpoints padded to equal length (the JSON
+// decoder ignores trailing whitespace) and pins the mtime with Chtimes.
+func TestWatchDetectsSameSizeSameMtimeRewrite(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "agent.json")
+	b1 := checkpointBytes(t, makeAgent(t, 8, 1))
+	b2 := checkpointBytes(t, makeAgent(t, 8, 2))
+	// Pad both to a common length so os.Stat sees no size change.
+	n := len(b1)
+	if len(b2) > n {
+		n = len(b2)
+	}
+	pad := func(b []byte) []byte {
+		for len(b) < n {
+			b = append(b, ' ')
+		}
+		return b
+	}
+	b1, b2 = pad(b1), pad(b2)
+	if err := os.WriteFile(ckpt, b1, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mtime := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(ckpt, mtime, mtime); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := New(Config{Checkpoint: ckpt, Obs: obs.NewEmitter(nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := s.WatchCheckpoint(5*time.Millisecond, nil)
+	defer stop()
+
+	// Rewrite: different content, identical size, identical mtime.
+	if err := os.WriteFile(ckpt, b2, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(ckpt, mtime, mtime); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Policy().Generation() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("watcher missed the same-size same-mtime rewrite")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Regression (PR 8): a failed reload (partially written / corrupt
+// snapshot) must be retried on every subsequent tick, not only after the
+// writer touches the file again — the pre-fix watcher advanced its
+// baseline before reloading, so one corrupt read wedged it until the next
+// external write.
+func TestWatchRetriesFailedReload(t *testing.T) {
+	s, ckpt := newTestService(t, Config{Obs: obs.NewEmitter(nil)})
+	var reloadErrs atomic.Int64
+	stop := s.WatchCheckpoint(5*time.Millisecond, func(error) { reloadErrs.Add(1) })
+	defer stop()
+
+	// Corrupt the checkpoint: every tick must now attempt and fail.
+	if err := os.WriteFile(ckpt, []byte("{corrupt"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for reloadErrs.Load() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("failed reload retried %d times, want ≥ 2 (watcher wedged)", reloadErrs.Load())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if s.Policy().Generation() != 1 {
+		t.Error("generation advanced on a corrupt checkpoint")
+	}
+
+	// Once the writer completes a good snapshot, the watcher recovers
+	// without any extra touch.
+	writeCheckpoint(t, ckpt, makeAgent(t, 16, 9))
+	deadline = time.Now().Add(5 * time.Second)
+	for s.Policy().Generation() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("watcher never recovered after the corrupt window")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := s.Policy().Info().Hidden; got != 16 {
+		t.Errorf("recovered hidden = %d, want 16", got)
+	}
+}
+
+// WatchAll reloads each tenant independently as its own file changes.
+func TestWatchAllPerTenant(t *testing.T) {
+	dir := t.TempDir()
+	ckptA := filepath.Join(dir, "a.json")
+	ckptB := filepath.Join(dir, "b.json")
+	writeCheckpoint(t, ckptA, makeAgent(t, 8, 1))
+	writeCheckpoint(t, ckptB, makeAgent(t, 8, 2))
+	s, err := New(Config{Policies: map[string]string{"alpha": ckptA, "beta": ckptB}, Obs: obs.NewEmitter(nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := s.WatchAll(5*time.Millisecond, nil)
+	defer stop()
+
+	alpha, _ := s.Tenant("alpha")
+	beta, _ := s.Tenant("beta")
+	writeCheckpoint(t, ckptB, makeAgent(t, 16, 3))
+	deadline := time.Now().Add(5 * time.Second)
+	for beta.Policy().Generation() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("watcher never reloaded tenant beta")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if g := alpha.Policy().Generation(); g != 1 {
+		t.Errorf("alpha generation %d, want 1 (only beta's file changed)", g)
+	}
+}
