@@ -34,6 +34,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"oselmrl/internal/vcs"
 )
 
 // BenchResult is one benchmark's measurement.
@@ -110,7 +112,7 @@ func run() int {
 	}
 
 	snap := Snapshot{
-		GitSHA:    gitSHA(),
+		GitSHA:    vcs.SHA(),
 		GoVersion: runtime.Version(),
 		Platform:  runtime.GOOS + "/" + runtime.GOARCH,
 		Time:      time.Now().UTC().Format(time.RFC3339),
@@ -308,15 +310,6 @@ func parseBench(out string) []BenchResult {
 		results = append(results, r)
 	}
 	return results
-}
-
-// gitSHA returns the current HEAD commit, or "unknown" outside a checkout.
-func gitSHA() string {
-	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
-	if err != nil {
-		return "unknown"
-	}
-	return strings.TrimSpace(string(out))
 }
 
 // nextSnapshotPath finds the first unused BENCH_<n>.json index in dir,

@@ -1,0 +1,470 @@
+// Command grid executes a declared experiment matrix (environments ×
+// designs × hidden widths × fixed-point formats × seeds) with bounded
+// parallel workers, records every cell verdict in the tamper-evident run
+// ledger (internal/ledger), and regenerates the paper-ready tables —
+// success rates, time-to-complete breakdown CSV, wordlength ablation —
+// from the ledger alone, so a finished grid reproduces its tables byte
+// for byte on every re-run.
+//
+// Usage:
+//
+//	go run ./cmd/grid -matrix experiments.json
+//	go run ./cmd/grid -matrix experiments.json -workers 4 -cell-timeout 10m
+//	go run ./cmd/grid -matrix experiments.json -compare results/grid/grid_report.prev.json
+//
+// Resumability: a cell's full configuration hashes to its ledger resume
+// key; cells whose hash already has a verdict are skipped on re-run, so a
+// killed grid continues where it stopped (kill -9 included — the ledger
+// fsyncs every record and drops a torn tail on reopen). -force re-runs
+// everything, appending new records; history is never rewritten. Each run
+// prints the ledger head hash — pin it (CI artifact, commit message) and
+// `runlog ledger verify -head` proves the ledger was not rewritten since.
+//
+// Exit code: 0 on success, 1 on infrastructure errors or cell failures,
+// 2 on flag errors, 4 when -compare detects a regression.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"oselmrl/internal/cli"
+	"oselmrl/internal/env"
+	"oselmrl/internal/harness"
+	"oselmrl/internal/ledger"
+	"oselmrl/internal/obs"
+	"oselmrl/internal/vcs"
+)
+
+const exitRegression = 4
+
+func main() { os.Exit(run(os.Args[1:])) }
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("grid", flag.ContinueOnError)
+	matrixPath := fs.String("matrix", "experiments.json", "experiment matrix JSON file")
+	outDir := fs.String("out", "results/grid", "output directory for cell artifacts and paper tables")
+	ledgerDir := fs.String("ledger", "results/ledger", "ledger directory (append-only ledger.jsonl)")
+	workers := fs.Int("workers", 0, "parallel cell workers (0 = GOMAXPROCS)")
+	cellTimeout := fs.Duration("cell-timeout", 0, "per-cell wall-clock timeout (0 = none); a timed-out cell records a 'timeout' verdict")
+	force := fs.Bool("force", false, "re-run cells that already have a ledger verdict (appends new records; never rewrites)")
+	comparePath := fs.String("compare", "", "compare the regenerated grid_report.json against this prior report and fail on regression")
+	threshold := fs.Float64("threshold", 10, "-compare regression threshold: mean-episodes increase beyond this percentage fails")
+	eventsPath := fs.String("events", "", "write the grid's own JSONL event log to this file ('-' for stderr)")
+	serveAddr := fs.String("serve", "", "serve live grid telemetry (/metrics, /snapshot) on this address while the matrix runs")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	m, err := LoadMatrix(*matrixPath)
+	if err != nil {
+		return fail(err)
+	}
+	cells := m.Cells()
+
+	tel, err := cli.StartTelemetry(cli.TelemetryFlags{Events: *eventsPath, Serve: *serveAddr})
+	if err != nil {
+		return fail(err)
+	}
+
+	l, err := ledger.Open(*ledgerDir)
+	if err != nil {
+		return fail(err)
+	}
+	defer l.Close()
+	if l.Truncated() {
+		fmt.Fprintln(os.Stderr, "grid: ledger had a torn trailing record (killed writer); dropped and continuing")
+	}
+	// Artifact paths are recorded relative to the ledger directory's
+	// parent, so the whole results/ tree (ledger + cells + tables) stays
+	// verifiable after being moved or unpacked elsewhere.
+	artifactRoot := filepath.Dir(filepath.Clean(*ledgerDir))
+
+	plan, skipped := planCells(cells, l, *outDir, *force)
+	git := vcs.Head()
+
+	fmt.Printf("grid %s: %d cells (%d to run, %d already complete in ledger)\n",
+		m.Name, len(cells), len(plan), skipped)
+	tel.Emitter.SetGauge(obs.GaugeGridCellsPlanned, float64(len(cells)))
+	tel.Emitter.Inc(obs.MetricGridCellsSkipped, int64(skipped))
+
+	nw := *workers
+	if nw <= 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
+	if nw > len(plan) {
+		nw = len(plan)
+	}
+
+	var (
+		mu      sync.Mutex // serializes ledger appends
+		running atomic.Int64
+		failed  atomic.Int64
+		work    = make(chan plannedCell)
+		wg      sync.WaitGroup
+	)
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pc := range work {
+				running.Add(1)
+				tel.Emitter.SetGauge(obs.GaugeGridCellsRunning, float64(running.Load()))
+				start := time.Now()
+				rec, err := runCell(pc, *cellTimeout, git)
+				elapsed := time.Since(start)
+				running.Add(-1)
+				tel.Emitter.SetGauge(obs.GaugeGridCellsRunning, float64(running.Load()))
+				tel.Emitter.Observe(obs.HistGridCellSeconds, elapsed.Seconds())
+				if err != nil {
+					failed.Add(1)
+					tel.Emitter.Inc(obs.MetricGridCellsFailed, 1)
+					fmt.Fprintf(os.Stderr, "grid: cell %s failed: %v\n", pc.cell.ID(), err)
+					continue
+				}
+				rec.Artifacts = relArtifacts(rec.Artifacts, pc.dir, artifactRoot)
+				mu.Lock()
+				_, aerr := l.Append(rec)
+				mu.Unlock()
+				if aerr != nil {
+					failed.Add(1)
+					fmt.Fprintf(os.Stderr, "grid: recording cell %s: %v\n", pc.cell.ID(), aerr)
+					continue
+				}
+				tel.Emitter.Inc(obs.MetricGridCellsDone, 1)
+				fmt.Printf("grid: %-40s %s (%.1fs)\n", pc.cell.ID(), rec.Verdict, elapsed.Seconds())
+			}
+		}()
+	}
+	for _, pc := range plan {
+		work <- pc
+	}
+	close(work)
+	wg.Wait()
+
+	if err := writeReports(l, m, *outDir, artifactRoot, git); err != nil {
+		return fail(err)
+	}
+	if err := tel.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "grid: closing telemetry:", err)
+	}
+	fmt.Printf("grid: ran %d, skipped %d, failed %d\n", len(plan)-int(failed.Load()), skipped, failed.Load())
+	fmt.Printf("grid: ledger head %s (%d records) — pin this hash to detect history rewrites\n",
+		l.Head(), l.Len())
+
+	if *comparePath != "" {
+		regressions, err := compareReportFiles(*comparePath, filepath.Join(*outDir, reportFile), *threshold)
+		if err != nil {
+			return fail(err)
+		}
+		if len(regressions) > 0 {
+			fmt.Fprintf(os.Stderr, "grid: %d regression(s) vs %s:\n", len(regressions), *comparePath)
+			for _, r := range regressions {
+				fmt.Fprintln(os.Stderr, "grid:   "+r)
+			}
+			return exitRegression
+		}
+		fmt.Printf("grid: no regressions vs %s\n", *comparePath)
+	}
+	if failed.Load() > 0 {
+		return 1
+	}
+	return 0
+}
+
+// plannedCell is one cell scheduled for execution this run.
+type plannedCell struct {
+	cell Cell
+	hash string
+	// dir is the attempt directory for this execution's artifacts:
+	// <out>/cells/<hash12>-a<attempt>. Attempt numbering counts prior
+	// ledger records for the same config hash, so a -force re-run writes a
+	// fresh directory and the digests in older records stay verifiable; a
+	// killed attempt left no record and its directory is safely reused.
+	dir     string
+	attempt int
+}
+
+// planCells splits the matrix into cells to run and cells already carrying
+// a ledger verdict (the resume skip set). For a reused attempt directory
+// left by a killed run, the partial event log is scanned tolerantly and
+// its progress reported — the log is about to be overwritten.
+func planCells(cells []Cell, l *ledger.Ledger, outDir string, force bool) (plan []plannedCell, skipped int) {
+	done := l.LatestByConfig()
+	attempts := make(map[string]int)
+	for _, r := range l.Records() {
+		if r.Kind == ledger.KindCell && r.ConfigHash != "" {
+			attempts[r.ConfigHash]++
+		}
+	}
+	for _, c := range cells {
+		hash, err := c.ConfigHash()
+		if err != nil {
+			// A Cell is plain data; hashing cannot fail on one.
+			panic(err)
+		}
+		if _, ok := done[hash]; ok && !force {
+			skipped++
+			continue
+		}
+		attempt := attempts[hash] + 1
+		dir := filepath.Join(outDir, "cells", fmt.Sprintf("%s-a%d", hash[:12], attempt))
+		reportPartialAttempt(c, filepath.Join(dir, "events.jsonl"))
+		plan = append(plan, plannedCell{cell: c, hash: hash, dir: dir, attempt: attempt})
+	}
+	return plan, skipped
+}
+
+// reportPartialAttempt surfaces how far a killed attempt got before being
+// re-run, reading its event log with the truncation-tolerant scanner (the
+// tail is torn mid-record when the writer died inside a write).
+func reportPartialAttempt(c Cell, eventsPath string) {
+	f, err := os.Open(eventsPath)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	events := 0
+	truncated, err := obs.ScanEventsPartial(f, func(*obs.Event) error {
+		events++
+		return nil
+	})
+	if err != nil || events == 0 {
+		return
+	}
+	note := ""
+	if truncated {
+		note = ", torn tail"
+	}
+	fmt.Fprintf(os.Stderr, "grid: %s: previous attempt was interrupted after %d events%s; re-running\n",
+		c.ID(), events, note)
+}
+
+// relArtifacts rebases artifact paths (written relative to the cell dir)
+// onto the verification root.
+func relArtifacts(arts []ledger.Artifact, dir, root string) []ledger.Artifact {
+	out := make([]ledger.Artifact, len(arts))
+	for i, a := range arts {
+		full := filepath.Join(dir, a.Path)
+		rel, err := filepath.Rel(root, full)
+		if err != nil {
+			rel = full
+		}
+		out[i] = ledger.Artifact{Path: filepath.ToSlash(rel), SHA256: a.SHA256}
+	}
+	return out
+}
+
+// runCell executes one grid cell: all its trials under the per-cell
+// timeout, artifacts (events log, manifest, summary) into the attempt
+// directory, and the verdict as an unchained ledger record (the caller
+// chains and appends it). Artifact paths in the returned record are
+// relative to the attempt directory.
+func runCell(pc plannedCell, timeout time.Duration, git vcs.Info) (ledger.Record, error) {
+	c := pc.cell
+	if err := os.MkdirAll(pc.dir, 0o755); err != nil {
+		return ledger.Record{}, err
+	}
+	d, err := harness.ParseDesign(c.Design)
+	if err != nil {
+		return ledger.Record{}, err
+	}
+	qformat, err := cli.ParseQFormat("Q20")
+	if err != nil {
+		return ledger.Record{}, err
+	}
+	if c.QFormat != "" {
+		if qformat, err = cli.ParseQFormat(c.QFormat); err != nil {
+			return ledger.Record{}, err
+		}
+	}
+	probe, err := cli.MakeEnv(c.Env, 1)
+	if err != nil {
+		return ledger.Record{}, err
+	}
+	obsSize, actions := probe.ObservationSize(), probe.ActionCount()
+
+	eventsFile := filepath.Join(pc.dir, "events.jsonl")
+	emitter, err := cli.NewEventsEmitter(eventsFile)
+	if err != nil {
+		return ledger.Record{}, err
+	}
+
+	var stop chan struct{}
+	var timedOut atomic.Bool
+	if timeout > 0 {
+		stop = make(chan struct{})
+		timer := time.AfterFunc(timeout, func() {
+			timedOut.Store(true)
+			close(stop)
+		})
+		defer timer.Stop()
+	}
+
+	cfg := harness.RunConfigFor(d, harness.Defaults())
+	cfg.MaxEpisodes = c.Episodes
+	cfg.RecordCurve = false
+	cli.SolveFor(c.Env, &cfg)
+	cfg.Obs = emitter.With(map[string]string{"cell": c.ID()})
+	cfg.Stop = stop
+
+	spec := harness.TrialSpec{
+		MakeAgent: func(seed uint64) (harness.Agent, error) {
+			return harness.NewAgentQ(d, obsSize, actions, c.Hidden, seed, qformat)
+		},
+		MakeEnv: func(seed uint64) env.Env {
+			e, err := cli.MakeEnv(c.Env, seed+100)
+			if err != nil {
+				// Validated by the probe above; cannot fail here.
+				panic(err)
+			}
+			return e
+		},
+		Config:   cfg,
+		Trials:   c.Seeds,
+		BaseSeed: c.BaseSeed,
+		// Parallelism across the grid comes from -workers; within a cell
+		// trials run sequentially so a worker is one core.
+		Parallelism: 1,
+	}
+
+	manifest := obs.NewManifest()
+	manifest.Design = c.Design
+	manifest.Env = c.Env
+	manifest.Hidden = c.Hidden
+	manifest.BaseSeed = c.BaseSeed
+	manifest.Trials = c.Seeds
+	manifest.QFormat = c.QFormat
+	manifest.Config = cfg
+	manifest.EventsPath = "events.jsonl"
+	manifest.GitSHA = git.SHA
+	manifest.GitDirty = git.Dirty
+	manifest.Extra = map[string]string{"tool": "grid", "cell": c.ID(), "config_hash": pc.hash}
+
+	start := time.Now()
+	results := harness.RunTrials(spec)
+	wall := time.Since(start)
+	if err := emitter.Close(); err != nil {
+		return ledger.Record{}, fmt.Errorf("cell %s: closing events: %w", c.ID(), err)
+	}
+
+	verdict, metrics := summarizeCell(d, c, results, wall)
+	if timedOut.Load() {
+		verdict = "timeout"
+	}
+
+	manifest.End = start.Add(wall)
+	if err := cli.WriteManifestFile(filepath.Join(pc.dir, "manifest.json"), manifest); err != nil {
+		return ledger.Record{}, err
+	}
+	if err := writeCellSummary(filepath.Join(pc.dir, "cell.json"), c, pc.hash, verdict, metrics); err != nil {
+		return ledger.Record{}, err
+	}
+
+	var arts []ledger.Artifact
+	for _, name := range []string{"cell.json", "manifest.json", "events.jsonl"} {
+		digest, err := ledger.HashFile(filepath.Join(pc.dir, name))
+		if err != nil {
+			return ledger.Record{}, err
+		}
+		arts = append(arts, ledger.Artifact{Path: name, SHA256: digest})
+	}
+
+	return ledger.Record{
+		Kind:       ledger.KindCell,
+		Time:       start.UTC().Format(time.RFC3339),
+		Cell:       c.ID(),
+		ConfigHash: pc.hash,
+		GitSHA:     git.SHA,
+		GitDirty:   git.Dirty,
+		Verdict:    verdict,
+		Metrics:    metrics,
+		Manifest:   "manifest.json",
+		Artifacts:  arts,
+	}, nil
+}
+
+// summarizeCell reduces a cell's trial results to the verdict and the flat
+// metric map stored in its ledger record — the sole input to the paper
+// tables, so everything they need is here: trial counts, episode
+// statistics, and the modelled per-phase device seconds averaged over
+// trials (sec_<phase>, sec_total).
+func summarizeCell(d harness.Design, c Cell, results []*harness.Result, wall time.Duration) (string, map[string]float64) {
+	modelSecs := make([]float64, len(results))
+	phaseSums := map[string]float64{}
+	interrupted, errored := 0, 0
+	for i, r := range results {
+		if r == nil {
+			continue
+		}
+		if r.Err != nil {
+			if errors.Is(r.Err, harness.ErrInterrupted) {
+				interrupted++
+			} else {
+				errored++
+			}
+		}
+		bd := harness.Breakdown(d, r.Counters)
+		modelSecs[i] = bd.Total()
+		for phase, sec := range bd {
+			phaseSums[string(phase)] += sec
+		}
+	}
+	agg := harness.Summarize(results, modelSecs)
+
+	metrics := map[string]float64{
+		"hidden":        float64(c.Hidden),
+		"trials":        float64(agg.Trials),
+		"solved_trials": float64(agg.SolvedCount),
+		"mean_resets":   agg.MeanResets,
+		"wall_seconds":  wall.Seconds(),
+		"interrupted":   float64(interrupted),
+		"errors":        float64(errored),
+	}
+	if agg.SolvedCount > 0 {
+		metrics["mean_episodes"] = agg.MeanEpisodes
+		metrics["std_episodes"] = agg.StdEpisodes
+		metrics["mean_steps"] = agg.MeanSteps
+		metrics["sec_solved_mean"] = agg.MeanModelSeconds
+	}
+	var total float64
+	for phase, sum := range phaseSums {
+		mean := sum / float64(len(results))
+		metrics["sec_"+phase] = mean
+		total += mean
+	}
+	metrics["sec_total"] = total
+
+	verdict := "unsolved"
+	switch {
+	case errored > 0:
+		verdict = "error"
+	case agg.SolvedCount > 0:
+		verdict = "solved"
+	}
+	return verdict, metrics
+}
+
+// writeCellSummary persists the cell's machine-readable outcome next to
+// its manifest.
+func writeCellSummary(path string, c Cell, hash, verdict string, metrics map[string]float64) error {
+	return writeJSON(path, struct {
+		Cell       Cell               `json:"cell"`
+		ID         string             `json:"id"`
+		ConfigHash string             `json:"config_hash"`
+		Verdict    string             `json:"verdict"`
+		Metrics    map[string]float64 `json:"metrics"`
+	}{c, c.ID(), hash, verdict, metrics})
+}
+
+func fail(err error) int {
+	fmt.Fprintln(os.Stderr, "grid:", err)
+	return 1
+}

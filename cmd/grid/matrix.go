@@ -1,0 +1,138 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"oselmrl/internal/cli"
+	"oselmrl/internal/harness"
+	"oselmrl/internal/ledger"
+)
+
+// Matrix declares an experiment grid: the cross product of environments,
+// designs and hidden widths, with the FPGA design additionally expanded
+// across fixed-point formats (the §4.4 wordlength ablation). Loaded from
+// the -matrix JSON file (experiments.json at the repository root is the
+// paper's full grid).
+type Matrix struct {
+	// Name labels the grid in reports.
+	Name string `json:"name"`
+	// Envs, Designs and Hidden span the grid axes.
+	Envs    []string `json:"envs"`
+	Designs []string `json:"designs"`
+	Hidden  []int    `json:"hidden"`
+	// QFormats expands the FPGA design into one cell per fixed-point
+	// format; software designs ignore it (they run in float64). Empty
+	// means the FPGA runs once at the default format.
+	QFormats []string `json:"qformats,omitempty"`
+	// Seeds is the number of independent trials per cell and BaseSeed
+	// offsets them (trial i uses BaseSeed + i).
+	Seeds    int    `json:"seeds"`
+	BaseSeed uint64 `json:"base_seed,omitempty"`
+	// Episodes is the per-trial episode budget; DQNEpisodes overrides it
+	// for the DQN design (gradient training is orders of magnitude slower
+	// per episode, so grids give it a smaller budget). Zero falls back to
+	// Episodes.
+	Episodes    int `json:"episodes"`
+	DQNEpisodes int `json:"dqn_episodes,omitempty"`
+}
+
+// Cell is one grid point — the unit of execution, resumption and ledger
+// recording. Its canonical JSON is the config hash, so any field change
+// makes it a new cell.
+type Cell struct {
+	Env      string `json:"env"`
+	Design   string `json:"design"`
+	Hidden   int    `json:"hidden"`
+	QFormat  string `json:"qformat,omitempty"`
+	Seeds    int    `json:"seeds"`
+	BaseSeed uint64 `json:"base_seed,omitempty"`
+	Episodes int    `json:"episodes"`
+}
+
+// ID is the human-readable cell label used in the ledger, reports and
+// logs: env/design[-qformat]/h<hidden>.
+func (c Cell) ID() string {
+	d := c.Design
+	if c.QFormat != "" {
+		d += "-" + c.QFormat
+	}
+	return fmt.Sprintf("%s/%s/h%d", c.Env, d, c.Hidden)
+}
+
+// ConfigHash is the cell's resume key in the ledger.
+func (c Cell) ConfigHash() (string, error) { return ledger.HashConfig(c) }
+
+// LoadMatrix reads and validates a matrix file. Every axis value is
+// checked up front — a typo fails before any cell runs, not an hour in.
+func LoadMatrix(path string) (*Matrix, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Matrix
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("matrix %s: %w", path, err)
+	}
+	if len(m.Envs) == 0 || len(m.Designs) == 0 || len(m.Hidden) == 0 {
+		return nil, fmt.Errorf("matrix %s: envs, designs and hidden must each be non-empty", path)
+	}
+	for _, name := range m.Envs {
+		if _, err := cli.MakeEnv(name, 1); err != nil {
+			return nil, fmt.Errorf("matrix %s: %w", path, err)
+		}
+	}
+	for _, name := range m.Designs {
+		if _, err := harness.ParseDesign(name); err != nil {
+			return nil, fmt.Errorf("matrix %s: %w", path, err)
+		}
+	}
+	for _, h := range m.Hidden {
+		if h <= 0 {
+			return nil, fmt.Errorf("matrix %s: hidden width %d must be positive", path, h)
+		}
+	}
+	for _, q := range m.QFormats {
+		if _, err := cli.ParseQFormat(q); err != nil {
+			return nil, fmt.Errorf("matrix %s: %w", path, err)
+		}
+	}
+	if m.Seeds <= 0 {
+		m.Seeds = 1
+	}
+	if m.BaseSeed == 0 {
+		m.BaseSeed = 1
+	}
+	if m.Episodes <= 0 {
+		return nil, fmt.Errorf("matrix %s: episodes must be positive", path)
+	}
+	return &m, nil
+}
+
+// Cells expands the matrix into its grid points in deterministic order
+// (env, then design, then hidden, then qformat).
+func (m *Matrix) Cells() []Cell {
+	var cells []Cell
+	for _, envName := range m.Envs {
+		for _, design := range m.Designs {
+			episodes := m.Episodes
+			if design == string(harness.DesignDQN) && m.DQNEpisodes > 0 {
+				episodes = m.DQNEpisodes
+			}
+			qformats := []string{""}
+			if design == string(harness.DesignFPGA) && len(m.QFormats) > 0 {
+				qformats = m.QFormats
+			}
+			for _, h := range m.Hidden {
+				for _, q := range qformats {
+					cells = append(cells, Cell{
+						Env: envName, Design: design, Hidden: h, QFormat: q,
+						Seeds: m.Seeds, BaseSeed: m.BaseSeed, Episodes: episodes,
+					})
+				}
+			}
+		}
+	}
+	return cells
+}

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"oselmrl/internal/ledger"
+)
+
+// runLedger implements "runlog ledger <verify|summarize>": offline
+// inspection of the tamper-evident run ledger cmd/grid writes.
+//
+//	runlog ledger verify results/ledger/ledger.jsonl
+//	runlog ledger verify -head <hash> -root results results/ledger/ledger.jsonl
+//	runlog ledger summarize results/ledger/ledger.jsonl
+//
+// verify walks the whole chain — sequence numbers, prev-hash links,
+// record hashes, Merkle batch roots and artifact digests — and exits
+// non-zero naming the first broken record if anything was altered.
+// summarize prints the chain's cells and their verdicts without touching
+// artifacts.
+func runLedger(args []string) error {
+	if len(args) == 0 {
+		return errors.New("usage: runlog ledger <verify|summarize> [flags] [ledger.jsonl]")
+	}
+	sub, args := args[0], args[1:]
+	switch sub {
+	case "verify":
+		return runLedgerVerify(args)
+	case "summarize":
+		return runLedgerSummarize(args)
+	}
+	return fmt.Errorf("unknown ledger subcommand %q (verify, summarize)", sub)
+}
+
+// defaultLedgerPath mirrors cmd/grid's -ledger default.
+const defaultLedgerPath = "results/ledger/ledger.jsonl"
+
+// ledgerRoot returns the artifact-resolution root matching how cmd/grid
+// records paths: relative to the ledger directory's parent, so a moved
+// results/ tree stays verifiable.
+func ledgerRoot(ledgerPath string) string {
+	return filepath.Dir(filepath.Dir(filepath.Clean(ledgerPath)))
+}
+
+func runLedgerVerify(args []string) error {
+	fs := flag.NewFlagSet("runlog ledger verify", flag.ContinueOnError)
+	root := fs.String("root", "", "artifact resolution root (default: the ledger directory's parent)")
+	head := fs.String("head", "", "require the chain head to equal this pinned hash (detects wholesale suffix rewrites)")
+	chainOnly := fs.Bool("chain-only", false, "verify only the hash chain, not artifact digests")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 1 {
+		return errors.New("at most one ledger file")
+	}
+	path := fs.Arg(0)
+	if path == "" {
+		path = defaultLedgerPath
+	}
+	if *root == "" {
+		*root = ledgerRoot(path)
+	}
+
+	records, truncated, err := ledger.Read(path)
+	if err != nil {
+		return err
+	}
+	if truncated {
+		fmt.Fprintln(os.Stderr, "runlog ledger: warning: torn trailing record dropped (writer killed mid-append); verifying the complete prefix")
+	}
+	stats, err := ledger.Verify(records, ledger.VerifyOptions{
+		ArtifactRoot:  *root,
+		SkipArtifacts: *chainOnly,
+		ExpectHead:    *head,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ledger OK: %d records (%d cells, %d batch seals), %d artifact digests verified\n",
+		stats.Records, stats.Cells, stats.Batches, stats.Artifacts)
+	fmt.Printf("head %s\n", stats.Head)
+	return nil
+}
+
+func runLedgerSummarize(args []string) error {
+	fs := flag.NewFlagSet("runlog ledger summarize", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 1 {
+		return errors.New("at most one ledger file")
+	}
+	path := fs.Arg(0)
+	if path == "" {
+		path = defaultLedgerPath
+	}
+	records, truncated, err := ledger.Read(path)
+	if err != nil {
+		return err
+	}
+	if truncated {
+		fmt.Fprintln(os.Stderr, "runlog ledger: warning: torn trailing record dropped (writer killed mid-append)")
+	}
+	if len(records) == 0 {
+		fmt.Println("ledger is empty")
+		return nil
+	}
+
+	// Latest record per config hash, in stable cell order — the same view
+	// cmd/grid's tables are generated from.
+	latest := map[string]ledger.Record{}
+	batches := 0
+	for _, r := range records {
+		switch r.Kind {
+		case ledger.KindCell:
+			if r.ConfigHash != "" {
+				latest[r.ConfigHash] = r
+			}
+		case ledger.KindBatch:
+			batches++
+		}
+	}
+	fmt.Printf("%d records, %d batch seals, %d distinct cells, head %s\n\n",
+		len(records), batches, len(latest), records[len(records)-1].Hash)
+	fmt.Printf("%-5s %-44s %-9s %10s %14s %-8s\n", "seq", "cell", "verdict", "solved", "mean_episodes", "git")
+	for _, r := range ledger.SortedCells(records) {
+		if latest[r.ConfigHash].Seq != r.Seq {
+			continue // superseded by a -force re-run
+		}
+		solved := fmt.Sprintf("%.0f/%.0f", r.Metrics["solved_trials"], r.Metrics["trials"])
+		mean := "-"
+		if r.Metrics["solved_trials"] > 0 {
+			mean = fmt.Sprintf("%.1f", r.Metrics["mean_episodes"])
+		}
+		git := r.GitSHA
+		if len(git) > 8 {
+			git = git[:8]
+		}
+		if r.GitDirty {
+			git += "+"
+		}
+		fmt.Printf("%-5d %-44s %-9s %10s %14s %-8s\n", r.Seq, r.Cell, r.Verdict, solved, mean, git)
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"oselmrl/internal/ledger"
+)
+
+// buildLedger writes a small honest ledger with one digest-protected
+// artifact under root/ledger/, returning the ledger file path.
+func buildLedger(t *testing.T, root string) string {
+	t.Helper()
+	artPath := filepath.Join(root, "grid", "cell.json")
+	if err := os.MkdirAll(filepath.Dir(artPath), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(artPath, []byte(`{"solved":true}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	digest, err := ledger.HashFile(artPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	l, err := ledger.Open(filepath.Join(root, "ledger"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 3; i++ {
+		hash, err := ledger.HashConfig(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := ledger.Record{
+			Kind: ledger.KindCell, Cell: "cartpole/ELM/h8", ConfigHash: hash,
+			Verdict: "solved", Metrics: map[string]float64{"trials": 1, "solved_trials": 1},
+		}
+		if i == 0 {
+			rec.Artifacts = []ledger.Artifact{{Path: "grid/cell.json", SHA256: digest}}
+		}
+		if _, err := l.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return filepath.Join(root, "ledger", ledger.FileName)
+}
+
+func TestRunLedgerVerifyHonest(t *testing.T) {
+	root := t.TempDir()
+	path := buildLedger(t, root)
+	if err := runLedgerVerify([]string{path}); err != nil {
+		t.Fatalf("verify on an honest ledger: %v", err)
+	}
+	if err := runLedgerSummarize([]string{path}); err != nil {
+		t.Fatalf("summarize: %v", err)
+	}
+}
+
+func TestRunLedgerVerifyNamesTamperedRecord(t *testing.T) {
+	root := t.TempDir()
+	path := buildLedger(t, root)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	lines[1] = strings.Replace(lines[1], `"verdict":"solved"`, `"verdict":"Solved"`, 1)
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	err = runLedgerVerify([]string{path})
+	var brk *ledger.BreakError
+	if !errors.As(err, &brk) {
+		t.Fatalf("verify on a tampered ledger = %v, want a BreakError", err)
+	}
+	if brk.Seq != 2 {
+		t.Fatalf("break named record %d, want 2: %v", brk.Seq, err)
+	}
+}
+
+func TestRunLedgerVerifyNamesTamperedArtifact(t *testing.T) {
+	root := t.TempDir()
+	path := buildLedger(t, root)
+	if err := os.WriteFile(filepath.Join(root, "grid", "cell.json"), []byte(`{"solved":false}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := runLedgerVerify([]string{path})
+	var brk *ledger.BreakError
+	if !errors.As(err, &brk) {
+		t.Fatalf("verify with a tampered artifact = %v, want a BreakError", err)
+	}
+	if brk.Artifact != "grid/cell.json" || brk.Seq != 1 {
+		t.Fatalf("break = seq %d artifact %q, want seq 1 grid/cell.json", brk.Seq, brk.Artifact)
+	}
+	// -chain-only ignores artifacts: the chain itself is intact.
+	if err := runLedgerVerify([]string{"-chain-only", path}); err != nil {
+		t.Fatalf("-chain-only verify: %v", err)
+	}
+}
+
+func TestRunLedgerVerifyPinnedHead(t *testing.T) {
+	root := t.TempDir()
+	path := buildLedger(t, root)
+	records, _, err := ledger.Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := records[len(records)-1].Hash
+	if err := runLedgerVerify([]string{"-head", head, path}); err != nil {
+		t.Fatalf("verify with the correct pinned head: %v", err)
+	}
+	if err := runLedgerVerify([]string{"-head", ledger.Genesis, path}); err == nil {
+		t.Fatal("verify accepted a wrong pinned head")
+	}
+}

@@ -27,6 +27,14 @@
 // cycle counter and exits non-zero on a mismatch (see README.md §Device
 // profiling).
 //
+// The ledger subcommand inspects the tamper-evident run ledger cmd/grid
+// writes: "ledger verify" recomputes the whole hash chain, Merkle batch
+// roots and artifact digests, exiting non-zero and naming the first
+// broken record after any mutation of a past record or results file
+// (-head additionally pins the chain head against suffix rewrites);
+// "ledger summarize" prints each cell's latest verdict (see
+// results/README.md §Run ledger).
+//
 // The access and slo subcommands consume the serving path's structured
 // access log (cmd/serve -access -events …): access summarizes requests
 // per route with the queue/eval latency split, and slo replays the log
@@ -43,6 +51,8 @@
 //	go run ./cmd/runlog profile -top 5 run.jsonl     # device cycle profile
 //	go run ./cmd/runlog access serve.jsonl           # access-log summary
 //	go run ./cmd/runlog slo -p99 1 serve.jsonl       # offline burn-rate replay
+//	go run ./cmd/runlog ledger verify                # prove the run ledger intact
+//	go run ./cmd/runlog ledger summarize             # per-cell verdict table
 package main
 
 import (
@@ -106,6 +116,13 @@ func main() {
 		}
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "ledger" {
+		if err := runLedger(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "runlog ledger:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	follow := flag.Bool("f", false, "follow mode: tail the log, printing events as they arrive")
 	flag.Parse()
@@ -131,15 +148,15 @@ func main() {
 	}
 	defer closeIn()
 
+	// The tolerant scanner absorbs a final line cut mid-write (run killed);
+	// corruption anywhere earlier in the log is still a hard error.
 	acc := newSummary()
-	if err := obs.ScanEvents(in, acc.add); err != nil {
-		// A run killed mid-write leaves a truncated final line; summarize
-		// what did decode rather than refusing the whole log. Anything
-		// else (corrupt content) is a hard error.
-		if !errors.Is(err, io.ErrUnexpectedEOF) || acc.total == 0 {
-			fmt.Fprintln(os.Stderr, "runlog:", err)
-			os.Exit(1)
-		}
+	truncated, err := obs.ScanEventsPartial(in, acc.add)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "runlog:", err)
+		os.Exit(1)
+	}
+	if truncated {
 		fmt.Fprintln(os.Stderr, "runlog: warning: log ends mid-event (run killed?); summarizing the complete events")
 	}
 	acc.print(os.Stdout)
@@ -178,10 +195,11 @@ func runExport(args []string) error {
 	defer closeIn()
 
 	conv := export.NewEventConverter()
-	if err := obs.ScanEvents(in, conv.Add); err != nil {
-		if !errors.Is(err, io.ErrUnexpectedEOF) || len(conv.Spans()) == 0 {
-			return err
-		}
+	truncated, err := obs.ScanEventsPartial(in, conv.Add)
+	if err != nil {
+		return err
+	}
+	if truncated {
 		fmt.Fprintln(os.Stderr, "runlog export: warning: log ends mid-event (run killed?); exporting the complete events")
 	}
 	spans := conv.Spans()

@@ -33,11 +33,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 	"time"
 
 	"oselmrl/internal/cli"
-	"oselmrl/internal/env"
 	"oselmrl/internal/harness"
 	"oselmrl/internal/obs"
 	"oselmrl/internal/persist"
@@ -47,33 +45,6 @@ import (
 // exitImpossible is the exit code for a run that exhausted its episode
 // budget without meeting the solve criterion.
 const exitImpossible = 3
-
-func makeEnv(name string, seed uint64) (env.Env, error) {
-	switch strings.ToLower(name) {
-	case "cartpole", "cartpole-v0":
-		return env.NewShaped(env.NewCartPoleV0(seed), env.RewardSurvival), nil
-	case "cartpole-v1":
-		return env.NewShaped(env.NewCartPoleV1(seed), env.RewardSurvival), nil
-	case "mountaincar":
-		return env.NewShaped(env.NewMountainCar(seed), env.RewardPerStepClipped), nil
-	case "acrobot":
-		return env.NewShaped(env.NewAcrobot(seed), env.RewardPerStepClipped), nil
-	case "gridworld":
-		return env.NewGridWorld(5, seed), nil
-	case "pendulum":
-		return env.NewShaped(env.NewPendulum(seed), env.RewardPerStepClipped), nil
-	}
-	return nil, fmt.Errorf("unknown environment %q (cartpole, cartpole-v1, mountaincar, acrobot, gridworld, pendulum)", name)
-}
-
-// solveFor returns the solve threshold appropriate for the task: the
-// CartPole-v0 criterion for CartPole, otherwise "never" so the run uses
-// its full budget and reports the learning progress.
-func solveFor(name string, cfg *harness.Config) {
-	if !strings.HasPrefix(strings.ToLower(name), "cartpole") {
-		cfg.SolveThreshold = 1e18
-	}
-}
 
 func main() { os.Exit(run()) }
 
@@ -110,7 +81,7 @@ func run() int {
 		return fail(err)
 	}
 
-	task, err := makeEnv(*envName, *seed+100)
+	task, err := cli.MakeEnv(*envName, *seed+100)
 	if err != nil {
 		return fail(err)
 	}
@@ -143,7 +114,7 @@ func run() int {
 	}
 	cfg := harness.RunConfigFor(d, harness.Defaults())
 	cfg.MaxEpisodes = *episodes
-	solveFor(*envName, &cfg)
+	cli.SolveFor(*envName, &cfg)
 
 	labels := map[string]string{
 		"hidden": fmt.Sprint(*hidden),

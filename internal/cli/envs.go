@@ -1,0 +1,46 @@
+package cli
+
+import (
+	"fmt"
+	"strings"
+
+	"oselmrl/internal/env"
+	"oselmrl/internal/harness"
+)
+
+// EnvNames lists the built-in environments accepted by MakeEnv, for flag
+// usage strings and matrix validation.
+var EnvNames = []string{"cartpole", "cartpole-v1", "mountaincar", "acrobot", "gridworld", "pendulum"}
+
+// MakeEnv constructs a built-in environment by name with the reward
+// shaping each task trains best under (survival shaping for CartPole,
+// clipped per-step cost for the control tasks). Shared by cmd/train and
+// cmd/grid so a grid cell reproduces exactly what a one-off train run
+// does.
+func MakeEnv(name string, seed uint64) (env.Env, error) {
+	switch strings.ToLower(name) {
+	case "cartpole", "cartpole-v0":
+		return env.NewShaped(env.NewCartPoleV0(seed), env.RewardSurvival), nil
+	case "cartpole-v1":
+		return env.NewShaped(env.NewCartPoleV1(seed), env.RewardSurvival), nil
+	case "mountaincar":
+		return env.NewShaped(env.NewMountainCar(seed), env.RewardPerStepClipped), nil
+	case "acrobot":
+		return env.NewShaped(env.NewAcrobot(seed), env.RewardPerStepClipped), nil
+	case "gridworld":
+		return env.NewGridWorld(5, seed), nil
+	case "pendulum":
+		return env.NewShaped(env.NewPendulum(seed), env.RewardPerStepClipped), nil
+	}
+	return nil, fmt.Errorf("unknown environment %q (%s)", name, strings.Join(EnvNames, ", "))
+}
+
+// SolveFor adapts the solve criterion to the task: CartPole keeps the
+// paper's 195-over-100-episodes criterion; the other tasks have no solved
+// notion here, so the threshold is pushed out of reach and the run uses
+// its full budget, reporting learning progress instead.
+func SolveFor(name string, cfg *harness.Config) {
+	if !strings.HasPrefix(strings.ToLower(name), "cartpole") {
+		cfg.SolveThreshold = 1e18
+	}
+}

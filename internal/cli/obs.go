@@ -11,6 +11,7 @@ import (
 
 	"oselmrl/internal/obs"
 	"oselmrl/internal/obs/export"
+	"oselmrl/internal/vcs"
 )
 
 // NewEventsEmitter opens a JSONL event log at path and returns an emitter
@@ -30,8 +31,16 @@ func NewEventsEmitter(path string) (*obs.Emitter, error) {
 	return obs.NewEmitter(obs.NewJSONLSink(f)), nil
 }
 
-// WriteManifestFile writes m to path as a single JSON document.
+// WriteManifestFile writes m to path as a single JSON document, stamping
+// the git commit and dirty-worktree flag (internal/vcs) when the caller
+// has not already set them — every tool's manifest ties its results to
+// the commit that produced them without per-tool wiring.
 func WriteManifestFile(path string, m *obs.Manifest) error {
+	if m.GitSHA == "" {
+		info := vcs.Head()
+		m.GitSHA = info.SHA
+		m.GitDirty = info.Dirty
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("manifest: %w", err)

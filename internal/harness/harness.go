@@ -8,6 +8,7 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -79,7 +80,18 @@ type Config struct {
 	// access counters on the fpga datapath. Requires Obs for the metrics
 	// to flow; agents that are not DeviceProfilable ignore it.
 	DeviceProfile bool `json:"device_profile,omitempty"`
+	// Stop aborts the run when the channel closes (a context.Done channel
+	// in practice — how cmd/grid enforces per-cell timeouts). Checked at
+	// episode boundaries, so a stop takes effect within one episode; an
+	// interrupted run reports Result.Err = ErrInterrupted with the
+	// episodes completed so far. Nil — the default — disables the check.
+	// Runtime plumbing like Obs, excluded from manifests.
+	Stop <-chan struct{} `json:"-"`
 }
+
+// ErrInterrupted marks a Result whose run was aborted via Config.Stop
+// before reaching a solve/impossible verdict.
+var ErrInterrupted = errors.New("harness: run interrupted")
 
 // Defaults returns the paper's CartPole-v0 run configuration.
 func Defaults() Config {
@@ -207,6 +219,12 @@ func Run(agent Agent, e env.Env, cfg Config) *Result {
 	episodesSinceReset := 0
 
 	for ep := 1; ep <= cfg.MaxEpisodes; ep++ {
+		if stopped(cfg.Stop) {
+			if res.Err == nil {
+				res.Err = ErrInterrupted
+			}
+			break
+		}
 		// Episode-level span on the wall track; the agents contribute the
 		// per-phase spans (predict, seq_train, ...) nested inside it. An
 		// inactive span (no tracer) is a zero value — no clock, no alloc.
@@ -300,6 +318,20 @@ func Run(agent Agent, e env.Env, cfg Config) *Result {
 		eobs.Emit(obs.EventRunEnd, res.Episodes, data)
 	}
 	return res
+}
+
+// stopped polls a Config.Stop channel without blocking; a nil channel
+// never stops.
+func stopped(stop <-chan struct{}) bool {
+	if stop == nil {
+		return false
+	}
+	select {
+	case <-stop:
+		return true
+	default:
+		return false
+	}
 }
 
 func boolTo01(b bool) float64 {

@@ -1,0 +1,82 @@
+package harness
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"oselmrl/internal/env"
+	"oselmrl/internal/timing"
+)
+
+func TestRunStopChannelAborts(t *testing.T) {
+	stop := make(chan struct{})
+	close(stop)
+	a := newScripted(0)
+	cfg := Config{MaxEpisodes: 50000, SolveWindow: 100, SolveThreshold: 195, Stop: stop}
+	r := Run(a, env.NewCartPoleV0(1), cfg)
+	if !errors.Is(r.Err, ErrInterrupted) {
+		t.Fatalf("Err = %v, want ErrInterrupted", r.Err)
+	}
+	if r.Episodes != 0 {
+		t.Fatalf("pre-closed stop still ran %d episodes", r.Episodes)
+	}
+	if r.Solved {
+		t.Fatal("interrupted run reported solved")
+	}
+}
+
+func TestRunStopMidRunKeepsProgress(t *testing.T) {
+	stop := make(chan struct{})
+	a := &balancerAgent{}
+	a.counters = timing.NewCounters()
+	a.name = "balancer"
+	done := make(chan *Result, 1)
+	go func() {
+		cfg := Config{MaxEpisodes: 50000, SolveWindow: 5000, SolveThreshold: 1e18,
+			ScoreIsSteps: true, Stop: stop}
+		done <- Run(a, env.NewCartPoleV0(1), cfg)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	select {
+	case r := <-done:
+		if !errors.Is(r.Err, ErrInterrupted) {
+			t.Fatalf("Err = %v, want ErrInterrupted", r.Err)
+		}
+		if r.Episodes == 0 {
+			t.Fatal("mid-run stop recorded no progress")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("run did not honor the stop channel")
+	}
+}
+
+// A stopped spec must not launch the trials it has not started yet, and
+// interrupted trials must stay out of the solved statistics.
+func TestRunTrialsStopSkipsRemaining(t *testing.T) {
+	stop := make(chan struct{})
+	close(stop)
+	spec := TrialSpec{
+		MakeAgent: func(seed uint64) (Agent, error) {
+			t.Error("MakeAgent called despite a pre-closed stop")
+			return newScripted(0), nil
+		},
+		MakeEnv: func(seed uint64) env.Env { return env.NewCartPoleV0(seed) },
+		Config:  Config{MaxEpisodes: 10, Stop: stop},
+		Trials:  4,
+	}
+	results := RunTrials(spec)
+	if len(results) != 4 {
+		t.Fatalf("got %d results, want 4", len(results))
+	}
+	for i, r := range results {
+		if !errors.Is(r.Err, ErrInterrupted) {
+			t.Fatalf("trial %d: Err = %v, want ErrInterrupted", i, r.Err)
+		}
+	}
+	agg := Summarize(results, nil)
+	if agg.SolvedCount != 0 {
+		t.Fatalf("interrupted trials entered solved stats: %+v", agg)
+	}
+}

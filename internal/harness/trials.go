@@ -47,6 +47,14 @@ func RunTrials(spec TrialSpec) []*Result {
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, par)
 	for i := 0; i < n; i++ {
+		// A stop (per-cell timeout in cmd/grid) also gates trial launch:
+		// trials not yet started report ErrInterrupted without building an
+		// agent, so a timed-out cell returns promptly instead of queueing
+		// its remaining seeds.
+		if stopped(spec.Config.Stop) {
+			results[i] = &Result{Err: ErrInterrupted}
+			continue
+		}
 		// Acquire before spawning so at most par goroutines (each holding a
 		// live agent closure) exist at once — spawning all n up front made a
 		// 10k-trial sweep allocate 10k goroutines that immediately blocked.

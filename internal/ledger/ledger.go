@@ -1,0 +1,512 @@
+// Package ledger is the tamper-evident run store behind cmd/grid: an
+// append-only JSONL file where every record carries the hash of its
+// predecessor, periodic records seal a Merkle root over the batch since
+// the previous seal, and records reference result artifacts by content
+// digest. Verify walks the chain end to end — recomputing record hashes,
+// link hashes, batch roots and artifact digests — and reports the exact
+// first break, so any single-byte mutation of a past record or of a
+// referenced results file is caught and named.
+//
+// The threat model is accidental or casual tampering (hand-edited result
+// files, a crashed writer, a stale artifact): the chain proves internal
+// consistency. An adversary who rewrites the whole suffix of the file
+// can of course recompute every hash; pinning the head hash somewhere
+// external (the Verify -head option, a CI artifact, a commit message)
+// closes that hole, which is why Append returns it and cmd/grid prints
+// it after every run.
+package ledger
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// SchemaVersion is stamped into every record as "v". Hash computation
+// covers it, so records from a future incompatible layout fail
+// verification rather than silently misparse.
+const SchemaVersion = 1
+
+// FileName is the ledger file inside the ledger directory.
+const FileName = "ledger.jsonl"
+
+// DefaultBatchSize is the Merkle seal cadence: after this many unsealed
+// records a batch record is appended automatically.
+const DefaultBatchSize = 8
+
+// Record kinds.
+const (
+	// KindCell is one completed experiment cell (a verdict).
+	KindCell = "cell"
+	// KindBatch seals the records since the previous batch record under
+	// a Merkle root.
+	KindBatch = "batch"
+	// KindReport registers emitted report artifacts (paper tables) so
+	// they are digest-protected like cell artifacts.
+	KindReport = "report"
+)
+
+// Artifact is a content-addressed reference to a results file, path
+// relative to the verification root (the directory cmd/grid ran in).
+type Artifact struct {
+	Path   string `json:"path"`
+	SHA256 string `json:"sha256"`
+}
+
+// Record is one line of the ledger. Seq, PrevHash and Hash are filled by
+// Append; everything else is the caller's payload.
+type Record struct {
+	// V is SchemaVersion at write time.
+	V int `json:"v"`
+	// Seq is the 1-based position in the chain.
+	Seq int `json:"seq"`
+	// Time is the RFC3339 append timestamp.
+	Time string `json:"time,omitempty"`
+	// Kind is one of the Kind* constants.
+	Kind string `json:"kind"`
+	// Cell is the human-readable cell identifier (env/design/qformat/hidden).
+	Cell string `json:"cell,omitempty"`
+	// ConfigHash is the canonical hash of the cell's full configuration —
+	// the resume key: a matrix cell whose config hash already has a
+	// verdict in the ledger is skipped.
+	ConfigHash string `json:"config_hash,omitempty"`
+	// GitSHA / GitDirty pin the commit the cell executed against.
+	GitSHA   string `json:"git_sha,omitempty"`
+	GitDirty bool   `json:"git_dirty,omitempty"`
+	// Verdict is the cell outcome: "solved", "unsolved", "timeout".
+	Verdict string `json:"verdict,omitempty"`
+	// Metrics carries the cell's key numbers (solved_trials, trials,
+	// mean_episodes, sec_<phase> breakdowns, wall_seconds, ...).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Manifest is the cell's run-manifest artifact path (also listed in
+	// Artifacts with its digest); the manifest ↔ ledger linkage.
+	Manifest string `json:"manifest,omitempty"`
+	// Artifacts are the digest-protected result files of this record.
+	Artifacts []Artifact `json:"artifacts,omitempty"`
+	// BatchRoot is the Merkle root over the hashes of the records since
+	// the previous batch record (KindBatch only).
+	BatchRoot string `json:"batch_root,omitempty"`
+	// BatchCount is how many records the root covers (KindBatch only).
+	BatchCount int `json:"batch_count,omitempty"`
+	// PrevHash chains to the predecessor record (Genesis for Seq 1).
+	PrevHash string `json:"prev_hash"`
+	// Hash is the record's own hash: sha256 over the canonical JSON
+	// encoding of the record with Hash itself blanked.
+	Hash string `json:"hash"`
+}
+
+// Genesis is the PrevHash of the first record.
+var Genesis = hashHex([]byte("oselmrl ledger genesis v1"))
+
+func hashHex(b []byte) string {
+	h := sha256.Sum256(b)
+	return hex.EncodeToString(h[:])
+}
+
+// recordHash computes a record's canonical hash: the JSON encoding with
+// the Hash field blanked. encoding/json emits struct fields in
+// declaration order, so the encoding is deterministic for a given
+// SchemaVersion.
+func recordHash(r Record) string {
+	r.Hash = ""
+	b, err := json.Marshal(r)
+	if err != nil {
+		// A Record is plain data; Marshal cannot fail on one.
+		panic(fmt.Sprintf("ledger: marshaling record: %v", err))
+	}
+	return hashHex(b)
+}
+
+// HashConfig canonicalizes any JSON-serializable configuration value into
+// a hex digest — the cell resume key. Map keys are sorted by Go's JSON
+// encoder, so semantically equal configs hash equal.
+func HashConfig(v any) (string, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return "", fmt.Errorf("ledger: hashing config: %w", err)
+	}
+	return hashHex(b), nil
+}
+
+// HashFile digests a file's content.
+func HashFile(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", fmt.Errorf("ledger: digesting %s: %w", path, err)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// merkleRoot reduces a list of record hashes pairwise: each level hashes
+// the concatenation of two children (an odd tail node is promoted
+// unpaired). An empty batch roots to the hash of the empty string.
+func merkleRoot(hashes []string) string {
+	if len(hashes) == 0 {
+		return hashHex(nil)
+	}
+	level := append([]string(nil), hashes...)
+	for len(level) > 1 {
+		next := make([]string, 0, (len(level)+1)/2)
+		for i := 0; i < len(level); i += 2 {
+			if i+1 < len(level) {
+				next = append(next, hashHex([]byte(level[i]+level[i+1])))
+			} else {
+				next = append(next, level[i])
+			}
+		}
+		level = next
+	}
+	return level[0]
+}
+
+// Ledger is an open, appendable chain.
+type Ledger struct {
+	path      string
+	f         *os.File
+	records   []Record
+	truncated bool
+	batchSize int
+	// sinceBatch holds the hashes of records appended after the last
+	// batch record — the leaves of the next Merkle seal.
+	sinceBatch []string
+}
+
+// Open opens (creating if needed) the ledger in dir for appending. A
+// torn trailing line — the writer was killed mid-append — is dropped and
+// the file truncated back to the last complete record; Truncated reports
+// that this happened. Any earlier malformed line is a hard error: only
+// the tail can legitimately be torn.
+func Open(dir string) (*Ledger, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ledger: %w", err)
+	}
+	path := filepath.Join(dir, FileName)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ledger: %w", err)
+	}
+	records, validLen, truncated, err := readRecords(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("ledger: %s: %w", path, err)
+	}
+	if truncated {
+		if err := f.Truncate(validLen); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("ledger: dropping torn tail of %s: %w", path, err)
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("ledger: %w", err)
+	}
+	l := &Ledger{path: path, f: f, records: records, truncated: truncated,
+		batchSize: DefaultBatchSize}
+	// Rebuild the pending-batch leaves so the next seal covers exactly
+	// the records appended since the last batch record, across reopens.
+	for _, r := range records {
+		if r.Kind == KindBatch {
+			l.sinceBatch = l.sinceBatch[:0]
+		} else {
+			l.sinceBatch = append(l.sinceBatch, r.Hash)
+		}
+	}
+	return l, nil
+}
+
+// readRecords parses the ledger stream, returning the records, the byte
+// length of the valid prefix, and whether a torn tail was dropped.
+func readRecords(r io.Reader) (records []Record, validLen int64, truncated bool, err error) {
+	br := bufio.NewReader(r)
+	lineNo := 0
+	for {
+		line, rerr := br.ReadBytes('\n')
+		lineNo++
+		complete := len(line) > 0 && line[len(line)-1] == '\n'
+		if len(bytes.TrimSpace(line)) > 0 {
+			var rec Record
+			if jerr := json.Unmarshal(line, &rec); jerr != nil {
+				if complete && rerr == nil {
+					return nil, 0, false, fmt.Errorf("line %d: %w", lineNo, jerr)
+				}
+				return records, validLen, true, nil
+			}
+			if !complete {
+				// Parseable but unterminated: treat as torn — the writer
+				// always terminates records, so the line may be cut inside
+				// a trailing value.
+				return records, validLen, true, nil
+			}
+			records = append(records, rec)
+			validLen += int64(len(line))
+		} else {
+			validLen += int64(len(line))
+		}
+		if rerr != nil {
+			if rerr == io.EOF {
+				return records, validLen, truncated, nil
+			}
+			return nil, 0, false, rerr
+		}
+	}
+}
+
+// Truncated reports whether Open dropped a torn trailing line.
+func (l *Ledger) Truncated() bool { return l.truncated }
+
+// Records returns the chain in order. The slice is shared; callers must
+// not mutate it.
+func (l *Ledger) Records() []Record { return l.records }
+
+// Len returns the number of records.
+func (l *Ledger) Len() int { return len(l.records) }
+
+// Head returns the hash of the last record (Genesis for an empty chain)
+// — the value to pin externally for suffix-rewrite detection.
+func (l *Ledger) Head() string {
+	if len(l.records) == 0 {
+		return Genesis
+	}
+	return l.records[len(l.records)-1].Hash
+}
+
+// SetBatchSize overrides the Merkle seal cadence (n < 1 disables
+// automatic sealing).
+func (l *Ledger) SetBatchSize(n int) { l.batchSize = n }
+
+// LatestByConfig indexes the newest cell record per config hash — the
+// grid resumer's skip set.
+func (l *Ledger) LatestByConfig() map[string]Record {
+	out := make(map[string]Record)
+	for _, r := range l.records {
+		if r.Kind == KindCell && r.ConfigHash != "" {
+			out[r.ConfigHash] = r
+		}
+	}
+	return out
+}
+
+// Append chains and persists one record: Seq, V, PrevHash and Hash are
+// filled, the line is written and fsynced (a SIGKILL after Append
+// returns cannot lose the record), and — at the batch cadence — a
+// sealing batch record is appended behind it. The stored record is
+// returned.
+func (l *Ledger) Append(r Record) (Record, error) {
+	stored, err := l.appendOne(r)
+	if err != nil {
+		return Record{}, err
+	}
+	if r.Kind != KindBatch && l.batchSize > 0 && len(l.sinceBatch) >= l.batchSize {
+		if _, err := l.appendOne(Record{
+			Kind:       KindBatch,
+			Time:       r.Time,
+			BatchRoot:  merkleRoot(l.sinceBatch),
+			BatchCount: len(l.sinceBatch),
+		}); err != nil {
+			return Record{}, err
+		}
+	}
+	return stored, nil
+}
+
+func (l *Ledger) appendOne(r Record) (Record, error) {
+	r.V = SchemaVersion
+	r.Seq = len(l.records) + 1
+	r.PrevHash = l.Head()
+	r.Hash = recordHash(r)
+	line, err := json.Marshal(r)
+	if err != nil {
+		return Record{}, fmt.Errorf("ledger: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := l.f.Write(line); err != nil {
+		return Record{}, fmt.Errorf("ledger: appending record %d: %w", r.Seq, err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return Record{}, fmt.Errorf("ledger: syncing record %d: %w", r.Seq, err)
+	}
+	l.records = append(l.records, r)
+	if r.Kind == KindBatch {
+		l.sinceBatch = l.sinceBatch[:0]
+	} else {
+		l.sinceBatch = append(l.sinceBatch, r.Hash)
+	}
+	return r, nil
+}
+
+// Close releases the file handle.
+func (l *Ledger) Close() error { return l.f.Close() }
+
+// Read loads a ledger file read-only (no truncation repair): records
+// plus whether a torn tail was dropped from the returned slice.
+func Read(path string) (records []Record, truncated bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+	records, _, truncated, err = readRecords(f)
+	if err != nil {
+		return nil, false, fmt.Errorf("ledger: %s: %w", path, err)
+	}
+	return records, truncated, nil
+}
+
+// BreakError names the first broken link Verify found.
+type BreakError struct {
+	// Seq is the 1-based record at which the chain breaks (0 when the
+	// break is not attributable to a record, e.g. a head mismatch).
+	Seq int
+	// Cell is the record's cell label, when it has one.
+	Cell string
+	// Artifact is the offending artifact path for digest breaks.
+	Artifact string
+	// Reason describes the break.
+	Reason string
+}
+
+func (e *BreakError) Error() string {
+	msg := "ledger: verification failed"
+	if e.Seq > 0 {
+		msg += fmt.Sprintf(" at record %d", e.Seq)
+		if e.Cell != "" {
+			msg += fmt.Sprintf(" (%s)", e.Cell)
+		}
+	}
+	if e.Artifact != "" {
+		msg += fmt.Sprintf(", artifact %s", e.Artifact)
+	}
+	return msg + ": " + e.Reason
+}
+
+// VerifyStats summarizes a successful verification.
+type VerifyStats struct {
+	// Records, Batches and Artifacts count what was checked.
+	Records   int
+	Batches   int
+	Artifacts int
+	// Head is the verified chain head hash.
+	Head string
+	// Cells counts cell records.
+	Cells int
+}
+
+// VerifyOptions tune Verify.
+type VerifyOptions struct {
+	// ArtifactRoot resolves relative artifact paths ("." when empty).
+	ArtifactRoot string
+	// SkipArtifacts verifies only the chain, not file digests (the
+	// summarize path, which may run far from the artifacts).
+	SkipArtifacts bool
+	// ExpectHead, when non-empty, additionally requires the chain head
+	// to equal this hash — the external anchor closing the
+	// suffix-rewrite hole.
+	ExpectHead string
+}
+
+// Verify walks the chain: sequence numbers, prev-hash links, recomputed
+// record hashes, recomputed Merkle batch roots, and recomputed artifact
+// digests. The first inconsistency is returned as a *BreakError naming
+// the exact record (and artifact, if any); a clean chain returns stats.
+func Verify(records []Record, opts VerifyOptions) (*VerifyStats, error) {
+	root := opts.ArtifactRoot
+	if root == "" {
+		root = "."
+	}
+	stats := &VerifyStats{Head: Genesis}
+	prev := Genesis
+	var leaves []string
+	for i, r := range records {
+		seq := i + 1
+		brk := func(reason string) error {
+			return &BreakError{Seq: seq, Cell: r.Cell, Reason: reason}
+		}
+		if r.Seq != seq {
+			return nil, brk(fmt.Sprintf("sequence number %d out of order (want %d)", r.Seq, seq))
+		}
+		if r.V <= 0 || r.V > SchemaVersion {
+			return nil, brk(fmt.Sprintf("unsupported schema version %d (supported: 1..%d)", r.V, SchemaVersion))
+		}
+		if r.PrevHash != prev {
+			return nil, brk("prev_hash does not match the preceding record — a record was altered, inserted or removed")
+		}
+		if got := recordHash(r); got != r.Hash {
+			return nil, brk("stored hash does not match the record content — the record was altered")
+		}
+		switch r.Kind {
+		case KindBatch:
+			if got := merkleRoot(leaves); got != r.BatchRoot {
+				return nil, brk("batch Merkle root does not match the sealed records")
+			}
+			if r.BatchCount != len(leaves) {
+				return nil, brk(fmt.Sprintf("batch seals %d records but %d were appended since the last seal", r.BatchCount, len(leaves)))
+			}
+			leaves = leaves[:0]
+			stats.Batches++
+		default:
+			leaves = append(leaves, r.Hash)
+			if r.Kind == KindCell {
+				stats.Cells++
+			}
+		}
+		if !opts.SkipArtifacts {
+			for _, a := range r.Artifacts {
+				got, err := HashFile(filepath.Join(root, a.Path))
+				if err != nil {
+					return nil, &BreakError{Seq: seq, Cell: r.Cell, Artifact: a.Path,
+						Reason: fmt.Sprintf("artifact unreadable: %v", err)}
+				}
+				if got != a.SHA256 {
+					return nil, &BreakError{Seq: seq, Cell: r.Cell, Artifact: a.Path,
+						Reason: "artifact digest does not match the ledger — the results file was altered"}
+				}
+				stats.Artifacts++
+			}
+		}
+		prev = r.Hash
+		stats.Records++
+		stats.Head = r.Hash
+	}
+	if opts.ExpectHead != "" && stats.Head != opts.ExpectHead {
+		return nil, &BreakError{Reason: fmt.Sprintf("chain head %s does not match the pinned head %s — the ledger suffix was rewritten", short(stats.Head), short(opts.ExpectHead))}
+	}
+	return stats, nil
+}
+
+// short abbreviates a hash for messages.
+func short(h string) string {
+	if len(h) > 12 {
+		return h[:12]
+	}
+	return h
+}
+
+// SortedCells returns the cell records ordered by cell label then seq —
+// the stable iteration order behind the deterministic paper tables.
+func SortedCells(records []Record) []Record {
+	var cells []Record
+	for _, r := range records {
+		if r.Kind == KindCell {
+			cells = append(cells, r)
+		}
+	}
+	sort.SliceStable(cells, func(i, j int) bool {
+		if cells[i].Cell != cells[j].Cell {
+			return cells[i].Cell < cells[j].Cell
+		}
+		return cells[i].Seq < cells[j].Seq
+	})
+	return cells
+}

@@ -1,0 +1,337 @@
+package ledger
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func appendCells(t *testing.T, l *Ledger, n int, artifacts ...Artifact) []Record {
+	t.Helper()
+	var out []Record
+	for i := 0; i < n; i++ {
+		rec, err := l.Append(Record{
+			Kind:       KindCell,
+			Cell:       "cartpole/OS-ELM-L2/h32",
+			ConfigHash: HashOrDie(t, map[string]int{"cell": i}),
+			Verdict:    "solved",
+			Metrics:    map[string]float64{"trials": 3, "solved_trials": float64(i % 4)},
+			Artifacts:  artifacts,
+		})
+		if err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+func HashOrDie(t *testing.T, v any) string {
+	t.Helper()
+	h, err := HashConfig(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func mustVerifyFile(t *testing.T, dir string, opts VerifyOptions) (*VerifyStats, error) {
+	t.Helper()
+	records, truncated, err := Read(filepath.Join(dir, FileName))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if truncated {
+		t.Fatal("unexpected torn tail")
+	}
+	return Verify(records, opts)
+}
+
+func TestAppendVerifyRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendCells(t, l, 10)
+	head := l.Head()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	stats, err := mustVerifyFile(t, dir, VerifyOptions{ArtifactRoot: dir})
+	if err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	// 10 cells at the default cadence of 8 seal one batch: 11 records.
+	if stats.Records != 11 || stats.Batches != 1 || stats.Cells != 10 {
+		t.Fatalf("stats = %+v, want 11 records / 1 batch / 10 cells", stats)
+	}
+	if stats.Head != head {
+		t.Fatalf("verified head %s != appended head %s", stats.Head, head)
+	}
+
+	// Pinned-head verification: the right head passes, a wrong one fails.
+	if _, err := mustVerifyFile(t, dir, VerifyOptions{ArtifactRoot: dir, ExpectHead: head}); err != nil {
+		t.Fatalf("Verify with correct pinned head: %v", err)
+	}
+	if _, err := mustVerifyFile(t, dir, VerifyOptions{ArtifactRoot: dir, ExpectHead: Genesis}); err == nil {
+		t.Fatal("Verify accepted a wrong pinned head")
+	}
+}
+
+func TestReopenContinuesChain(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendCells(t, l, 3)
+	l.Close()
+
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Len() != 3 {
+		t.Fatalf("reopened ledger has %d records, want 3", l2.Len())
+	}
+	appendCells(t, l2, 6) // crosses the batch cadence across the reopen
+	l2.Close()
+
+	stats, err := mustVerifyFile(t, dir, VerifyOptions{ArtifactRoot: dir})
+	if err != nil {
+		t.Fatalf("Verify after reopen: %v", err)
+	}
+	if stats.Batches != 1 || stats.Cells != 9 {
+		t.Fatalf("stats = %+v, want 1 batch sealed across the reopen", stats)
+	}
+}
+
+// tamper flips content in the stored file via string replacement.
+func tamper(t *testing.T, dir, old, new string) {
+	t.Helper()
+	path := filepath.Join(dir, FileName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated := strings.Replace(string(data), old, new, 1)
+	if mutated == string(data) {
+		t.Fatalf("tamper target %q not found", old)
+	}
+	if err := os.WriteFile(path, []byte(mutated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyDetectsMiddleRecordTampering(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := appendCells(t, l, 5)
+	l.Close()
+
+	// Flip one byte of record 3's verdict (JSON stays well-formed).
+	tamper(t, dir, `"config_hash":"`+recs[2].ConfigHash+`","verdict":"solved"`,
+		`"config_hash":"`+recs[2].ConfigHash+`","verdict":"Solved"`)
+
+	records, _, err := Read(filepath.Join(dir, FileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Verify(records, VerifyOptions{ArtifactRoot: dir})
+	var brk *BreakError
+	if !errors.As(err, &brk) {
+		t.Fatalf("Verify = %v, want a BreakError", err)
+	}
+	if brk.Seq != 3 {
+		t.Fatalf("break reported at record %d, want 3 (the mutated record): %v", brk.Seq, err)
+	}
+}
+
+func TestVerifyDetectsHeadTampering(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendCells(t, l, 3)
+	l.Close()
+
+	// The head record's metrics: 3 cells, no batch yet, so seq 3 is last.
+	tamper(t, dir, `"solved_trials":2`, `"solved_trials":3`)
+
+	records, _, err := Read(filepath.Join(dir, FileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Verify(records, VerifyOptions{ArtifactRoot: dir})
+	var brk *BreakError
+	if !errors.As(err, &brk) {
+		t.Fatalf("Verify = %v, want a BreakError", err)
+	}
+	if brk.Seq != 3 {
+		t.Fatalf("break reported at record %d, want the head record 3: %v", brk.Seq, err)
+	}
+}
+
+func TestVerifyDetectsArtifactTampering(t *testing.T) {
+	dir := t.TempDir()
+	artPath := filepath.Join(dir, "cell.json")
+	if err := os.WriteFile(artPath, []byte(`{"solved":true,"episodes":463}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	digest, err := HashFile(artPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendCells(t, l, 1, Artifact{Path: "cell.json", SHA256: digest})
+	appendCells(t, l, 1)
+	l.Close()
+
+	records, _, err := Read(filepath.Join(dir, FileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Verify(records, VerifyOptions{ArtifactRoot: dir}); err != nil {
+		t.Fatalf("honest verify: %v", err)
+	}
+
+	// Single-byte mutation of the referenced results file.
+	if err := os.WriteFile(artPath, []byte(`{"solved":true,"episodes":464}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Verify(records, VerifyOptions{ArtifactRoot: dir})
+	var brk *BreakError
+	if !errors.As(err, &brk) {
+		t.Fatalf("Verify = %v, want a BreakError", err)
+	}
+	if brk.Seq != 1 || brk.Artifact != "cell.json" {
+		t.Fatalf("break = seq %d artifact %q, want seq 1 cell.json: %v", brk.Seq, brk.Artifact, err)
+	}
+
+	// SkipArtifacts ignores the file mutation (chain is still intact).
+	if _, err := Verify(records, VerifyOptions{SkipArtifacts: true}); err != nil {
+		t.Fatalf("SkipArtifacts verify: %v", err)
+	}
+}
+
+func TestVerifyDetectsBatchRootTampering(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendCells(t, l, 8) // seals one batch at seq 9
+	l.Close()
+
+	tamper(t, dir, `"batch_count":8`, `"batch_count":7`)
+	records, _, err := Read(filepath.Join(dir, FileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Verify(records, VerifyOptions{ArtifactRoot: dir})
+	var brk *BreakError
+	if !errors.As(err, &brk) {
+		t.Fatalf("Verify = %v, want a BreakError", err)
+	}
+	if brk.Seq != 9 {
+		t.Fatalf("break reported at record %d, want the batch record 9: %v", brk.Seq, err)
+	}
+}
+
+func TestOpenRecoversTornTail(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendCells(t, l, 3)
+	l.Close()
+
+	// Simulate a SIGKILL mid-append: half a record at the end.
+	path := filepath.Join(dir, FileName)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"v":1,"seq":4,"kind":"cell","metr`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open on torn ledger: %v", err)
+	}
+	if !l2.Truncated() {
+		t.Fatal("torn tail not reported")
+	}
+	if l2.Len() != 3 {
+		t.Fatalf("recovered %d records, want 3", l2.Len())
+	}
+	appendCells(t, l2, 1)
+	l2.Close()
+
+	stats, err := mustVerifyFile(t, dir, VerifyOptions{ArtifactRoot: dir})
+	if err != nil {
+		t.Fatalf("Verify after recovery: %v", err)
+	}
+	if stats.Records != 4 {
+		t.Fatalf("got %d records after recovery+append, want 4", stats.Records)
+	}
+}
+
+func TestMerkleRoot(t *testing.T) {
+	a, b, c := hashHex([]byte("a")), hashHex([]byte("b")), hashHex([]byte("c"))
+	if merkleRoot(nil) != hashHex(nil) {
+		t.Error("empty root")
+	}
+	if merkleRoot([]string{a}) != a {
+		t.Error("singleton root must be the leaf itself")
+	}
+	ab := hashHex([]byte(a + b))
+	if got := merkleRoot([]string{a, b}); got != ab {
+		t.Errorf("pair root = %s, want %s", got, ab)
+	}
+	want := hashHex([]byte(ab + c))
+	if got := merkleRoot([]string{a, b, c}); got != want {
+		t.Errorf("odd root = %s, want %s (unpaired leaf promoted)", got, want)
+	}
+}
+
+func TestLatestByConfigPrefersNewest(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash := HashOrDie(t, "same-cell")
+	if _, err := l.Append(Record{Kind: KindCell, ConfigHash: hash, Verdict: "timeout"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(Record{Kind: KindCell, ConfigHash: hash, Verdict: "solved"}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got := l2.LatestByConfig()
+	if rec, ok := got[hash]; !ok || rec.Verdict != "solved" {
+		t.Fatalf("LatestByConfig = %+v, want the newest (solved) record", rec)
+	}
+}

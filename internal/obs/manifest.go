@@ -48,6 +48,14 @@ type Manifest struct {
 	// EventsPath points at the companion JSONL event log, if one was
 	// written.
 	EventsPath string `json:"events_path,omitempty"`
+	// GitSHA is the commit the run executed against ("unknown" outside a
+	// checkout) and GitDirty flags uncommitted changes — a dirty run may
+	// not be reproducible from the SHA alone. Stamped by
+	// cli.WriteManifestFile (internal/vcs); additive fields, schema
+	// unchanged. Ledger records (internal/ledger) carry the same pair, so
+	// a manifest and the ledger entry referencing it agree on provenance.
+	GitSHA   string `json:"git_sha,omitempty"`
+	GitDirty bool   `json:"git_dirty,omitempty"`
 	// Host pins the machine the run executed on.
 	Host HostInfo `json:"host"`
 	// Extra carries tool-specific fields (sweep labels, notes).

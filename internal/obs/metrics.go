@@ -104,6 +104,30 @@ const (
 	GaugeWatchdogDiverged = "watchdog_diverged"
 )
 
+// Experiment-grid metrics (the grid_* family): cmd/grid publishes these
+// on its -serve telemetry endpoint while driving a declared experiment
+// matrix, so a long grid run is observable like any single run. Naming
+// is documented in results/README.md.
+const (
+	// GaugeGridCellsPlanned is the matrix size — the number of declared
+	// cells this invocation is responsible for.
+	GaugeGridCellsPlanned = "grid_cells_planned"
+	// GaugeGridCellsRunning is the number of cells currently executing.
+	GaugeGridCellsRunning = "grid_cells_running"
+	// MetricGridCellsDone counts cells that ran to a verdict (solved,
+	// unsolved or timeout) and were appended to the ledger this run.
+	MetricGridCellsDone = "grid_cells_done"
+	// MetricGridCellsSkipped counts cells skipped because the ledger
+	// already holds a verdict for their config hash (resume).
+	MetricGridCellsSkipped = "grid_cells_skipped"
+	// MetricGridCellsFailed counts cells whose execution errored (agent
+	// construction failure, artifact write failure) — no verdict, retried
+	// on the next invocation.
+	MetricGridCellsFailed = "grid_cells_failed"
+	// HistGridCellSeconds is the wall-clock duration of executed cells.
+	HistGridCellSeconds = "grid_cell_seconds"
+)
+
 // Device-profiler metrics (the fpga_* family): the FPGA agent's
 // device-level cycle profiler publishes these when armed with -profile.
 // The counters are labeled series — registry keys built with Labeled,

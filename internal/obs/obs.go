@@ -16,6 +16,7 @@ package obs
 import (
 	"bufio"
 	"encoding/json"
+	"fmt"
 	"io"
 	"sync"
 	"time"
@@ -396,6 +397,63 @@ func ScanEvents(r io.Reader, fn func(*Event) error) error {
 			return err
 		}
 	}
+}
+
+// ScanEventsPartial is ScanEvents for logs whose writer may have been
+// killed mid-record: a malformed or unterminated *final* line is dropped
+// and reported via the truncated return instead of failing the whole
+// scan, so crash-landed runs still summarize (and the grid resumer can
+// count how far a killed cell got). A newline-terminated line that fails
+// to decode anywhere before the end of the stream is still a hard error
+// — only the tail can legitimately be torn. A final line that decodes
+// but lacks its terminating newline is delivered to fn and reported as
+// truncated: the JSONL sink always writes the newline, so its absence
+// means the writer died mid-flush and a trailing numeric field may have
+// been cut short.
+func ScanEventsPartial(r io.Reader, fn func(*Event) error) (truncated bool, err error) {
+	br := bufio.NewReader(r)
+	var ev Event
+	for lineNo := 1; ; lineNo++ {
+		line, rerr := br.ReadBytes('\n')
+		if len(line) > 0 {
+			terminated := line[len(line)-1] == '\n'
+			trimmed := trimSpaceBytes(line)
+			if len(trimmed) > 0 {
+				ev = Event{}
+				if jerr := json.Unmarshal(trimmed, &ev); jerr != nil {
+					if terminated && rerr == nil {
+						return false, fmt.Errorf("obs: event log line %d: %w", lineNo, jerr)
+					}
+					// Torn tail: drop it.
+					return true, nil
+				}
+				if err := fn(&ev); err != nil {
+					return false, err
+				}
+				if !terminated {
+					truncated = true
+				}
+			}
+		}
+		if rerr != nil {
+			if rerr == io.EOF {
+				return truncated, nil
+			}
+			return truncated, rerr
+		}
+	}
+}
+
+// trimSpaceBytes strips leading/trailing ASCII whitespace without
+// allocating (bytes.TrimSpace equivalent for the JSONL line case).
+func trimSpaceBytes(b []byte) []byte {
+	for len(b) > 0 && (b[0] == ' ' || b[0] == '\t' || b[0] == '\r' || b[0] == '\n') {
+		b = b[1:]
+	}
+	for len(b) > 0 && (b[len(b)-1] == ' ' || b[len(b)-1] == '\t' || b[len(b)-1] == '\r' || b[len(b)-1] == '\n') {
+		b = b[:len(b)-1]
+	}
+	return b
 }
 
 // ReadEvents decodes a JSONL stream produced by a JSONL sink into a

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// sampleLog renders n well-formed event lines through the real sink so
+// the truncation tests cut exactly what a killed writer would leave.
+func sampleLog(t *testing.T, n int) string {
+	t.Helper()
+	var buf bytes.Buffer
+	e := NewEmitter(NewJSONLSink(&buf))
+	for i := 1; i <= n; i++ {
+		e.Emit(EventEpisodeEnd, i, map[string]float64{"steps": float64(i * 100)})
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("closing sink: %v", err)
+	}
+	return buf.String()
+}
+
+func TestScanEventsPartialCompleteLog(t *testing.T) {
+	log := sampleLog(t, 3)
+	var got int
+	truncated, err := ScanEventsPartial(strings.NewReader(log), func(*Event) error {
+		got++
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ScanEventsPartial: %v", err)
+	}
+	if truncated {
+		t.Fatal("complete log reported as truncated")
+	}
+	if got != 3 {
+		t.Fatalf("decoded %d events, want 3", got)
+	}
+}
+
+// A run killed mid-write tears the final record. ScanEventsPartial must
+// deliver every complete event and flag the torn tail; ScanEvents (the
+// strict scanner) must keep failing on the same input — the tolerance is
+// opt-in.
+func TestScanEventsPartialMidRecordTruncation(t *testing.T) {
+	log := sampleLog(t, 3)
+	// Cut inside the final record's JSON (12 bytes into its line).
+	lastStart := strings.LastIndex(strings.TrimRight(log, "\n"), "\n") + 1
+	torn := log[:lastStart+12]
+
+	var got int
+	truncated, err := ScanEventsPartial(strings.NewReader(torn), func(ev *Event) error {
+		got++
+		if ev.Type != EventEpisodeEnd {
+			t.Fatalf("event %d: type %q", got, ev.Type)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ScanEventsPartial on torn log: %v", err)
+	}
+	if !truncated {
+		t.Fatal("torn tail not reported as truncated")
+	}
+	if got != 2 {
+		t.Fatalf("decoded %d events, want the 2 complete ones", got)
+	}
+
+	if err := ScanEvents(strings.NewReader(torn), func(*Event) error { return nil }); err == nil {
+		t.Fatal("strict ScanEvents accepted a torn log")
+	}
+}
+
+// A final line that parses but lacks its newline was cut mid-flush: the
+// event is delivered (its content is valid JSON) but the log is flagged.
+func TestScanEventsPartialMissingFinalNewline(t *testing.T) {
+	log := strings.TrimRight(sampleLog(t, 2), "\n")
+	var got int
+	truncated, err := ScanEventsPartial(strings.NewReader(log), func(*Event) error {
+		got++
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ScanEventsPartial: %v", err)
+	}
+	if got != 2 {
+		t.Fatalf("decoded %d events, want 2", got)
+	}
+	if !truncated {
+		t.Fatal("missing final newline not reported as truncated")
+	}
+}
+
+// Corruption before the tail is tampering or a bug, never a torn write —
+// still a hard error, carrying the line number.
+func TestScanEventsPartialMidLogCorruptionFails(t *testing.T) {
+	log := sampleLog(t, 3)
+	lines := strings.SplitAfter(log, "\n")
+	lines[1] = "{\"type\":\"episode_end\",&&&}\n"
+	corrupt := strings.Join(lines, "")
+
+	_, err := ScanEventsPartial(strings.NewReader(corrupt), func(*Event) error { return nil })
+	if err == nil {
+		t.Fatal("mid-log corruption accepted")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error %q does not name the corrupt line", err)
+	}
+}
+
+func TestScanEventsPartialPropagatesFnError(t *testing.T) {
+	log := sampleLog(t, 2)
+	wantErr := errors.New("stop")
+	calls := 0
+	_, err := ScanEventsPartial(strings.NewReader(log), func(*Event) error {
+		calls++
+		return wantErr
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want fn's error", err)
+	}
+	if calls != 1 {
+		t.Fatalf("fn called %d times after erroring, want 1", calls)
+	}
+}

@@ -1,0 +1,28 @@
+package vcs
+
+import (
+	"regexp"
+	"testing"
+)
+
+// The test binary may run inside or outside a checkout, so the contract
+// under test is "a well-formed SHA or the Unknown sentinel, never empty".
+func TestSHAWellFormed(t *testing.T) {
+	sha := SHA()
+	if sha == Unknown {
+		return
+	}
+	if !regexp.MustCompile(`^[0-9a-f]{40,64}$`).MatchString(sha) {
+		t.Fatalf("SHA() = %q, want 40-64 hex chars or %q", sha, Unknown)
+	}
+}
+
+func TestHeadConsistent(t *testing.T) {
+	info := Head()
+	if info.SHA == "" {
+		t.Fatal("Head().SHA is empty; want a hash or the Unknown sentinel")
+	}
+	if info.SHA == Unknown && info.Dirty {
+		t.Fatal("Head() reports dirty outside a checkout")
+	}
+}
