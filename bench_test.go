@@ -18,6 +18,7 @@ import (
 	"oselmrl/internal/elm"
 	"oselmrl/internal/env"
 	"oselmrl/internal/fixed"
+	"oselmrl/internal/fleet"
 	"oselmrl/internal/fpga"
 	"oselmrl/internal/harness"
 	"oselmrl/internal/mat"
@@ -486,6 +487,27 @@ func BenchmarkFPGAProfiler(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				core.SeqTrain(x, t)
 			}
+		})
+	}
+}
+
+// BenchmarkFleetSimulate measures the discrete-event fleet simulator on
+// the population-training workload (8 members x 50 transitions at 64
+// hidden units) and reports the modelled speedup per core count — the
+// fleet-sim throughput row in the BENCH_<n>.json trajectory.
+func BenchmarkFleetSimulate(b *testing.B) {
+	costs := fpga.AnalyticKernelCosts(5, 64, 1, fpga.DefaultCycleModel())
+	w := fleet.PopulationTraining(8, 50, costs)
+	for _, cores := range []int{1, 4, 8} {
+		cores := cores
+		b.Run(fmt.Sprintf("%dcores", cores), func(b *testing.B) {
+			var res *fleet.Result
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res = fleet.Simulate(w, fleet.Config{Cores: cores})
+			}
+			b.ReportMetric(res.Speedup(), "modelled_speedup")
+			b.ReportMetric(float64(len(res.Log))/b.Elapsed().Seconds()*float64(b.N), "events/s")
 		})
 	}
 }

@@ -3,14 +3,21 @@
 // widths 32..256, extended with the datapath's modelled throughput
 // (cycles per predict / per seq_train update and updates/s at 125 MHz)
 // next to each row, and a fleet-headroom projection: how many replicated
-// cores the device's binding resource admits, what occupancy a short
-// profiled workload measures on the single-unit datapath, and the
-// resulting aggregate updates/s per device. It is the regeneration target
-// for experiment E2 in DESIGN.md.
+// cores the device's binding resource admits (fpga.CoresPerDevice) and
+// the aggregate updates/s the discrete-event fleet simulator models for
+// the fully replicated device — busy fractions and speedup come from
+// internal/fleet's shared-dispatcher schedule, not from single-core
+// occupancy alone. It is the regeneration target for experiment E2 in
+// DESIGN.md.
+//
+// The fleet subcommand emits the headline modelled-speedup artifact:
+// 1→N-core speedup tables (N capped by the resource estimator) for the
+// population-training and batched-inference workloads.
 //
 // Usage:
 //
 //	go run ./cmd/fpgares [-hidden 32,64,128,192,256] [-inputs 5]
+//	go run ./cmd/fpgares fleet [-hidden 64] [-inputs 5] [-members 0] [-steps 16] [-batch 256] [-cores 0]
 package main
 
 import (
@@ -19,15 +26,17 @@ import (
 	"os"
 
 	"oselmrl/internal/cli"
-	"oselmrl/internal/fixed"
+	"oselmrl/internal/fleet"
 	"oselmrl/internal/fpga"
-	"oselmrl/internal/mat"
 )
 
 // clockHz is the programmable-logic clock the paper's core runs at.
 const clockHz = 125e6
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "fleet" {
+		os.Exit(fleetMain(os.Args[2:]))
+	}
 	hiddenFlag := flag.String("hidden", "32,64,128,192,256", "comma-separated hidden widths")
 	inputs := flag.Int("inputs", 5, "network input size (states + action; 5 for CartPole)")
 	flag.Parse()
@@ -86,88 +95,68 @@ func main() {
 			n, p, float64(p)/125.0, s, float64(s)/125.0)
 	}
 
-	fmt.Println("\nFleet headroom — replicated cores per xc7z020 (one agent per core):")
+	fmt.Println("\nFleet headroom — replicated cores per xc7z020 (one agent per core, fleet-simulated):")
 	for _, n := range sizes {
 		u := fpga.EstimateResources(*inputs, n)
 		if !u.Feasible {
 			fmt.Printf("  %4d units: 0 cores (a single core does not fit)\n", n)
 			continue
 		}
-		cores, binding := coresPerDevice(u, fpga.XC7Z020)
-		occ, opc, updPerSec := measureOccupancy(*inputs, n)
-		fmt.Printf("  %4d units: %3d cores (bound by %s)  arith occupancy %.3f  %.3f ops/cycle  %7.0f upd/s/core  => %9.0f upd/s/device\n",
-			n, cores, binding, occ, opc, updPerSec, float64(cores)*updPerSec)
+		p := fleet.ProjectHeadroom(*inputs, n, fleet.Config{})
+		fmt.Printf("  %4d units: %3d cores (bound by %s)  busy %.3f  speedup %6.2f  %7.0f upd/s/core  => %9.0f upd/s/device\n",
+			n, p.Cores, p.Binding, p.BusyMean, p.Speedup, p.UpdatesPerSecCore, p.UpdatesPerSecDevice)
 	}
-	fmt.Println("(occupancy and ops/cycle from a profiled synthetic workload on the cycle model;")
-	fmt.Println(" the remainder of each core's cycles is control overhead and divider latency)")
+	fmt.Println("(busy and speedup from the discrete-event fleet simulator: N cores sharing one")
+	fmt.Println(" serialized dispatcher, 8 us per kernel dispatch — the Amdahl fraction that keeps")
+	fmt.Println(" upd/s/device below cores x upd/s/core)")
 }
 
-// coresPerDevice is the static replication headroom: how many copies of
-// one core's resource demand fit in the device, and which resource binds.
-func coresPerDevice(u fpga.Utilization, d fpga.Device) (cores int, binding string) {
-	cores = -1
-	for _, r := range []struct {
-		name      string
-		need, cap int
-	}{
-		{"BRAM", u.BRAM36, d.BRAM36},
-		{"DSP", u.DSP48, d.DSP48},
-		{"FF", u.FF, d.FF},
-		{"LUT", u.LUT, d.LUT},
-	} {
-		if r.need <= 0 {
-			continue
-		}
-		if fit := r.cap / r.need; cores < 0 || fit < cores {
-			cores, binding = fit, r.name
-		}
-	}
-	if cores < 0 {
-		cores = 0
-	}
-	return cores, binding
-}
+// fleetMain implements the fleet subcommand: the 1→N modelled-speedup
+// curves for population training and batched inference at one design
+// point, N capped by the resource estimator.
+func fleetMain(args []string) int {
+	fs := flag.NewFlagSet("fpgares fleet", flag.ExitOnError)
+	hidden := fs.Int("hidden", 64, "hidden width of each core")
+	inputs := fs.Int("inputs", 5, "network input size (states + action; 5 for CartPole)")
+	members := fs.Int("members", 0, "population members for the training workload (0: one per admitted core)")
+	steps := fs.Int("steps", 16, "RL transitions per member (2 predicts + 1 seq_train each)")
+	batch := fs.Int("batch", 256, "independent predicts in the batched-inference workload")
+	cores := fs.Int("cores", 0, "sweep 1..cores (0: up to the resource estimator's cap)")
+	dispatch := fs.Int64("dispatch", 0, "dispatch cost in cycles per issued kernel (0: the 8 us AXI handshake = 1000)")
+	fs.Parse(args)
 
-// measureOccupancy runs a short profiled synthetic workload — the RL
-// inner loop's device pattern of two predicts (action selection + Bellman
-// target) and one seq_train per transition — and reads the datapath's
-// arithmetic occupancy (add+mul+div busy fraction), the ops/cycle
-// roofline position, and the resulting updates/s of one core at 125 MHz.
-func measureOccupancy(inputs, hidden int) (occupancy, opsPerCycle, updatesPerSec float64) {
-	core := fpga.NewCore(inputs, hidden, 1, fpga.DefaultCycleModel())
-	core.EnableProfiling()
-
-	// Small deterministic parameters: P = I keeps the Eq. 5 denominator
-	// guard quiet, the rest just exercises every kernel.
-	alpha := mat.Zeros(inputs, hidden)
-	for i := 0; i < inputs; i++ {
-		for j := 0; j < hidden; j++ {
-			alpha.Set(i, j, float64((i*hidden+j)%7-3)/8)
-		}
+	u := fpga.EstimateResources(*inputs, *hidden)
+	if !u.Feasible {
+		fmt.Fprintf(os.Stderr, "fpgares fleet: a %d-unit core does not fit %s (needs %d BRAM36)\n",
+			*hidden, fpga.XC7Z020.Name, u.BRAM36)
+		return 1
 	}
-	beta := mat.Zeros(hidden, 1)
-	for i := 0; i < hidden; i++ {
-		beta.Set(i, 0, float64(i%5-2)/16)
+	cap, binding := fpga.CoresPerDevice(u, fpga.XC7Z020)
+	maxCores := *cores
+	if maxCores <= 0 || maxCores > cap {
+		maxCores = cap
 	}
-	core.LoadFloat(alpha, make([]float64, hidden), beta, mat.Eye(hidden))
-
-	q := core.Format()
-	x := make([]fixed.Fixed, inputs)
-	t := []fixed.Fixed{q.FromFloat(0.125)}
-	const steps = 8
-	for s := 0; s < steps; s++ {
-		for i := range x {
-			x[i] = q.FromFloat(float64((s+i)%9-4) / 16)
-		}
-		core.Predict(x)
-		core.Predict(x)
-		core.SeqTrain(x, t)
+	nMembers := *members
+	if nMembers <= 0 {
+		nMembers = maxCores
 	}
+	costs := fpga.AnalyticKernelCosts(*inputs, *hidden, 1, fpga.DefaultCycleModel())
+	cfg := fleet.Config{DispatchCycles: *dispatch}
 
-	prof := core.Prof()
-	occupancy = prof.UnitBusyFraction(fpga.UnitAdd) +
-		prof.UnitBusyFraction(fpga.UnitMul) +
-		prof.UnitBusyFraction(fpga.UnitDiv)
-	opsPerCycle = prof.OpsPerCycle()
-	return occupancy, opsPerCycle, clockHz * float64(steps) / float64(core.Cycles())
+	fmt.Printf("Fleet speedup — modelled 1→N cores on %s (shared dispatcher)\n", fpga.XC7Z020.Name)
+	fmt.Printf("%d units: %s admits %d cores (bound by %s); sweeping 1..%d\n\n",
+		*hidden, fpga.XC7Z020.Name, cap, binding, maxCores)
+
+	fmt.Printf("Population training — %d members x %d transitions (2 predicts + 1 seq_train each):\n",
+		nMembers, *steps)
+	train := fleet.SpeedupCurve(fleet.PopulationTraining(nMembers, *steps, costs), cfg, maxCores)
+	fmt.Print(fleet.FormatSpeedupTable(train))
+
+	fmt.Printf("\nBatched inference — %d independent predicts:\n", *batch)
+	infer := fleet.SpeedupCurve(fleet.BatchedInference(*batch, costs), cfg, maxCores)
+	fmt.Print(fleet.FormatSpeedupTable(infer))
+
+	fmt.Println("\n(speedup is serialized-reference time over fleet makespan; the dispatcher")
+	fmt.Println(" serializes one kernel issue per 8 us, which saturates both curves)")
+	return 0
 }

@@ -34,6 +34,7 @@ import (
 	"oselmrl/internal/cli"
 	"oselmrl/internal/env"
 	"oselmrl/internal/fixed"
+	"oselmrl/internal/fpga"
 	"oselmrl/internal/harness"
 	"oselmrl/internal/obs"
 	"oselmrl/internal/timing"
@@ -58,6 +59,8 @@ func main() {
 	watchdog := flag.Bool("watchdog", false, "enable the divergence watchdog (numeric_alert events, /health on -serve)")
 	profile := flag.Bool("profile", false, "enable the FPGA device-level cycle profiler (fpga_cycles/fpga_bram_access metrics, device_profile events; FPGA rows only)")
 	qformatName := flag.String("qformat", "Q20", "fixed-point format for the FPGA design's datapath (Q16..Q24; FPGA rows only)")
+	coresFlag := flag.Int("cores", 1, "fleet projection: modelled cores per device for the FPGA rows, capped by the resource estimator (FPGA rows only)")
+	devicesFlag := flag.Int("devices", 1, "fleet projection: replicated devices (see -cores)")
 	flag.Parse()
 
 	qformat, err := cli.ParseQFormat(*qformatName)
@@ -92,10 +95,16 @@ func main() {
 
 	start := time.Now()
 	var rows []trace.BreakdownRow
+	var fleetRows []fleetProjectionRow
 	for _, hidden := range sizes {
 		for _, d := range designs {
-			row := runDesign(d, hidden, *trials, *maxEpisodes, *dqnEpisodes, *seed, *report, qformat, emitter, tel.Profile)
+			row, results := runDesign(d, hidden, *trials, *maxEpisodes, *dqnEpisodes, *seed, *report, qformat, emitter, tel.Profile)
 			rows = append(rows, row)
+			if d == harness.DesignFPGA && (*coresFlag > 1 || *devicesFlag > 1) {
+				if fr, ok := projectFPGAFleet(hidden, *coresFlag, *devicesFlag, results); ok {
+					fleetRows = append(fleetRows, fr)
+				}
+			}
 		}
 	}
 	if err := tel.Close(); err != nil {
@@ -133,6 +142,16 @@ func main() {
 	}
 
 	fmt.Print(trace.FormatBreakdownTable(rows))
+	if len(fleetRows) > 0 {
+		fmt.Printf("\nFleet projection — FPGA trials as population members on %d device(s) (discrete-event model):\n",
+			*devicesFlag)
+		for _, fr := range fleetRows {
+			fmt.Printf("  hidden %3d: %2d cores/device (cap %d, bound by %s): %.4fs sequential -> %.4fs fleet (speedup %.2f)\n",
+				fr.hidden, fr.cores, fr.cap, fr.binding,
+				fr.proj.SequentialSeconds, fr.proj.FleetSeconds, fr.proj.Speedup)
+		}
+		fmt.Println()
+	}
 	if *speedup {
 		fmt.Println("Speedups vs DQN (paper §4.4):")
 		fmt.Print(trace.SpeedupTable(rows))
@@ -153,13 +172,50 @@ func main() {
 	}
 }
 
+// fleetProjectionRow is one FPGA design point's multi-core projection.
+type fleetProjectionRow struct {
+	hidden, cores, cap int
+	binding            string
+	proj               *harness.FleetProjection
+}
+
+// projectFPGAFleet feeds the measured per-trial counters of one FPGA
+// design point into the discrete-event fleet simulator: each trial
+// becomes a population member, cores is clamped to the Table 3 resource
+// cap. ok is false when no trial produced counters or the core does not
+// fit the device.
+func projectFPGAFleet(hidden, cores, devices int, results []*harness.Result) (fleetProjectionRow, bool) {
+	u := fpga.EstimateResources(5, hidden)
+	if !u.Feasible {
+		return fleetProjectionRow{}, false
+	}
+	coreCap, binding := fpga.CoresPerDevice(u, fpga.XC7Z020)
+	if cores > coreCap {
+		cores = coreCap
+	}
+	var measured []*harness.Result
+	for _, r := range results {
+		if r != nil && r.Counters != nil {
+			measured = append(measured, r)
+		}
+	}
+	if len(measured) == 0 {
+		return fleetProjectionRow{}, false
+	}
+	return fleetProjectionRow{
+		hidden: hidden, cores: cores, cap: coreCap, binding: binding,
+		proj: harness.ProjectFleet(measured, cores, devices, 0),
+	}, true
+}
+
 // runDesign runs trials of one design at one hidden width. With
 // report=best it returns the fastest solved trial's breakdown (stabler at
 // small trial counts); with report=mean it averages the breakdowns of all
 // solved trials, matching the paper's 100-trial (20 for FPGA) means. If no
 // trial solved, the first trial is reported as NOT SOLVED. qformat applies
-// to FPGA rows only (the software designs run in float64).
-func runDesign(d harness.Design, hidden, trials, maxEpisodes, dqnEpisodes int, seed uint64, report string, qformat fixed.QFormat, emitter *obs.Emitter, profile bool) trace.BreakdownRow {
+// to FPGA rows only (the software designs run in float64). The raw trial
+// results ride along so callers can feed them to the fleet projector.
+func runDesign(d harness.Design, hidden, trials, maxEpisodes, dqnEpisodes int, seed uint64, report string, qformat fixed.QFormat, emitter *obs.Emitter, profile bool) (trace.BreakdownRow, []*harness.Result) {
 	budget := maxEpisodes
 	if d == harness.DesignDQN {
 		budget = dqnEpisodes
@@ -210,7 +266,7 @@ func runDesign(d harness.Design, hidden, trials, maxEpisodes, dqnEpisodes int, s
 			row.Breakdown = sum
 			row.Solved = true
 			row.Episodes = episodes / solved
-			return row
+			return row, results
 		}
 		// Fall through to report the first unsolved trial.
 	}
@@ -235,7 +291,7 @@ func runDesign(d harness.Design, hidden, trials, maxEpisodes, dqnEpisodes int, s
 		row.Solved = r.Solved
 		row.Episodes = r.Episodes
 	}
-	return row
+	return row, results
 }
 
 func fail(err error) {

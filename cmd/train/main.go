@@ -36,6 +36,10 @@ import (
 	"time"
 
 	"oselmrl/internal/cli"
+	"oselmrl/internal/env"
+	"oselmrl/internal/fixed"
+	"oselmrl/internal/fleet"
+	"oselmrl/internal/fpga"
 	"oselmrl/internal/harness"
 	"oselmrl/internal/obs"
 	"oselmrl/internal/persist"
@@ -66,6 +70,8 @@ func run() int {
 	profile := flag.Bool("profile", false, "enable the FPGA device-level cycle profiler (fpga_cycles/fpga_bram_access metrics, occupancy gauges, device_profile events; FPGA design only)")
 	linger := flag.Duration("linger", 0, "keep the -serve telemetry server up this long after the run so a final scrape sees the end state (e.g. 10s)")
 	qformatName := flag.String("qformat", "Q20", "fixed-point format of the FPGA design's datapath (Q16..Q24; FPGA design only)")
+	coresFlag := flag.Int("cores", 1, "fleet mode: simulated cores per device — trains cores*devices population members and models multi-core device time (FPGA design only)")
+	devicesFlag := flag.Int("devices", 1, "fleet mode: replicated devices (see -cores)")
 	flag.Parse()
 
 	qformat, err := cli.ParseQFormat(*qformatName)
@@ -125,6 +131,15 @@ func run() int {
 	}
 	cfg.Obs = tel.Emitter.With(labels)
 	cfg.DeviceProfile = tel.Profile
+
+	if *coresFlag > 1 || *devicesFlag > 1 {
+		return runFleetMode(fleetParams{
+			design: d, envName: *envName, task: task, hidden: *hidden,
+			seed: *seed, qformat: qformat, cfg: cfg, tel: tel,
+			manifestPath: *manifestPath, cores: *coresFlag, devices: *devicesFlag,
+			linger: *linger, serveAddr: *serveAddr,
+		})
+	}
 
 	manifest := obs.NewManifest()
 	manifest.Design = string(d)
@@ -236,4 +251,138 @@ func run() int {
 func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "train:", err)
 	return 1
+}
+
+// fleetParams carries run()'s inputs into fleet mode.
+type fleetParams struct {
+	design         harness.Design
+	envName        string
+	task           env.Env
+	hidden         int
+	seed           uint64
+	qformat        fixed.QFormat
+	cfg            harness.Config
+	tel            *cli.Telemetry
+	manifestPath   string
+	cores, devices int
+	linger         time.Duration
+	serveAddr      string
+}
+
+// runFleetMode trains cores×devices population members (independent
+// agents, environments and RNG streams) and reports the discrete-event
+// fleet simulator's modelled multi-core device time: the 1→cores
+// speedup curve plus the devices-wide makespan. The member count is
+// capped by the Table 3 resource estimator — the simulator never models
+// more cores than the device admits.
+func runFleetMode(p fleetParams) int {
+	if p.design != harness.DesignFPGA {
+		return fail(fmt.Errorf("-cores/-devices model the FPGA fleet; design %s has no device model", p.design))
+	}
+	inputs := p.task.ObservationSize() + 1
+	u := fpga.EstimateResources(inputs, p.hidden)
+	if !u.Feasible {
+		return fail(fmt.Errorf("a %d-unit core does not fit %s (needs %d BRAM36)",
+			p.hidden, fpga.XC7Z020.Name, u.BRAM36))
+	}
+	coreCap, binding := fpga.CoresPerDevice(u, fpga.XC7Z020)
+	if p.cores > coreCap {
+		return fail(fmt.Errorf("-cores %d exceeds the %d cores a %d-unit design admits per %s (bound by %s)",
+			p.cores, coreCap, p.hidden, fpga.XC7Z020.Name, binding))
+	}
+
+	obsSize, actions := p.task.ObservationSize(), p.task.ActionCount()
+	spec := harness.FleetSpec{
+		TrialSpec: harness.TrialSpec{
+			MakeAgent: func(seed uint64) (harness.Agent, error) {
+				return harness.NewAgentQ(p.design, obsSize, actions, p.hidden, seed, p.qformat)
+			},
+			MakeEnv: func(seed uint64) env.Env {
+				// The env name was validated when run() built p.task.
+				e, err := cli.MakeEnv(p.envName, seed+100)
+				if err != nil {
+					panic(err)
+				}
+				return e
+			},
+			Config:   p.cfg,
+			BaseSeed: p.seed,
+		},
+		Cores:   p.cores,
+		Devices: p.devices,
+	}
+	members := p.cores * p.devices
+	fmt.Printf("Fleet training %s on %s: %d members across %d device(s) x %d core(s), <= %d episodes each ...\n",
+		p.design, p.task.Name(), members, p.devices, p.cores, p.cfg.MaxEpisodes)
+	start := time.Now()
+	res, err := harness.RunFleet(spec)
+	wall := time.Since(start)
+	if cerr := p.tel.Close(); cerr != nil {
+		fmt.Fprintln(os.Stderr, "train: closing telemetry:", cerr)
+	}
+	if err != nil {
+		return fail(err)
+	}
+
+	agg := harness.Summarize(res.Members, nil)
+	var episodes, steps int
+	for _, r := range res.Members {
+		if r != nil {
+			episodes += r.Episodes
+			steps += r.TotalSteps
+		}
+	}
+	fmt.Printf("Solved %d/%d members", agg.SolvedCount, agg.Trials)
+	if agg.SolvedCount > 0 {
+		fmt.Printf(" (mean %.1f episodes to solve)", agg.MeanEpisodes)
+	}
+	fmt.Printf("; %d episodes, %d steps total\n", episodes, steps)
+
+	fmt.Println("Merged modelled device time (all members, serialized reference):")
+	fmt.Print(harness.Breakdown(p.design, res.Merged).Format())
+
+	proj := res.Projection
+	fmt.Printf("\nFleet speedup (resource cap %d cores/device, bound by %s):\n", coreCap, binding)
+	fmt.Print(fleet.FormatSpeedupTable(proj.Curve))
+	fmt.Printf("Modelled fleet time: %.4fs sequential -> %.4fs on %d device(s) x %d core(s) (speedup %.2f)\n",
+		proj.SequentialSeconds, proj.FleetSeconds, p.devices, p.cores, proj.Speedup)
+
+	if p.manifestPath != "" {
+		manifest := obs.NewManifest()
+		manifest.Design = string(p.design)
+		manifest.Env = p.task.Name()
+		manifest.Hidden = p.hidden
+		manifest.Seed = p.seed
+		manifest.QFormat = p.qformat.String()
+		manifest.Config = p.cfg
+		manifest.End = manifest.Start.Add(wall)
+		manifest.Outcome = &obs.Outcome{
+			Solved:      agg.SolvedCount > 0,
+			Episodes:    episodes,
+			TotalSteps:  steps,
+			WallSeconds: wall.Seconds(),
+		}
+		manifest.Extra = map[string]string{
+			"tool":    "train",
+			"cores":   fmt.Sprint(p.cores),
+			"devices": fmt.Sprint(p.devices),
+			"speedup": fmt.Sprintf("%.4f", proj.Speedup),
+		}
+		if err := cli.WriteManifestFile(p.manifestPath, manifest); err != nil {
+			return fail(err)
+		}
+		fmt.Println("Run manifest written to", p.manifestPath)
+	}
+
+	if p.linger > 0 && p.serveAddr != "" {
+		fmt.Fprintf(os.Stderr, "train: telemetry server lingering %s for a final scrape\n", p.linger)
+		time.Sleep(p.linger)
+	}
+
+	if agg.SolvedCount > 0 {
+		fmt.Fprintf(os.Stderr, "train: verdict solved members=%d/%d\n", agg.SolvedCount, agg.Trials)
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "train: verdict impossible members=0/%d\n", agg.Trials)
+	return exitImpossible
 }

@@ -1,0 +1,74 @@
+package fleet
+
+import (
+	"fmt"
+	"strconv"
+
+	"oselmrl/internal/obs"
+)
+
+// Publish records the simulation's fleet_* metrics on the emitter
+// (naming documented in results/README.md): per-core busy-fraction
+// gauges labeled {device, core}, dispatcher queue-depth gauges, the
+// modelled speedup and makespan, and job/dispatch counters. It also
+// emits one fleet_sim event carrying the headline numbers. Nil-safe
+// like all emitter paths.
+func (r *Result) Publish(e *obs.Emitter, device int) {
+	if !e.Enabled() {
+		return
+	}
+	dev := strconv.Itoa(device)
+	for i := range r.CoreBusyCycles {
+		e.SetGauge(obs.Labeled(obs.GaugeFleetCoreBusy, "device", dev, "core", strconv.Itoa(i)),
+			r.BusyFraction(i))
+	}
+	e.SetGauge(obs.Labeled(obs.GaugeFleetCores, "device", dev), float64(r.Config.Cores))
+	e.SetGauge(obs.Labeled(obs.GaugeFleetQueueDepthMax, "device", dev), float64(r.MaxQueueDepth))
+	e.SetGauge(obs.Labeled(obs.GaugeFleetQueueDepthMean, "device", dev), r.MeanQueueDepth())
+	e.SetGauge(obs.Labeled(obs.GaugeFleetSpeedup, "device", dev), r.Speedup())
+	e.SetGauge(obs.Labeled(obs.GaugeFleetMakespan, "device", dev), r.MakespanSeconds())
+	e.Inc(obs.Labeled(obs.MetricFleetDispatches, "device", dev), r.Dispatches)
+	var jobs int64
+	for _, n := range r.CoreJobs {
+		jobs += n
+	}
+	e.Inc(obs.Labeled(obs.MetricFleetJobs, "device", dev), jobs)
+	e.Emit(obs.EventFleetSim, 0, map[string]float64{
+		"device":      float64(device),
+		"cores":       float64(r.Config.Cores),
+		"jobs":        float64(jobs),
+		"makespan_s":  r.MakespanSeconds(),
+		"speedup":     r.Speedup(),
+		"queue_max":   float64(r.MaxQueueDepth),
+		"queue_mean":  r.MeanQueueDepth(),
+		"dispatches":  float64(r.Dispatches),
+		"busy_cycles": float64(r.TotalJobCycles),
+	})
+}
+
+// EmitTrace lays the simulation on the Perfetto timeline: one span
+// group per simulated core (fleet-d<device>-core<i>) holding its
+// executed kernels, plus a dispatcher group (fleet-d<device>-dispatch)
+// holding the serialized handshakes. Groups follow the paired
+// wall/device convention of the trace exporter — the modelled thread of
+// each group lays the spans end-to-end in modelled device time, so a
+// core's track length is its busy time and the dispatcher track shows
+// the serial fraction that caps fleet speedup. Nil-safe.
+func (r *Result) EmitTrace(tr *obs.Tracer, device int) {
+	if tr == nil {
+		return
+	}
+	clock := r.Config.ClockHz
+	for _, rec := range r.Log {
+		switch rec.Ev {
+		case "dispatch":
+			sp := tr.StartSpanGroup("dispatch:"+rec.Kernel.String(),
+				fmt.Sprintf("fleet-d%d-dispatch", device))
+			sp.EndModelled(float64(r.Config.DispatchCycles) / clock)
+		case "start":
+			sp := tr.StartSpanGroup("kern:"+rec.Kernel.String(),
+				fmt.Sprintf("fleet-d%d-core%d", device, rec.Core))
+			sp.EndModelled(float64(rec.Cycles) / clock)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package fleet
+
+import (
+	"fmt"
+	"strings"
+
+	"oselmrl/internal/fpga"
+)
+
+// PopulationTraining is the fleet's training workload: members
+// independent OS-ELM agents (one per chain), each running steps RL
+// transitions of the paper's inner loop — two predicts (ε-greedy action
+// selection and the Bellman target) and one seq_train per transition.
+// Costs come from the kernel-boundary table.
+func PopulationTraining(members, steps int, costs fpga.KernelCosts) Workload {
+	w := Workload{Name: "population-training", Members: make([]Chain, members)}
+	for m := range w.Members {
+		chain := make(Chain, 0, 3*steps)
+		for s := 0; s < steps; s++ {
+			chain = append(chain,
+				Job{Kernel: fpga.KernelPredict, Cycles: costs[fpga.KernelPredict]},
+				Job{Kernel: fpga.KernelPredict, Cycles: costs[fpga.KernelPredict]},
+				Job{Kernel: fpga.KernelSeqTrain, Cycles: costs[fpga.KernelSeqTrain]},
+			)
+		}
+		w.Members[m] = chain
+	}
+	return w
+}
+
+// BatchedInference is the fleet's serving workload: batch independent
+// single-predict requests (micro-batched evaluation fanned out across
+// cores). Each request is its own member so any free core can take it.
+func BatchedInference(batch int, costs fpga.KernelCosts) Workload {
+	w := Workload{Name: "batched-inference", Members: make([]Chain, batch)}
+	for m := range w.Members {
+		w.Members[m] = Chain{{Kernel: fpga.KernelPredict, Cycles: costs[fpga.KernelPredict]}}
+	}
+	return w
+}
+
+// SpeedupPoint is one row of a 1→N speedup curve.
+type SpeedupPoint struct {
+	// Cores is the simulated core count.
+	Cores int
+	// MakespanCycles and MakespanSeconds are the fleet completion time.
+	MakespanCycles  int64
+	MakespanSeconds float64
+	// Speedup is the serialized-reference time over the makespan.
+	Speedup float64
+	// BusyMin and BusyMax bound the per-core busy fractions.
+	BusyMin, BusyMax float64
+	// MaxQueueDepth is the peak dispatcher ready-queue depth.
+	MaxQueueDepth int
+}
+
+// SpeedupCurve simulates the workload at 1..maxCores cores (overriding
+// cfg.Cores) and returns one point per core count — the headline
+// modelled-speedup artifact. Monotonicity and Amdahl-style saturation
+// of the curve are asserted in tests and CI smoke.
+func SpeedupCurve(w Workload, cfg Config, maxCores int) []SpeedupPoint {
+	if maxCores < 1 {
+		maxCores = 1
+	}
+	curve := make([]SpeedupPoint, 0, maxCores)
+	for n := 1; n <= maxCores; n++ {
+		c := cfg
+		c.Cores = n
+		r := Simulate(w, c)
+		lo, hi := r.BusyMinMax()
+		curve = append(curve, SpeedupPoint{
+			Cores:           n,
+			MakespanCycles:  r.MakespanCycles,
+			MakespanSeconds: r.MakespanSeconds(),
+			Speedup:         r.Speedup(),
+			BusyMin:         lo,
+			BusyMax:         hi,
+			MaxQueueDepth:   r.MaxQueueDepth,
+		})
+	}
+	return curve
+}
+
+// FormatSpeedupTable renders a curve as an aligned text table (the
+// schema documented in results/README.md). The bytes are deterministic
+// for equal curves — the determinism test compares them directly.
+func FormatSpeedupTable(curve []SpeedupPoint) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%6s %14s %9s %9s %9s %10s\n",
+		"cores", "makespan_ms", "speedup", "busy_min", "busy_max", "queue_max")
+	for _, p := range curve {
+		fmt.Fprintf(&sb, "%6d %14.3f %9.3f %9.3f %9.3f %10d\n",
+			p.Cores, p.MakespanSeconds*1e3, p.Speedup, p.BusyMin, p.BusyMax, p.MaxQueueDepth)
+	}
+	return sb.String()
+}
+
+// HeadroomProjection is the per-device projection cmd/fpgares reports:
+// how many cores the resource estimator admits, and the modelled
+// aggregate update rate of the fully replicated device running the RL
+// inner loop, from the fleet simulator's busy fractions (not from the
+// single-core occupancy profile — the dispatcher's serialization is
+// part of the model).
+type HeadroomProjection struct {
+	// Hidden is the design point.
+	Hidden int
+	// Cores and Binding come from fpga.CoresPerDevice.
+	Cores   int
+	Binding string
+	// UpdatesPerSecCore is one core's modelled transition rate (a
+	// 1-core fleet running the inner loop, dispatch included).
+	UpdatesPerSecCore float64
+	// UpdatesPerSecDevice is the fully replicated device's aggregate
+	// modelled transition rate (an N-core fleet sharing the dispatcher).
+	UpdatesPerSecDevice float64
+	// BusyMean is the mean per-core busy fraction of the N-core fleet.
+	BusyMean float64
+	// Speedup is the N-core fleet's modelled speedup over one core.
+	Speedup float64
+}
+
+// headroomSteps is the probe length (transitions per member) used for
+// headroom projections — long enough that startup skew is negligible.
+const headroomSteps = 8
+
+// ProjectHeadroom computes the device headroom for one design point.
+// The N=1 path of this projection is pinned against the executed
+// sequential core in tests (the fpgares agreement regression test).
+func ProjectHeadroom(inputs, hidden int, cfg Config) HeadroomProjection {
+	u := fpga.EstimateResources(inputs, hidden)
+	p := HeadroomProjection{Hidden: hidden}
+	if !u.Feasible {
+		return p
+	}
+	p.Cores, p.Binding = fpga.CoresPerDevice(u, fpga.XC7Z020)
+	if p.Cores < 1 {
+		return p
+	}
+	costs := fpga.AnalyticKernelCosts(inputs, hidden, 1, fpga.DefaultCycleModel())
+	cfg = cfg.fill()
+
+	one := Simulate(PopulationTraining(1, headroomSteps, costs), Config{
+		Cores: 1, DispatchCycles: cfg.DispatchCycles, ClockHz: cfg.ClockHz,
+	})
+	p.UpdatesPerSecCore = float64(headroomSteps) / one.MakespanSeconds()
+
+	cfg.Cores = p.Cores
+	full := Simulate(PopulationTraining(p.Cores, headroomSteps, costs), cfg)
+	p.UpdatesPerSecDevice = float64(p.Cores*headroomSteps) / full.MakespanSeconds()
+	p.Speedup = full.Speedup()
+	var busy float64
+	for i := range full.CoreBusyCycles {
+		busy += full.BusyFraction(i)
+	}
+	p.BusyMean = busy / float64(p.Cores)
+	return p
+}

@@ -1,0 +1,90 @@
+package fpga
+
+import "oselmrl/internal/timing"
+
+// Kernel identifies one schedulable module invocation at the core's
+// kernel boundary — the unit of work a dispatcher hands to a core. The
+// fleet simulator (internal/fleet) schedules Kernels and charges their
+// cycle cost without re-executing the fixed-point arithmetic; the cost
+// comes from the same analytic formulas the Prof invariant pins against
+// the executed datapath (PredictCycles/SeqTrainCycles), so simulated
+// fleet time and executed single-core time agree cycle-exactly.
+//
+// Kernel is the module-level boundary (one AXI invocation); ProfKernel
+// is the finer intra-module attribution (hidden_pass, gain, ...) inside
+// one Kernel.
+type Kernel uint8
+
+// The two PL-resident module invocations of the paper's core (§4.2).
+const (
+	// KernelPredict is one predict-module invocation: y = h·β.
+	KernelPredict Kernel = iota
+	// KernelSeqTrain is one seq_train-module invocation: the rank-1
+	// OS-ELM update (Eq. 5, k = 1).
+	KernelSeqTrain
+	// NumKernels sizes KernelCosts.
+	NumKernels = 2
+)
+
+// String returns the paper's module name.
+func (k Kernel) String() string {
+	switch k {
+	case KernelPredict:
+		return "predict"
+	case KernelSeqTrain:
+		return "seq_train"
+	}
+	return "unknown"
+}
+
+// Phase maps a kernel to the timing phase its cycles are reported under
+// in the Figure 5 breakdowns (both PL phases; init_train stays on the
+// CPU and never crosses the kernel boundary).
+func (k Kernel) Phase() timing.Phase {
+	if k == KernelSeqTrain {
+		return timing.PhaseSeqTrain
+	}
+	return timing.PhasePredictSeq
+}
+
+// KernelCosts is the kernel → cycle-cost table of one core: the number
+// of datapath cycles one invocation of each kernel consumes, indexed by
+// Kernel.
+type KernelCosts [NumKernels]int64
+
+// Cycles returns the cost of one invocation of k.
+func (kc KernelCosts) Cycles(k Kernel) int64 { return kc[k] }
+
+// KernelCycles returns the analytic cycle cost of one invocation of k on
+// this core — the kernel-boundary interface the fleet simulator charges
+// time through. It equals what executing the kernel on the datapath
+// counts (asserted by the Prof invariant tests and the fleet N=1
+// property test).
+func (c *Core) KernelCycles(k Kernel) int64 {
+	if k == KernelSeqTrain {
+		return c.SeqTrainCycles()
+	}
+	return c.PredictCycles()
+}
+
+// KernelCosts returns the core's full kernel → cycle-cost table.
+func (c *Core) KernelCosts() KernelCosts {
+	return KernelCosts{
+		KernelPredict:  c.PredictCycles(),
+		KernelSeqTrain: c.SeqTrainCycles(),
+	}
+}
+
+// AnalyticKernelCosts returns the kernel cost table for a core of the
+// given dimensions without allocating its BRAM state — the cycle
+// formulas depend only on dimensions and the cycle model (they are
+// QFormat-invariant: only the binary point moves, not the operation
+// schedule).
+func AnalyticKernelCosts(inputSize, hiddenSize, outputSize int, model CycleModel) KernelCosts {
+	n, h, m := int64(inputSize), int64(hiddenSize), int64(outputSize)
+	am := model.Add + model.Mul
+	predict := model.InvokeOverhead + h*n*am + m*h*am
+	seq := model.InvokeOverhead + h*n*am + h*h*am + h*am + model.Div +
+		h*model.Mul + h*h*am + m*(h*am+model.Add+h*am)
+	return KernelCosts{KernelPredict: predict, KernelSeqTrain: seq}
+}

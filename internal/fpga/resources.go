@@ -103,6 +103,35 @@ func EstimateResources(inputSize, hidden int) Utilization {
 	}
 }
 
+// CoresPerDevice is the static replication headroom: how many copies of
+// one core's resource demand fit in the device, and which resource binds
+// the count. This caps the fleet simulator's cores-per-device (the 1→N
+// speedup sweep never models more cores than the estimator admits) and
+// the cmd/fpgares fleet-headroom report.
+func CoresPerDevice(u Utilization, d Device) (cores int, binding string) {
+	cores = -1
+	for _, r := range []struct {
+		name      string
+		need, cap int
+	}{
+		{"BRAM", u.BRAM36, d.BRAM36},
+		{"DSP", u.DSP48, d.DSP48},
+		{"FF", u.FF, d.FF},
+		{"LUT", u.LUT, d.LUT},
+	} {
+		if r.need <= 0 {
+			continue
+		}
+		if fit := r.cap / r.need; cores < 0 || fit < cores {
+			cores, binding = fit, r.name
+		}
+	}
+	if cores < 0 {
+		cores = 0
+	}
+	return cores, binding
+}
+
 // Table3Sweep reproduces paper Table 3: utilization for hidden widths
 // 32..256 with the CartPole input size (5).
 func Table3Sweep() []Utilization {

@@ -1,0 +1,215 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"oselmrl/internal/fleet"
+	"oselmrl/internal/fpga"
+	"oselmrl/internal/timing"
+)
+
+// FleetSpec describes a fleet experiment: Cores × Devices population
+// members trained as independent trials (per-member agents, environments
+// and RNG streams — member i seeds from BaseSeed+i, so every simulated
+// core has its own stream), whose measured per-phase work is then
+// scheduled on the discrete-event fleet simulator to model multi-core
+// device time.
+type FleetSpec struct {
+	TrialSpec
+	// Cores is the simulated core count per device (>= 1).
+	Cores int
+	// Devices is the number of replicated devices (>= 1); members are
+	// partitioned round-robin across devices.
+	Devices int
+	// DispatchCycles overrides the simulator's serialized dispatch cost
+	// (0 selects fleet.DefaultDispatchCycles).
+	DispatchCycles int64
+}
+
+// FleetProjection is the simulator's view of a set of trained members:
+// the workload their counters describe, the per-device simulations, and
+// the headline speedup numbers.
+type FleetProjection struct {
+	// Workload is the whole fleet's measured kernel workload.
+	Workload fleet.Workload
+	// PerDevice holds one simulation result per device (each running
+	// its member subset on Cores cores).
+	PerDevice []*fleet.Result
+	// Curve is the 1→Cores speedup curve of the whole workload on one
+	// device — the headline artifact.
+	Curve []fleet.SpeedupPoint
+	// SequentialSeconds is the serialized one-core reference time;
+	// FleetSeconds is the slowest device's makespan; Speedup their
+	// ratio.
+	SequentialSeconds float64
+	FleetSeconds      float64
+	Speedup           float64
+}
+
+// FleetResult bundles the trained members with the fleet projection.
+type FleetResult struct {
+	// Members holds one training Result per member, in seed order.
+	Members []*Result
+	// Merged is every member's Counters merged at the fleet barrier —
+	// the only place the per-member counters are aggregated (they are
+	// unsynchronized; see timing.Counters).
+	Merged *timing.Counters
+	// Projection is the simulator's modelled-time view.
+	Projection *FleetProjection
+}
+
+// RunFleet trains the spec's population members concurrently (each with
+// its own agent, env, RNG stream and Counters), merges their counters
+// at the barrier, and projects the measured workload through the fleet
+// simulator. Fleet metrics and per-core trace tracks are published on
+// spec.Config.Obs.
+func RunFleet(spec FleetSpec) (*FleetResult, error) {
+	cores, devices := spec.Cores, spec.Devices
+	if cores < 1 {
+		cores = 1
+	}
+	if devices < 1 {
+		devices = 1
+	}
+	spec.Trials = cores * devices
+	members := RunTrials(spec.TrialSpec)
+	for _, r := range members {
+		if r != nil && r.Err != nil && r.Counters == nil {
+			return nil, fmt.Errorf("harness: fleet member failed before running: %w", r.Err)
+		}
+	}
+
+	// The fleet barrier: all member goroutines have joined (RunTrials
+	// waits), so merging their private counters is race-free.
+	merged := timing.NewCounters()
+	for _, r := range members {
+		if r != nil && r.Counters != nil {
+			merged.Merge(r.Counters)
+		}
+	}
+
+	proj := ProjectFleet(members, cores, devices, spec.DispatchCycles)
+	for d, res := range proj.PerDevice {
+		res.Publish(spec.Config.Obs, d)
+		res.EmitTrace(spec.Config.Obs.Tracer(), d)
+	}
+	return &FleetResult{Members: members, Merged: merged, Projection: proj}, nil
+}
+
+// ProjectFleet builds the measured fleet workload from trained members
+// and simulates it: a 1→cores speedup curve of the whole workload on
+// one device, plus per-device simulations with members partitioned
+// round-robin. It is also used standalone (cmd/timetocomplete) to
+// project already-collected trial results onto a fleet.
+func ProjectFleet(members []*Result, cores, devices int, dispatchCycles int64) *FleetProjection {
+	if cores < 1 {
+		cores = 1
+	}
+	if devices < 1 {
+		devices = 1
+	}
+	w := FleetWorkload(members)
+	cfg := fleet.Config{Cores: cores, DispatchCycles: dispatchCycles}
+	proj := &FleetProjection{
+		Workload: w,
+		Curve:    fleet.SpeedupCurve(w, cfg, cores),
+	}
+	proj.SequentialSeconds = proj.Curve[0].MakespanSeconds
+
+	for d := 0; d < devices; d++ {
+		dw := fleet.Workload{Name: w.Name}
+		for i := d; i < len(w.Members); i += devices {
+			dw.Members = append(dw.Members, w.Members[i])
+		}
+		res := fleet.Simulate(dw, cfg)
+		proj.PerDevice = append(proj.PerDevice, res)
+		if s := res.MakespanSeconds(); s > proj.FleetSeconds {
+			proj.FleetSeconds = s
+		}
+	}
+	if proj.FleetSeconds > 0 {
+		proj.Speedup = proj.SequentialSeconds / proj.FleetSeconds
+	} else {
+		proj.Speedup = 1
+	}
+	return proj
+}
+
+// FleetWorkload converts trained members' measured counters into a
+// fleet workload: each member becomes one chain holding its PL-phase
+// kernel invocations (predict_seq and seq_train; the CPU-side
+// init_train and predict_init phases stay off the fabric). Totals are
+// exact — each phase's measured cycle work is split over its calls with
+// the remainder spread one cycle at a time, so Σ chain cycles equals
+// the member's counted PL work to the cycle — and predict/seq_train
+// jobs are interleaved proportionally to mimic the RL inner loop's
+// alternation.
+func FleetWorkload(members []*Result) fleet.Workload {
+	w := fleet.Workload{Name: "population-training"}
+	for _, r := range members {
+		if r == nil || r.Counters == nil {
+			w.Members = append(w.Members, nil)
+			continue
+		}
+		pred := phaseJobs(r.Counters, timing.PhasePredictSeq)
+		seq := phaseJobs(r.Counters, timing.PhaseSeqTrain)
+		w.Members = append(w.Members, interleave(pred, seq))
+	}
+	return w
+}
+
+// phaseJobs splits one phase's measured (calls, work) into per-call
+// jobs preserving the exact total.
+func phaseJobs(c *timing.Counters, p timing.Phase) []fleet.Job {
+	calls := c.Calls(p)
+	if calls <= 0 {
+		return nil
+	}
+	kernel := kernelOf(p)
+	total := int64(math.Round(c.Work(p)))
+	base, rem := total/calls, total%calls
+	jobs := make([]fleet.Job, calls)
+	for i := range jobs {
+		cy := base
+		if int64(i) < rem {
+			cy++
+		}
+		jobs[i] = fleet.Job{Kernel: kernel, Cycles: cy}
+	}
+	return jobs
+}
+
+func kernelOf(p timing.Phase) fpga.Kernel {
+	if p == timing.PhaseSeqTrain {
+		return fpga.KernelSeqTrain
+	}
+	return fpga.KernelPredict
+}
+
+// interleave merges two job lists proportionally (a deterministic
+// Bresenham walk), approximating the inner loop's
+// predict/predict/seq_train alternation without reordering either list.
+func interleave(a, b []fleet.Job) fleet.Chain {
+	out := make(fleet.Chain, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case i == len(a):
+			out = append(out, b[j])
+			j++
+		case j == len(b):
+			out = append(out, a[i])
+			i++
+		// Issue from a while its progress fraction trails b's:
+		// i/len(a) <= j/len(b) cross-multiplied to stay in integers.
+		case i*len(b) <= j*len(a):
+			out = append(out, a[i])
+			i++
+		default:
+			out = append(out, b[j])
+			j++
+		}
+	}
+	return out
+}

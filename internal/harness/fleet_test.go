@@ -1,0 +1,179 @@
+package harness
+
+import (
+	"math"
+	"os"
+	"testing"
+
+	"oselmrl/internal/env"
+	"oselmrl/internal/replay"
+	"oselmrl/internal/timing"
+)
+
+// countingAgent is a minimal Agent whose hot path writes its Counters
+// the way real designs do: per-phase calls and cycle work on every
+// action selection and observed transition.
+type countingAgent struct {
+	counters *timing.Counters
+}
+
+func (c *countingAgent) Name() string { return "counting" }
+func (c *countingAgent) SelectAction([]float64) int {
+	c.counters.AddN(timing.PhasePredictSeq, 2, 2*400)
+	return 1
+}
+func (c *countingAgent) Observe(replay.Transition) error {
+	c.counters.Add(timing.PhaseSeqTrain, 4689)
+	return nil
+}
+func (c *countingAgent) EndEpisode(int)             {}
+func (c *countingAgent) Reinitialize()              {}
+func (c *countingAgent) Counters() *timing.Counters { return c.counters }
+
+// TestFleetPerCoreCountersRace is the fleet-barrier concurrency test:
+// every member owns its Counters, members run concurrently, and the
+// merge happens only after RunTrials' barrier. Under `go test -race`
+// this passes ONLY with the per-core pattern — set
+// FLEET_SHARED_COUNTERS=1 to reproduce the old shared-counter pattern
+// (one Counters written by all members), which the race detector
+// rejects immediately.
+func TestFleetPerCoreCountersRace(t *testing.T) {
+	shared := timing.NewCounters()
+	useShared := os.Getenv("FLEET_SHARED_COUNTERS") == "1"
+	spec := FleetSpec{
+		TrialSpec: TrialSpec{
+			MakeAgent: func(seed uint64) (Agent, error) {
+				if useShared {
+					return &countingAgent{counters: shared}, nil
+				}
+				return &countingAgent{counters: timing.NewCounters()}, nil
+			},
+			MakeEnv: func(seed uint64) env.Env { return env.NewCartPoleV0(seed) },
+			Config: Config{
+				MaxEpisodes: 3, ResetAfter: 0, SolveWindow: 100,
+				SolveThreshold: 195, ScoreIsSteps: true,
+			},
+			BaseSeed:    7,
+			Parallelism: 4,
+		},
+		Cores:   4,
+		Devices: 2,
+	}
+	res, err := RunFleet(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Members) != 8 {
+		t.Fatalf("members = %d, want cores*devices = 8", len(res.Members))
+	}
+
+	// The barrier merge must equal the sum of the members' counters.
+	var calls, seqCalls int64
+	var work float64
+	for _, r := range res.Members {
+		calls += r.Counters.Calls(timing.PhasePredictSeq)
+		seqCalls += r.Counters.Calls(timing.PhaseSeqTrain)
+		work += r.Counters.Work(timing.PhasePredictSeq) + r.Counters.Work(timing.PhaseSeqTrain)
+	}
+	if useShared {
+		return // totals are not meaningful with a shared counter
+	}
+	if res.Merged.Calls(timing.PhasePredictSeq) != calls ||
+		res.Merged.Calls(timing.PhaseSeqTrain) != seqCalls {
+		t.Fatalf("merged calls %d/%d, members sum %d/%d",
+			res.Merged.Calls(timing.PhasePredictSeq), res.Merged.Calls(timing.PhaseSeqTrain),
+			calls, seqCalls)
+	}
+
+	// The measured workload preserves the merged PL work exactly.
+	if got := float64(res.Projection.Workload.TotalCycles()); got != work {
+		t.Fatalf("workload cycles %v != merged PL work %v", got, work)
+	}
+	if len(res.Projection.Curve) != 4 {
+		t.Fatalf("curve has %d points, want cores=4", len(res.Projection.Curve))
+	}
+	if res.Projection.Curve[0].Speedup != 1 {
+		t.Fatalf("1-core speedup %v, want exactly 1", res.Projection.Curve[0].Speedup)
+	}
+	for i := 1; i < len(res.Projection.Curve); i++ {
+		if res.Projection.Curve[i].Speedup < res.Projection.Curve[i-1].Speedup {
+			t.Fatalf("speedup curve not monotone at %d cores", res.Projection.Curve[i].Cores)
+		}
+	}
+	if len(res.Projection.PerDevice) != 2 {
+		t.Fatalf("PerDevice has %d entries, want 2", len(res.Projection.PerDevice))
+	}
+	if res.Projection.Speedup < 1 {
+		t.Fatalf("fleet speedup %v < 1", res.Projection.Speedup)
+	}
+}
+
+// TestFleetWorkloadExactTotals pins the counter→workload conversion:
+// work is split over calls with the remainder spread one cycle at a
+// time, so chain totals equal the measured work to the cycle even when
+// calls does not divide work.
+func TestFleetWorkloadExactTotals(t *testing.T) {
+	c := timing.NewCounters()
+	c.AddN(timing.PhasePredictSeq, 3, 1001) // 334+334+333
+	c.AddN(timing.PhaseSeqTrain, 2, 9379)   // 4690+4689
+	w := FleetWorkload([]*Result{{Counters: c}})
+	if len(w.Members) != 1 {
+		t.Fatalf("members = %d", len(w.Members))
+	}
+	chain := w.Members[0]
+	if len(chain) != 5 {
+		t.Fatalf("chain has %d jobs, want 5", len(chain))
+	}
+	var predict, seq int64
+	for _, j := range chain {
+		if j.Kernel.Phase() == timing.PhasePredictSeq {
+			predict += j.Cycles
+		} else {
+			seq += j.Cycles
+		}
+	}
+	if predict != 1001 || seq != 9379 {
+		t.Fatalf("chain totals %d/%d, want 1001/9379 (exact)", predict, seq)
+	}
+
+	// Equal inputs produce an identical chain (the interleave is
+	// deterministic).
+	w2 := FleetWorkload([]*Result{{Counters: c}})
+	for i := range chain {
+		if chain[i] != w2.Members[0][i] {
+			t.Fatalf("interleave not deterministic at job %d", i)
+		}
+	}
+}
+
+// TestProjectFleetPartition checks the round-robin device split and the
+// headline ratio.
+func TestProjectFleetPartition(t *testing.T) {
+	members := make([]*Result, 4)
+	for i := range members {
+		c := timing.NewCounters()
+		c.AddN(timing.PhasePredictSeq, 10, 10*400)
+		c.AddN(timing.PhaseSeqTrain, 5, 5*4689)
+		members[i] = &Result{Counters: c}
+	}
+	proj := ProjectFleet(members, 2, 2, 0)
+	if len(proj.PerDevice) != 2 {
+		t.Fatalf("devices = %d", len(proj.PerDevice))
+	}
+	for d, r := range proj.PerDevice {
+		var jobs int64
+		for _, n := range r.CoreJobs {
+			jobs += n
+		}
+		if jobs != 30 { // two members x 15 jobs
+			t.Fatalf("device %d executed %d jobs, want 30", d, jobs)
+		}
+	}
+	if proj.FleetSeconds <= 0 || proj.SequentialSeconds <= 0 {
+		t.Fatal("zero modelled times")
+	}
+	got := proj.SequentialSeconds / proj.FleetSeconds
+	if math.Abs(got-proj.Speedup) > 1e-12 || proj.Speedup <= 1 {
+		t.Fatalf("speedup %v (ratio %v)", proj.Speedup, got)
+	}
+}

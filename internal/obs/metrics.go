@@ -150,6 +150,34 @@ const (
 	GaugeFPGAOpsPerCycle = "fpga_ops_per_cycle"
 )
 
+// Fleet-simulation metrics (the fleet_* family): the discrete-event
+// multi-core fleet simulator (internal/fleet) publishes these after
+// each simulated device, labeled {device} (and {device, core} for the
+// per-core series). Naming is documented in README.md §Fleet simulation
+// and results/README.md.
+const (
+	// GaugeFleetCoreBusy is one simulated core's busy fraction of the
+	// fleet makespan, labeled {device, core}.
+	GaugeFleetCoreBusy = "fleet_core_busy_fraction"
+	// GaugeFleetCores is the simulated core count per device.
+	GaugeFleetCores = "fleet_cores"
+	// GaugeFleetQueueDepthMax / Mean describe the shared dispatcher's
+	// ready-queue depth (peak, and mean at dispatch instants).
+	GaugeFleetQueueDepthMax  = "fleet_queue_depth_max"
+	GaugeFleetQueueDepthMean = "fleet_queue_depth_mean"
+	// GaugeFleetSpeedup is the modelled fleet speedup over the
+	// serialized one-core reference.
+	GaugeFleetSpeedup = "fleet_modelled_speedup"
+	// GaugeFleetMakespan is the fleet's modelled completion time in
+	// device seconds.
+	GaugeFleetMakespan = "fleet_makespan_seconds"
+	// MetricFleetDispatches counts kernels issued by the dispatcher;
+	// MetricFleetJobs counts kernels completed by cores (equal at the
+	// end of a simulation).
+	MetricFleetDispatches = "fleet_dispatches"
+	MetricFleetJobs       = "fleet_jobs"
+)
+
 // DefaultBuckets are the upper bounds used when Observe creates a
 // histogram implicitly: a coarse log scale covering the magnitudes the
 // stack records (σmax estimates, wall milliseconds, target values).

@@ -62,6 +62,11 @@ const (
 	// the Rule* constants in watchdog.go). Emitted at most once per
 	// (rule, metric) pair, so a runaway series cannot flood the log.
 	EventNumericAlert = "numeric_alert"
+	// EventFleetSim summarizes one simulated fleet device
+	// (internal/fleet): data carries cores, jobs, dispatches,
+	// makespan_s, speedup and dispatcher queue depths; the matching
+	// fleet_* gauges hold the same numbers as scrapeable series.
+	EventFleetSim = "fleet_sim"
 )
 
 // Event is one line of a JSONL run log.

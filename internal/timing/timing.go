@@ -49,6 +49,15 @@ var AllPhases = []Phase{
 // Counters accumulates calls and work units per phase. Work units are
 // floating-point operations for software designs and datapath cycles for
 // the FPGA design; the Profile converting them knows which.
+//
+// Concurrency contract: a Counters is intentionally unsynchronized — it
+// sits on every agent's hot path, where a lock would tax the
+// single-threaded common case. Concurrent users (the fleet runner's
+// per-core members, parallel trials) must give each goroutine its own
+// Counters and combine them with Merge only at a barrier, after all
+// writers have stopped. Sharing one Counters across concurrently
+// running members is a data race (caught by the harness fleet -race
+// test).
 type Counters struct {
 	calls map[Phase]int64
 	work  map[Phase]float64
@@ -85,7 +94,9 @@ func (c *Counters) Reset() {
 	c.work = make(map[Phase]float64)
 }
 
-// Merge adds other's counts into c.
+// Merge adds other's counts into c — the fleet-barrier aggregation
+// point of the per-goroutine Counters pattern (see the type comment).
+// Neither side may have live writers during the merge.
 func (c *Counters) Merge(other *Counters) {
 	for p, n := range other.calls {
 		c.calls[p] += n
